@@ -1,0 +1,122 @@
+#ifndef HYBRIDGNN_BENCH_BENCH_UTIL_H_
+#define HYBRIDGNN_BENCH_BENCH_UTIL_H_
+
+// Shared plumbing for the table/figure reproduction harnesses. Every bench
+// accepts environment overrides:
+//   HYBRIDGNN_BENCH_SCALE   dataset scale multiplier   (default 0.15)
+//   HYBRIDGNN_BENCH_EFFORT  training effort multiplier (default 1.0)
+//   HYBRIDGNN_BENCH_SEEDS   repeated runs per cell     (default 2;
+//                           >= 3 enables the paper's t-test columns)
+// Defaults are sized so the whole bench suite finishes in minutes on a
+// laptop CPU; raise scale/effort/seeds to approach the paper's protocol.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "core/hybrid_gnn.h"
+#include "common/env.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "data/profiles.h"
+#include "data/split.h"
+#include "eval/evaluator.h"
+
+namespace hybridgnn::bench {
+
+struct BenchEnv {
+  double scale;
+  double effort;
+  size_t seeds;
+};
+
+inline BenchEnv GetBenchEnv() {
+  BenchEnv e;
+  e.scale = GetEnvDouble("HYBRIDGNN_BENCH_SCALE", 0.15);
+  e.effort = GetEnvDouble("HYBRIDGNN_BENCH_EFFORT", 1.0);
+  e.seeds = static_cast<size_t>(GetEnvInt("HYBRIDGNN_BENCH_SEEDS", 2));
+  if (e.seeds == 0) e.seeds = 1;
+  return e;
+}
+
+inline ModelBudget MakeBudget(double effort) {
+  ModelBudget b;
+  b.effort = effort;
+  b.num_walks = 6;
+  b.walk_length = 8;
+  b.window = 3;
+  b.max_pairs_per_epoch = 20000;
+  return b;
+}
+
+struct Prepared {
+  Dataset dataset;
+  LinkSplit split;
+};
+
+/// Generates the profile graph and its 85/5/10 split, deterministic in seed.
+inline Prepared Prepare(const std::string& profile, double scale,
+                        uint64_t seed) {
+  auto ds = MakeDataset(profile, scale, seed);
+  HYBRIDGNN_CHECK(ds.ok()) << ds.status().ToString();
+  Rng rng(seed ^ 0x5117);
+  auto split = SplitEdges(ds->graph, SplitOptions{}, rng);
+  HYBRIDGNN_CHECK(split.ok()) << split.status().ToString();
+  return Prepared{std::move(ds).value(), std::move(split).value()};
+}
+
+/// Trains `model_name` on the prepared split and evaluates it.
+inline LinkPredictionResult RunModel(const std::string& model_name,
+                                     const Prepared& prep, uint64_t seed,
+                                     const ModelBudget& budget) {
+  auto model = CreateModel(model_name, prep.dataset.schemes, seed, budget);
+  HYBRIDGNN_CHECK(model.ok()) << model.status().ToString();
+  Status st = (*model)->Fit(prep.split.train_graph);
+  HYBRIDGNN_CHECK(st.ok()) << model_name << ": " << st.ToString();
+  Rng eval_rng(seed ^ 0xE7A1);
+  EvalOptions opts;
+  opts.max_ranking_queries = 120;
+  return EvaluateLinkPrediction(**model, prep.dataset.graph, prep.split,
+                                opts, eval_rng);
+}
+
+/// HybridGNN config mirroring the registry's defaults under `budget`,
+/// exposed so ablation/sensitivity benches can tweak individual knobs.
+inline HybridGnnConfig HybridConfigFromBudget(const ModelBudget& budget,
+                                              uint64_t seed) {
+  HybridGnnConfig c;
+  c.corpus.num_walks_per_node = budget.num_walks;
+  c.corpus.walk_length = budget.walk_length;
+  c.corpus.window = budget.window;
+  c.epochs = std::max<size_t>(
+      1, static_cast<size_t>(10 * budget.effort + 0.5));
+  c.max_pairs_per_epoch = budget.max_pairs_per_epoch;
+  c.seed = seed;
+  return c;
+}
+
+/// Trains a HybridGNN with an explicit config and evaluates it.
+inline LinkPredictionResult RunHybrid(const HybridGnnConfig& config,
+                                      const Prepared& prep) {
+  HybridGnn model(config, prep.dataset.schemes);
+  Status st = model.Fit(prep.split.train_graph);
+  HYBRIDGNN_CHECK(st.ok()) << st.ToString();
+  Rng eval_rng(config.seed ^ 0xE7A1);
+  EvalOptions opts;
+  opts.max_ranking_queries = 120;
+  return EvaluateLinkPrediction(model, prep.dataset.graph, prep.split, opts,
+                                eval_rng);
+}
+
+inline void PrintHeaderBanner(const char* what) {
+  BenchEnv env = GetBenchEnv();
+  std::printf("=== %s ===\n", what);
+  std::printf("(synthetic stand-ins; scale=%.2f effort=%.2f seeds=%zu — see "
+              "EXPERIMENTS.md)\n\n",
+              env.scale, env.effort, env.seeds);
+}
+
+}  // namespace hybridgnn::bench
+
+#endif  // HYBRIDGNN_BENCH_BENCH_UTIL_H_

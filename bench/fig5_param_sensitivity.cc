@@ -1,0 +1,57 @@
+// Reproduces Fig. 5: hyper-parameter sensitivity of HybridGNN on four
+// datasets — (a) base embedding dimension d_m, (b) edge embedding dimension
+// d_e, (c) number of negatives n. Prints one ROC-AUC series per dataset for
+// each sweep, the same data the paper plots.
+
+#include <functional>
+
+#include "bench_util.h"
+#include "eval/metrics.h"
+
+using namespace hybridgnn;
+using namespace hybridgnn::bench;
+
+namespace {
+
+void Sweep(const char* title, const std::vector<size_t>& values,
+           const std::function<void(HybridGnnConfig&, size_t)>& apply,
+           const BenchEnv& env, const ModelBudget& budget) {
+  const std::vector<std::string> profiles = {"amazon", "youtube", "imdb",
+                                             "taobao"};
+  std::printf("--- %s ---\n%-10s", title, "value");
+  for (const auto& p : profiles) std::printf(" %9s", p.c_str());
+  std::printf("\n");
+  for (size_t value : values) {
+    std::printf("%-10zu", value);
+    for (const auto& profile : profiles) {
+      std::vector<double> roc;
+      const size_t sweep_seeds = 1;  // 48 cells; one seed keeps runtime sane
+      for (size_t s = 0; s < sweep_seeds; ++s) {
+        Prepared prep = Prepare(profile, env.scale, 700 + s);
+        HybridGnnConfig c = HybridConfigFromBudget(budget, 7000 + s);
+        apply(c, value);
+        roc.push_back(RunHybrid(c, prep).roc_auc);
+      }
+      std::printf(" %9.2f", Mean(roc));
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  PrintHeaderBanner("Fig. 5: hyper-parameter sensitivity (ROC-AUC)");
+  BenchEnv env = GetBenchEnv();
+  // Half effort: 48 sweep cells.
+  ModelBudget budget = MakeBudget(env.effort * 0.5);
+  Sweep("(a) base embedding dimension d_m", {64, 128, 256, 512},
+        [](HybridGnnConfig& c, size_t v) { c.base_dim = v; }, env, budget);
+  Sweep("(b) edge embedding dimension d_e", {2, 8, 16, 64},
+        [](HybridGnnConfig& c, size_t v) { c.edge_dim = v; }, env, budget);
+  Sweep("(c) number of negative samples n", {1, 3, 5, 7},
+        [](HybridGnnConfig& c, size_t v) { c.num_negatives = v; }, env,
+        budget);
+  return 0;
+}

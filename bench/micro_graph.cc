@@ -1,0 +1,92 @@
+// Micro-benchmarks of the graph substrate: construction, neighbor access,
+// edge lookup, relation-subset extraction.
+
+#include <benchmark/benchmark.h>
+
+#include "common/logging.h"
+#include "data/profiles.h"
+#include "graph/graph.h"
+#include "graph/stats.h"
+
+namespace hybridgnn {
+namespace {
+
+const Dataset& TaobaoDataset() {
+  static const Dataset* ds = [] {
+    auto d = MakeDataset("taobao", 0.3, 42);
+    HYBRIDGNN_CHECK(d.ok());
+    return new Dataset(std::move(d).value());
+  }();
+  return *ds;
+}
+
+void BM_GraphBuild(benchmark::State& state) {
+  const auto& src = TaobaoDataset().graph;
+  for (auto _ : state) {
+    GraphBuilder b;
+    for (NodeTypeId t = 0; t < src.num_node_types(); ++t) {
+      benchmark::DoNotOptimize(b.AddNodeType(src.node_type_name(t)));
+    }
+    for (RelationId r = 0; r < src.num_relations(); ++r) {
+      benchmark::DoNotOptimize(b.AddRelation(src.relation_name(r)));
+    }
+    for (NodeId v = 0; v < src.num_nodes(); ++v) {
+      benchmark::DoNotOptimize(b.AddNode(src.node_type(v)));
+    }
+    for (const auto& e : src.edges()) {
+      benchmark::DoNotOptimize(b.AddEdge(e.src, e.dst, e.rel));
+    }
+    auto g = b.Build();
+    benchmark::DoNotOptimize(g);
+  }
+  state.SetItemsProcessed(state.iterations() * src.num_edges());
+}
+BENCHMARK(BM_GraphBuild);
+
+void BM_NeighborScan(benchmark::State& state) {
+  const auto& g = TaobaoDataset().graph;
+  size_t sum = 0;
+  for (auto _ : state) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      for (RelationId r = 0; r < g.num_relations(); ++r) {
+        for (NodeId u : g.Neighbors(v, r)) sum += u;
+      }
+    }
+  }
+  benchmark::DoNotOptimize(sum);
+  state.SetItemsProcessed(state.iterations() * g.num_edges() * 2);
+}
+BENCHMARK(BM_NeighborScan);
+
+void BM_HasEdge(benchmark::State& state) {
+  const auto& g = TaobaoDataset().graph;
+  const auto& edges = g.edges();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& e = edges[i++ % edges.size()];
+    benchmark::DoNotOptimize(g.HasEdge(e.src, e.dst, e.rel));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HasEdge);
+
+void BM_ExtractRelationSubset(benchmark::State& state) {
+  const auto& g = TaobaoDataset().graph;
+  for (auto _ : state) {
+    auto sub = g.ExtractRelationSubset({0, 1});
+    benchmark::DoNotOptimize(sub);
+  }
+}
+BENCHMARK(BM_ExtractRelationSubset);
+
+void BM_ComputeStats(benchmark::State& state) {
+  const auto& g = TaobaoDataset().graph;
+  for (auto _ : state) {
+    GraphStats s = ComputeStats(g);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_ComputeStats);
+
+}  // namespace
+}  // namespace hybridgnn

@@ -1,0 +1,38 @@
+// Reproduces Table V: effect of the randomized inter-relationship
+// exploration depth L in {1, 2, 3} on Amazon, YouTube, IMDb and Taobao
+// (ROC-AUC and F1 per cell). The paper finds deeper is not always better,
+// with L=2 best on complex graphs.
+
+#include "bench_util.h"
+#include "eval/metrics.h"
+
+using namespace hybridgnn;
+using namespace hybridgnn::bench;
+
+int main() {
+  PrintHeaderBanner("Table V: randomized exploration depth L (ROC-AUC / F1)");
+  BenchEnv env = GetBenchEnv();
+  ModelBudget budget = MakeBudget(env.effort);
+  const std::vector<std::string> profiles = {"amazon", "youtube", "imdb",
+                                             "taobao"};
+  std::printf("%-18s", "Depth");
+  for (const auto& p : profiles) std::printf(" %14s", p.c_str());
+  std::printf("\n");
+  for (size_t depth = 1; depth <= 3; ++depth) {
+    std::printf("HybridGNN (L=%zu)  ", depth);
+    for (const auto& profile : profiles) {
+      std::vector<double> roc, f1;
+      for (size_t s = 0; s < env.seeds; ++s) {
+        Prepared prep = Prepare(profile, env.scale, 300 + s);
+        HybridGnnConfig c = HybridConfigFromBudget(budget, 3000 + s);
+        c.exploration_depth = depth;
+        LinkPredictionResult r = RunHybrid(c, prep);
+        roc.push_back(r.roc_auc);
+        f1.push_back(r.f1);
+      }
+      std::printf("  %6.2f/%6.2f", Mean(roc), Mean(f1));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,95 @@
+// E-commerce scenario (the paper's Taobao motivation): users interact with
+// items under four behaviors — page_view, add_to_cart, purchase,
+// item_favoring. HybridGNN learns a *separate* embedding per behavior, so a
+// "what will they purchase" ranking differs from "what will they view".
+//
+//   ./ecommerce_recommendations [scale]
+//
+// Prints the top-5 item recommendations for a sample user under every
+// behavior, plus the metapath-level attention distribution (which
+// aggregation flow the model relied on — intra-relationship metapaths or
+// randomized inter-relationship exploration).
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "core/hybrid_gnn.h"
+#include "data/profiles.h"
+#include "data/split.h"
+
+using namespace hybridgnn;
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.15;
+
+  auto ds = MakeDataset("taobao", scale, /*seed=*/2024);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  const MultiplexHeteroGraph& g = ds->graph;
+  std::printf("taobao-like graph: %zu nodes, %zu edges, %zu behaviors\n",
+              g.num_nodes(), g.num_edges(), g.num_relations());
+
+  Rng rng(1);
+  auto split = SplitEdges(g, SplitOptions{}, rng);
+  if (!split.ok()) {
+    std::fprintf(stderr, "%s\n", split.status().ToString().c_str());
+    return 1;
+  }
+
+  HybridGnnConfig config;
+  config.base_dim = 64;
+  config.edge_dim = 8;
+  config.hidden_dim = 16;
+  config.epochs = 3;
+  config.max_pairs_per_epoch = 12000;
+  config.corpus.num_walks_per_node = 6;
+  config.corpus.walk_length = 8;
+  config.corpus.window = 3;
+  config.seed = 5;
+  HybridGnn model(config, ds->schemes);
+  Status st = model.Fit(split->train_graph);
+  if (!st.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  // Pick the busiest user for a readable demo.
+  NodeTypeId user_type = g.FindNodeType("user");
+  NodeTypeId item_type = g.FindNodeType("item");
+  NodeId who = g.NodesOfType(user_type)[0];
+  for (NodeId u : g.NodesOfType(user_type)) {
+    if (g.TotalDegree(u) > g.TotalDegree(who)) who = u;
+  }
+  std::printf("\nrecommendations for user %u (degree %zu):\n", who,
+              g.TotalDegree(who));
+
+  for (RelationId r = 0; r < g.num_relations(); ++r) {
+    std::vector<std::pair<double, NodeId>> scored;
+    for (NodeId item : g.NodesOfType(item_type)) {
+      if (split->train_graph.HasEdge(who, item, r)) continue;
+      scored.emplace_back(model.Score(who, item, r), item);
+    }
+    std::partial_sort(scored.begin(),
+                      scored.begin() + std::min<size_t>(5, scored.size()),
+                      scored.end(), std::greater<>());
+    std::printf("  %-14s top-5:", g.relation_name(r).c_str());
+    for (size_t i = 0; i < 5 && i < scored.size(); ++i) {
+      const bool hit = g.HasEdge(who, scored[i].second, r);
+      std::printf(" %u%s", scored[i].second, hit ? "*" : "");
+    }
+    std::printf("   (* = held-out true interaction)\n");
+
+    std::vector<double> attn = model.MetapathAttentionScores(who, r);
+    std::vector<std::string> labels = model.FlowLabels(who, r);
+    std::printf("    attention:");
+    for (size_t i = 0; i < attn.size(); ++i) {
+      std::printf(" %s=%.2f", labels[i].c_str(), attn[i]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Short-video platform scenario (the paper's Kuaishou motivation): users,
+// videos and authors interact under click / like / comment / download.
+// Compares HybridGNN against GATNE (the paper's strongest baseline) on
+// held-out link prediction, demonstrating the inter-relationship uplift on a
+// graph where relations are strongly correlated.
+//
+//   ./video_platform_ranking [scale]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/registry.h"
+#include "data/profiles.h"
+#include "data/split.h"
+#include "eval/evaluator.h"
+
+using namespace hybridgnn;
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.12;
+
+  auto ds = MakeDataset("kuaishou", scale, /*seed=*/77);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "%s\n", ds.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("kuaishou-like graph: %zu nodes, %zu edges, %zu node types, "
+              "%zu relations\n",
+              ds->graph.num_nodes(), ds->graph.num_edges(),
+              ds->graph.num_node_types(), ds->graph.num_relations());
+
+  Rng rng(3);
+  auto split = SplitEdges(ds->graph, SplitOptions{}, rng);
+  if (!split.ok()) {
+    std::fprintf(stderr, "%s\n", split.status().ToString().c_str());
+    return 1;
+  }
+
+  ModelBudget budget;
+  budget.effort = 0.6;
+  budget.num_walks = 5;
+  budget.walk_length = 8;
+  budget.window = 3;
+  budget.max_pairs_per_epoch = 12000;
+
+  std::printf("\n%-12s %8s %8s %8s\n", "model", "ROC-AUC", "PR-AUC", "F1");
+  for (const char* name : {"GATNE", "HybridGNN"}) {
+    auto model = CreateModel(name, ds->schemes, /*seed=*/9, budget);
+    if (!model.ok()) {
+      std::fprintf(stderr, "%s\n", model.status().ToString().c_str());
+      return 1;
+    }
+    Status st = (*model)->Fit(split->train_graph);
+    if (!st.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name, st.ToString().c_str());
+      return 1;
+    }
+    Rng eval_rng(4);
+    EvalOptions opts;
+    opts.max_ranking_queries = 50;
+    LinkPredictionResult r = EvaluateLinkPrediction(
+        **model, ds->graph, *split, opts, eval_rng);
+    std::printf("%-12s %8.2f %8.2f %8.2f\n", name, r.roc_auc, r.pr_auc,
+                r.f1);
+  }
+  std::printf("\nHybridGNN's randomized inter-relationship exploration lets "
+              "sparse relations\n(download, comment) borrow evidence from "
+              "dense ones (click), which GATNE's\nper-relation neighbor "
+              "aggregation cannot do.\n");
+  return 0;
+}

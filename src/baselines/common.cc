@@ -1,0 +1,20 @@
+#include "baselines/common.h"
+
+namespace hybridgnn {
+
+EdgeTriple SampleNegativeEdge(const MultiplexHeteroGraph& g,
+                              const EdgeTriple& pos, Rng& rng) {
+  const auto& candidates = g.NodesOfType(g.node_type(pos.dst));
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    NodeId x = candidates[rng.UniformUint64(candidates.size())];
+    if (x == pos.src || x == pos.dst) continue;
+    if (g.HasEdge(pos.src, x, pos.rel)) continue;
+    return EdgeTriple{pos.src, x, pos.rel};
+  }
+  // Dense fallback: accept a random candidate.
+  return EdgeTriple{pos.src,
+                    candidates[rng.UniformUint64(candidates.size())],
+                    pos.rel};
+}
+
+}  // namespace hybridgnn

@@ -1,0 +1,17 @@
+#ifndef HYBRIDGNN_BASELINES_COMMON_H_
+#define HYBRIDGNN_BASELINES_COMMON_H_
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "sampling/sgns.h"
+
+namespace hybridgnn {
+
+/// Samples a non-edge (src, x, rel) with x of the same type as `pos.dst`
+/// (used by BCE-trained GNN baselines for on-the-fly negatives).
+EdgeTriple SampleNegativeEdge(const MultiplexHeteroGraph& g,
+                              const EdgeTriple& pos, Rng& rng);
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_BASELINES_COMMON_H_

@@ -1,0 +1,27 @@
+#include "baselines/deepwalk.h"
+
+#include "common/logging.h"
+
+namespace hybridgnn {
+
+Status DeepWalk::Fit(const MultiplexHeteroGraph& g) {
+  Rng rng(options_.seed);
+  WalkCorpus corpus = BuildUniformCorpus(g, options_.corpus, rng);
+  if (corpus.pairs.empty()) {
+    return Status::FailedPrecondition("DeepWalk: empty walk corpus");
+  }
+  NegativeSampler sampler(g);
+  SgnsEmbedder embedder(g.num_nodes(), options_.sgns.dim, rng);
+  embedder.Train(corpus.pairs, sampler, options_.sgns, rng);
+  embeddings_ = embedder.embeddings();
+  fitted_ = true;
+  return Status::OK();
+}
+
+Tensor DeepWalk::Embedding(NodeId v, RelationId r) const {
+  HYBRIDGNN_CHECK(fitted_);
+  (void)r;  // relation-blind
+  return embeddings_.CopyRow(v);
+}
+
+}  // namespace hybridgnn

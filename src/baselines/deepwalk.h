@@ -1,0 +1,36 @@
+#ifndef HYBRIDGNN_BASELINES_DEEPWALK_H_
+#define HYBRIDGNN_BASELINES_DEEPWALK_H_
+
+#include <string>
+
+#include "baselines/common.h"
+#include "eval/embedding_model.h"
+#include "sampling/corpus.h"
+
+namespace hybridgnn {
+
+/// DeepWalk (Perozzi et al., KDD 2014): uniform random walks + skip-gram.
+/// Node and edge types are ignored, as in the paper's baseline setup.
+class DeepWalk : public EmbeddingModel {
+ public:
+  struct Options {
+    SgnsOptions sgns;
+    CorpusOptions corpus;
+    uint64_t seed = 7;
+  };
+
+  explicit DeepWalk(const Options& options) : options_(options) {}
+
+  std::string name() const override { return "DeepWalk"; }
+  Status Fit(const MultiplexHeteroGraph& g) override;
+  Tensor Embedding(NodeId v, RelationId r) const override;
+
+ private:
+  Options options_;
+  Tensor embeddings_;
+  bool fitted_ = false;
+};
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_BASELINES_DEEPWALK_H_

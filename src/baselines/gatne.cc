@@ -1,0 +1,269 @@
+#include "baselines/gatne.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "sampling/negative_sampler.h"
+#include "sampling/sgns.h"
+#include "tensor/init.h"
+#include "tensor/optimizer.h"
+
+namespace hybridgnn {
+
+ag::Var Gatne::ForwardNode(const MultiplexHeteroGraph& g, NodeId v,
+                           Rng& rng) const {
+  // U_v: per-relation aggregated edge embeddings (mean over sampled direct
+  // neighbors' edge embeddings under that relation; own embedding when
+  // isolated).
+  std::vector<ag::Var> u_rows;
+  u_rows.reserve(num_relations_);
+  for (RelationId r = 0; r < num_relations_; ++r) {
+    auto nbrs = g.Neighbors(v, r);
+    std::vector<NodeId> sampled;
+    if (!nbrs.empty()) {
+      sampled.reserve(options_.fanout);
+      for (size_t s = 0; s < options_.fanout; ++s) {
+        sampled.push_back(nbrs[rng.UniformUint64(nbrs.size())]);
+      }
+    } else {
+      sampled.push_back(v);
+    }
+    std::vector<int32_t> idx;
+    idx.reserve(sampled.size());
+    for (NodeId u : sampled) {
+      idx.push_back(static_cast<int32_t>(u * num_relations_ + r));
+    }
+    ag::Var rows = edge_embed_->Forward(idx);
+    u_rows.push_back(idx.size() == 1 ? rows : ag::MeanRows(rows));
+  }
+  ag::Var u_stack =
+      u_rows.size() == 1 ? u_rows[0] : ag::ConcatRows(u_rows);  // [R, edge]
+
+  ag::Var hidden = ag::Tanh(attn_proj_->Forward(u_stack));  // [R, hidden]
+  ag::Var base_row = base_->ForwardNodes({v});              // [1, base]
+
+  std::vector<ag::Var> out_rows;
+  out_rows.reserve(num_relations_);
+  for (RelationId r = 0; r < num_relations_; ++r) {
+    // a_{v,r} = softmax(w_r^T tanh(W U_v^T)) over relations.
+    ag::Var scores = ag::MatMul(hidden, attn_query_[r]);      // [R, 1]
+    ag::Var weights = ag::SoftmaxRows(ag::Transpose(scores)); // [1, R]
+    ag::Var mixed = ag::MatMul(weights, u_stack);             // [1, edge]
+    out_rows.push_back(ag::MatMul(mixed, m_rel_[r]));         // [1, base]
+  }
+  ag::Var local =
+      out_rows.size() == 1 ? out_rows[0] : ag::ConcatRows(out_rows);
+  if (options_.local_scale != 1.0f) {
+    local = ag::Scale(local, options_.local_scale);
+  }
+  return ag::AddRowBroadcast(local, base_row);  // [R, base]
+}
+
+Status Gatne::Fit(const MultiplexHeteroGraph& g) {
+  if (g.num_nodes() == 0) return Status::InvalidArgument("empty graph");
+  for (const auto& s : schemes_) HYBRIDGNN_RETURN_IF_ERROR(s.Validate(g));
+  num_relations_ = g.num_relations();
+  Rng rng(options_.seed);
+
+  base_ =
+      std::make_unique<EmbeddingTable>(g.num_nodes(), options_.base_dim, rng);
+  context_ =
+      std::make_unique<EmbeddingTable>(g.num_nodes(), options_.base_dim, rng);
+  edge_embed_ = std::make_unique<EmbeddingTable>(
+      g.num_nodes() * num_relations_, options_.edge_dim, rng);
+  attn_proj_ =
+      std::make_unique<Linear>(options_.edge_dim, options_.attn_hidden, rng);
+  attn_query_.clear();
+  m_rel_.clear();
+  for (RelationId r = 0; r < num_relations_; ++r) {
+    Tensor q(options_.attn_hidden, 1);
+    XavierUniform(q, rng);
+    attn_query_.push_back(ag::Param(std::move(q)));
+    // Zero-init output projection (see HybridGNN): the relation-specific
+    // branch phases in without swamping the base embedding early on.
+    m_rel_.push_back(
+        ag::Param(Tensor(options_.edge_dim, options_.base_dim)));
+  }
+
+  const bool freeze_tables =
+      options_.pretrain_base && options_.freeze_pretrained;
+  Adam optimizer(options_.learning_rate);
+  if (!freeze_tables) {
+    optimizer.AddParameters(base_->parameters());
+    optimizer.AddParameters(context_->parameters());
+  }
+  optimizer.AddParameters(edge_embed_->parameters());
+  optimizer.AddParameters(attn_proj_->parameters());
+  optimizer.AddParameters(attn_query_);
+  optimizer.AddParameters(m_rel_);
+
+  WalkCorpus corpus = BuildMetapathCorpus(g, schemes_, options_.corpus, rng);
+  if (corpus.pairs.empty()) {
+    return Status::FailedPrecondition("GATNE: no skip-gram pairs");
+  }
+  NegativeSampler neg_sampler(g);
+
+  if (options_.pretrain_base) {
+    CorpusOptions pre_corpus = options_.corpus;
+    pre_corpus.direct_edge_copies = 2;
+    WalkCorpus uniform = BuildUniformCorpus(g, pre_corpus, rng);
+    for (size_t copy = 0; copy < pre_corpus.direct_edge_copies; ++copy) {
+      for (const auto& e : g.edges()) {
+        uniform.pairs.push_back(SkipGramPair{e.src, e.dst, e.rel});
+        uniform.pairs.push_back(SkipGramPair{e.dst, e.src, e.rel});
+      }
+    }
+    SgnsOptions pre;
+    pre.dim = options_.base_dim;
+    pre.negatives = options_.num_negatives;
+    SgnsEmbedder pretrainer(g.num_nodes(), options_.base_dim, rng);
+    pretrainer.Train(uniform.pairs, neg_sampler, pre, rng);
+    base_->table()->value = pretrainer.embeddings();
+    context_->table()->value = pretrainer.contexts();
+  }
+
+  // Fine-tune the relation machinery on the link objective with
+  // relationship-aware negatives; internal-validation early stopping with
+  // best-epoch restore (same protocol as HybridGNN).
+  std::vector<EdgeTriple> train_edges = g.edges();
+  rng.Shuffle(train_edges);
+  const size_t val_count = std::min<size_t>(
+      std::max<size_t>(16, static_cast<size_t>(
+                               options_.internal_val_fraction *
+                               static_cast<double>(train_edges.size()))),
+      train_edges.size() / 2);
+  std::vector<EdgeTriple> val_edges(train_edges.begin(),
+                                    train_edges.begin() + val_count);
+  train_edges.erase(train_edges.begin(), train_edges.begin() + val_count);
+  std::vector<NodeId> val_negs;  // two fixed negatives per val edge
+  std::vector<NodeId> val_negs2;
+  for (const auto& e : val_edges) {
+    val_negs.push_back(neg_sampler.SampleRelationAware(
+        e.src, e.dst, e.rel, options_.cross_negative_fraction, rng));
+    val_negs2.push_back(neg_sampler.SampleRelationAware(
+        e.src, e.dst, e.rel, options_.cross_negative_fraction, rng));
+  }
+
+  std::vector<ag::Var> all_params;
+  all_params.push_back(base_->table());
+  all_params.push_back(context_->table());
+  all_params.push_back(edge_embed_->table());
+  for (const auto& p : attn_proj_->parameters()) all_params.push_back(p);
+  for (const auto& p : attn_query_) all_params.push_back(p);
+  for (const auto& p : m_rel_) all_params.push_back(p);
+  auto snapshot = [&]() {
+    std::vector<Tensor> out;
+    for (const auto& p : all_params) out.push_back(p->value);
+    return out;
+  };
+  auto restore = [&](const std::vector<Tensor>& snap) {
+    for (size_t i = 0; i < all_params.size(); ++i) {
+      all_params[i]->value = snap[i];
+    }
+  };
+  auto validation_auc = [&]() {
+    Rng val_rng(options_.seed ^ 0x7A11);
+    double wins = 0.0;
+    for (size_t i = 0; i < val_edges.size(); ++i) {
+      const EdgeTriple& e = val_edges[i];
+      ag::Var eu = ForwardNode(g, e.src, val_rng);
+      ag::Var ev = ForwardNode(g, e.dst, val_rng);
+      ag::Var ex = ForwardNode(g, val_negs[i], val_rng);
+      ag::Var ex2 = ForwardNode(g, val_negs2[i], val_rng);
+      const float* u_row = eu->value.RowPtr(e.rel);
+      const float* v_row = ev->value.RowPtr(e.rel);
+      const float* x_row = ex->value.RowPtr(e.rel);
+      const float* x2_row = ex2->value.RowPtr(e.rel);
+      double pos = 0.0, neg = 0.0, neg2 = 0.0;
+      for (size_t j = 0; j < options_.base_dim; ++j) {
+        pos += static_cast<double>(u_row[j]) * v_row[j];
+        neg += static_cast<double>(u_row[j]) * x_row[j];
+        neg2 += static_cast<double>(u_row[j]) * x2_row[j];
+      }
+      for (double n : {neg, neg2}) {
+        if (pos > n) {
+          wins += 1.0;
+        } else if (pos == n) {
+          wins += 0.5;
+        }
+      }
+    }
+    return wins / (2.0 * static_cast<double>(val_edges.size()));
+  };
+
+  std::vector<size_t> order(train_edges.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  double best_val = validation_auc();
+  std::vector<Tensor> best_snapshot = snapshot();
+  size_t bad_epochs = 0;
+  const size_t edge_batch = std::max<size_t>(16, options_.batch_size / 2);
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    const size_t use = options_.max_pairs_per_epoch == 0
+                           ? order.size()
+                           : std::min(order.size(),
+                                      options_.max_pairs_per_epoch);
+    for (size_t start = 0; start < use; start += edge_batch) {
+      const size_t end = std::min(use, start + edge_batch);
+      std::unordered_map<NodeId, ag::Var> node_vars;
+      auto node_var = [&](NodeId v) {
+        auto it = node_vars.find(v);
+        if (it == node_vars.end()) {
+          it = node_vars.emplace(v, ForwardNode(g, v, rng)).first;
+        }
+        return it->second;
+      };
+      std::vector<ag::Var> lhs, rhs;
+      std::vector<float> labels;
+      for (size_t i = start; i < end; ++i) {
+        const EdgeTriple& e = train_edges[order[i]];
+        lhs.push_back(ag::SliceRows(node_var(e.src), e.rel, 1));
+        rhs.push_back(ag::SliceRows(node_var(e.dst), e.rel, 1));
+        labels.push_back(1.0f);
+        for (size_t n = 0; n < options_.num_negatives; ++n) {
+          NodeId x = neg_sampler.SampleRelationAware(
+              e.src, e.dst, e.rel, options_.cross_negative_fraction, rng);
+          lhs.push_back(ag::SliceRows(node_var(e.src), e.rel, 1));
+          rhs.push_back(ag::SliceRows(node_var(x), e.rel, 1));
+          labels.push_back(0.0f);
+        }
+      }
+      ag::Var logits =
+          ag::RowwiseDot(ag::ConcatRows(lhs), ag::ConcatRows(rhs));
+      ag::Var loss = ag::BceWithLogits(logits, labels);
+      ag::Backward(loss);
+      optimizer.Step();
+      optimizer.ZeroGrad();
+    }
+    const double val = validation_auc();
+    if (val > best_val + 1e-4) {
+      best_val = val;
+      best_snapshot = snapshot();
+      bad_epochs = 0;
+    } else if (++bad_epochs >= options_.early_stopping_patience) {
+      break;
+    }
+  }
+  if (options_.restore_best) restore(best_snapshot);
+
+  Rng cache_rng(options_.seed ^ 0xDEFACE);
+  cache_ = Tensor(g.num_nodes() * num_relations_, options_.base_dim);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ag::Var all = ForwardNode(g, v, cache_rng);
+    for (RelationId r = 0; r < num_relations_; ++r) {
+      const float* src = all->value.RowPtr(r);
+      std::copy(src, src + options_.base_dim,
+                cache_.RowPtr(v * num_relations_ + r));
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Tensor Gatne::Embedding(NodeId v, RelationId r) const {
+  HYBRIDGNN_CHECK(fitted_ && r < num_relations_);
+  return cache_.CopyRow(v * num_relations_ + r);
+}
+
+}  // namespace hybridgnn

@@ -1,0 +1,43 @@
+#ifndef HYBRIDGNN_BASELINES_GCN_H_
+#define HYBRIDGNN_BASELINES_GCN_H_
+
+#include <string>
+
+#include "eval/embedding_model.h"
+#include "tensor/tensor.h"
+
+namespace hybridgnn {
+
+/// GCN (Kipf & Welling, ICLR 2017): two-layer full-batch graph convolution
+/// over the symmetric-normalized union adjacency (heterogeneity ignored, as
+/// in the paper's baseline protocol), trained with link-prediction BCE on
+/// training edges plus sampled negatives. Node features are a trainable
+/// table (the datasets are featureless).
+class Gcn : public EmbeddingModel {
+ public:
+  struct Options {
+    size_t input_dim = 64;
+    size_t hidden_dim = 64;
+    size_t output_dim = 64;
+    size_t steps = 60;
+    size_t batch_edges = 512;
+    size_t negatives_per_edge = 1;
+    float learning_rate = 0.01f;
+    uint64_t seed = 17;
+  };
+
+  explicit Gcn(const Options& options) : options_(options) {}
+
+  std::string name() const override { return "GCN"; }
+  Status Fit(const MultiplexHeteroGraph& g) override;
+  Tensor Embedding(NodeId v, RelationId r) const override;
+
+ private:
+  Options options_;
+  Tensor embeddings_;
+  bool fitted_ = false;
+};
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_BASELINES_GCN_H_

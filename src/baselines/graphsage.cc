@@ -1,0 +1,90 @@
+#include "baselines/graphsage.h"
+
+#include <unordered_map>
+
+#include "baselines/common.h"
+#include "common/logging.h"
+#include "sampling/neighbor_sampler.h"
+#include "tensor/optimizer.h"
+
+namespace hybridgnn {
+
+ag::Var GraphSage::ForwardNode(const MultiplexHeteroGraph& g, NodeId v,
+                               Rng& rng, const EmbeddingTable& features,
+                               const MeanAggregator& agg) const {
+  auto levels = SampleLayers(g, v, options_.num_layers, options_.fanout, rng);
+  size_t deepest = 0;
+  for (size_t k = 0; k < levels.size(); ++k) {
+    if (!levels[k].empty()) deepest = k;
+  }
+  auto level_mean = [&](size_t k) {
+    ag::Var rows = features.ForwardNodes(levels[k]);
+    return levels[k].size() == 1 ? rows : ag::MeanRows(rows);
+  };
+  ag::Var rep = level_mean(deepest);
+  for (size_t k = deepest; k-- > 0;) {
+    rep = agg.Forward(level_mean(k), rep);
+  }
+  return rep;
+}
+
+Status GraphSage::Fit(const MultiplexHeteroGraph& g) {
+  const auto& edges = g.edges();
+  if (edges.empty()) return Status::FailedPrecondition("GraphSage: no edges");
+  Rng rng(options_.seed);
+  EmbeddingTable features(g.num_nodes(), options_.dim, rng);
+  MeanAggregator agg(options_.dim, rng);
+  Adam optimizer(options_.learning_rate);
+  optimizer.AddParameters(features.parameters());
+  optimizer.AddParameters(agg.parameters());
+
+  for (size_t step = 0; step < options_.steps; ++step) {
+    std::unordered_map<NodeId, ag::Var> memo;
+    auto emb = [&](NodeId v) {
+      auto it = memo.find(v);
+      if (it == memo.end()) {
+        it = memo.emplace(v, ForwardNode(g, v, rng, features, agg)).first;
+      }
+      return it->second;
+    };
+    std::vector<ag::Var> hu, hv;
+    std::vector<float> labels;
+    for (size_t b = 0; b < options_.batch_edges; ++b) {
+      const auto& e = edges[rng.UniformUint64(edges.size())];
+      hu.push_back(emb(e.src));
+      hv.push_back(emb(e.dst));
+      labels.push_back(1.0f);
+      for (size_t n = 0; n < options_.negatives_per_edge; ++n) {
+        EdgeTriple neg = SampleNegativeEdge(g, e, rng);
+        hu.push_back(emb(neg.src));
+        hv.push_back(emb(neg.dst));
+        labels.push_back(0.0f);
+      }
+    }
+    ag::Var logits =
+        ag::RowwiseDot(ag::ConcatRows(hu), ag::ConcatRows(hv));
+    ag::Var loss = ag::BceWithLogits(logits, labels);
+    ag::Backward(loss);
+    optimizer.Step();
+    optimizer.ZeroGrad();
+  }
+
+  // Cache inference embeddings.
+  Rng cache_rng(options_.seed ^ 0xABCDEF);
+  embeddings_ = Tensor(g.num_nodes(), options_.dim);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ag::Var e = ForwardNode(g, v, cache_rng, features, agg);
+    const float* src = e->value.RowPtr(0);
+    std::copy(src, src + options_.dim, embeddings_.RowPtr(v));
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Tensor GraphSage::Embedding(NodeId v, RelationId r) const {
+  HYBRIDGNN_CHECK(fitted_);
+  (void)r;
+  return embeddings_.CopyRow(v);
+}
+
+}  // namespace hybridgnn

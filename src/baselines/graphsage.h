@@ -1,0 +1,49 @@
+#ifndef HYBRIDGNN_BASELINES_GRAPHSAGE_H_
+#define HYBRIDGNN_BASELINES_GRAPHSAGE_H_
+
+#include <memory>
+#include <string>
+
+#include "common/rng.h"
+#include "eval/embedding_model.h"
+#include "nn/aggregator.h"
+#include "nn/embedding.h"
+#include "tensor/tensor.h"
+
+namespace hybridgnn {
+
+/// GraphSage (Hamilton et al., NeurIPS 2017): fan-out neighbor sampling +
+/// mean aggregation, two layers, trained with link-prediction BCE.
+/// Relation-blind (samples over the union of relations).
+class GraphSage : public EmbeddingModel {
+ public:
+  struct Options {
+    size_t dim = 64;
+    size_t num_layers = 2;
+    size_t fanout = 6;
+    size_t steps = 80;
+    size_t batch_edges = 128;
+    size_t negatives_per_edge = 1;
+    float learning_rate = 0.01f;
+    uint64_t seed = 19;
+  };
+
+  explicit GraphSage(const Options& options) : options_(options) {}
+
+  std::string name() const override { return "GraphSage"; }
+  Status Fit(const MultiplexHeteroGraph& g) override;
+  Tensor Embedding(NodeId v, RelationId r) const override;
+
+ private:
+  ag::Var ForwardNode(const MultiplexHeteroGraph& g, NodeId v, Rng& rng,
+                      const EmbeddingTable& features,
+                      const MeanAggregator& agg) const;
+
+  Options options_;
+  Tensor embeddings_;
+  bool fitted_ = false;
+};
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_BASELINES_GRAPHSAGE_H_

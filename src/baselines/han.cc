@@ -1,0 +1,112 @@
+#include "baselines/han.h"
+
+#include <memory>
+#include <unordered_map>
+
+#include "baselines/common.h"
+#include "common/logging.h"
+#include "nn/aggregator.h"
+#include "nn/embedding.h"
+#include "nn/semantic_attention.h"
+#include "sampling/walker.h"
+#include "tensor/optimizer.h"
+
+namespace hybridgnn {
+
+namespace {
+
+/// Per-metapath node-level aggregation: mean of the final-level metapath-
+/// guided neighbors combined with self (HAN's node-level attention is
+/// approximated by its mean-field limit; the semantic level is exact).
+ag::Var MetapathEmbed(const MultiplexHeteroGraph& g,
+                      const MetapathScheme& scheme, NodeId v, size_t fanout,
+                      const EmbeddingTable& features,
+                      const MeanAggregator& agg, Rng& rng) {
+  auto levels = MetapathGuidedNeighbors(g, scheme, v, fanout, rng);
+  const auto& peers = levels.back().empty()
+                          ? levels[levels.size() > 1 ? levels.size() - 2 : 0]
+                          : levels.back();
+  ag::Var self = features.ForwardNodes({v});
+  if (peers.empty()) return self;
+  ag::Var peer_rows = features.ForwardNodes(peers);
+  ag::Var peer_mean =
+      peers.size() == 1 ? peer_rows : ag::MeanRows(peer_rows);
+  return agg.Forward(self, peer_mean);
+}
+
+}  // namespace
+
+Status Han::Fit(const MultiplexHeteroGraph& g) {
+  const auto& edges = g.edges();
+  if (edges.empty()) return Status::FailedPrecondition("HAN: no edges");
+  for (const auto& s : schemes_) HYBRIDGNN_RETURN_IF_ERROR(s.Validate(g));
+  Rng rng(options_.seed);
+  EmbeddingTable features(g.num_nodes(), options_.dim, rng);
+  std::vector<std::unique_ptr<MeanAggregator>> aggs;
+  for (size_t i = 0; i < schemes_.size(); ++i) {
+    aggs.push_back(std::make_unique<MeanAggregator>(options_.dim, rng));
+  }
+  SemanticAttention semantic(options_.dim, options_.semantic_hidden, rng);
+  Adam optimizer(options_.learning_rate);
+  optimizer.AddParameters(features.parameters());
+  for (const auto& a : aggs) optimizer.AddParameters(a->parameters());
+  optimizer.AddParameters(semantic.parameters());
+
+  auto forward = [&](NodeId v, Rng& r) {
+    std::vector<ag::Var> per_path;
+    for (size_t i = 0; i < schemes_.size(); ++i) {
+      if (schemes_[i].source_type() != g.node_type(v)) continue;
+      per_path.push_back(MetapathEmbed(g, schemes_[i], v, options_.fanout,
+                                       features, *aggs[i], r));
+    }
+    if (per_path.empty()) return features.ForwardNodes({v});
+    if (per_path.size() == 1) return per_path[0];
+    return semantic.Forward(ag::ConcatRows(per_path));
+  };
+
+  for (size_t step = 0; step < options_.steps; ++step) {
+    std::unordered_map<NodeId, ag::Var> memo;
+    auto emb = [&](NodeId v) {
+      auto it = memo.find(v);
+      if (it == memo.end()) it = memo.emplace(v, forward(v, rng)).first;
+      return it->second;
+    };
+    std::vector<ag::Var> hu, hv;
+    std::vector<float> labels;
+    for (size_t b = 0; b < options_.batch_edges; ++b) {
+      const auto& e = edges[rng.UniformUint64(edges.size())];
+      hu.push_back(emb(e.src));
+      hv.push_back(emb(e.dst));
+      labels.push_back(1.0f);
+      for (size_t n = 0; n < options_.negatives_per_edge; ++n) {
+        EdgeTriple neg = SampleNegativeEdge(g, e, rng);
+        hu.push_back(emb(neg.src));
+        hv.push_back(emb(neg.dst));
+        labels.push_back(0.0f);
+      }
+    }
+    ag::Var logits = ag::RowwiseDot(ag::ConcatRows(hu), ag::ConcatRows(hv));
+    ag::Var loss = ag::BceWithLogits(logits, labels);
+    ag::Backward(loss);
+    optimizer.Step();
+    optimizer.ZeroGrad();
+  }
+
+  Rng cache_rng(options_.seed ^ 0xFACADE);
+  embeddings_ = Tensor(g.num_nodes(), options_.dim);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ag::Var e = forward(v, cache_rng);
+    const float* src = e->value.RowPtr(0);
+    std::copy(src, src + options_.dim, embeddings_.RowPtr(v));
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Tensor Han::Embedding(NodeId v, RelationId r) const {
+  HYBRIDGNN_CHECK(fitted_);
+  (void)r;
+  return embeddings_.CopyRow(v);
+}
+
+}  // namespace hybridgnn

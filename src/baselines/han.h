@@ -1,0 +1,46 @@
+#ifndef HYBRIDGNN_BASELINES_HAN_H_
+#define HYBRIDGNN_BASELINES_HAN_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/embedding_model.h"
+#include "graph/metapath.h"
+#include "tensor/tensor.h"
+
+namespace hybridgnn {
+
+/// HAN (Wang et al., WWW 2019): heterogeneous graph attention — per-metapath
+/// neighbor aggregation (node level) fused by semantic-level attention.
+/// Non-multiplex: it learns a single embedding per node (relation ignored),
+/// which is exactly how the paper evaluates it. Trained with link BCE.
+class Han : public EmbeddingModel {
+ public:
+  struct Options {
+    size_t dim = 64;
+    size_t semantic_hidden = 32;
+    size_t fanout = 6;
+    size_t steps = 80;
+    size_t batch_edges = 128;
+    size_t negatives_per_edge = 1;
+    float learning_rate = 0.01f;
+    uint64_t seed = 23;
+  };
+
+  Han(const Options& options, std::vector<MetapathScheme> schemes)
+      : options_(options), schemes_(std::move(schemes)) {}
+
+  std::string name() const override { return "HAN"; }
+  Status Fit(const MultiplexHeteroGraph& g) override;
+  Tensor Embedding(NodeId v, RelationId r) const override;
+
+ private:
+  Options options_;
+  std::vector<MetapathScheme> schemes_;
+  Tensor embeddings_;
+  bool fitted_ = false;
+};
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_BASELINES_HAN_H_

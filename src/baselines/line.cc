@@ -1,0 +1,92 @@
+#include "baselines/line.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "tensor/init.h"
+#include "tensor/tensor_ops.h"
+
+namespace hybridgnn {
+
+Status Line::Fit(const MultiplexHeteroGraph& g) {
+  const auto& edges = g.edges();
+  if (edges.empty()) return Status::FailedPrecondition("LINE: no edges");
+  Rng rng(options_.seed);
+  const size_t half = std::max<size_t>(1, options_.dim / 2);
+  NegativeSampler sampler(g);
+
+  // Order 1: symmetric vertex embeddings; score = u_i . u_j.
+  Tensor first(g.num_nodes(), half);
+  EmbeddingInit(first, rng);
+  // Order 2: vertex + context embeddings; score = u_i . c_j.
+  Tensor second(g.num_nodes(), half);
+  EmbeddingInit(second, rng);
+  Tensor second_ctx(g.num_nodes(), half);
+
+  const size_t total = options_.samples_per_edge * edges.size();
+  for (size_t s = 0; s < total; ++s) {
+    const float lr = options_.learning_rate *
+                     (1.0f - 0.9f * static_cast<float>(s) /
+                                 static_cast<float>(total));
+    const auto& e = edges[rng.UniformUint64(edges.size())];
+    // Undirected: train both directions.
+    for (int dir = 0; dir < 2; ++dir) {
+      const NodeId u = dir == 0 ? e.src : e.dst;
+      const NodeId v = dir == 0 ? e.dst : e.src;
+      // ---- first order ----
+      {
+        float* eu = first.RowPtr(u);
+        std::vector<float> grad(half, 0.0f);
+        auto push = [&](NodeId target, float label) {
+          float* ev = first.RowPtr(target);
+          float dot = 0.0f;
+          for (size_t j = 0; j < half; ++j) dot += eu[j] * ev[j];
+          const float gcoef = (1.0f / (1.0f + std::exp(-dot)) - label) * lr;
+          for (size_t j = 0; j < half; ++j) {
+            grad[j] += gcoef * ev[j];
+            ev[j] -= gcoef * eu[j];
+          }
+        };
+        push(v, 1.0f);
+        for (size_t n = 0; n < options_.negatives; ++n) {
+          push(sampler.SampleLike(v, rng), 0.0f);
+        }
+        for (size_t j = 0; j < half; ++j) eu[j] -= grad[j];
+      }
+      // ---- second order ----
+      {
+        float* eu = second.RowPtr(u);
+        std::vector<float> grad(half, 0.0f);
+        auto push = [&](NodeId target, float label) {
+          float* cv = second_ctx.RowPtr(target);
+          float dot = 0.0f;
+          for (size_t j = 0; j < half; ++j) dot += eu[j] * cv[j];
+          const float gcoef = (1.0f / (1.0f + std::exp(-dot)) - label) * lr;
+          for (size_t j = 0; j < half; ++j) {
+            grad[j] += gcoef * cv[j];
+            cv[j] -= gcoef * eu[j];
+          }
+        };
+        push(v, 1.0f);
+        for (size_t n = 0; n < options_.negatives; ++n) {
+          push(sampler.SampleLike(v, rng), 0.0f);
+        }
+        for (size_t j = 0; j < half; ++j) eu[j] -= grad[j];
+      }
+    }
+  }
+  // Normalize halves so neither order dominates the concatenated dot.
+  L2NormalizeRowsInPlace(first);
+  L2NormalizeRowsInPlace(second);
+  embeddings_ = ConcatCols({first, second});
+  fitted_ = true;
+  return Status::OK();
+}
+
+Tensor Line::Embedding(NodeId v, RelationId r) const {
+  HYBRIDGNN_CHECK(fitted_);
+  (void)r;
+  return embeddings_.CopyRow(v);
+}
+
+}  // namespace hybridgnn

@@ -1,0 +1,40 @@
+#ifndef HYBRIDGNN_BASELINES_LINE_H_
+#define HYBRIDGNN_BASELINES_LINE_H_
+
+#include <string>
+
+#include "baselines/common.h"
+#include "eval/embedding_model.h"
+
+namespace hybridgnn {
+
+/// LINE (Tang et al., WWW 2015): first-order + second-order proximity via
+/// edge sampling with negative sampling; the final embedding concatenates
+/// the two halves. Relation-blind (edges pooled across relations).
+class Line : public EmbeddingModel {
+ public:
+  struct Options {
+    /// Total embedding width; each order gets dim/2.
+    size_t dim = 128;
+    size_t negatives = 5;
+    float learning_rate = 0.025f;
+    /// Edge samples per order = samples_per_edge * |E|.
+    size_t samples_per_edge = 40;
+    uint64_t seed = 13;
+  };
+
+  explicit Line(const Options& options) : options_(options) {}
+
+  std::string name() const override { return "LINE"; }
+  Status Fit(const MultiplexHeteroGraph& g) override;
+  Tensor Embedding(NodeId v, RelationId r) const override;
+
+ private:
+  Options options_;
+  Tensor embeddings_;  // [V, dim] (first half order-1, second half order-2)
+  bool fitted_ = false;
+};
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_BASELINES_LINE_H_

@@ -1,0 +1,47 @@
+#ifndef HYBRIDGNN_BASELINES_MAGNN_H_
+#define HYBRIDGNN_BASELINES_MAGNN_H_
+
+#include <string>
+#include <vector>
+
+#include "eval/embedding_model.h"
+#include "graph/metapath.h"
+#include "tensor/tensor.h"
+
+namespace hybridgnn {
+
+/// MAGNN (Fu et al., WWW 2020): metapath-instance encoding. Each sampled
+/// instance is encoded as the mean of *all* its node embeddings (including
+/// intermediate nodes — the feature distinguishing MAGNN from HAN), fused by
+/// intra-metapath mean pooling and inter-metapath semantic attention.
+/// Non-multiplex, single embedding per node; trained with link BCE.
+class Magnn : public EmbeddingModel {
+ public:
+  struct Options {
+    size_t dim = 64;
+    size_t semantic_hidden = 32;
+    size_t instances_per_path = 6;
+    size_t steps = 80;
+    size_t batch_edges = 128;
+    size_t negatives_per_edge = 1;
+    float learning_rate = 0.01f;
+    uint64_t seed = 29;
+  };
+
+  Magnn(const Options& options, std::vector<MetapathScheme> schemes)
+      : options_(options), schemes_(std::move(schemes)) {}
+
+  std::string name() const override { return "MAGNN"; }
+  Status Fit(const MultiplexHeteroGraph& g) override;
+  Tensor Embedding(NodeId v, RelationId r) const override;
+
+ private:
+  Options options_;
+  std::vector<MetapathScheme> schemes_;
+  Tensor embeddings_;
+  bool fitted_ = false;
+};
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_BASELINES_MAGNN_H_

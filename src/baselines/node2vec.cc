@@ -1,0 +1,28 @@
+#include "baselines/node2vec.h"
+
+#include "common/logging.h"
+
+namespace hybridgnn {
+
+Status Node2Vec::Fit(const MultiplexHeteroGraph& g) {
+  Rng rng(options_.seed);
+  WalkCorpus corpus =
+      BuildNode2VecCorpus(g, options_.corpus, options_.p, options_.q, rng);
+  if (corpus.pairs.empty()) {
+    return Status::FailedPrecondition("node2vec: empty walk corpus");
+  }
+  NegativeSampler sampler(g);
+  SgnsEmbedder embedder(g.num_nodes(), options_.sgns.dim, rng);
+  embedder.Train(corpus.pairs, sampler, options_.sgns, rng);
+  embeddings_ = embedder.embeddings();
+  fitted_ = true;
+  return Status::OK();
+}
+
+Tensor Node2Vec::Embedding(NodeId v, RelationId r) const {
+  HYBRIDGNN_CHECK(fitted_);
+  (void)r;
+  return embeddings_.CopyRow(v);
+}
+
+}  // namespace hybridgnn

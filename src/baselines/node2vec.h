@@ -1,0 +1,38 @@
+#ifndef HYBRIDGNN_BASELINES_NODE2VEC_H_
+#define HYBRIDGNN_BASELINES_NODE2VEC_H_
+
+#include <string>
+
+#include "baselines/common.h"
+#include "eval/embedding_model.h"
+#include "sampling/corpus.h"
+
+namespace hybridgnn {
+
+/// node2vec (Grover & Leskovec, KDD 2016): second-order biased walks with
+/// return parameter p and in-out parameter q, then skip-gram. Relation-blind.
+class Node2Vec : public EmbeddingModel {
+ public:
+  struct Options {
+    SgnsOptions sgns;
+    CorpusOptions corpus;
+    double p = 0.5;
+    double q = 2.0;
+    uint64_t seed = 11;
+  };
+
+  explicit Node2Vec(const Options& options) : options_(options) {}
+
+  std::string name() const override { return "node2vec"; }
+  Status Fit(const MultiplexHeteroGraph& g) override;
+  Tensor Embedding(NodeId v, RelationId r) const override;
+
+ private:
+  Options options_;
+  Tensor embeddings_;
+  bool fitted_ = false;
+};
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_BASELINES_NODE2VEC_H_

@@ -1,0 +1,115 @@
+#include "baselines/rgcn.h"
+
+#include <memory>
+
+#include "baselines/common.h"
+#include "common/logging.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/sparse.h"
+#include "tensor/init.h"
+#include "tensor/optimizer.h"
+
+namespace hybridgnn {
+
+Status Rgcn::Fit(const MultiplexHeteroGraph& g) {
+  const auto& edges = g.edges();
+  if (edges.empty()) return Status::FailedPrecondition("R-GCN: no edges");
+  Rng rng(options_.seed);
+  const size_t num_rel = g.num_relations();
+
+  std::vector<RelationOperator> ops;
+  ops.reserve(num_rel);
+  for (RelationId r = 0; r < num_rel; ++r) {
+    ops.push_back(RelationAdjacency(g, r));
+  }
+
+  EmbeddingTable features(g.num_nodes(), options_.input_dim, rng);
+  std::vector<std::unique_ptr<Linear>> w_rel1, w_rel2;
+  for (RelationId r = 0; r < num_rel; ++r) {
+    w_rel1.push_back(std::make_unique<Linear>(options_.input_dim,
+                                              options_.hidden_dim, rng));
+    w_rel2.push_back(std::make_unique<Linear>(options_.hidden_dim,
+                                              options_.output_dim, rng));
+  }
+  Linear w_self1(options_.input_dim, options_.hidden_dim, rng);
+  Linear w_self2(options_.hidden_dim, options_.output_dim, rng);
+  Tensor diag_init(num_rel, options_.output_dim);
+  UniformInit(diag_init, rng, 0.5f, 1.5f);
+  ag::Var rel_diag = ag::Param(std::move(diag_init));
+
+  Adam optimizer(options_.learning_rate);
+  optimizer.AddParameters(features.parameters());
+  for (const auto& w : w_rel1) optimizer.AddParameters(w->parameters());
+  for (const auto& w : w_rel2) optimizer.AddParameters(w->parameters());
+  optimizer.AddParameters(w_self1.parameters());
+  optimizer.AddParameters(w_self2.parameters());
+  optimizer.AddParameter(rel_diag);
+
+  auto layer = [&](const ag::Var& h,
+                   const std::vector<std::unique_ptr<Linear>>& w_rel,
+                   const Linear& w_self) {
+    ag::Var out = w_self.Forward(h);
+    for (RelationId r = 0; r < num_rel; ++r) {
+      out = ag::Add(out, w_rel[r]->Forward(SpMM(ops[r], h)));
+    }
+    return out;
+  };
+  auto forward = [&]() {
+    ag::Var h1 = ag::Relu(layer(features.table(), w_rel1, w_self1));
+    return layer(h1, w_rel2, w_self2);  // [V, out]
+  };
+
+  for (size_t step = 0; step < options_.steps; ++step) {
+    ag::Var h = forward();
+    std::vector<int32_t> us, vs, rs;
+    std::vector<float> labels;
+    for (size_t b = 0; b < options_.batch_edges; ++b) {
+      const auto& e = edges[rng.UniformUint64(edges.size())];
+      us.push_back(static_cast<int32_t>(e.src));
+      vs.push_back(static_cast<int32_t>(e.dst));
+      rs.push_back(static_cast<int32_t>(e.rel));
+      labels.push_back(1.0f);
+      for (size_t n = 0; n < options_.negatives_per_edge; ++n) {
+        EdgeTriple neg = SampleNegativeEdge(g, e, rng);
+        us.push_back(static_cast<int32_t>(neg.src));
+        vs.push_back(static_cast<int32_t>(neg.dst));
+        rs.push_back(static_cast<int32_t>(neg.rel));
+        labels.push_back(0.0f);
+      }
+    }
+    ag::Var hu = ag::GatherRows(h, std::move(us));
+    ag::Var hv = ag::GatherRows(h, std::move(vs));
+    ag::Var wr = ag::GatherRows(rel_diag, std::move(rs));
+    // DistMult: sum_j hu_j * w_j * hv_j.
+    ag::Var logits = ag::RowwiseDot(ag::Mul(hu, wr), hv);
+    ag::Var loss = ag::BceWithLogits(logits, labels);
+    ag::Backward(loss);
+    optimizer.Step();
+    optimizer.ZeroGrad();
+  }
+  embeddings_ = forward()->value;
+  relation_diag_ = rel_diag->value;
+  fitted_ = true;
+  return Status::OK();
+}
+
+Tensor Rgcn::Embedding(NodeId v, RelationId r) const {
+  HYBRIDGNN_CHECK(fitted_);
+  (void)r;
+  return embeddings_.CopyRow(v);
+}
+
+double Rgcn::Score(NodeId u, NodeId v, RelationId r) const {
+  HYBRIDGNN_CHECK(fitted_ && r < relation_diag_.rows());
+  double s = 0.0;
+  const float* hu = embeddings_.RowPtr(u);
+  const float* hv = embeddings_.RowPtr(v);
+  const float* w = relation_diag_.RowPtr(r);
+  for (size_t j = 0; j < embeddings_.cols(); ++j) {
+    s += static_cast<double>(hu[j]) * w[j] * hv[j];
+  }
+  return s;
+}
+
+}  // namespace hybridgnn

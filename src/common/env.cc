@@ -1,0 +1,28 @@
+#include "common/env.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace hybridgnn {
+
+int64_t GetEnvInt(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  StatusOr<int64_t> parsed = ParseInt64(value);
+  return parsed.ok() ? parsed.value() : fallback;
+}
+
+double GetEnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  StatusOr<double> parsed = ParseDouble(value);
+  return parsed.ok() ? parsed.value() : fallback;
+}
+
+std::string GetEnvString(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  return value == nullptr ? fallback : std::string(value);
+}
+
+}  // namespace hybridgnn

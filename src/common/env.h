@@ -1,0 +1,21 @@
+#ifndef HYBRIDGNN_COMMON_ENV_H_
+#define HYBRIDGNN_COMMON_ENV_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hybridgnn {
+
+/// Reads an integer environment variable, returning `fallback` when unset or
+/// unparsable. Used by bench harnesses for scale/epoch overrides.
+int64_t GetEnvInt(const char* name, int64_t fallback);
+
+/// Reads a double environment variable with fallback.
+double GetEnvDouble(const char* name, double fallback);
+
+/// Reads a string environment variable with fallback.
+std::string GetEnvString(const char* name, const std::string& fallback);
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_COMMON_ENV_H_

@@ -1,0 +1,73 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+
+#include "common/status.h"
+
+namespace hybridgnn {
+
+namespace {
+
+std::atomic<int> g_log_level{-1};
+
+int InitialLevelFromEnv() {
+  const char* env = std::getenv("HYBRIDGNN_LOG_LEVEL");
+  if (env != nullptr && env[0] >= '0' && env[0] <= '4' && env[1] == '\0') {
+    return env[0] - '0';
+  }
+  return static_cast<int>(LogLevel::kInfo);
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kFatal:
+      return "FATAL";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel GetLogLevel() {
+  int v = g_log_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = InitialLevelFromEnv();
+    g_log_level.store(v, std::memory_order_relaxed);
+  }
+  return static_cast<LogLevel>(v);
+}
+
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level), enabled_(level >= GetLogLevel()) {
+  if (!enabled_) return;
+  const char* base = std::strrchr(file, '/');
+  stream_ << "[" << LevelName(level) << " " << (base ? base + 1 : file) << ":"
+          << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    std::fprintf(stderr, "%s\n", stream_.str().c_str());
+    std::fflush(stderr);
+  }
+  if (level_ == LogLevel::kFatal) std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace hybridgnn

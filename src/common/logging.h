@@ -1,0 +1,68 @@
+#ifndef HYBRIDGNN_COMMON_LOGGING_H_
+#define HYBRIDGNN_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace hybridgnn {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Global minimum level; messages below it are discarded. Defaults to kInfo,
+/// overridable with the HYBRIDGNN_LOG_LEVEL environment variable (0-4).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+
+/// Stream-style log sink: accumulates a message and emits it on destruction.
+/// kFatal messages abort the process after emission.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+#define HYBRIDGNN_LOG(severity)                                     \
+  ::hybridgnn::internal_logging::LogMessage(                        \
+      ::hybridgnn::LogLevel::k##severity, __FILE__, __LINE__)
+
+/// CHECK-style invariant enforcement: aborts with a message on violation.
+/// Used for programmer errors; recoverable failures go through Status.
+#define HYBRIDGNN_CHECK(condition)                                  \
+  if (!(condition))                                                 \
+  HYBRIDGNN_LOG(Fatal) << "Check failed: " #condition " "
+
+#define HYBRIDGNN_CHECK_OK(expr)                                    \
+  do {                                                              \
+    ::hybridgnn::Status _st = (expr);                               \
+    if (!_st.ok())                                                  \
+      HYBRIDGNN_LOG(Fatal) << "Status not OK: " << _st.ToString();  \
+  } while (0)
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_COMMON_LOGGING_H_

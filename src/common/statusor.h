@@ -1,0 +1,77 @@
+#ifndef HYBRIDGNN_COMMON_STATUSOR_H_
+#define HYBRIDGNN_COMMON_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace hybridgnn {
+
+/// Either a value of type T or a non-OK Status explaining why there is none.
+///
+/// Usage:
+///   StatusOr<Graph> g = LoadGraph(path);
+///   if (!g.ok()) return g.status();
+///   Use(g.value());
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit by design, mirroring absl::StatusOr).
+  StatusOr(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Constructs from a non-OK status. Passing an OK status is a programming
+  /// error and is normalized to kInternal.
+  StatusOr(Status status) : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed with OK status");
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when in error state.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates errors from a StatusOr expression, binding the value on success.
+#define HYBRIDGNN_INTERNAL_CONCAT_IMPL(a, b) a##b
+#define HYBRIDGNN_INTERNAL_CONCAT(a, b) HYBRIDGNN_INTERNAL_CONCAT_IMPL(a, b)
+#define HYBRIDGNN_INTERNAL_ASSIGN_OR_RETURN(tmp, lhs, expr) \
+  auto tmp = (expr);                                        \
+  if (!tmp.ok()) {                                          \
+    return tmp.status();                                    \
+  }                                                         \
+  lhs = std::move(tmp).value()
+#define HYBRIDGNN_ASSIGN_OR_RETURN(lhs, expr)                            \
+  HYBRIDGNN_INTERNAL_ASSIGN_OR_RETURN(                                   \
+      HYBRIDGNN_INTERNAL_CONCAT(_statusor_, __LINE__), lhs, expr)
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_COMMON_STATUSOR_H_

@@ -1,0 +1,52 @@
+#ifndef HYBRIDGNN_COMMON_THREADPOOL_H_
+#define HYBRIDGNN_COMMON_THREADPOOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace hybridgnn {
+
+/// Fixed-size worker pool for embarrassingly parallel loops (walk generation,
+/// batched evaluation). Tasks are void() closures; Wait() blocks until the
+/// queue drains and all in-flight tasks complete.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (>= 1; 0 means hardware concurrency).
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have finished.
+  void Wait();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// fn must be safe to invoke concurrently for distinct indices.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable all_done_;
+  size_t in_flight_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_COMMON_THREADPOOL_H_

@@ -1,0 +1,414 @@
+#include "core/hybrid_gnn.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "sampling/exploration.h"
+#include "sampling/neighbor_sampler.h"
+#include "sampling/sgns.h"
+#include "sampling/walker.h"
+#include "tensor/init.h"
+#include "tensor/tensor_ops.h"
+
+namespace hybridgnn {
+
+HybridGnn::HybridGnn(const HybridGnnConfig& config,
+                     std::vector<MetapathScheme> schemes)
+    : config_(config), schemes_(std::move(schemes)) {}
+
+ag::Var HybridGnn::AggregateLevels(
+    const std::vector<std::vector<NodeId>>& levels,
+    const MeanAggregator& agg) const {
+  // Deepest non-empty level.
+  size_t deepest = 0;
+  for (size_t k = 0; k < levels.size(); ++k) {
+    if (!levels[k].empty()) deepest = k;
+  }
+  auto level_mean = [&](size_t k) {
+    ag::Var rows = edge_init_->ForwardNodes(levels[k]);
+    return levels[k].size() == 1 ? rows : ag::MeanRows(rows);
+  };
+  ag::Var rep = level_mean(deepest);
+  // Eq. 3 recursion: fold from the farthest level toward the node itself.
+  for (size_t k = deepest; k-- > 0;) {
+    rep = agg.Forward(level_mean(k), rep);
+  }
+  return rep;  // [1, edge_dim]
+}
+
+ag::Var HybridGnn::FlowStack(const MultiplexHeteroGraph& g, NodeId v,
+                             RelationId r, Rng& rng) const {
+  std::vector<ag::Var> flows;
+  if (config_.use_hybrid_aggregation) {
+    for (size_t i = 0; i < schemes_.size(); ++i) {
+      const MetapathScheme& s = schemes_[i];
+      if (!s.IsIntraRelationship() || s.relation() != r ||
+          s.source_type() != g.node_type(v)) {
+        continue;
+      }
+      auto levels = MetapathGuidedNeighbors(g, s, v, config_.fanout, rng);
+      const size_t agg_idx = config_.per_scheme_aggregators ? i : 0;
+      flows.push_back(AggregateLevels(levels, *scheme_aggs_[agg_idx]));
+    }
+  } else {
+    // Ablation "w/o hybrid": one relation-blind random-sampling flow.
+    auto levels = SampleLayers(g, v, 2, config_.fanout, rng);
+    flows.push_back(AggregateLevels(levels, *rand_agg_));
+  }
+  if (config_.use_randomized_exploration) {
+    auto levels =
+        ExplorationNeighbors(g, v, config_.exploration_depth, config_.fanout,
+                             rng);
+    flows.push_back(AggregateLevels(levels, *rand_agg_));
+  }
+  if (flows.empty()) {
+    // No matching scheme and exploration disabled: fall back to the node's
+    // own initial edge embedding so every (v, r) still has a representation.
+    flows.push_back(edge_init_->ForwardNodes({v}));
+  }
+  return flows.size() == 1 ? flows[0] : ag::ConcatRows(flows);
+}
+
+ag::Var HybridGnn::FuseFlows(const ag::Var& stack) const {
+  if (config_.use_metapath_attention && stack->value.rows() > 1) {
+    return ag::MeanRows(metapath_attn_->Forward(stack));  // Eqs. 6-7
+  }
+  // Ablation (or single flow): uniform importance.
+  return stack->value.rows() == 1 ? stack : ag::MeanRows(stack);
+}
+
+ag::Var HybridGnn::ForwardNode(const MultiplexHeteroGraph& g, NodeId v,
+                               Rng& rng) const {
+  std::vector<ag::Var> per_rel;
+  per_rel.reserve(num_relations_);
+  for (RelationId r = 0; r < num_relations_; ++r) {
+    per_rel.push_back(FuseFlows(FlowStack(g, v, r, rng)));
+  }
+  ag::Var u = per_rel.size() == 1 ? per_rel[0] : ag::ConcatRows(per_rel);
+  // Relationship-level attention (Eqs. 8-9); identity under the ablation.
+  ag::Var u_hat = (config_.use_relation_attention && num_relations_ > 1)
+                      ? relation_attn_->Forward(u)
+                      : u;
+  // e*_{v,r} = e_v + e_{v,r} W_r (Eq. 10).
+  std::vector<ag::Var> rows;
+  rows.reserve(num_relations_);
+  for (RelationId r = 0; r < num_relations_; ++r) {
+    rows.push_back(ag::MatMul(ag::SliceRows(u_hat, r, 1), w_rel_[r]));
+  }
+  ag::Var local = rows.size() == 1 ? rows[0] : ag::ConcatRows(rows);
+  if (config_.local_scale != 1.0f) {
+    local = ag::Scale(local, config_.local_scale);
+  }
+  ag::Var base_row = base_->ForwardNodes({v});
+  return ag::AddRowBroadcast(local, base_row);  // [R, base_dim]
+}
+
+Status HybridGnn::Fit(const MultiplexHeteroGraph& g) {
+  HYBRIDGNN_RETURN_IF_ERROR(config_.Validate());
+  if (g.num_nodes() == 0) {
+    return Status::InvalidArgument("empty graph");
+  }
+  for (const auto& s : schemes_) {
+    HYBRIDGNN_RETURN_IF_ERROR(s.Validate(g));
+  }
+  graph_ = &g;
+  num_relations_ = g.num_relations();
+  Rng rng(config_.seed);
+
+  // ---- Build trainable components ----
+  const size_t v_count = g.num_nodes();
+  base_ = std::make_unique<EmbeddingTable>(v_count, config_.base_dim, rng);
+  context_ = std::make_unique<EmbeddingTable>(v_count, config_.base_dim, rng);
+  edge_init_ = std::make_unique<EmbeddingTable>(v_count, config_.edge_dim, rng);
+  scheme_aggs_.clear();
+  const size_t num_aggs =
+      config_.per_scheme_aggregators ? schemes_.size() : 1;
+  for (size_t i = 0; i < num_aggs; ++i) {
+    scheme_aggs_.push_back(
+        std::make_unique<MeanAggregator>(config_.edge_dim, rng));
+  }
+  rand_agg_ = std::make_unique<MeanAggregator>(config_.edge_dim, rng);
+  metapath_attn_ = std::make_unique<SelfAttention>(
+      config_.edge_dim, config_.hidden_dim, rng, /*identity_values=*/true);
+  relation_attn_ = std::make_unique<SelfAttention>(
+      config_.edge_dim, config_.hidden_dim, rng, /*identity_values=*/true);
+  w_rel_.clear();
+  for (RelationId r = 0; r < num_relations_; ++r) {
+    // Zero-initialized output projection: e* starts at the base embedding
+    // and the aggregation branch phases in as W_r is learned, so untrained
+    // flow noise never swamps the node-identity signal.
+    w_rel_.push_back(ag::Param(Tensor(config_.edge_dim, config_.base_dim)));
+  }
+
+  const bool freeze_tables =
+      config_.pretrain_base && config_.freeze_pretrained;
+  Adam optimizer(config_.learning_rate);
+  if (!freeze_tables) {
+    optimizer.AddParameters(base_->parameters());
+    optimizer.AddParameters(context_->parameters());
+  }
+  optimizer.AddParameters(edge_init_->parameters());
+  for (const auto& agg : scheme_aggs_) {
+    optimizer.AddParameters(agg->parameters());
+  }
+  optimizer.AddParameters(rand_agg_->parameters());
+  if (config_.use_metapath_attention) {
+    optimizer.AddParameters(metapath_attn_->parameters());
+  }
+  if (config_.use_relation_attention) {
+    optimizer.AddParameters(relation_attn_->parameters());
+  }
+  optimizer.AddParameters(w_rel_);
+
+  // ---- Training corpus (Sec. III-E) ----
+  WalkCorpus corpus = BuildMetapathCorpus(g, schemes_, config_.corpus, rng);
+  if (corpus.pairs.empty()) {
+    return Status::FailedPrecondition("no skip-gram pairs generated");
+  }
+  NegativeSampler neg_sampler(g);
+
+  if (config_.pretrain_base) {
+    // Relation-blind uniform corpus: the base embedding captures global
+    // proximity; relation-specific structure is learned on top.
+    CorpusOptions pre_corpus = config_.corpus;
+    pre_corpus.direct_edge_copies = 2;
+    WalkCorpus uniform = BuildUniformCorpus(g, pre_corpus, rng);
+    for (size_t copy = 0; copy < pre_corpus.direct_edge_copies; ++copy) {
+      for (const auto& e : g.edges()) {
+        uniform.pairs.push_back(SkipGramPair{e.src, e.dst, e.rel});
+        uniform.pairs.push_back(SkipGramPair{e.dst, e.src, e.rel});
+      }
+    }
+    SgnsOptions pre;
+    pre.dim = config_.base_dim;
+    pre.negatives = config_.num_negatives;
+    SgnsEmbedder pretrainer(v_count, config_.base_dim, rng);
+    pretrainer.Train(uniform.pairs, neg_sampler, pre, rng);
+    base_->table()->value = pretrainer.embeddings();
+    context_->table()->value = pretrainer.contexts();
+  }
+
+  // ---- End-to-end training ----
+  // The base/context tables already carry the skip-gram solution (Sec.
+  // III-E) from pretraining; the aggregation machinery is trained on the
+  // relationship-specific link objective: raise sigma(e*_{u,r} . e*_{v,r})
+  // for training edges against relationship-aware negatives. An internal
+  // validation holdout drives early stopping (paper protocol) and the best
+  // epoch's parameters are restored, so fine-tuning can only improve on the
+  // pretrained base.
+  std::vector<EdgeTriple> train_edges = g.edges();
+  rng.Shuffle(train_edges);
+  const size_t val_count = std::min<size_t>(
+      std::max<size_t>(16, static_cast<size_t>(
+                               config_.internal_val_fraction *
+                               static_cast<double>(train_edges.size()))),
+      train_edges.size() / 2);
+  std::vector<EdgeTriple> val_edges(train_edges.begin(),
+                                    train_edges.begin() + val_count);
+  train_edges.erase(train_edges.begin(), train_edges.begin() + val_count);
+  // Fixed negatives for a stable validation signal.
+  std::vector<NodeId> val_negs;  // two fixed negatives per val edge
+  std::vector<NodeId> val_negs2;
+  for (const auto& e : val_edges) {
+    val_negs.push_back(neg_sampler.SampleRelationAware(
+        e.src, e.dst, e.rel, config_.cross_negative_fraction, rng));
+    val_negs2.push_back(neg_sampler.SampleRelationAware(
+        e.src, e.dst, e.rel, config_.cross_negative_fraction, rng));
+  }
+
+  std::vector<ag::Var> all_params;
+  all_params.push_back(base_->table());
+  all_params.push_back(context_->table());
+  all_params.push_back(edge_init_->table());
+  for (const auto& agg : scheme_aggs_) {
+    for (const auto& p : agg->parameters()) all_params.push_back(p);
+  }
+  for (const auto& p : rand_agg_->parameters()) all_params.push_back(p);
+  for (const auto& p : metapath_attn_->parameters()) all_params.push_back(p);
+  for (const auto& p : relation_attn_->parameters()) all_params.push_back(p);
+  for (const auto& p : w_rel_) all_params.push_back(p);
+
+  auto snapshot = [&]() {
+    std::vector<Tensor> out;
+    out.reserve(all_params.size());
+    for (const auto& p : all_params) out.push_back(p->value);
+    return out;
+  };
+  auto restore = [&](const std::vector<Tensor>& snap) {
+    for (size_t i = 0; i < all_params.size(); ++i) {
+      all_params[i]->value = snap[i];
+    }
+  };
+  auto validation_auc = [&]() {
+    Rng val_rng(config_.seed ^ 0x7A11);
+    double wins = 0.0;
+    for (size_t i = 0; i < val_edges.size(); ++i) {
+      const EdgeTriple& e = val_edges[i];
+      ag::Var eu = ForwardNode(g, e.src, val_rng);
+      ag::Var ev = ForwardNode(g, e.dst, val_rng);
+      ag::Var ex = ForwardNode(g, val_negs[i], val_rng);
+      ag::Var ex2 = ForwardNode(g, val_negs2[i], val_rng);
+      const float* u_row = eu->value.RowPtr(e.rel);
+      const float* v_row = ev->value.RowPtr(e.rel);
+      const float* x_row = ex->value.RowPtr(e.rel);
+      const float* x2_row = ex2->value.RowPtr(e.rel);
+      double pos = 0.0, neg = 0.0, neg2 = 0.0;
+      for (size_t j = 0; j < config_.base_dim; ++j) {
+        pos += static_cast<double>(u_row[j]) * v_row[j];
+        neg += static_cast<double>(u_row[j]) * x_row[j];
+        neg2 += static_cast<double>(u_row[j]) * x2_row[j];
+      }
+      for (double n : {neg, neg2}) {
+        if (pos > n) {
+          wins += 1.0;
+        } else if (pos == n) {
+          wins += 0.5;
+        }
+      }
+    }
+    return wins / (2.0 * static_cast<double>(val_edges.size()));
+  };
+
+  std::vector<size_t> order(train_edges.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  double best_val = validation_auc();  // epoch 0: the pretrained base
+  std::vector<Tensor> best_snapshot = snapshot();
+  size_t bad_epochs = 0;
+  const size_t edge_batch = std::max<size_t>(16, config_.batch_size / 2);
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    const size_t use_edges =
+        config_.max_pairs_per_epoch == 0
+            ? order.size()
+            : std::min(order.size(), config_.max_pairs_per_epoch);
+    double epoch_loss = 0.0;
+    size_t batches = 0;
+    for (size_t start = 0; start < use_edges; start += edge_batch) {
+      const size_t end = std::min(use_edges, start + edge_batch);
+      std::unordered_map<NodeId, ag::Var> node_vars;
+      auto node_var = [&](NodeId v) {
+        auto it = node_vars.find(v);
+        if (it == node_vars.end()) {
+          it = node_vars.emplace(v, ForwardNode(g, v, rng)).first;
+        }
+        return it->second;
+      };
+      std::vector<ag::Var> lhs, rhs;
+      std::vector<float> labels;
+      for (size_t i = start; i < end; ++i) {
+        const EdgeTriple& e = train_edges[order[i]];
+        lhs.push_back(ag::SliceRows(node_var(e.src), e.rel, 1));
+        rhs.push_back(ag::SliceRows(node_var(e.dst), e.rel, 1));
+        labels.push_back(1.0f);
+        for (size_t n = 0; n < config_.num_negatives; ++n) {
+          NodeId x = neg_sampler.SampleRelationAware(
+              e.src, e.dst, e.rel, config_.cross_negative_fraction, rng);
+          lhs.push_back(ag::SliceRows(node_var(e.src), e.rel, 1));
+          rhs.push_back(ag::SliceRows(node_var(x), e.rel, 1));
+          labels.push_back(0.0f);
+        }
+      }
+      ag::Var logits =
+          ag::RowwiseDot(ag::ConcatRows(lhs), ag::ConcatRows(rhs));
+      ag::Var loss = ag::BceWithLogits(logits, labels);
+      ag::Backward(loss);
+      optimizer.Step();
+      optimizer.ZeroGrad();
+      epoch_loss += loss->value.At(0, 0);
+      ++batches;
+    }
+    epoch_loss /= std::max<size_t>(1, batches);
+    last_epoch_loss_ = epoch_loss;
+    const double val = validation_auc();
+    if (config_.verbose) {
+      HYBRIDGNN_LOG(Info) << "HybridGNN epoch " << epoch << " loss "
+                          << epoch_loss << " val-auc " << val;
+    }
+    if (val > best_val + 1e-4) {
+      best_val = val;
+      best_snapshot = snapshot();
+      bad_epochs = 0;
+    } else if (++bad_epochs >= config_.early_stopping_patience) {
+      break;
+    }
+  }
+  if (config_.restore_best) restore(best_snapshot);
+
+  // ---- Freeze: cache e*_{v,r} for every node and relation. The forward
+  // pass samples neighbors stochastically, so we average a few samples to
+  // reduce inference variance (training sees many samples implicitly).
+  Rng cache_rng(config_.seed ^ 0xC0FFEE);
+  constexpr size_t kCacheSamples = 4;
+  cache_ = Tensor(v_count * num_relations_, config_.base_dim);
+  for (NodeId v = 0; v < v_count; ++v) {
+    for (size_t s = 0; s < kCacheSamples; ++s) {
+      ag::Var all = ForwardNode(g, v, cache_rng);
+      for (RelationId r = 0; r < num_relations_; ++r) {
+        const float* src = all->value.RowPtr(r);
+        float* dst = cache_.RowPtr(v * num_relations_ + r);
+        for (size_t j = 0; j < config_.base_dim; ++j) {
+          dst[j] += src[j] / static_cast<float>(kCacheSamples);
+        }
+      }
+    }
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Tensor HybridGnn::Embedding(NodeId v, RelationId r) const {
+  HYBRIDGNN_CHECK(fitted_) << "Fit() must succeed before Embedding()";
+  HYBRIDGNN_CHECK(r < num_relations_ &&
+                  v * num_relations_ + r < cache_.rows());
+  return cache_.CopyRow(v * num_relations_ + r);
+}
+
+std::vector<double> HybridGnn::MetapathAttentionScores(NodeId v,
+                                                       RelationId r) const {
+  HYBRIDGNN_CHECK(fitted_) << "Fit() must succeed first";
+  Rng rng(config_.seed ^ (0x9E37ULL * (v + 1)) ^ r);
+  ag::Var stack = FlowStack(*graph_, v, r, rng);
+  const size_t m = stack->value.rows();
+  std::vector<double> scores(m, 1.0 / static_cast<double>(m));
+  if (config_.use_metapath_attention && m > 1) {
+    Tensor attn = metapath_attn_->AttentionScores(stack->value);  // [m, m]
+    for (size_t j = 0; j < m; ++j) {
+      double col = 0.0;
+      for (size_t i = 0; i < m; ++i) col += attn.At(i, j);
+      scores[j] = col / static_cast<double>(m);
+    }
+  }
+  return scores;
+}
+
+std::vector<std::string> HybridGnn::FlowLabels(NodeId v, RelationId r) const {
+  HYBRIDGNN_CHECK(graph_ != nullptr);
+  const MultiplexHeteroGraph& g = *graph_;
+  std::vector<std::string> labels;
+  if (config_.use_hybrid_aggregation) {
+    for (const auto& s : schemes_) {
+      if (!s.IsIntraRelationship() || s.relation() != r ||
+          s.source_type() != g.node_type(v)) {
+        continue;
+      }
+      std::string label;
+      for (size_t i = 0; i < s.node_types().size(); ++i) {
+        if (i > 0) label += '-';
+        label += static_cast<char>(
+            std::toupper(g.node_type_name(s.node_types()[i])[0]));
+      }
+      labels.push_back(label);
+    }
+  } else {
+    labels.push_back("random-sampling");
+  }
+  if (config_.use_randomized_exploration) labels.push_back("rand");
+  if (labels.empty()) labels.push_back("self");
+  return labels;
+}
+
+}  // namespace hybridgnn

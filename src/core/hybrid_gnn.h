@@ -1,0 +1,103 @@
+#ifndef HYBRIDGNN_CORE_HYBRID_GNN_H_
+#define HYBRIDGNN_CORE_HYBRID_GNN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/config.h"
+#include "eval/embedding_model.h"
+#include "graph/graph.h"
+#include "graph/metapath.h"
+#include "nn/aggregator.h"
+#include "nn/attention.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "sampling/negative_sampler.h"
+#include "tensor/optimizer.h"
+
+namespace hybridgnn {
+
+/// HybridGNN (Gu et al., ICDE 2022): relationship-specific node embeddings
+/// via (1) randomized inter-relationship exploration, (2) hybrid aggregation
+/// flows over intra-relationship metapath-guided neighbors plus exploration
+/// neighbors, and (3) hierarchical (metapath-level, then relationship-level)
+/// self-attention. Trained with skip-gram over metapath-based random walks
+/// and heterogeneous negative sampling.
+///
+/// Usage:
+///   HybridGnn model(config, schemes);
+///   model.Fit(train_graph);
+///   Tensor e = model.Embedding(v, r);   // e*_{v,r}, 1 x base_dim
+class HybridGnn : public EmbeddingModel, public Module {
+ public:
+  /// `schemes` are the predefined intra-relationship metapath schemes PS_r
+  /// (the dataset profile's P column). They are matched to (node, relation)
+  /// pairs by source type at forward time.
+  HybridGnn(const HybridGnnConfig& config,
+            std::vector<MetapathScheme> schemes);
+
+  std::string name() const override { return "HybridGNN"; }
+
+  /// Builds the walk corpus, trains with Adam, then freezes and caches all
+  /// e*_{v,r} for fast scoring.
+  Status Fit(const MultiplexHeteroGraph& train_graph) override;
+
+  /// Cached final embedding e*_{v,r} (valid after Fit).
+  Tensor Embedding(NodeId v, RelationId r) const override;
+
+  /// Mean attention received by each aggregation flow for (v, r): the
+  /// column-means of the metapath-level attention matrix (Fig. 6). Order:
+  /// one entry per matching metapath scheme, then (last) the randomized
+  /// exploration flow when enabled. Valid after Fit.
+  std::vector<double> MetapathAttentionScores(NodeId v, RelationId r) const;
+
+  /// Labels matching MetapathAttentionScores entries ("U-I-U", ..., "rand").
+  std::vector<std::string> FlowLabels(NodeId v, RelationId r) const;
+
+  /// Mean training loss of the last epoch (for convergence tests).
+  double last_epoch_loss() const { return last_epoch_loss_; }
+
+  const HybridGnnConfig& config() const { return config_; }
+
+ private:
+  /// Computes e*_{v,r} rows for all relations as one [R, base_dim] Var.
+  ag::Var ForwardNode(const MultiplexHeteroGraph& g, NodeId v, Rng& rng) const;
+
+  /// One aggregation flow: level-structured neighbor sets -> [1, edge_dim].
+  ag::Var AggregateLevels(const std::vector<std::vector<NodeId>>& levels,
+                          const MeanAggregator& agg) const;
+
+  /// The [m, edge_dim] stack of flow embeddings for (v, r).
+  ag::Var FlowStack(const MultiplexHeteroGraph& g, NodeId v, RelationId r,
+                    Rng& rng) const;
+
+  /// Metapath-level fusion of a flow stack -> [1, edge_dim]
+  /// (attention-reweighted mean, or plain mean under the ablation).
+  ag::Var FuseFlows(const ag::Var& stack) const;
+
+  HybridGnnConfig config_;
+  std::vector<MetapathScheme> schemes_;
+
+  // Trainable components (built lazily in Fit once V is known).
+  std::unique_ptr<EmbeddingTable> base_;       // e_v            [V, base_dim]
+  std::unique_ptr<EmbeddingTable> context_;    // c_j            [V, base_dim]
+  std::unique_ptr<EmbeddingTable> edge_init_;  // h^(0)          [V, edge_dim]
+  std::vector<std::unique_ptr<MeanAggregator>> scheme_aggs_;
+  std::unique_ptr<MeanAggregator> rand_agg_;
+  std::unique_ptr<SelfAttention> metapath_attn_;   // weights-only (Eq. 6)
+  std::unique_ptr<SelfAttention> relation_attn_;   // weights-only (Eq. 8)
+  std::vector<ag::Var> w_rel_;             // W_{v,r}       [edge, base]
+
+  const MultiplexHeteroGraph* graph_ = nullptr;  // set during Fit
+  Tensor cache_;       // [(V * R), base_dim] final embeddings
+  size_t num_relations_ = 0;
+  double last_epoch_loss_ = 0.0;
+  bool fitted_ = false;
+};
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_CORE_HYBRID_GNN_H_

@@ -1,0 +1,158 @@
+#include "data/profiles.h"
+
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace hybridgnn {
+
+namespace {
+
+size_t Scaled(size_t base, double scale) {
+  return std::max<size_t>(4, static_cast<size_t>(std::llround(
+                                 static_cast<double>(base) * scale)));
+}
+
+/// Attaches ParseIntra-built schemes to the dataset; `patterns` maps
+/// relation name -> list of "A-B-A" type patterns.
+Status AttachSchemes(
+    Dataset& ds,
+    const std::vector<std::pair<std::string, std::string>>& patterns) {
+  for (const auto& [rel_name, pattern] : patterns) {
+    RelationId r = ds.graph.FindRelation(rel_name);
+    if (r == kInvalidRelation) {
+      return Status::Internal("profile scheme references unknown relation " +
+                              rel_name);
+    }
+    HYBRIDGNN_ASSIGN_OR_RETURN(
+        MetapathScheme s, MetapathScheme::ParseIntra(ds.graph, pattern, r));
+    ds.schemes.push_back(std::move(s));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::vector<std::string> DatasetProfileNames() {
+  return {"amazon", "youtube", "imdb", "taobao", "kuaishou"};
+}
+
+StatusOr<SyntheticConfig> ProfileConfig(const std::string& profile,
+                                        double scale, uint64_t seed) {
+  SyntheticConfig c;
+  c.name = profile;
+  c.seed = seed;
+  if (profile == "amazon") {
+    // Paper: 10,099 product nodes, 148,659 edges, |O|=1, |R|=2.
+    c.node_types = {{"item", Scaled(1000, scale)}};
+    c.blocks = {
+        {"common_bought", "item", "item", Scaled(7000, scale), 0.03},
+        {"common_viewed", "item", "item", Scaled(7500, scale), 0.03},
+    };
+    c.num_communities = 10;
+    c.inter_relation_correlation = 0.6;
+    c.community_strength = 100.0;
+  } else if (profile == "youtube") {
+    // Paper: 2,000 user nodes, 1,310,544 edges across 5 relations.
+    c.node_types = {{"user", Scaled(400, scale)}};
+    c.blocks = {
+        {"contact", "user", "user", Scaled(2500, scale), 0.07},
+        {"shared_friends", "user", "user", Scaled(5000, scale), 0.06},
+        {"shared_subscription", "user", "user", Scaled(4200, scale), 0.06},
+        {"shared_subscriber", "user", "user", Scaled(4200, scale), 0.06},
+        {"shared_videos", "user", "user", Scaled(3300, scale), 0.06},
+    };
+    c.num_communities = 8;
+    c.inter_relation_correlation = 0.6;
+    c.community_strength = 100.0;
+  } else if (profile == "imdb") {
+    // Paper: 11,616 nodes (movie/director/actor), 34,212 edges, |R|=1.
+    c.node_types = {{"movie", Scaled(450, scale)},
+                    {"director", Scaled(120, scale)},
+                    {"actor", Scaled(550, scale)}};
+    c.blocks = {
+        {"linked", "movie", "director", Scaled(1300, scale), 0.03},
+        {"linked", "movie", "actor", Scaled(2300, scale), 0.03},
+    };
+    c.num_communities = 9;
+    c.inter_relation_correlation = 0.8;
+    c.community_strength = 100.0;
+  } else if (profile == "taobao") {
+    // Paper: 64,737 nodes, 144,511 edges, user/item under 4 behaviors.
+    c.node_types = {{"user", Scaled(2000, scale)},
+                    {"item", Scaled(800, scale)}};
+    c.blocks = {
+        {"page_view", "user", "item", Scaled(5200, scale), 0.06},
+        {"add_to_cart", "user", "item", Scaled(1500, scale), 0.04},
+        {"purchase", "user", "item", Scaled(1900, scale), 0.04},
+        {"item_favoring", "user", "item", Scaled(1200, scale), 0.03},
+    };
+    c.num_communities = 10;
+    c.inter_relation_correlation = 0.6;
+    c.community_strength = 100.0;
+  } else if (profile == "kuaishou") {
+    // Paper: 105,749 nodes, 175,870 edges; user/video/author under
+    // click/like/comment/download.
+    c.node_types = {{"user", Scaled(2000, scale)},
+                    {"video", Scaled(1000, scale)},
+                    {"author", Scaled(300, scale)}};
+    c.blocks = {
+        {"click", "user", "video", Scaled(4200, scale), 0.06},
+        {"click", "user", "author", Scaled(1400, scale), 0.06},
+        {"like", "user", "video", Scaled(2100, scale), 0.03},
+        {"like", "user", "author", Scaled(800, scale), 0.03},
+        {"comment", "user", "video", Scaled(1000, scale), 0.04},
+        {"download", "user", "video", Scaled(800, scale), 0.04},
+    };
+    c.num_communities = 10;
+    c.inter_relation_correlation = 0.6;
+    c.community_strength = 100.0;
+  } else {
+    return Status::NotFound("unknown dataset profile: " + profile);
+  }
+  return c;
+}
+
+StatusOr<Dataset> MakeDataset(const std::string& profile, double scale,
+                              uint64_t seed) {
+  HYBRIDGNN_ASSIGN_OR_RETURN(SyntheticConfig config,
+                             ProfileConfig(profile, scale, seed));
+  Dataset ds;
+  ds.name = profile;
+  HYBRIDGNN_ASSIGN_OR_RETURN(ds.graph, GenerateSynthetic(config));
+
+  // Predefined metapath schemes (Table II's P column), one per relation.
+  std::vector<std::pair<std::string, std::string>> patterns;
+  if (profile == "amazon") {
+    patterns = {{"common_bought", "I-I-I"}, {"common_viewed", "I-I-I"}};
+  } else if (profile == "youtube") {
+    for (RelationId r = 0; r < ds.graph.num_relations(); ++r) {
+      patterns.emplace_back(ds.graph.relation_name(r), "U-U-U");
+    }
+  } else if (profile == "imdb") {
+    patterns = {{"linked", "M-D-M"},       {"linked", "M-A-M"},
+                {"linked", "D-M-D"},       {"linked", "A-M-A"},
+                {"linked", "D-M-A-M-D"},   {"linked", "A-M-D-M-A"}};
+  } else if (profile == "taobao") {
+    for (RelationId r = 0; r < ds.graph.num_relations(); ++r) {
+      patterns.emplace_back(ds.graph.relation_name(r), "U-I-U");
+      patterns.emplace_back(ds.graph.relation_name(r), "I-U-I");
+    }
+  } else if (profile == "kuaishou") {
+    // U-A-U / A-U-A only where the relation touches authors.
+    for (const std::string rel : {"click", "like"}) {
+      patterns.emplace_back(rel, "U-A-U");
+      patterns.emplace_back(rel, "A-U-A");
+      patterns.emplace_back(rel, "U-V-U");
+      patterns.emplace_back(rel, "V-U-V");
+    }
+    for (const std::string rel : {"comment", "download"}) {
+      patterns.emplace_back(rel, "U-V-U");
+      patterns.emplace_back(rel, "V-U-V");
+    }
+  }
+  HYBRIDGNN_RETURN_IF_ERROR(AttachSchemes(ds, patterns));
+  return ds;
+}
+
+}  // namespace hybridgnn

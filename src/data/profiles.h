@@ -1,0 +1,40 @@
+#ifndef HYBRIDGNN_DATA_PROFILES_H_
+#define HYBRIDGNN_DATA_PROFILES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "data/synthetic.h"
+#include "graph/graph.h"
+#include "graph/metapath.h"
+
+namespace hybridgnn {
+
+/// One ready-to-train dataset: the graph plus the paper's predefined
+/// intra-relationship metapath schemes for it (Table II's P column).
+struct Dataset {
+  std::string name;
+  MultiplexHeteroGraph graph;
+  std::vector<MetapathScheme> schemes;
+};
+
+/// Names of the five dataset profiles mirroring the paper's Table II:
+/// "amazon", "youtube", "imdb", "taobao", "kuaishou".
+std::vector<std::string> DatasetProfileNames();
+
+/// Builds the synthetic stand-in for a paper dataset. `scale` multiplies
+/// node and edge counts (1.0 = the repo's default laptop-friendly size,
+/// roughly 1/10 of the paper's; the schema — |O|, |R|, metapaths — always
+/// matches Table II exactly). Deterministic in `seed`.
+StatusOr<Dataset> MakeDataset(const std::string& profile, double scale,
+                              uint64_t seed);
+
+/// The SyntheticConfig a profile expands to (exposed for tests and for the
+/// Table II stats bench).
+StatusOr<SyntheticConfig> ProfileConfig(const std::string& profile,
+                                        double scale, uint64_t seed);
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_DATA_PROFILES_H_

@@ -1,0 +1,133 @@
+#include "data/split.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace hybridgnn {
+
+namespace {
+
+/// Draws a negative (src, x, rel): x has dst's node type and no (src,x,rel)
+/// edge in the full graph. With probability `hard_fraction` the draw first
+/// tries a cross-relation neighbor of src (hard negative); otherwise, or on
+/// failure, x is uniform over the destination type.
+StatusOr<EdgeTriple> SampleNegative(const MultiplexHeteroGraph& g,
+                                    const EdgeTriple& pos, double hard_fraction,
+                                    Rng& rng) {
+  if (rng.Bernoulli(hard_fraction)) {
+    // Collect src's neighbors under other relations that are NOT neighbors
+    // under pos.rel and share dst's node type.
+    std::vector<NodeId> hard;
+    for (RelationId r = 0; r < g.num_relations(); ++r) {
+      if (r == pos.rel) continue;
+      for (NodeId u : g.Neighbors(pos.src, r)) {
+        if (g.node_type(u) != g.node_type(pos.dst)) continue;
+        if (u == pos.dst || g.HasEdge(pos.src, u, pos.rel)) continue;
+        hard.push_back(u);
+      }
+    }
+    if (!hard.empty()) {
+      NodeId x = hard[rng.UniformUint64(hard.size())];
+      NodeId a = pos.src, b = x;
+      if (a > b) std::swap(a, b);
+      return EdgeTriple{a, b, pos.rel};
+    }
+  }
+  const auto& candidates = g.NodesOfType(g.node_type(pos.dst));
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    NodeId x = candidates[rng.UniformUint64(candidates.size())];
+    if (x == pos.src || x == pos.dst) continue;
+    if (g.HasEdge(pos.src, x, pos.rel)) continue;
+    NodeId a = pos.src, b = x;
+    if (a > b) std::swap(a, b);
+    return EdgeTriple{a, b, pos.rel};
+  }
+  return Status::Internal(
+      StrFormat("cannot find negative for edge %u-%u rel %u (graph too "
+                "dense?)",
+                pos.src, pos.dst, static_cast<unsigned>(pos.rel)));
+}
+
+}  // namespace
+
+StatusOr<LinkSplit> SplitEdges(const MultiplexHeteroGraph& g,
+                               const SplitOptions& options, Rng& rng) {
+  if (options.val_fraction < 0 || options.test_fraction < 0 ||
+      options.val_fraction + options.test_fraction >= 1.0) {
+    return Status::InvalidArgument("bad split fractions");
+  }
+  LinkSplit split;
+  for (RelationId r = 0; r < g.num_relations(); ++r) {
+    std::vector<EdgeTriple> edges = g.EdgesOfRelation(r);
+    if (edges.size() < 10) {
+      return Status::FailedPrecondition(
+          StrFormat("relation %s has only %zu edges",
+                    g.relation_name(r).c_str(), edges.size()));
+    }
+    rng.Shuffle(edges);
+    const size_t n = edges.size();
+    const size_t n_test = std::max<size_t>(
+        1, static_cast<size_t>(options.test_fraction * n));
+    const size_t n_val = std::max<size_t>(
+        1, static_cast<size_t>(options.val_fraction * n));
+    for (size_t i = 0; i < n; ++i) {
+      if (i < n_test) {
+        split.test_pos.push_back(edges[i]);
+      } else if (i < n_test + n_val) {
+        split.val_pos.push_back(edges[i]);
+      } else {
+        split.train_edges.push_back(edges[i]);
+      }
+    }
+  }
+  // Pair each held-out positive with a negative; positives whose source is
+  // saturated (connected to every candidate — possible for hubs in dense
+  // graphs) are dropped from the evaluation set rather than failing.
+  auto pair_negatives = [&](std::vector<EdgeTriple>& pos,
+                            std::vector<EdgeTriple>& neg) {
+    std::vector<EdgeTriple> kept;
+    kept.reserve(pos.size());
+    for (const auto& e : pos) {
+      auto drawn = SampleNegative(g, e, options.hard_negative_fraction, rng);
+      if (!drawn.ok()) {
+        // Saturated source: not evaluable, return the edge to training.
+        split.train_edges.push_back(e);
+        continue;
+      }
+      kept.push_back(e);
+      neg.push_back(std::move(drawn).value());
+    }
+    pos = std::move(kept);
+  };
+  pair_negatives(split.test_pos, split.test_neg);
+  pair_negatives(split.val_pos, split.val_neg);
+  if (split.test_pos.empty() || split.val_pos.empty()) {
+    return Status::FailedPrecondition(
+        "graph too dense: no evaluable held-out edges");
+  }
+
+  // Training graph keeps the full node set but only training edges.
+  GraphBuilder builder;
+  for (NodeTypeId t = 0; t < g.num_node_types(); ++t) {
+    HYBRIDGNN_ASSIGN_OR_RETURN(NodeTypeId unused,
+                               builder.AddNodeType(g.node_type_name(t)));
+    (void)unused;
+  }
+  for (RelationId r = 0; r < g.num_relations(); ++r) {
+    HYBRIDGNN_ASSIGN_OR_RETURN(RelationId unused,
+                               builder.AddRelation(g.relation_name(r)));
+    (void)unused;
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    HYBRIDGNN_ASSIGN_OR_RETURN(NodeId unused, builder.AddNode(g.node_type(v)));
+    (void)unused;
+  }
+  for (const auto& e : split.train_edges) {
+    HYBRIDGNN_RETURN_IF_ERROR(builder.AddEdge(e.src, e.dst, e.rel));
+  }
+  HYBRIDGNN_ASSIGN_OR_RETURN(split.train_graph, builder.Build());
+  return split;
+}
+
+}  // namespace hybridgnn

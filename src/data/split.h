@@ -1,0 +1,45 @@
+#ifndef HYBRIDGNN_DATA_SPLIT_H_
+#define HYBRIDGNN_DATA_SPLIT_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/statusor.h"
+#include "graph/graph.h"
+
+namespace hybridgnn {
+
+/// Link-prediction split following the paper's protocol: 85% of edges train,
+/// 5% validation, 10% test (per relation, so every relation is represented
+/// in every partition). For each held-out positive edge one negative is
+/// sampled: same source node, replacement destination of the same node type
+/// that is NOT connected to the source under that relation in the full graph.
+struct LinkSplit {
+  MultiplexHeteroGraph train_graph;  // only the training edges
+  std::vector<EdgeTriple> train_edges;
+  std::vector<EdgeTriple> val_pos;
+  std::vector<EdgeTriple> val_neg;
+  std::vector<EdgeTriple> test_pos;
+  std::vector<EdgeTriple> test_neg;
+};
+
+struct SplitOptions {
+  double val_fraction = 0.05;
+  double test_fraction = 0.10;
+  /// Fraction of negatives drawn as *hard cross-relation negatives*: nodes
+  /// connected to the source under a different relation but not under the
+  /// positive's relation (e.g. "viewed but never purchased"). This is the
+  /// relationship-specific recommendation task the paper targets — telling
+  /// apart *which* relation will form, not merely whether the pair is
+  /// plausible. The remainder are uniform type-matched non-neighbors.
+  double hard_negative_fraction = 0.5;
+};
+
+/// Splits `g` deterministically given `rng`'s seed. Fails if any relation
+/// has fewer than 10 edges (cannot populate all partitions).
+StatusOr<LinkSplit> SplitEdges(const MultiplexHeteroGraph& g,
+                               const SplitOptions& options, Rng& rng);
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_DATA_SPLIT_H_

@@ -1,0 +1,179 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "sampling/alias.h"
+
+namespace hybridgnn {
+
+namespace {
+
+/// Per-type, per-community alias samplers weighted by node activity.
+class CommunityIndex {
+ public:
+  CommunityIndex(const std::vector<std::vector<NodeId>>& nodes_by_type,
+                 const std::vector<size_t>& community,
+                 const std::vector<double>& activity, size_t num_communities)
+      : buckets_(nodes_by_type.size(),
+                 std::vector<std::vector<NodeId>>(num_communities)) {
+    for (size_t t = 0; t < nodes_by_type.size(); ++t) {
+      for (NodeId v : nodes_by_type[t]) {
+        buckets_[t][community[v]].push_back(v);
+      }
+      tables_.emplace_back();
+      for (size_t c = 0; c < num_communities; ++c) {
+        const auto& bucket = buckets_[t][c];
+        if (bucket.empty()) {
+          tables_[t].emplace_back();
+          continue;
+        }
+        std::vector<double> w(bucket.size());
+        for (size_t i = 0; i < bucket.size(); ++i) w[i] = activity[bucket[i]];
+        tables_[t].emplace_back(w);
+      }
+    }
+  }
+
+  /// Samples a node of type t in community c (kInvalidNode if empty).
+  NodeId Sample(size_t t, size_t c, Rng& rng) const {
+    const auto& bucket = buckets_[t][c];
+    if (bucket.empty()) return kInvalidNode;
+    return bucket[tables_[t][c].Sample(rng)];
+  }
+
+ private:
+  std::vector<std::vector<std::vector<NodeId>>> buckets_;
+  std::vector<std::vector<AliasTable>> tables_;
+};
+
+}  // namespace
+
+StatusOr<MultiplexHeteroGraph> GenerateSynthetic(
+    const SyntheticConfig& config) {
+  if (config.node_types.empty()) {
+    return Status::InvalidArgument("synthetic config needs node types");
+  }
+  if (config.blocks.empty()) {
+    return Status::InvalidArgument("synthetic config needs edge blocks");
+  }
+  Rng rng(config.seed);
+  GraphBuilder builder;
+
+  std::unordered_map<std::string, NodeTypeId> type_ids;
+  std::vector<std::vector<NodeId>> nodes_by_type;
+  for (const auto& [name, count] : config.node_types) {
+    HYBRIDGNN_ASSIGN_OR_RETURN(NodeTypeId t, builder.AddNodeType(name));
+    type_ids[name] = t;
+    if (count == 0) {
+      return Status::InvalidArgument("node type with zero count: " + name);
+    }
+    HYBRIDGNN_ASSIGN_OR_RETURN(NodeId first, builder.AddNodes(t, count));
+    std::vector<NodeId> ids(count);
+    for (size_t i = 0; i < count; ++i) ids[i] = first + static_cast<NodeId>(i);
+    nodes_by_type.push_back(std::move(ids));
+  }
+
+  std::unordered_map<std::string, RelationId> rel_ids;
+  for (const auto& block : config.blocks) {
+    if (rel_ids.count(block.relation)) continue;
+    HYBRIDGNN_ASSIGN_OR_RETURN(RelationId r,
+                               builder.AddRelation(block.relation));
+    rel_ids[block.relation] = r;
+  }
+
+  const size_t total_nodes = builder.num_nodes();
+  const size_t num_comm = std::max<size_t>(1, config.num_communities);
+
+  // Latent structure: community + activity per node.
+  std::vector<size_t> community(total_nodes);
+  std::vector<double> activity(total_nodes);
+  for (size_t v = 0; v < total_nodes; ++v) {
+    community[v] = static_cast<size_t>(rng.UniformUint64(num_comm));
+    activity[v] = static_cast<double>(rng.PowerLaw(config.degree_alpha, 64));
+  }
+  CommunityIndex index(nodes_by_type, community, activity, num_comm);
+
+  // Shared community mapping (what all relations agree on) plus one private
+  // permutation per relation (what each relation does idiosyncratically).
+  std::vector<size_t> shared_map(num_comm);
+  for (size_t c = 0; c < num_comm; ++c) shared_map[c] = c;
+  std::unordered_map<std::string, std::vector<size_t>> private_maps;
+  for (const auto& [name, rel] : rel_ids) {
+    std::vector<size_t> perm(num_comm);
+    for (size_t c = 0; c < num_comm; ++c) perm[c] = c;
+    rng.Shuffle(perm);
+    private_maps[name] = std::move(perm);
+  }
+
+  const double p_in =
+      config.community_strength / (config.community_strength + num_comm - 1);
+
+  for (const auto& block : config.blocks) {
+    auto st = type_ids.find(block.src_type);
+    auto dt = type_ids.find(block.dst_type);
+    if (st == type_ids.end() || dt == type_ids.end()) {
+      return Status::InvalidArgument("block references unknown node type in " +
+                                     block.relation);
+    }
+    const RelationId rel = rel_ids[block.relation];
+    const auto& private_map = private_maps[block.relation];
+    const auto& src_nodes = nodes_by_type[st->second];
+
+    std::vector<double> src_weights(src_nodes.size());
+    for (size_t i = 0; i < src_nodes.size(); ++i) {
+      src_weights[i] = activity[src_nodes[i]];
+    }
+    AliasTable src_table(src_weights);
+
+    std::unordered_set<uint64_t> seen;
+    size_t made = 0;
+    size_t attempts = 0;
+    const size_t max_attempts = block.count * 20 + 100;
+    while (made < block.count && attempts < max_attempts) {
+      ++attempts;
+      const NodeId src = src_nodes[src_table.Sample(rng)];
+      NodeId dst;
+      if (rng.Bernoulli(block.noise)) {
+        // Pure noise edge: uniform destination.
+        const auto& dst_nodes = nodes_by_type[dt->second];
+        dst = dst_nodes[rng.UniformUint64(dst_nodes.size())];
+      } else {
+        // Planted edge: pick destination community from the source's
+        // community through the shared or the relation-private map.
+        const bool use_shared =
+            rng.Bernoulli(config.inter_relation_correlation);
+        const size_t mapped = use_shared ? shared_map[community[src]]
+                                         : private_map[community[src]];
+        const size_t dst_comm =
+            rng.Bernoulli(p_in)
+                ? mapped
+                : static_cast<size_t>(rng.UniformUint64(num_comm));
+        dst = index.Sample(dt->second, dst_comm, rng);
+        if (dst == kInvalidNode) continue;
+      }
+      if (dst == src) continue;
+      NodeId a = src, b = dst;
+      if (a > b) std::swap(a, b);
+      const uint64_t key =
+          (static_cast<uint64_t>(a) << 32) | b;
+      // Dedup within this relation only (parallel edges across relations are
+      // the point of multiplexity).
+      const uint64_t rel_key = key ^ (static_cast<uint64_t>(rel) << 60);
+      if (!seen.insert(rel_key).second) continue;
+      HYBRIDGNN_RETURN_IF_ERROR(builder.AddEdge(src, dst, rel));
+      ++made;
+    }
+    if (made < block.count / 2) {
+      return Status::Internal(StrFormat(
+          "generator starved: %zu/%zu edges for relation %s", made,
+          block.count, block.relation.c_str()));
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace hybridgnn

@@ -1,0 +1,38 @@
+#ifndef HYBRIDGNN_EVAL_EMBEDDING_MODEL_H_
+#define HYBRIDGNN_EVAL_EMBEDDING_MODEL_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "tensor/tensor.h"
+
+namespace hybridgnn {
+
+/// Common interface every model in this repo implements — HybridGNN and all
+/// nine baselines. A model is fit on a *training* graph and then asked for
+/// relationship-specific node embeddings; the evaluator scores candidate
+/// links with sigmoid(dot(e(u|r), e(v|r))).
+///
+/// Relation-blind models (DeepWalk, GCN, ...) simply ignore `r`.
+class EmbeddingModel {
+ public:
+  virtual ~EmbeddingModel() = default;
+
+  /// Model name for reports ("HybridGNN", "GATNE", ...).
+  virtual std::string name() const = 0;
+
+  /// Trains on `train_graph`. Must be called before Embedding/Score.
+  virtual Status Fit(const MultiplexHeteroGraph& train_graph) = 0;
+
+  /// Relationship-specific embedding e*_{v,r} as a 1 x d row.
+  virtual Tensor Embedding(NodeId v, RelationId r) const = 0;
+
+  /// Link score for (u, v) under r. Default: dot of the two embeddings
+  /// (monotone in sigmoid, so threshold-free metrics are unaffected).
+  virtual double Score(NodeId u, NodeId v, RelationId r) const;
+};
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_EVAL_EMBEDDING_MODEL_H_

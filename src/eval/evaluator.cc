@@ -1,0 +1,204 @@
+#include "eval/evaluator.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "eval/metrics.h"
+
+namespace hybridgnn {
+
+namespace {
+
+void CollectScores(const EmbeddingModel& model,
+                   const std::vector<EdgeTriple>& pos,
+                   const std::vector<EdgeTriple>& neg,
+                   std::vector<double>& pos_scores,
+                   std::vector<double>& neg_scores) {
+  pos_scores.reserve(pos.size());
+  neg_scores.reserve(neg.size());
+  for (const auto& e : pos) {
+    pos_scores.push_back(model.Score(e.src, e.dst, e.rel));
+  }
+  for (const auto& e : neg) {
+    neg_scores.push_back(model.Score(e.src, e.dst, e.rel));
+  }
+}
+
+/// Ranking queries: test positives grouped by (source, relation). The
+/// "source" is whichever endpoint has more test edges grouped under it —
+/// we simply group by e.src (canonical lower id), which is symmetric enough
+/// for undirected evaluation.
+struct RankingQuery {
+  NodeId src;
+  RelationId rel;
+  std::vector<NodeId> positives;
+};
+
+std::vector<RankingQuery> BuildQueries(const std::vector<EdgeTriple>& test_pos,
+                                       size_t max_queries, Rng& rng) {
+  std::map<std::pair<NodeId, RelationId>, std::vector<NodeId>> grouped;
+  for (const auto& e : test_pos) {
+    grouped[{e.src, e.rel}].push_back(e.dst);
+  }
+  std::vector<RankingQuery> queries;
+  queries.reserve(grouped.size());
+  for (auto& [key, positives] : grouped) {
+    queries.push_back(RankingQuery{key.first, key.second,
+                                   std::move(positives)});
+  }
+  if (max_queries > 0 && queries.size() > max_queries) {
+    rng.Shuffle(queries);
+    queries.resize(max_queries);
+  }
+  return queries;
+}
+
+/// Ranks candidates for one query and returns per-rank hit flags.
+std::vector<bool> RankQuery(const EmbeddingModel& model,
+                            const MultiplexHeteroGraph& full,
+                            const MultiplexHeteroGraph& train,
+                            const RankingQuery& q, size_t k) {
+  const NodeTypeId want = full.node_type(q.positives.front());
+  std::set<NodeId> pos_set(q.positives.begin(), q.positives.end());
+  // Candidates: all nodes of the target type, excluding the source and its
+  // training neighbors under this relation.
+  auto train_nbrs = train.Neighbors(q.src, q.rel);
+  std::set<NodeId> exclude(train_nbrs.begin(), train_nbrs.end());
+  std::vector<std::pair<double, NodeId>> scored;
+  for (NodeId cand : full.NodesOfType(want)) {
+    if (cand == q.src || exclude.count(cand)) continue;
+    scored.emplace_back(model.Score(q.src, cand, q.rel), cand);
+  }
+  const size_t top = std::min(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + top, scored.end(),
+                    [](const auto& a, const auto& b) {
+                      if (a.first != b.first) return a.first > b.first;
+                      return a.second < b.second;
+                    });
+  std::vector<bool> hits;
+  hits.reserve(top);
+  for (size_t i = 0; i < top; ++i) {
+    hits.push_back(pos_set.count(scored[i].second) > 0);
+  }
+  return hits;
+}
+
+}  // namespace
+
+double EmbeddingModel::Score(NodeId u, NodeId v, RelationId r) const {
+  Tensor eu = Embedding(u, r);
+  Tensor ev = Embedding(v, r);
+  double s = 0.0;
+  for (size_t j = 0; j < eu.cols(); ++j) {
+    s += static_cast<double>(eu.At(0, j)) * ev.At(0, j);
+  }
+  return s;
+}
+
+LinkPredictionResult EvaluateLinkPrediction(const EmbeddingModel& model,
+                                            const MultiplexHeteroGraph& full,
+                                            const LinkSplit& split,
+                                            const EvalOptions& options,
+                                            Rng& rng) {
+  LinkPredictionResult r;
+  std::vector<double> pos_scores, neg_scores;
+  CollectScores(model, split.test_pos, split.test_neg, pos_scores,
+                neg_scores);
+  r.roc_auc = 100.0 * RocAuc(pos_scores, neg_scores);
+  r.pr_auc = 100.0 * PrAuc(pos_scores, neg_scores);
+  r.f1 = 100.0 * BestF1(pos_scores, neg_scores);
+
+  std::vector<RankingQuery> queries =
+      BuildQueries(split.test_pos, options.max_ranking_queries, rng);
+  if (!queries.empty()) {
+    double pr_sum = 0.0, hr_sum = 0.0;
+    for (const auto& q : queries) {
+      std::vector<bool> hits =
+          RankQuery(model, full, split.train_graph, q, options.k);
+      pr_sum += PrecisionAtK(hits, options.k);
+      hr_sum += HitRatioAtK(hits, options.k, q.positives.size());
+    }
+    r.pr_at_k = pr_sum / static_cast<double>(queries.size());
+    r.hr_at_k = hr_sum / static_cast<double>(queries.size());
+  }
+  return r;
+}
+
+LinkPredictionResult EvaluateRelation(const EmbeddingModel& model,
+                                      const LinkSplit& split, RelationId rel) {
+  std::vector<EdgeTriple> pos, neg;
+  for (const auto& e : split.test_pos) {
+    if (e.rel == rel) pos.push_back(e);
+  }
+  for (const auto& e : split.test_neg) {
+    if (e.rel == rel) neg.push_back(e);
+  }
+  LinkPredictionResult r;
+  if (pos.empty() || neg.empty()) return r;
+  std::vector<double> pos_scores, neg_scores;
+  CollectScores(model, pos, neg, pos_scores, neg_scores);
+  r.roc_auc = 100.0 * RocAuc(pos_scores, neg_scores);
+  r.pr_auc = 100.0 * PrAuc(pos_scores, neg_scores);
+  r.f1 = 100.0 * BestF1(pos_scores, neg_scores);
+  return r;
+}
+
+namespace {
+
+std::vector<double> PrAtKBuckets(const EmbeddingModel& model,
+                                 const MultiplexHeteroGraph& full,
+                                 const LinkSplit& split,
+                                 const std::vector<EdgeTriple>& test_pos,
+                                 const std::vector<size_t>& bucket_edges,
+                                 size_t k, Rng& rng) {
+  const size_t num_buckets = bucket_edges.size() - 1;
+  std::vector<double> sums(num_buckets, 0.0);
+  std::vector<size_t> counts(num_buckets, 0);
+  std::vector<RankingQuery> queries = BuildQueries(test_pos, 400, rng);
+  for (const auto& q : queries) {
+    const size_t degree = full.TotalDegree(q.src);
+    size_t bucket = num_buckets;  // sentinel: out of range
+    for (size_t b = 0; b < num_buckets; ++b) {
+      if (degree >= bucket_edges[b] && degree < bucket_edges[b + 1]) {
+        bucket = b;
+        break;
+      }
+    }
+    if (bucket == num_buckets) continue;
+    std::vector<bool> hits =
+        RankQuery(model, full, split.train_graph, q, k);
+    sums[bucket] += PrecisionAtK(hits, k);
+    ++counts[bucket];
+  }
+  std::vector<double> out(num_buckets, 0.0);
+  for (size_t b = 0; b < num_buckets; ++b) {
+    if (counts[b] > 0) out[b] = sums[b] / static_cast<double>(counts[b]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> PrAtKByDegree(const EmbeddingModel& model,
+                                  const MultiplexHeteroGraph& full,
+                                  const LinkSplit& split,
+                                  const std::vector<size_t>& bucket_edges,
+                                  size_t k, Rng& rng) {
+  return PrAtKBuckets(model, full, split, split.test_pos, bucket_edges, k,
+                      rng);
+}
+
+std::vector<double> PrAtKByDegreeForRelation(
+    const EmbeddingModel& model, const MultiplexHeteroGraph& full,
+    const LinkSplit& split, RelationId rel,
+    const std::vector<size_t>& bucket_edges, size_t k, Rng& rng) {
+  std::vector<EdgeTriple> pos;
+  for (const auto& e : split.test_pos) {
+    if (e.rel == rel) pos.push_back(e);
+  }
+  return PrAtKBuckets(model, full, split, pos, bucket_edges, k, rng);
+}
+
+}  // namespace hybridgnn

@@ -1,0 +1,65 @@
+#ifndef HYBRIDGNN_EVAL_EVALUATOR_H_
+#define HYBRIDGNN_EVAL_EVALUATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/split.h"
+#include "eval/embedding_model.h"
+#include "graph/graph.h"
+
+namespace hybridgnn {
+
+/// The five columns of Tables III/IV: ROC-AUC, PR-AUC, F1 are percentages;
+/// PR@K / HR@K are raw ratios, exactly as in the paper.
+struct LinkPredictionResult {
+  double roc_auc = 0.0;
+  double pr_auc = 0.0;
+  double f1 = 0.0;
+  double pr_at_k = 0.0;
+  double hr_at_k = 0.0;
+};
+
+struct EvalOptions {
+  size_t k = 10;
+  /// Cap on ranking queries (distinct test sources) per relation, for bench
+  /// runtime; 0 = no cap.
+  size_t max_ranking_queries = 200;
+};
+
+/// Scores a fitted model on held-out positives/negatives.
+///
+/// Classification metrics use the paired positive/negative lists. Ranking
+/// metrics (PR@K / HR@K) rank, for every test source node, all nodes of the
+/// positive target's type that are not training-neighbors, then measure
+/// hits against that source's test positives — the paper's top-K
+/// recommendation protocol.
+LinkPredictionResult EvaluateLinkPrediction(const EmbeddingModel& model,
+                                            const MultiplexHeteroGraph& full,
+                                            const LinkSplit& split,
+                                            const EvalOptions& options,
+                                            Rng& rng);
+
+/// Classification-only variant restricted to one relation (Table VI).
+LinkPredictionResult EvaluateRelation(const EmbeddingModel& model,
+                                      const LinkSplit& split, RelationId r);
+
+/// Per-degree-bucket PR@K (Fig. 7 / Table VIII): nodes are bucketed by
+/// *full-graph* total degree into `bucket_edges.size()-1` clusters
+/// [e_i, e_{i+1}); returns mean PR@K per bucket (NaN-free; empty -> 0).
+std::vector<double> PrAtKByDegree(const EmbeddingModel& model,
+                                  const MultiplexHeteroGraph& full,
+                                  const LinkSplit& split,
+                                  const std::vector<size_t>& bucket_edges,
+                                  size_t k, Rng& rng);
+
+/// Same bucketing restricted to one relation's test edges.
+std::vector<double> PrAtKByDegreeForRelation(
+    const EmbeddingModel& model, const MultiplexHeteroGraph& full,
+    const LinkSplit& split, RelationId rel,
+    const std::vector<size_t>& bucket_edges, size_t k, Rng& rng);
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_EVAL_EVALUATOR_H_

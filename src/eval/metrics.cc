@@ -1,0 +1,142 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace hybridgnn {
+
+namespace {
+
+/// (score, is_positive) pairs sorted by descending score.
+std::vector<std::pair<double, bool>> Ranked(
+    const std::vector<double>& pos_scores,
+    const std::vector<double>& neg_scores) {
+  std::vector<std::pair<double, bool>> all;
+  all.reserve(pos_scores.size() + neg_scores.size());
+  for (double s : pos_scores) all.emplace_back(s, true);
+  for (double s : neg_scores) all.emplace_back(s, false);
+  std::sort(all.begin(), all.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second > b.second;  // deterministic tie-break
+  });
+  return all;
+}
+
+}  // namespace
+
+double RocAuc(const std::vector<double>& pos_scores,
+              const std::vector<double>& neg_scores) {
+  HYBRIDGNN_CHECK(!pos_scores.empty() && !neg_scores.empty())
+      << "RocAuc needs both classes";
+  // Rank-sum with midranks for ties.
+  std::vector<std::pair<double, bool>> all = Ranked(pos_scores, neg_scores);
+  std::reverse(all.begin(), all.end());  // ascending
+  double rank_sum_pos = 0.0;
+  size_t i = 0;
+  while (i < all.size()) {
+    size_t j = i;
+    while (j < all.size() && all[j].first == all[i].first) ++j;
+    const double midrank = 0.5 * static_cast<double>(i + 1 + j);  // 1-based
+    for (size_t k = i; k < j; ++k) {
+      if (all[k].second) rank_sum_pos += midrank;
+    }
+    i = j;
+  }
+  const double np = static_cast<double>(pos_scores.size());
+  const double nn = static_cast<double>(neg_scores.size());
+  return (rank_sum_pos - np * (np + 1.0) / 2.0) / (np * nn);
+}
+
+double PrAuc(const std::vector<double>& pos_scores,
+             const std::vector<double>& neg_scores) {
+  HYBRIDGNN_CHECK(!pos_scores.empty()) << "PrAuc needs positives";
+  std::vector<std::pair<double, bool>> all = Ranked(pos_scores, neg_scores);
+  // Average precision: sum over positives of precision at their rank.
+  double ap = 0.0;
+  size_t tp = 0;
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i].second) {
+      ++tp;
+      ap += static_cast<double>(tp) / static_cast<double>(i + 1);
+    }
+  }
+  return ap / static_cast<double>(pos_scores.size());
+}
+
+double BestF1(const std::vector<double>& pos_scores,
+              const std::vector<double>& neg_scores) {
+  HYBRIDGNN_CHECK(!pos_scores.empty()) << "BestF1 needs positives";
+  std::vector<std::pair<double, bool>> all = Ranked(pos_scores, neg_scores);
+  const double total_pos = static_cast<double>(pos_scores.size());
+  double best = 0.0;
+  size_t tp = 0;
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i].second) ++tp;
+    // Threshold just below all[i].first: predictions = i+1 positives.
+    if (i + 1 < all.size() && all[i + 1].first == all[i].first) continue;
+    const double precision = static_cast<double>(tp) /
+                             static_cast<double>(i + 1);
+    const double recall = static_cast<double>(tp) / total_pos;
+    if (precision + recall > 0) {
+      best = std::max(best, 2.0 * precision * recall / (precision + recall));
+    }
+  }
+  return best;
+}
+
+ThresholdMetrics MetricsAtThreshold(const std::vector<double>& pos_scores,
+                                    const std::vector<double>& neg_scores,
+                                    double threshold) {
+  size_t tp = 0, fn = 0, fp = 0, tn = 0;
+  for (double s : pos_scores) (s >= threshold ? tp : fn)++;
+  for (double s : neg_scores) (s >= threshold ? fp : tn)++;
+  ThresholdMetrics m;
+  if (tp + fp > 0) m.precision = static_cast<double>(tp) / (tp + fp);
+  if (tp + fn > 0) m.recall = static_cast<double>(tp) / (tp + fn);
+  if (m.precision + m.recall > 0) {
+    m.f1 = 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  }
+  const size_t total = tp + fn + fp + tn;
+  if (total > 0) m.accuracy = static_cast<double>(tp + tn) / total;
+  return m;
+}
+
+double PrecisionAtK(const std::vector<bool>& ranked_hits, size_t k) {
+  HYBRIDGNN_CHECK(k > 0);
+  size_t hits = 0;
+  const size_t upto = std::min(k, ranked_hits.size());
+  for (size_t i = 0; i < upto; ++i) {
+    if (ranked_hits[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(k);
+}
+
+double HitRatioAtK(const std::vector<bool>& ranked_hits, size_t k,
+                   size_t num_relevant) {
+  if (num_relevant == 0) return 0.0;
+  size_t hits = 0;
+  const size_t upto = std::min(k, ranked_hits.size());
+  for (size_t i = 0; i < upto; ++i) {
+    if (ranked_hits[i]) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(num_relevant);
+}
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+double SampleStdDev(const std::vector<double>& xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = Mean(xs);
+  double s = 0.0;
+  for (double x : xs) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(xs.size() - 1));
+}
+
+}  // namespace hybridgnn

@@ -1,0 +1,49 @@
+#ifndef HYBRIDGNN_EVAL_METRICS_H_
+#define HYBRIDGNN_EVAL_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace hybridgnn {
+
+/// Binary-classification metrics over raw scores (higher = more positive).
+/// All functions tolerate ties and are deterministic.
+
+/// Area under the ROC curve via the rank statistic
+/// (equals P(score_pos > score_neg) + 0.5 P(=)).
+double RocAuc(const std::vector<double>& pos_scores,
+              const std::vector<double>& neg_scores);
+
+/// Area under the precision-recall curve (average precision formulation).
+double PrAuc(const std::vector<double>& pos_scores,
+             const std::vector<double>& neg_scores);
+
+/// Maximum F1 over all score thresholds.
+double BestF1(const std::vector<double>& pos_scores,
+              const std::vector<double>& neg_scores);
+
+/// Precision / recall / F1 at a fixed threshold.
+struct ThresholdMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  double accuracy = 0.0;
+};
+ThresholdMetrics MetricsAtThreshold(const std::vector<double>& pos_scores,
+                                    const std::vector<double>& neg_scores,
+                                    double threshold);
+
+/// Top-K ranking metrics for one query: `ranked_hits[i]` says whether the
+/// i-th ranked candidate is a true positive; `num_relevant` is the total
+/// relevant count for the query.
+double PrecisionAtK(const std::vector<bool>& ranked_hits, size_t k);
+double HitRatioAtK(const std::vector<bool>& ranked_hits, size_t k,
+                   size_t num_relevant);
+
+/// Simple mean / sample standard deviation helpers.
+double Mean(const std::vector<double>& xs);
+double SampleStdDev(const std::vector<double>& xs);
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_EVAL_METRICS_H_

@@ -1,0 +1,117 @@
+#include "eval/stats_test.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "eval/metrics.h"
+
+namespace hybridgnn {
+
+namespace {
+
+double LogGamma(double x) { return std::lgamma(x); }
+
+/// Lentz's continued fraction for the incomplete beta function.
+double BetaContinuedFraction(double a, double b, double x) {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-12;
+  constexpr double kTiny = 1e-300;
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::abs(d) < kTiny) d = kTiny;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const int m2 = 2 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::abs(d) < kTiny) d = kTiny;
+    c = 1.0 + aa / c;
+    if (std::abs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::abs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+}  // namespace
+
+double RegularizedIncompleteBeta(double a, double b, double x) {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = LogGamma(a + b) - LogGamma(a) - LogGamma(b) +
+                          a * std::log(x) + b * std::log(1.0 - x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * BetaContinuedFraction(a, b, x) / a;
+  }
+  return 1.0 - front * BetaContinuedFraction(b, a, 1.0 - x) / b;
+}
+
+double StudentTPValue(double t, double df) {
+  if (df <= 0.0) return 1.0;
+  const double x = df / (df + t * t);
+  // Two-sided: P(|T| > |t|) = I_x(df/2, 1/2).
+  return RegularizedIncompleteBeta(df / 2.0, 0.5, x);
+}
+
+TTestResult WelchTTest(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  TTestResult r;
+  if (a.size() < 2 || b.size() < 2) return r;
+  const double ma = Mean(a), mb = Mean(b);
+  const double sa = SampleStdDev(a), sb = SampleStdDev(b);
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  const double va = sa * sa / na;
+  const double vb = sb * sb / nb;
+  const double denom = std::sqrt(va + vb);
+  if (denom < 1e-15) {
+    r.t_statistic = ma == mb ? 0.0 : (ma > mb ? 1e9 : -1e9);
+    r.degrees_of_freedom = na + nb - 2.0;
+    r.p_value = ma == mb ? 1.0 : 0.0;
+    return r;
+  }
+  r.t_statistic = (ma - mb) / denom;
+  r.degrees_of_freedom =
+      (va + vb) * (va + vb) /
+      (va * va / (na - 1.0) + vb * vb / (nb - 1.0));
+  r.p_value = StudentTPValue(r.t_statistic, r.degrees_of_freedom);
+  return r;
+}
+
+TTestResult PairedTTest(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  TTestResult r;
+  HYBRIDGNN_CHECK(a.size() == b.size()) << "paired t-test needs equal sizes";
+  if (a.size() < 2) return r;
+  std::vector<double> diff(a.size());
+  for (size_t i = 0; i < a.size(); ++i) diff[i] = a[i] - b[i];
+  const double md = Mean(diff);
+  const double sd = SampleStdDev(diff);
+  const double n = static_cast<double>(diff.size());
+  if (sd < 1e-15) {
+    r.t_statistic = md == 0.0 ? 0.0 : (md > 0.0 ? 1e9 : -1e9);
+    r.degrees_of_freedom = n - 1.0;
+    r.p_value = md == 0.0 ? 1.0 : 0.0;
+    return r;
+  }
+  r.t_statistic = md / (sd / std::sqrt(n));
+  r.degrees_of_freedom = n - 1.0;
+  r.p_value = StudentTPValue(r.t_statistic, r.degrees_of_freedom);
+  return r;
+}
+
+}  // namespace hybridgnn

@@ -1,0 +1,231 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace hybridgnn {
+
+StatusOr<NodeTypeId> GraphBuilder::AddNodeType(const std::string& name) {
+  for (const auto& existing : type_names_) {
+    if (existing == name) {
+      return Status::AlreadyExists("node type exists: " + name);
+    }
+  }
+  if (type_names_.size() >= kInvalidNodeType) {
+    return Status::OutOfRange("too many node types");
+  }
+  type_names_.push_back(name);
+  return static_cast<NodeTypeId>(type_names_.size() - 1);
+}
+
+StatusOr<RelationId> GraphBuilder::AddRelation(const std::string& name) {
+  for (const auto& existing : relation_names_) {
+    if (existing == name) {
+      return Status::AlreadyExists("relation exists: " + name);
+    }
+  }
+  if (relation_names_.size() >= kInvalidRelation) {
+    return Status::OutOfRange("too many relations");
+  }
+  relation_names_.push_back(name);
+  return static_cast<RelationId>(relation_names_.size() - 1);
+}
+
+StatusOr<NodeId> GraphBuilder::AddNode(NodeTypeId type) {
+  if (type >= type_names_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("unknown node type %u", static_cast<unsigned>(type)));
+  }
+  node_types_.push_back(type);
+  return static_cast<NodeId>(node_types_.size() - 1);
+}
+
+StatusOr<NodeId> GraphBuilder::AddNodes(NodeTypeId type, size_t count) {
+  if (type >= type_names_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("unknown node type %u", static_cast<unsigned>(type)));
+  }
+  if (count == 0) return Status::InvalidArgument("AddNodes count must be > 0");
+  NodeId first = static_cast<NodeId>(node_types_.size());
+  node_types_.insert(node_types_.end(), count, type);
+  return first;
+}
+
+Status GraphBuilder::AddEdge(NodeId src, NodeId dst, RelationId rel) {
+  if (src >= node_types_.size() || dst >= node_types_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("edge endpoint out of range: %u-%u (nodes=%zu)", src, dst,
+                  node_types_.size()));
+  }
+  if (rel >= relation_names_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("unknown relation %u", static_cast<unsigned>(rel)));
+  }
+  if (src == dst) {
+    return Status::InvalidArgument(StrFormat("self-loop on node %u", src));
+  }
+  if (src > dst) std::swap(src, dst);
+  edges_.push_back(EdgeTriple{src, dst, rel});
+  return Status::OK();
+}
+
+StatusOr<MultiplexHeteroGraph> GraphBuilder::Build() const {
+  if (type_names_.empty()) {
+    return Status::FailedPrecondition("no node types registered");
+  }
+  if (relation_names_.empty()) {
+    return Status::FailedPrecondition("no relations registered");
+  }
+  MultiplexHeteroGraph g;
+  g.type_names_ = type_names_;
+  g.relation_names_ = relation_names_;
+  g.node_types_ = node_types_;
+
+  const size_t n = node_types_.size();
+  const size_t num_rel = relation_names_.size();
+
+  g.nodes_by_type_.assign(type_names_.size(), {});
+  for (NodeId v = 0; v < n; ++v) {
+    g.nodes_by_type_[node_types_[v]].push_back(v);
+  }
+
+  // Deduplicate edges (same src,dst,rel triple listed twice).
+  std::vector<EdgeTriple> edges = edges_;
+  std::sort(edges.begin(), edges.end(),
+            [](const EdgeTriple& a, const EdgeTriple& b) {
+              if (a.rel != b.rel) return a.rel < b.rel;
+              if (a.src != b.src) return a.src < b.src;
+              return a.dst < b.dst;
+            });
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+  g.edges_ = edges;
+
+  g.edges_by_relation_.assign(num_rel, {});
+  for (const auto& e : edges) g.edges_by_relation_[e.rel].push_back(e);
+
+  // Per-relation CSR (both directions).
+  g.offsets_.assign(num_rel, std::vector<size_t>(n + 1, 0));
+  g.adjacency_.assign(num_rel, {});
+  for (RelationId r = 0; r < num_rel; ++r) {
+    auto& offs = g.offsets_[r];
+    for (const auto& e : g.edges_by_relation_[r]) {
+      ++offs[e.src + 1];
+      ++offs[e.dst + 1];
+    }
+    for (size_t i = 0; i < n; ++i) offs[i + 1] += offs[i];
+    auto& adj = g.adjacency_[r];
+    adj.resize(offs[n]);
+    std::vector<size_t> cursor(offs.begin(), offs.end() - 1);
+    for (const auto& e : g.edges_by_relation_[r]) {
+      adj[cursor[e.src]++] = e.dst;
+      adj[cursor[e.dst]++] = e.src;
+    }
+    // Sorted adjacency enables O(log d) HasEdge.
+    for (NodeId v = 0; v < n; ++v) {
+      std::sort(adj.begin() + offs[v], adj.begin() + offs[v + 1]);
+    }
+  }
+
+  // Active-relation index.
+  g.active_rel_offsets_.assign(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    size_t cnt = 0;
+    for (RelationId r = 0; r < num_rel; ++r) {
+      if (g.offsets_[r][v + 1] > g.offsets_[r][v]) ++cnt;
+    }
+    g.active_rel_offsets_[v + 1] = g.active_rel_offsets_[v] + cnt;
+  }
+  g.active_rels_.resize(g.active_rel_offsets_[n]);
+  for (NodeId v = 0; v < n; ++v) {
+    size_t at = g.active_rel_offsets_[v];
+    for (RelationId r = 0; r < num_rel; ++r) {
+      if (g.offsets_[r][v + 1] > g.offsets_[r][v]) g.active_rels_[at++] = r;
+    }
+  }
+  return g;
+}
+
+NodeTypeId MultiplexHeteroGraph::FindNodeType(const std::string& name) const {
+  for (size_t i = 0; i < type_names_.size(); ++i) {
+    if (type_names_[i] == name) return static_cast<NodeTypeId>(i);
+  }
+  return kInvalidNodeType;
+}
+
+RelationId MultiplexHeteroGraph::FindRelation(const std::string& name) const {
+  for (size_t i = 0; i < relation_names_.size(); ++i) {
+    if (relation_names_[i] == name) return static_cast<RelationId>(i);
+  }
+  return kInvalidRelation;
+}
+
+size_t MultiplexHeteroGraph::TotalDegree(NodeId v) const {
+  size_t d = 0;
+  for (RelationId r = 0; r < num_relations(); ++r) d += Degree(v, r);
+  return d;
+}
+
+bool MultiplexHeteroGraph::HasEdge(NodeId src, NodeId dst,
+                                   RelationId rel) const {
+  if (rel >= num_relations() || src >= num_nodes() || dst >= num_nodes()) {
+    return false;
+  }
+  auto nbrs = Neighbors(src, rel);
+  return std::binary_search(nbrs.begin(), nbrs.end(), dst);
+}
+
+StatusOr<MultiplexHeteroGraph> MultiplexHeteroGraph::ExtractRelationSubset(
+    const std::vector<RelationId>& keep) const {
+  if (keep.empty()) {
+    return Status::InvalidArgument("relation subset must be non-empty");
+  }
+  GraphBuilder builder;
+  for (const auto& t : type_names_) {
+    HYBRIDGNN_ASSIGN_OR_RETURN(NodeTypeId unused, builder.AddNodeType(t));
+    (void)unused;
+  }
+  for (RelationId r : keep) {
+    if (r >= num_relations()) {
+      return Status::InvalidArgument(
+          StrFormat("relation %u out of range", static_cast<unsigned>(r)));
+    }
+    HYBRIDGNN_ASSIGN_OR_RETURN(RelationId unused,
+                               builder.AddRelation(relation_names_[r]));
+    (void)unused;
+  }
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    HYBRIDGNN_ASSIGN_OR_RETURN(NodeId unused,
+                               builder.AddNode(node_types_[v]));
+    (void)unused;
+  }
+  for (size_t i = 0; i < keep.size(); ++i) {
+    for (const auto& e : edges_by_relation_[keep[i]]) {
+      HYBRIDGNN_RETURN_IF_ERROR(
+          builder.AddEdge(e.src, e.dst, static_cast<RelationId>(i)));
+    }
+  }
+  return builder.Build();
+}
+
+MultiplexHeteroGraph MultiplexHeteroGraph::MergeRelations(
+    const std::string& merged_name) const {
+  GraphBuilder builder;
+  for (const auto& t : type_names_) {
+    HYBRIDGNN_CHECK(builder.AddNodeType(t).ok());
+  }
+  HYBRIDGNN_CHECK(builder.AddRelation(merged_name).ok());
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    HYBRIDGNN_CHECK(builder.AddNode(node_types_[v]).ok());
+  }
+  for (const auto& e : edges_) {
+    HYBRIDGNN_CHECK_OK(builder.AddEdge(e.src, e.dst, 0));
+  }
+  auto built = builder.Build();
+  HYBRIDGNN_CHECK(built.ok()) << built.status().ToString();
+  return std::move(built).value();
+}
+
+}  // namespace hybridgnn

@@ -1,0 +1,147 @@
+#ifndef HYBRIDGNN_GRAPH_GRAPH_H_
+#define HYBRIDGNN_GRAPH_GRAPH_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "graph/types.h"
+
+namespace hybridgnn {
+
+class MultiplexHeteroGraph;
+
+/// Incremental constructor for MultiplexHeteroGraph. Register node types and
+/// relations first, then nodes, then edges; `Build()` freezes everything into
+/// immutable per-relation CSR adjacency.
+class GraphBuilder {
+ public:
+  GraphBuilder() = default;
+
+  /// Registers a node type; returns its id. Duplicate names are an error
+  /// surfaced at Build() time via AddNodeType's StatusOr.
+  StatusOr<NodeTypeId> AddNodeType(const std::string& name);
+  /// Registers an edge type (relationship); returns its id.
+  StatusOr<RelationId> AddRelation(const std::string& name);
+
+  /// Adds one node of `type`; returns its dense id.
+  StatusOr<NodeId> AddNode(NodeTypeId type);
+  /// Adds `count` nodes of `type`; returns the first id (ids are contiguous).
+  StatusOr<NodeId> AddNodes(NodeTypeId type, size_t count);
+
+  /// Adds an undirected edge (src, dst) under `rel`. Self-loops and exact
+  /// duplicates are rejected; parallel edges under *different* relations are
+  /// the whole point of multiplexity and are allowed.
+  Status AddEdge(NodeId src, NodeId dst, RelationId rel);
+
+  size_t num_nodes() const { return node_types_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Freezes the graph. The builder can be reused afterwards (it keeps its
+  /// state), which simplifies constructing graph families in tests.
+  StatusOr<MultiplexHeteroGraph> Build() const;
+
+ private:
+  std::vector<std::string> type_names_;
+  std::vector<std::string> relation_names_;
+  std::vector<NodeTypeId> node_types_;  // node id -> type
+  std::vector<EdgeTriple> edges_;       // canonical src <= dst
+};
+
+/// Immutable multiplex heterogeneous network (Definition 2 in the paper):
+/// node types O, relationships R, and for every relationship a CSR adjacency
+/// over the shared node set. Multiple relationships may connect the same node
+/// pair. All edges are undirected.
+class MultiplexHeteroGraph {
+ public:
+  MultiplexHeteroGraph() = default;
+
+  size_t num_nodes() const { return node_types_.size(); }
+  /// Number of unique undirected (src,dst,rel) triples.
+  size_t num_edges() const { return edges_.size(); }
+  size_t num_node_types() const { return type_names_.size(); }
+  size_t num_relations() const { return relation_names_.size(); }
+
+  NodeTypeId node_type(NodeId v) const { return node_types_[v]; }
+  const std::string& node_type_name(NodeTypeId t) const {
+    return type_names_[t];
+  }
+  const std::string& relation_name(RelationId r) const {
+    return relation_names_[r];
+  }
+  /// Id of a node type by name, or kInvalidNodeType.
+  NodeTypeId FindNodeType(const std::string& name) const;
+  /// Id of a relation by name, or kInvalidRelation.
+  RelationId FindRelation(const std::string& name) const;
+
+  /// All node ids of type `t` (the paper's kappa(v) when t = phi(v)).
+  const std::vector<NodeId>& NodesOfType(NodeTypeId t) const {
+    return nodes_by_type_[t];
+  }
+
+  /// Neighbors of `v` under relation `r` (N_r(v) in the paper).
+  std::span<const NodeId> Neighbors(NodeId v, RelationId r) const {
+    const auto& offs = offsets_[r];
+    return {adjacency_[r].data() + offs[v], offs[v + 1] - offs[v]};
+  }
+
+  /// Degree of `v` under `r`.
+  size_t Degree(NodeId v, RelationId r) const {
+    return offsets_[r][v + 1] - offsets_[r][v];
+  }
+
+  /// Degree summed over all relations.
+  size_t TotalDegree(NodeId v) const;
+
+  /// Relations under which `v` has at least one neighbor — the support of
+  /// the first phase of randomized inter-relationship exploration (Eq. 1).
+  std::span<const RelationId> ActiveRelations(NodeId v) const {
+    const auto& offs = active_rel_offsets_;
+    return {active_rels_.data() + offs[v], offs[v + 1] - offs[v]};
+  }
+
+  /// True if (src, dst) are connected under `rel` (binary search, O(log d)).
+  bool HasEdge(NodeId src, NodeId dst, RelationId rel) const;
+
+  /// Unique undirected edges of relation `r` (canonical src <= dst).
+  const std::vector<EdgeTriple>& EdgesOfRelation(RelationId r) const {
+    return edges_by_relation_[r];
+  }
+  /// All unique undirected edges.
+  const std::vector<EdgeTriple>& edges() const { return edges_; }
+
+  /// Builds the relationship-specific multigraph g_{r in keep}: same nodes,
+  /// only edges whose relation appears in `keep` (order defines the new
+  /// relation ids). Used for the Table VI inter-relationship uplift study.
+  StatusOr<MultiplexHeteroGraph> ExtractRelationSubset(
+      const std::vector<RelationId>& keep) const;
+
+  /// Builds the graph that merges every relation into a single one,
+  /// discarding edge heterogeneity (what relation-blind baselines see).
+  /// Duplicate node pairs across relations collapse to one edge.
+  MultiplexHeteroGraph MergeRelations(const std::string& merged_name) const;
+
+ private:
+  friend class GraphBuilder;
+
+  std::vector<std::string> type_names_;
+  std::vector<std::string> relation_names_;
+  std::vector<NodeTypeId> node_types_;
+  std::vector<std::vector<NodeId>> nodes_by_type_;
+
+  // Per-relation CSR: offsets_[r] has num_nodes+1 entries into adjacency_[r].
+  std::vector<std::vector<size_t>> offsets_;
+  std::vector<std::vector<NodeId>> adjacency_;
+
+  // Flattened per-node list of relations with non-empty neighborhoods.
+  std::vector<size_t> active_rel_offsets_;
+  std::vector<RelationId> active_rels_;
+
+  std::vector<EdgeTriple> edges_;
+  std::vector<std::vector<EdgeTriple>> edges_by_relation_;
+};
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_GRAPH_GRAPH_H_

@@ -1,0 +1,25 @@
+#ifndef HYBRIDGNN_GRAPH_GRAPH_IO_H_
+#define HYBRIDGNN_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "graph/graph.h"
+
+namespace hybridgnn {
+
+/// Text serialization of a multiplex heterogeneous graph.
+///
+/// Format (line-oriented, '#' comments allowed):
+///   node_types <name>...
+///   relations <name>...
+///   node <id> <type_name>          (ids must be dense, ascending from 0)
+///   edge <src> <dst> <relation_name>
+Status SaveGraph(const MultiplexHeteroGraph& g, const std::string& path);
+
+/// Loads a graph saved by SaveGraph.
+StatusOr<MultiplexHeteroGraph> LoadGraph(const std::string& path);
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,73 @@
+#include "graph/stats.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace hybridgnn {
+
+GraphStats ComputeStats(const MultiplexHeteroGraph& g) {
+  GraphStats s;
+  s.num_nodes = g.num_nodes();
+  s.num_edges = g.num_edges();
+  s.num_node_types = g.num_node_types();
+  s.num_relations = g.num_relations();
+  s.nodes_per_type.resize(g.num_node_types());
+  for (NodeTypeId t = 0; t < g.num_node_types(); ++t) {
+    s.nodes_per_type[t] = g.NodesOfType(t).size();
+  }
+  s.edges_per_relation.resize(g.num_relations());
+  for (RelationId r = 0; r < g.num_relations(); ++r) {
+    s.edges_per_relation[r] = g.EdgesOfRelation(r).size();
+  }
+  size_t total_degree = 0;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const size_t d = g.TotalDegree(v);
+    total_degree += d;
+    s.max_degree = std::max(s.max_degree, d);
+    if (d == 0) ++s.isolated_nodes;
+  }
+  s.avg_degree = g.num_nodes() == 0
+                     ? 0.0
+                     : static_cast<double>(total_degree) /
+                           static_cast<double>(g.num_nodes());
+  // Multiplexity: count distinct node pairs, and pairs seen under >= 2 rels.
+  std::map<std::pair<NodeId, NodeId>, size_t> pair_rels;
+  for (const auto& e : g.edges()) {
+    ++pair_rels[{e.src, e.dst}];
+  }
+  size_t multi = 0;
+  for (const auto& [pair, cnt] : pair_rels) {
+    if (cnt >= 2) ++multi;
+  }
+  s.multiplex_pair_fraction =
+      pair_rels.empty() ? 0.0
+                        : static_cast<double>(multi) /
+                              static_cast<double>(pair_rels.size());
+  return s;
+}
+
+std::string FormatStats(const MultiplexHeteroGraph& g,
+                        const GraphStats& s) {
+  std::string out;
+  out += StrFormat("|V| = %zu, |E| = %zu, |O| = %zu, |R| = %zu\n",
+                   s.num_nodes, s.num_edges, s.num_node_types,
+                   s.num_relations);
+  for (NodeTypeId t = 0; t < s.nodes_per_type.size(); ++t) {
+    out += StrFormat("  type %-12s : %zu nodes\n",
+                     g.node_type_name(t).c_str(), s.nodes_per_type[t]);
+  }
+  for (RelationId r = 0; r < s.edges_per_relation.size(); ++r) {
+    out += StrFormat("  relation %-8s : %zu edges\n",
+                     g.relation_name(r).c_str(), s.edges_per_relation[r]);
+  }
+  out += StrFormat(
+      "  avg degree %.2f, max degree %zu, isolated %zu, multiplex pairs "
+      "%.1f%%\n",
+      s.avg_degree, s.max_degree, s.isolated_nodes,
+      100.0 * s.multiplex_pair_fraction);
+  return out;
+}
+
+}  // namespace hybridgnn

@@ -1,0 +1,37 @@
+#ifndef HYBRIDGNN_GRAPH_STATS_H_
+#define HYBRIDGNN_GRAPH_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace hybridgnn {
+
+/// Summary statistics of a multiplex heterogeneous graph; used to print the
+/// paper's Table II analogue and by tests that validate generator output.
+struct GraphStats {
+  size_t num_nodes = 0;
+  size_t num_edges = 0;  // unique undirected (src,dst,rel) triples
+  size_t num_node_types = 0;
+  size_t num_relations = 0;
+  std::vector<size_t> nodes_per_type;
+  std::vector<size_t> edges_per_relation;
+  double avg_degree = 0.0;   // mean total degree over nodes
+  size_t max_degree = 0;     // max total degree
+  size_t isolated_nodes = 0; // total degree zero
+  /// Fraction of connected node pairs linked under >= 2 relations — the
+  /// graph's multiplexity.
+  double multiplex_pair_fraction = 0.0;
+};
+
+/// Computes statistics in O(V + E log E).
+GraphStats ComputeStats(const MultiplexHeteroGraph& g);
+
+/// Renders `stats` as an aligned text table.
+std::string FormatStats(const MultiplexHeteroGraph& g,
+                        const GraphStats& stats);
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_GRAPH_STATS_H_

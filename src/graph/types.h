@@ -1,0 +1,36 @@
+#ifndef HYBRIDGNN_GRAPH_TYPES_H_
+#define HYBRIDGNN_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace hybridgnn {
+
+/// Dense node identifier within one graph.
+using NodeId = uint32_t;
+/// Node type (the paper's O set), e.g. user / item / author.
+using NodeTypeId = uint16_t;
+/// Edge type a.k.a. relationship (the paper's R set), e.g. click / like.
+using RelationId = uint16_t;
+
+inline constexpr NodeId kInvalidNode = std::numeric_limits<NodeId>::max();
+inline constexpr RelationId kInvalidRelation =
+    std::numeric_limits<RelationId>::max();
+inline constexpr NodeTypeId kInvalidNodeType =
+    std::numeric_limits<NodeTypeId>::max();
+
+/// One (src, dst) pair under relation `rel`. Undirected edges are stored once
+/// in edge lists (canonical src <= dst) and twice in adjacency.
+struct EdgeTriple {
+  NodeId src;
+  NodeId dst;
+  RelationId rel;
+
+  bool operator==(const EdgeTriple& o) const {
+    return src == o.src && dst == o.dst && rel == o.rel;
+  }
+};
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_GRAPH_TYPES_H_

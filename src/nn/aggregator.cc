@@ -1,0 +1,32 @@
+#include "nn/aggregator.h"
+
+namespace hybridgnn {
+
+MeanAggregator::MeanAggregator(size_t dim, Rng& rng)
+    : dim_(dim), combine_(2 * dim, dim, rng) {
+  RegisterSubmodule(combine_);
+}
+
+ag::Var MeanAggregator::Forward(const ag::Var& self,
+                                const ag::Var& neigh_mean) const {
+  ag::Var cat = ag::ConcatCols({self, neigh_mean});
+  return ag::Tanh(combine_.Forward(cat));
+}
+
+PoolingAggregator::PoolingAggregator(size_t dim, Rng& rng)
+    : dim_(dim), pre_(dim, dim, rng), combine_(2 * dim, dim, rng) {
+  RegisterSubmodule(pre_);
+  RegisterSubmodule(combine_);
+}
+
+ag::Var PoolingAggregator::Forward(const ag::Var& self,
+                                   const ag::Var& pooled) const {
+  ag::Var cat = ag::ConcatCols({self, pooled});
+  return ag::Tanh(combine_.Forward(cat));
+}
+
+ag::Var PoolingAggregator::TransformNeighbors(const ag::Var& neighbors) const {
+  return ag::Relu(pre_.Forward(neighbors));
+}
+
+}  // namespace hybridgnn

@@ -1,0 +1,53 @@
+#ifndef HYBRIDGNN_NN_AGGREGATOR_H_
+#define HYBRIDGNN_NN_AGGREGATOR_H_
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace hybridgnn {
+
+/// Mean aggregator (the AGG of Eq. 3, GraphSage-style): combines a node's
+/// own embedding with the mean of its sampled neighbors:
+///   AGG(h_v, {h_j}) = tanh(W * concat(h_v, mean_j h_j) + b).
+/// The paper reports no significant difference among mean/LSTM/pooling and
+/// uses mean; we do the same.
+class MeanAggregator : public Module {
+ public:
+  /// `dim` is both the input and output embedding width (d_h in the paper).
+  MeanAggregator(size_t dim, Rng& rng);
+
+  /// self is [n, dim]; neigh_mean is [n, dim] (precomputed per-row means of
+  /// each node's sampled neighbor embeddings). Returns [n, dim].
+  ag::Var Forward(const ag::Var& self, const ag::Var& neigh_mean) const;
+
+  size_t dim() const { return dim_; }
+
+ private:
+  size_t dim_;
+  Linear combine_;
+};
+
+/// Max-pooling aggregator: each neighbor goes through a shared nonlinearity,
+/// then elementwise max; provided for the paper's "aggregator candidates"
+/// discussion and for the ablation bench.
+class PoolingAggregator : public Module {
+ public:
+  PoolingAggregator(size_t dim, Rng& rng);
+
+  /// self is [n, dim]; pooled is [n, dim] (elementwise max of transformed
+  /// neighbor embeddings, computed by the caller with TransformNeighbors).
+  ag::Var Forward(const ag::Var& self, const ag::Var& pooled) const;
+
+  /// Applies the shared pre-pooling transform to a neighbor batch [m, dim].
+  ag::Var TransformNeighbors(const ag::Var& neighbors) const;
+
+ private:
+  size_t dim_;
+  Linear pre_;
+  Linear combine_;
+};
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_NN_AGGREGATOR_H_

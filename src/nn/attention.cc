@@ -1,0 +1,44 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "tensor/init.h"
+#include "tensor/tensor_ops.h"
+
+namespace hybridgnn {
+
+SelfAttention::SelfAttention(size_t in_dim, size_t key_dim, Rng& rng,
+                             bool identity_values)
+    : in_dim_(in_dim), key_dim_(key_dim), identity_values_(identity_values) {
+  auto make = [&](ag::Var& dst) {
+    Tensor w(in_dim, key_dim);
+    XavierUniform(w, rng);
+    dst = ag::Param(std::move(w));
+    RegisterParameter(dst);
+  };
+  make(wq_);
+  make(wk_);
+  if (!identity_values_) make(wv_);
+}
+
+ag::Var SelfAttention::Forward(const ag::Var& h) const {
+  const float inv_sqrt_dk =
+      1.0f / std::sqrt(static_cast<float>(key_dim_));
+  ag::Var q = ag::MatMul(h, wq_);
+  ag::Var k = ag::MatMul(h, wk_);
+  ag::Var logits = ag::Scale(ag::MatMul(q, ag::Transpose(k)), inv_sqrt_dk);
+  ag::Var weights = ag::SoftmaxRows(logits);
+  if (identity_values_) return ag::MatMul(weights, h);
+  return ag::MatMul(weights, ag::MatMul(h, wv_));
+}
+
+Tensor SelfAttention::AttentionScores(const Tensor& h) const {
+  const float inv_sqrt_dk =
+      1.0f / std::sqrt(static_cast<float>(key_dim_));
+  Tensor q = MatMul(h, wq_->value);
+  Tensor k = MatMul(h, wk_->value);
+  Tensor logits = Scale(MatMulTransB(q, k), inv_sqrt_dk);
+  return SoftmaxRows(logits);
+}
+
+}  // namespace hybridgnn

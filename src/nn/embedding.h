@@ -1,0 +1,34 @@
+#ifndef HYBRIDGNN_NN_EMBEDDING_H_
+#define HYBRIDGNN_NN_EMBEDDING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/types.h"
+#include "nn/module.h"
+
+namespace hybridgnn {
+
+/// Trainable lookup table [num_rows, dim] with word2vec-style init.
+class EmbeddingTable : public Module {
+ public:
+  EmbeddingTable(size_t num_rows, size_t dim, Rng& rng);
+
+  /// Gathers rows; differentiably scatters gradients back on backward.
+  ag::Var Forward(const std::vector<int32_t>& indices) const;
+  /// Convenience overload for NodeId lists.
+  ag::Var ForwardNodes(const std::vector<NodeId>& nodes) const;
+
+  /// The full table as a Var (e.g. for full-batch GCN input).
+  const ag::Var& table() const { return table_; }
+  size_t num_rows() const { return table_->value.rows(); }
+  size_t dim() const { return table_->value.cols(); }
+
+ private:
+  ag::Var table_;
+};
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_NN_EMBEDDING_H_

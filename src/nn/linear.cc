@@ -1,0 +1,26 @@
+#include "nn/linear.h"
+
+#include "tensor/init.h"
+
+namespace hybridgnn {
+
+Linear::Linear(size_t in_features, size_t out_features, Rng& rng,
+               bool with_bias)
+    : in_(in_features), out_(out_features) {
+  Tensor w(in_features, out_features);
+  XavierUniform(w, rng);
+  weight_ = ag::Param(std::move(w));
+  RegisterParameter(weight_);
+  if (with_bias) {
+    bias_ = ag::Param(Tensor(1, out_features));
+    RegisterParameter(bias_);
+  }
+}
+
+ag::Var Linear::Forward(const ag::Var& x) const {
+  ag::Var y = ag::MatMul(x, weight_);
+  if (bias_ != nullptr) y = ag::AddRowBroadcast(y, bias_);
+  return y;
+}
+
+}  // namespace hybridgnn

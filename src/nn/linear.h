@@ -1,0 +1,31 @@
+#ifndef HYBRIDGNN_NN_LINEAR_H_
+#define HYBRIDGNN_NN_LINEAR_H_
+
+#include "common/rng.h"
+#include "nn/module.h"
+
+namespace hybridgnn {
+
+/// Affine map y = xW + b (bias optional), Xavier-initialized.
+class Linear : public Module {
+ public:
+  Linear(size_t in_features, size_t out_features, Rng& rng,
+         bool with_bias = true);
+
+  /// x is [n, in]; returns [n, out].
+  ag::Var Forward(const ag::Var& x) const;
+
+  size_t in_features() const { return in_; }
+  size_t out_features() const { return out_; }
+  const ag::Var& weight() const { return weight_; }
+
+ private:
+  size_t in_;
+  size_t out_;
+  ag::Var weight_;  // [in, out]
+  ag::Var bias_;    // [1, out] or nullptr
+};
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_NN_LINEAR_H_

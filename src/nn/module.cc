@@ -1,0 +1,11 @@
+#include "nn/module.h"
+
+namespace hybridgnn {
+
+size_t Module::num_scalar_parameters() const {
+  size_t n = 0;
+  for (const auto& p : params_) n += p->value.size();
+  return n;
+}
+
+}  // namespace hybridgnn

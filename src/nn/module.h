@@ -1,0 +1,36 @@
+#ifndef HYBRIDGNN_NN_MODULE_H_
+#define HYBRIDGNN_NN_MODULE_H_
+
+#include <vector>
+
+#include "tensor/autograd.h"
+
+namespace hybridgnn {
+
+/// Base class for trainable components: exposes the flat parameter list for
+/// optimizer registration. Subclasses register each trainable Var once via
+/// RegisterParameter in their constructor.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// All trainable parameters of this module (including registered
+  /// submodules' parameters).
+  const std::vector<ag::Var>& parameters() const { return params_; }
+
+  /// Total scalar parameter count.
+  size_t num_scalar_parameters() const;
+
+ protected:
+  void RegisterParameter(const ag::Var& p) { params_.push_back(p); }
+  void RegisterSubmodule(const Module& m) {
+    for (const auto& p : m.parameters()) params_.push_back(p);
+  }
+
+ private:
+  std::vector<ag::Var> params_;
+};
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_NN_MODULE_H_

@@ -1,0 +1,32 @@
+#include "nn/semantic_attention.h"
+
+#include "tensor/init.h"
+#include "tensor/tensor_ops.h"
+
+namespace hybridgnn {
+
+SemanticAttention::SemanticAttention(size_t dim, size_t hidden, Rng& rng)
+    : dim_(dim), proj_(dim, hidden, rng) {
+  RegisterSubmodule(proj_);
+  Tensor q(hidden, 1);
+  XavierUniform(q, rng);
+  query_ = ag::Param(std::move(q));
+  RegisterParameter(query_);
+}
+
+ag::Var SemanticAttention::Forward(const ag::Var& h) const {
+  // scores: [M, 1] -> softmax over M -> weighted sum of rows.
+  ag::Var scores = ag::MatMul(ag::Tanh(proj_.Forward(h)), query_);
+  ag::Var beta = ag::SoftmaxRows(ag::Transpose(scores));  // [1, M]
+  return ag::MatMul(beta, h);                             // [1, dim]
+}
+
+Tensor SemanticAttention::Weights(const Tensor& h) const {
+  // Run the score path on a constant input; no gradients are recorded.
+  ag::Var hv = ag::Constant(h);
+  Tensor scores =
+      MatMul(Tanh(proj_.Forward(hv)->value), query_->value);  // [M,1]
+  return SoftmaxRows(Transpose(scores));                      // [1,M]
+}
+
+}  // namespace hybridgnn

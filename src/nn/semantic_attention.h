@@ -1,0 +1,32 @@
+#ifndef HYBRIDGNN_NN_SEMANTIC_ATTENTION_H_
+#define HYBRIDGNN_NN_SEMANTIC_ATTENTION_H_
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace hybridgnn {
+
+/// HAN-style semantic-level attention (Wang et al. 2019): given M per-
+/// metapath embeddings of one node stacked as [M, d], computes
+///   w_m = q^T tanh(W h_m + b),  beta = softmax(w),  out = sum_m beta_m h_m.
+/// Returns the fused [1, d] embedding.
+class SemanticAttention : public Module {
+ public:
+  SemanticAttention(size_t dim, size_t hidden, Rng& rng);
+
+  /// h is [M, dim] -> [1, dim].
+  ag::Var Forward(const ag::Var& h) const;
+
+  /// Attention weights beta (no gradient) for introspection; [1, M].
+  Tensor Weights(const Tensor& h) const;
+
+ private:
+  size_t dim_;
+  Linear proj_;   // [dim -> hidden]
+  ag::Var query_;  // [hidden, 1]
+};
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_NN_SEMANTIC_ATTENTION_H_

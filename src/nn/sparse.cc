@@ -1,0 +1,135 @@
+#include "nn/sparse.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace hybridgnn {
+
+namespace {
+
+Tensor SpDense(const SparseMatrix& s, const Tensor& x) {
+  HYBRIDGNN_CHECK(s.cols == x.rows())
+      << "SpMM dims: " << s.cols << " vs " << x.rows();
+  Tensor y(s.rows, x.cols());
+  for (size_t i = 0; i < s.rows; ++i) {
+    float* yrow = y.RowPtr(i);
+    for (size_t e = s.offsets[i]; e < s.offsets[i + 1]; ++e) {
+      const float w = s.values[e];
+      const float* xrow = x.RowPtr(s.col_idx[e]);
+      for (size_t j = 0; j < x.cols(); ++j) yrow[j] += w * xrow[j];
+    }
+  }
+  return y;
+}
+
+ag::Var SpMMImpl(const SparseMatrix& fwd, const SparseMatrix& bwd,
+                 const ag::Var& x) {
+  Tensor out = SpDense(fwd, x->value);
+  // Copy the (small) CSR for backward lifetime safety.
+  SparseMatrix bwd_copy = bwd;
+  auto node = std::make_shared<ag::Node>(std::move(out), x->requires_grad);
+  if (x->requires_grad) {
+    node->parents = {x};
+    node->backward_fn = [x, bwd_copy = std::move(bwd_copy)](ag::Node& n) {
+      x->AccumulateGrad(SpDense(bwd_copy, n.grad));
+    };
+  }
+  return node;
+}
+
+}  // namespace
+
+ag::Var SpMM(const SparseMatrix& s, const ag::Var& x) {
+  HYBRIDGNN_CHECK(s.symmetric)
+      << "SpMM(SparseMatrix) requires symmetric S; use RelationOperator";
+  return SpMMImpl(s, s, x);
+}
+
+ag::Var SpMM(const RelationOperator& op, const ag::Var& x) {
+  return SpMMImpl(op.forward, op.transpose, x);
+}
+
+SparseMatrix NormalizedAdjacency(const MultiplexHeteroGraph& g) {
+  const size_t n = g.num_nodes();
+  // Union adjacency with self loops; degrees counted once per distinct
+  // neighbor pair occurrence (parallel relations add weight, which is a
+  // reasonable multigraph treatment).
+  std::vector<size_t> degree(n, 1);  // self loop
+  for (const auto& e : g.edges()) {
+    ++degree[e.src];
+    ++degree[e.dst];
+  }
+  std::vector<float> inv_sqrt(n);
+  for (size_t i = 0; i < n; ++i) {
+    inv_sqrt[i] = 1.0f / std::sqrt(static_cast<float>(degree[i]));
+  }
+  SparseMatrix s;
+  s.rows = s.cols = n;
+  s.symmetric = true;
+  s.offsets.assign(n + 1, 0);
+  for (const auto& e : g.edges()) {
+    ++s.offsets[e.src + 1];
+    ++s.offsets[e.dst + 1];
+  }
+  for (size_t i = 0; i < n; ++i) ++s.offsets[i + 1];  // self loops
+  for (size_t i = 0; i < n; ++i) s.offsets[i + 1] += s.offsets[i];
+  s.col_idx.resize(s.offsets[n]);
+  s.values.resize(s.offsets[n]);
+  std::vector<size_t> cursor(s.offsets.begin(), s.offsets.end() - 1);
+  auto put = [&](size_t i, size_t j) {
+    s.col_idx[cursor[i]] = static_cast<uint32_t>(j);
+    s.values[cursor[i]] = inv_sqrt[i] * inv_sqrt[j];
+    ++cursor[i];
+  };
+  for (const auto& e : g.edges()) {
+    put(e.src, e.dst);
+    put(e.dst, e.src);
+  }
+  for (size_t i = 0; i < n; ++i) put(i, i);
+  return s;
+}
+
+RelationOperator RelationAdjacency(const MultiplexHeteroGraph& g,
+                                   RelationId r) {
+  const size_t n = g.num_nodes();
+  RelationOperator op;
+  SparseMatrix& f = op.forward;
+  f.rows = f.cols = n;
+  f.offsets.assign(n + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    f.offsets[v + 1] = f.offsets[v] + g.Degree(v, r);
+  }
+  f.col_idx.resize(f.offsets[n]);
+  f.values.resize(f.offsets[n]);
+  for (NodeId v = 0; v < n; ++v) {
+    auto nbrs = g.Neighbors(v, r);
+    const float inv = nbrs.empty() ? 0.0f : 1.0f / nbrs.size();
+    size_t at = f.offsets[v];
+    for (NodeId u : nbrs) {
+      f.col_idx[at] = u;
+      f.values[at] = inv;
+      ++at;
+    }
+  }
+  // Transpose of D^-1 A: entry (u,v) = 1/deg(v) for each edge (v,u).
+  SparseMatrix& t = op.transpose;
+  t.rows = t.cols = n;
+  t.offsets.assign(n + 1, 0);
+  for (size_t e = 0; e < f.col_idx.size(); ++e) ++t.offsets[f.col_idx[e] + 1];
+  for (size_t i = 0; i < n; ++i) t.offsets[i + 1] += t.offsets[i];
+  t.col_idx.resize(f.col_idx.size());
+  t.values.resize(f.values.size());
+  std::vector<size_t> cursor(t.offsets.begin(), t.offsets.end() - 1);
+  for (NodeId v = 0; v < n; ++v) {
+    for (size_t e = f.offsets[v]; e < f.offsets[v + 1]; ++e) {
+      const uint32_t u = f.col_idx[e];
+      t.col_idx[cursor[u]] = v;
+      t.values[cursor[u]] = f.values[e];
+      ++cursor[u];
+    }
+  }
+  return op;
+}
+
+}  // namespace hybridgnn

@@ -1,0 +1,45 @@
+#ifndef HYBRIDGNN_NN_SPARSE_H_
+#define HYBRIDGNN_NN_SPARSE_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "nn/module.h"
+#include "tensor/autograd.h"
+
+namespace hybridgnn {
+
+/// CSR float sparse matrix for propagation operators (normalized adjacency).
+struct SparseMatrix {
+  size_t rows = 0;
+  size_t cols = 0;
+  std::vector<size_t> offsets;  // rows+1
+  std::vector<uint32_t> col_idx;
+  std::vector<float> values;
+  /// When true, S == S^T (symmetric normalization); backward reuses S.
+  bool symmetric = false;
+};
+
+/// Y = S X (dense X). Differentiable in X. For non-symmetric S the backward
+/// uses the explicitly provided transpose.
+ag::Var SpMM(const SparseMatrix& s, const ag::Var& x);
+
+/// GCN propagation operator D^-1/2 (A+I) D^-1/2 over the union of all
+/// relations in `g` (symmetric).
+SparseMatrix NormalizedAdjacency(const MultiplexHeteroGraph& g);
+
+/// Row-normalized per-relation operator D_r^-1 A_r (used by R-GCN); not
+/// symmetric, so the transpose is computed alongside.
+struct RelationOperator {
+  SparseMatrix forward;
+  SparseMatrix transpose;
+};
+RelationOperator RelationAdjacency(const MultiplexHeteroGraph& g,
+                                   RelationId r);
+
+/// Y = S X with explicit transpose for backward.
+ag::Var SpMM(const RelationOperator& op, const ag::Var& x);
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_NN_SPARSE_H_

@@ -1,0 +1,32 @@
+#ifndef HYBRIDGNN_SAMPLING_ALIAS_H_
+#define HYBRIDGNN_SAMPLING_ALIAS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace hybridgnn {
+
+/// Walker's alias method: O(n) construction, O(1) weighted sampling.
+/// Used by the negative sampler (unigram^0.75) and LINE's edge sampler.
+class AliasTable {
+ public:
+  AliasTable() = default;
+  /// Builds from non-negative weights; at least one must be positive.
+  explicit AliasTable(const std::vector<double>& weights);
+
+  /// Draws an index in [0, size()) with probability proportional to weight.
+  size_t Sample(Rng& rng) const;
+
+  size_t size() const { return prob_.size(); }
+  bool empty() const { return prob_.empty(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<size_t> alias_;
+};
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_SAMPLING_ALIAS_H_

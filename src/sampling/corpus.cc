@@ -1,0 +1,87 @@
+#include "sampling/corpus.h"
+
+#include "sampling/walker.h"
+
+namespace hybridgnn {
+
+void HarvestPairs(const std::vector<NodeId>& walk, size_t window,
+                  RelationId rel, std::vector<SkipGramPair>& out) {
+  for (size_t i = 0; i < walk.size(); ++i) {
+    const size_t lo = i >= window ? i - window : 0;
+    const size_t hi = std::min(walk.size() - 1, i + window);
+    for (size_t j = lo; j <= hi; ++j) {
+      if (j == i) continue;
+      out.push_back(SkipGramPair{walk[i], walk[j], rel});
+    }
+  }
+}
+
+WalkCorpus BuildMetapathCorpus(const MultiplexHeteroGraph& g,
+                               const std::vector<MetapathScheme>& schemes,
+                               const CorpusOptions& options, Rng& rng) {
+  WalkCorpus corpus;
+  for (size_t copy = 0; copy < options.direct_edge_copies; ++copy) {
+    for (const auto& e : g.edges()) {
+      corpus.pairs.push_back(SkipGramPair{e.src, e.dst, e.rel});
+      corpus.pairs.push_back(SkipGramPair{e.dst, e.src, e.rel});
+    }
+  }
+  for (RelationId r = 0; r < g.num_relations(); ++r) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (g.Degree(v, r) == 0) continue;
+      // First matching scheme for (v, r), if any.
+      const MetapathScheme* scheme = nullptr;
+      for (const auto& s : schemes) {
+        if (s.IsIntraRelationship() && s.relation() == r &&
+            s.source_type() == g.node_type(v)) {
+          scheme = &s;
+          break;
+        }
+      }
+      for (size_t w = 0; w < options.num_walks_per_node; ++w) {
+        std::vector<NodeId> walk =
+            scheme != nullptr
+                ? MetapathWalk(g, *scheme, v, options.walk_length, rng)
+                : RelationWalk(g, r, v, options.walk_length, rng);
+        if (walk.size() < 2) continue;
+        HarvestPairs(walk, options.window, r, corpus.pairs);
+        corpus.walks.push_back(std::move(walk));
+      }
+    }
+  }
+  return corpus;
+}
+
+WalkCorpus BuildUniformCorpus(const MultiplexHeteroGraph& g,
+                              const CorpusOptions& options, Rng& rng) {
+  WalkCorpus corpus;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.TotalDegree(v) == 0) continue;
+    for (size_t w = 0; w < options.num_walks_per_node; ++w) {
+      std::vector<NodeId> walk = UniformWalk(g, v, options.walk_length, rng);
+      if (walk.size() < 2) continue;
+      HarvestPairs(walk, options.window, kInvalidRelation, corpus.pairs);
+      corpus.walks.push_back(std::move(walk));
+    }
+  }
+  return corpus;
+}
+
+WalkCorpus BuildNode2VecCorpus(const MultiplexHeteroGraph& g,
+                               const CorpusOptions& options, double p,
+                               double q, Rng& rng) {
+  WalkCorpus corpus;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (g.TotalDegree(v) == 0) continue;
+    for (size_t w = 0; w < options.num_walks_per_node; ++w) {
+      std::vector<NodeId> walk =
+          Node2VecWalk(g, v, options.walk_length, p, q, rng);
+      if (walk.size() < 2) continue;
+      HarvestPairs(walk, options.window, kInvalidRelation, corpus.pairs);
+      corpus.walks.push_back(std::move(walk));
+    }
+  }
+  return corpus;
+}
+
+}  // namespace hybridgnn

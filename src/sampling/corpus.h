@@ -1,0 +1,64 @@
+#ifndef HYBRIDGNN_SAMPLING_CORPUS_H_
+#define HYBRIDGNN_SAMPLING_CORPUS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "graph/metapath.h"
+
+namespace hybridgnn {
+
+/// A (center, context) training pair harvested from a walk window, tagged
+/// with the relation whose walk produced it (kInvalidRelation for
+/// relation-blind corpora).
+struct SkipGramPair {
+  NodeId center;
+  NodeId context;
+  RelationId rel;
+};
+
+/// Configuration for walk-corpus generation, mirroring the paper's settings
+/// (20 walks of length 10, window 5).
+struct CorpusOptions {
+  size_t num_walks_per_node = 20;
+  size_t walk_length = 10;
+  size_t window = 5;
+  /// Extra copies of each training edge injected as (src, dst, rel) pairs
+  /// into the metapath corpus (both directions). Walk windows mix 1-3 hop
+  /// proximity; link prediction is a first-order task, so up-weighting
+  /// direct edges sharpens the signal. 0 disables.
+  size_t direct_edge_copies = 2;
+};
+
+/// A bag of random walks plus the skip-gram pairs extracted from them.
+struct WalkCorpus {
+  std::vector<std::vector<NodeId>> walks;
+  std::vector<SkipGramPair> pairs;
+};
+
+/// Per-relation metapath-based corpus (the paper's training corpus): for
+/// each relation r, walks follow the first scheme in `schemes` whose
+/// relation is r and whose source type matches the start node; nodes with no
+/// matching scheme fall back to an intra-relationship uniform walk on g_r.
+WalkCorpus BuildMetapathCorpus(const MultiplexHeteroGraph& g,
+                               const std::vector<MetapathScheme>& schemes,
+                               const CorpusOptions& options, Rng& rng);
+
+/// Relation-blind uniform-walk corpus (DeepWalk).
+WalkCorpus BuildUniformCorpus(const MultiplexHeteroGraph& g,
+                              const CorpusOptions& options, Rng& rng);
+
+/// Relation-blind node2vec corpus with return/in-out parameters p, q.
+WalkCorpus BuildNode2VecCorpus(const MultiplexHeteroGraph& g,
+                               const CorpusOptions& options, double p,
+                               double q, Rng& rng);
+
+/// Extracts windowed pairs from `walk` into `out` (shared helper).
+void HarvestPairs(const std::vector<NodeId>& walk, size_t window,
+                  RelationId rel, std::vector<SkipGramPair>& out);
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_SAMPLING_CORPUS_H_

@@ -1,0 +1,63 @@
+#include "sampling/exploration.h"
+
+namespace hybridgnn {
+
+NodeId ExplorationStep(const MultiplexHeteroGraph& g, NodeId v, Rng& rng) {
+  auto rels = g.ActiveRelations(v);
+  if (rels.empty()) return kInvalidNode;
+  // Phase 1 (Eq. 1): uniform over active relations.
+  const RelationId r = rels[rng.UniformUint64(rels.size())];
+  // Phase 2 (Eq. 2): uniform over neighbors under r.
+  auto nbrs = g.Neighbors(v, r);
+  return nbrs[rng.UniformUint64(nbrs.size())];
+}
+
+std::vector<NodeId> ExplorationWalk(const MultiplexHeteroGraph& g,
+                                    NodeId start, size_t depth, Rng& rng) {
+  std::vector<NodeId> walk;
+  walk.reserve(depth + 1);
+  walk.push_back(start);
+  NodeId cur = start;
+  for (size_t step = 0; step < depth; ++step) {
+    NodeId next = ExplorationStep(g, cur, rng);
+    if (next == kInvalidNode) break;
+    cur = next;
+    walk.push_back(cur);
+  }
+  return walk;
+}
+
+std::vector<std::vector<NodeId>> ExplorationNeighbors(
+    const MultiplexHeteroGraph& g, NodeId v, size_t depth, size_t fanout,
+    Rng& rng) {
+  std::vector<std::vector<NodeId>> levels(depth + 1);
+  levels[0] = {v};
+  for (size_t k = 1; k <= depth; ++k) {
+    const auto& frontier = levels[k - 1];
+    if (frontier.empty()) break;
+    auto& level = levels[k];
+    level.reserve(fanout);
+    for (size_t s = 0; s < fanout; ++s) {
+      NodeId u = frontier[rng.UniformUint64(frontier.size())];
+      NodeId next = ExplorationStep(g, u, rng);
+      if (next != kInvalidNode) level.push_back(next);
+    }
+  }
+  return levels;
+}
+
+double ExplorationTransitionProbability(const MultiplexHeteroGraph& g,
+                                        NodeId v, NodeId u) {
+  auto rels = g.ActiveRelations(v);
+  if (rels.empty()) return 0.0;
+  const double p_rel = 1.0 / static_cast<double>(rels.size());
+  double p = 0.0;
+  for (RelationId r : rels) {
+    if (g.HasEdge(v, u, r)) {
+      p += p_rel / static_cast<double>(g.Degree(v, r));
+    }
+  }
+  return p;
+}
+
+}  // namespace hybridgnn

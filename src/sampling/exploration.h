@@ -1,0 +1,43 @@
+#ifndef HYBRIDGNN_SAMPLING_EXPLORATION_H_
+#define HYBRIDGNN_SAMPLING_EXPLORATION_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace hybridgnn {
+
+/// Randomized inter-relationship exploration (paper Sec. III-B).
+///
+/// Each step from v_t is a two-phase draw:
+///   1. r_{t+1} ~ Uniform over relations with N_r(v_t) non-empty  (Eq. 1)
+///   2. v_{t+1} ~ Uniform over N_{r_{t+1}}(v_t)                   (Eq. 2)
+/// This crosses relationship-specific subgraphs freely, surfacing
+/// inter-relationship metapath instances no predefined scheme covers.
+
+/// One exploration walk of `depth` steps starting at `start` (start is
+/// included; the walk may stop early at isolated nodes).
+std::vector<NodeId> ExplorationWalk(const MultiplexHeteroGraph& g,
+                                    NodeId start, size_t depth, Rng& rng);
+
+/// Level-structured exploration neighbors used by the hybrid aggregation
+/// flow (the P_rand flow in Eq. 4): level 0 is {v}; level k holds up to
+/// `fanout` nodes reached from level k-1 by one two-phase step.
+/// Returns `depth+1` levels.
+std::vector<std::vector<NodeId>> ExplorationNeighbors(
+    const MultiplexHeteroGraph& g, NodeId v, size_t depth, size_t fanout,
+    Rng& rng);
+
+/// Single two-phase transition from `v`; kInvalidNode when isolated.
+NodeId ExplorationStep(const MultiplexHeteroGraph& g, NodeId v, Rng& rng);
+
+/// Empirical transition probability P(u | v) of the two-phase sampler,
+/// computed in closed form from Eqs. 1-2 (sums over relations connecting
+/// v and u). Exposed for property tests.
+double ExplorationTransitionProbability(const MultiplexHeteroGraph& g,
+                                        NodeId v, NodeId u);
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_SAMPLING_EXPLORATION_H_

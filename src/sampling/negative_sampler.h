@@ -1,0 +1,51 @@
+#ifndef HYBRIDGNN_SAMPLING_NEGATIVE_SAMPLER_H_
+#define HYBRIDGNN_SAMPLING_NEGATIVE_SAMPLER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "sampling/alias.h"
+
+namespace hybridgnn {
+
+/// Heterogeneous negative sampler (metapath2vec style): draws noise nodes
+/// from the unigram distribution raised to `power` (0.75 by default),
+/// restricted to a given node type so negatives are type-compatible with the
+/// positive context node.
+class NegativeSampler {
+ public:
+  /// Builds per-type alias tables from total degrees in `g`. Nodes with zero
+  /// degree get weight `smoothing` so every node remains sampleable.
+  NegativeSampler(const MultiplexHeteroGraph& g, double power = 0.75,
+                  double smoothing = 1e-3);
+
+  /// Samples one node of type `t`.
+  NodeId SampleOfType(NodeTypeId t, Rng& rng) const;
+
+  /// Samples one node of the same type as `like`, excluding `like` itself
+  /// (retries a few times, then accepts a collision on tiny type sets).
+  NodeId SampleLike(NodeId like, Rng& rng) const;
+
+  /// Samples any node from the global distribution.
+  NodeId SampleAny(Rng& rng) const;
+
+  /// Relationship-aware negative: with probability `cross_fraction`,
+  /// tries to return a *cross-relation* neighbor of `center` — a node of
+  /// `like`'s type linked to `center` under some relation other than `rel`
+  /// but not under `rel` itself. Falls back to SampleLike(like). This
+  /// instantiates the paper's noise distribution P_Neg (Eq. 13) for the
+  /// relationship-specific recommendation task: the model must learn not
+  /// just who interacts, but under *which* relationship.
+  NodeId SampleRelationAware(NodeId center, NodeId like, RelationId rel,
+                             double cross_fraction, Rng& rng) const;
+
+ private:
+  const MultiplexHeteroGraph* graph_;
+  std::vector<AliasTable> per_type_;
+  AliasTable global_;
+};
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_SAMPLING_NEGATIVE_SAMPLER_H_

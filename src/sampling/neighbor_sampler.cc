@@ -1,0 +1,58 @@
+#include "sampling/neighbor_sampler.h"
+
+namespace hybridgnn {
+
+namespace {
+
+NodeId UnionNeighbor(const MultiplexHeteroGraph& g, NodeId v, Rng& rng) {
+  auto rels = g.ActiveRelations(v);
+  if (rels.empty()) return kInvalidNode;
+  size_t total = 0;
+  for (RelationId r : rels) total += g.Degree(v, r);
+  size_t pick = static_cast<size_t>(rng.UniformUint64(total));
+  for (RelationId r : rels) {
+    const size_t d = g.Degree(v, r);
+    if (pick < d) return g.Neighbors(v, r)[pick];
+    pick -= d;
+  }
+  return kInvalidNode;
+}
+
+}  // namespace
+
+std::vector<std::vector<NodeId>> SampleLayers(const MultiplexHeteroGraph& g,
+                                              NodeId v, size_t num_layers,
+                                              size_t fanout, Rng& rng) {
+  std::vector<std::vector<NodeId>> levels(num_layers + 1);
+  levels[0] = {v};
+  for (size_t k = 1; k <= num_layers; ++k) {
+    const auto& frontier = levels[k - 1];
+    if (frontier.empty()) break;
+    auto& level = levels[k];
+    level.reserve(fanout);
+    for (size_t s = 0; s < fanout; ++s) {
+      NodeId u = frontier[rng.UniformUint64(frontier.size())];
+      NodeId next = UnionNeighbor(g, u, rng);
+      if (next != kInvalidNode) level.push_back(next);
+    }
+  }
+  return levels;
+}
+
+std::vector<std::vector<NodeId>> SamplePerRelationNeighbors(
+    const MultiplexHeteroGraph& g, NodeId v, size_t fanout, Rng& rng) {
+  std::vector<std::vector<NodeId>> out(g.num_relations());
+  for (RelationId r = 0; r < g.num_relations(); ++r) {
+    auto nbrs = g.Neighbors(v, r);
+    if (nbrs.empty()) continue;
+    auto& dst = out[r];
+    dst.reserve(fanout);
+    for (size_t s = 0; s < fanout && s < nbrs.size() * 4; ++s) {
+      if (dst.size() >= fanout) break;
+      dst.push_back(nbrs[rng.UniformUint64(nbrs.size())]);
+    }
+  }
+  return out;
+}
+
+}  // namespace hybridgnn

@@ -1,0 +1,27 @@
+#ifndef HYBRIDGNN_SAMPLING_NEIGHBOR_SAMPLER_H_
+#define HYBRIDGNN_SAMPLING_NEIGHBOR_SAMPLER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+
+namespace hybridgnn {
+
+/// GraphSage-style layered neighbor sampling on the union of relations:
+/// level 0 is {v}; level k holds `fanout` neighbors (with replacement,
+/// relation-blind) of a random level-(k-1) node each. Used by the GCN /
+/// GraphSage baselines' mini-batch path.
+std::vector<std::vector<NodeId>> SampleLayers(const MultiplexHeteroGraph& g,
+                                              NodeId v, size_t num_layers,
+                                              size_t fanout, Rng& rng);
+
+/// Per-relation variant (R-GCN): for each relation independently, samples up
+/// to `fanout` direct neighbors of `v` under that relation (empty vector for
+/// relations where v is isolated).
+std::vector<std::vector<NodeId>> SamplePerRelationNeighbors(
+    const MultiplexHeteroGraph& g, NodeId v, size_t fanout, Rng& rng);
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_SAMPLING_NEIGHBOR_SAMPLER_H_

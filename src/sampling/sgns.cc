@@ -1,0 +1,62 @@
+#include "sampling/sgns.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/init.h"
+
+namespace hybridgnn {
+
+SgnsEmbedder::SgnsEmbedder(size_t num_nodes, size_t dim, Rng& rng)
+    : emb_(num_nodes, dim), ctx_(num_nodes, dim) {
+  EmbeddingInit(emb_, rng);
+  // Context vectors start at zero, as in word2vec.
+}
+
+void SgnsEmbedder::Update(NodeId center, NodeId context,
+                          const NegativeSampler& sampler, size_t negatives,
+                          float lr, Rng& rng) {
+  const size_t dim = emb_.cols();
+  float* e = emb_.RowPtr(center);
+  std::vector<float> e_grad(dim, 0.0f);
+  auto push = [&](NodeId target, float label) {
+    float* c = ctx_.RowPtr(target);
+    float dot = 0.0f;
+    for (size_t j = 0; j < dim; ++j) dot += e[j] * c[j];
+    const float sig = 1.0f / (1.0f + std::exp(-dot));
+    const float g = (sig - label) * lr;
+    for (size_t j = 0; j < dim; ++j) {
+      e_grad[j] += g * c[j];
+      c[j] -= g * e[j];
+    }
+  };
+  push(context, 1.0f);
+  for (size_t n = 0; n < negatives; ++n) {
+    push(sampler.SampleLike(context, rng), 0.0f);
+  }
+  for (size_t j = 0; j < dim; ++j) e[j] -= e_grad[j];
+}
+
+void SgnsEmbedder::Train(const std::vector<SkipGramPair>& pairs,
+                         const NegativeSampler& sampler,
+                         const SgnsOptions& opts, Rng& rng) {
+  std::vector<size_t> order(pairs.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (size_t epoch = 0; epoch < opts.epochs; ++epoch) {
+    rng.Shuffle(order);
+    const size_t use = opts.max_pairs_per_epoch == 0
+                           ? order.size()
+                           : std::min(order.size(),
+                                      opts.max_pairs_per_epoch);
+    for (size_t i = 0; i < use; ++i) {
+      const auto& p = pairs[order[i]];
+      // Linear learning-rate decay within the epoch, word2vec style.
+      const float lr = opts.learning_rate *
+                       (1.0f - 0.9f * static_cast<float>(i) /
+                                   static_cast<float>(use));
+      Update(p.center, p.context, sampler, opts.negatives, lr, rng);
+    }
+  }
+}
+
+}  // namespace hybridgnn

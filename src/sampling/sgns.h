@@ -1,0 +1,53 @@
+#ifndef HYBRIDGNN_SAMPLING_SGNS_H_
+#define HYBRIDGNN_SAMPLING_SGNS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/types.h"
+#include "sampling/corpus.h"
+#include "sampling/negative_sampler.h"
+#include "tensor/tensor.h"
+
+namespace hybridgnn {
+
+/// Hyper-parameters of skip-gram-with-negative-sampling training.
+struct SgnsOptions {
+  size_t dim = 128;
+  size_t negatives = 5;
+  float learning_rate = 0.025f;
+  size_t epochs = 2;
+  /// Pair cap per epoch (0 = all pairs).
+  size_t max_pairs_per_epoch = 200000;
+};
+
+/// Classic SGNS embedder with manual SGD updates — the high-throughput
+/// word2vec formulation used by DeepWalk/node2vec, and as *pretraining* for
+/// GATNE's and HybridGNN's base/context tables (GATNE's reference
+/// implementation does the same).
+class SgnsEmbedder {
+ public:
+  SgnsEmbedder(size_t num_nodes, size_t dim, Rng& rng);
+
+  /// Runs `opts.epochs` passes over `pairs` (shuffled each epoch).
+  void Train(const std::vector<SkipGramPair>& pairs,
+             const NegativeSampler& sampler, const SgnsOptions& opts,
+             Rng& rng);
+
+  /// One SGD update on a (center, context) pair plus `negatives` noise draws.
+  void Update(NodeId center, NodeId context, const NegativeSampler& sampler,
+              size_t negatives, float lr, Rng& rng);
+
+  const Tensor& embeddings() const { return emb_; }
+  const Tensor& contexts() const { return ctx_; }
+  Tensor& mutable_embeddings() { return emb_; }
+
+ private:
+  Tensor emb_;  // input vectors
+  Tensor ctx_;  // output (context) vectors
+};
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_SAMPLING_SGNS_H_

@@ -1,0 +1,190 @@
+#include "sampling/walker.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace hybridgnn {
+
+namespace {
+
+/// Uniformly picks one relation among those active at `v`, then one
+/// neighbor under it; returns kInvalidNode for isolated nodes.
+NodeId UniformUnionStep(const MultiplexHeteroGraph& g, NodeId v, Rng& rng) {
+  auto rels = g.ActiveRelations(v);
+  if (rels.empty()) return kInvalidNode;
+  // Weight relations by degree so the union walk is uniform over incident
+  // edges (matching a walk on the merged multigraph).
+  size_t total = 0;
+  for (RelationId r : rels) total += g.Degree(v, r);
+  size_t pick = static_cast<size_t>(rng.UniformUint64(total));
+  for (RelationId r : rels) {
+    const size_t d = g.Degree(v, r);
+    if (pick < d) return g.Neighbors(v, r)[pick];
+    pick -= d;
+  }
+  return kInvalidNode;  // unreachable
+}
+
+}  // namespace
+
+std::vector<NodeId> RelationWalk(const MultiplexHeteroGraph& g, RelationId r,
+                                 NodeId start, size_t length, Rng& rng) {
+  std::vector<NodeId> walk;
+  walk.reserve(length + 1);
+  walk.push_back(start);
+  NodeId cur = start;
+  for (size_t step = 0; step < length; ++step) {
+    auto nbrs = g.Neighbors(cur, r);
+    if (nbrs.empty()) break;
+    cur = nbrs[rng.UniformUint64(nbrs.size())];
+    walk.push_back(cur);
+  }
+  return walk;
+}
+
+std::vector<NodeId> UniformWalk(const MultiplexHeteroGraph& g, NodeId start,
+                                size_t length, Rng& rng) {
+  std::vector<NodeId> walk;
+  walk.reserve(length + 1);
+  walk.push_back(start);
+  NodeId cur = start;
+  for (size_t step = 0; step < length; ++step) {
+    NodeId next = UniformUnionStep(g, cur, rng);
+    if (next == kInvalidNode) break;
+    cur = next;
+    walk.push_back(cur);
+  }
+  return walk;
+}
+
+std::vector<NodeId> MetapathWalk(const MultiplexHeteroGraph& g,
+                                 const MetapathScheme& scheme, NodeId start,
+                                 size_t length, Rng& rng) {
+  HYBRIDGNN_CHECK(scheme.IsIntraRelationship())
+      << "training walks use intra-relationship schemes";
+  const RelationId rel = scheme.relation();
+  const auto& types = scheme.node_types();
+  std::vector<NodeId> walk;
+  walk.reserve(length + 1);
+  walk.push_back(start);
+  NodeId cur = start;
+  // Position within the scheme's type cycle. The scheme is cyclic
+  // (types.front() == types.back() for symmetric schemes); we advance through
+  // positions 1..n then wrap to 1.
+  size_t pos = 0;
+  for (size_t step = 0; step < length; ++step) {
+    const size_t next_pos = (pos % (types.size() - 1)) + 1;
+    const NodeTypeId want = types[next_pos];
+    auto nbrs = g.Neighbors(cur, rel);
+    if (nbrs.empty()) break;
+    // Reservoir-free: collect admissible neighbors (type-filtered).
+    // Degree is small in our graphs; linear scan is fine.
+    size_t admissible = 0;
+    for (NodeId u : nbrs) {
+      if (g.node_type(u) == want) ++admissible;
+    }
+    if (admissible == 0) break;
+    size_t pick = static_cast<size_t>(rng.UniformUint64(admissible));
+    NodeId chosen = kInvalidNode;
+    for (NodeId u : nbrs) {
+      if (g.node_type(u) == want) {
+        if (pick == 0) {
+          chosen = u;
+          break;
+        }
+        --pick;
+      }
+    }
+    cur = chosen;
+    walk.push_back(cur);
+    pos = next_pos;
+  }
+  return walk;
+}
+
+std::vector<NodeId> Node2VecWalk(const MultiplexHeteroGraph& g, NodeId start,
+                                 size_t length, double p, double q, Rng& rng) {
+  std::vector<NodeId> walk;
+  walk.reserve(length + 1);
+  walk.push_back(start);
+  NodeId prev = kInvalidNode;
+  NodeId cur = start;
+  for (size_t step = 0; step < length; ++step) {
+    // Gather union-neighborhood of cur (small degrees expected).
+    std::vector<NodeId> candidates;
+    for (RelationId r : g.ActiveRelations(cur)) {
+      auto nbrs = g.Neighbors(cur, r);
+      candidates.insert(candidates.end(), nbrs.begin(), nbrs.end());
+    }
+    if (candidates.empty()) break;
+    NodeId next;
+    if (prev == kInvalidNode) {
+      next = candidates[rng.UniformUint64(candidates.size())];
+    } else {
+      // Second-order weights: 1/p to return, 1 for common neighbor of prev,
+      // 1/q otherwise. Rejection sampling on the max weight.
+      const double wmax =
+          std::max({1.0, 1.0 / p, 1.0 / q});
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        NodeId cand = candidates[rng.UniformUint64(candidates.size())];
+        double w;
+        if (cand == prev) {
+          w = 1.0 / p;
+        } else {
+          bool common = false;
+          for (RelationId r : g.ActiveRelations(prev)) {
+            if (g.HasEdge(prev, cand, r)) {
+              common = true;
+              break;
+            }
+          }
+          w = common ? 1.0 : 1.0 / q;
+        }
+        if (rng.UniformDouble() * wmax <= w) {
+          next = cand;
+          goto accepted;
+        }
+      }
+      next = candidates[rng.UniformUint64(candidates.size())];
+    accepted:;
+    }
+    prev = cur;
+    cur = next;
+    walk.push_back(cur);
+  }
+  return walk;
+}
+
+std::vector<std::vector<NodeId>> MetapathGuidedNeighbors(
+    const MultiplexHeteroGraph& g, const MetapathScheme& scheme, NodeId v,
+    size_t fanout, Rng& rng) {
+  std::vector<std::vector<NodeId>> levels(scheme.length() + 1);
+  levels[0] = {v};
+  for (size_t k = 1; k <= scheme.length(); ++k) {
+    const RelationId rel = scheme.relations()[k - 1];
+    const NodeTypeId want = scheme.node_types()[k];
+    const auto& frontier = levels[k - 1];
+    if (frontier.empty()) break;
+    auto& level = levels[k];
+    level.reserve(fanout);
+    // Draw `fanout` samples: pick a frontier node, then a type-admissible
+    // neighbor under rel; skip draws that find none.
+    for (size_t s = 0; s < fanout; ++s) {
+      NodeId u = frontier[rng.UniformUint64(frontier.size())];
+      auto nbrs = g.Neighbors(u, rel);
+      if (nbrs.empty()) continue;
+      // Up to 4 attempts to hit the wanted type.
+      for (int attempt = 0; attempt < 4; ++attempt) {
+        NodeId cand = nbrs[rng.UniformUint64(nbrs.size())];
+        if (g.node_type(cand) == want) {
+          level.push_back(cand);
+          break;
+        }
+      }
+    }
+  }
+  return levels;
+}
+
+}  // namespace hybridgnn

@@ -1,0 +1,49 @@
+#ifndef HYBRIDGNN_SAMPLING_WALKER_H_
+#define HYBRIDGNN_SAMPLING_WALKER_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/graph.h"
+#include "graph/metapath.h"
+
+namespace hybridgnn {
+
+/// Random-walk primitives over a multiplex heterogeneous graph. All walks
+/// return node sequences including the start; a walk ends early when no
+/// admissible neighbor exists.
+
+/// Uniform walk restricted to relation `r` (intra-relationship walk).
+std::vector<NodeId> RelationWalk(const MultiplexHeteroGraph& g, RelationId r,
+                                 NodeId start, size_t length, Rng& rng);
+
+/// Uniform walk on the union of all relations (relation-blind).
+std::vector<NodeId> UniformWalk(const MultiplexHeteroGraph& g, NodeId start,
+                                size_t length, Rng& rng);
+
+/// Metapath-based walk under relation `rel` as used for training (Sec III-E):
+/// each step stays in relation `rel` and the node-type sequence cycles
+/// through `scheme`'s types. At position t the candidate set is
+/// N_rel(v_t) intersected with kappa(next type); the next node is uniform in
+/// it (Eq. 11). If the intersection is empty the walk stops.
+std::vector<NodeId> MetapathWalk(const MultiplexHeteroGraph& g,
+                                 const MetapathScheme& scheme, NodeId start,
+                                 size_t length, Rng& rng);
+
+/// node2vec second-order biased walk on the union graph with return
+/// parameter `p` and in-out parameter `q` (Grover & Leskovec 2016).
+std::vector<NodeId> Node2VecWalk(const MultiplexHeteroGraph& g, NodeId start,
+                                 size_t length, double p, double q, Rng& rng);
+
+/// K-step metapath-guided neighbor sampling (Definition 5): level 0 is {v};
+/// level k holds up to `fanout` nodes drawn (with replacement) from the
+/// relation-r_k neighbors with node type o_k of nodes at level k-1.
+/// Returns `scheme.length()+1` levels; levels may be empty when the
+/// neighborhood dries up.
+std::vector<std::vector<NodeId>> MetapathGuidedNeighbors(
+    const MultiplexHeteroGraph& g, const MetapathScheme& scheme, NodeId v,
+    size_t fanout, Rng& rng);
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_SAMPLING_WALKER_H_

@@ -1,0 +1,412 @@
+#include "tensor/autograd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "tensor/tensor_ops.h"
+
+namespace hybridgnn::ag {
+
+void Node::AccumulateGrad(const Tensor& g) {
+  if (grad.empty()) {
+    grad = Tensor(value.rows(), value.cols());
+  }
+  HYBRIDGNN_CHECK(grad.SameShape(g))
+      << "gradient shape mismatch: " << grad.ShapeString() << " vs "
+      << g.ShapeString();
+  grad.AddInPlace(g);
+}
+
+void Node::ZeroGrad() {
+  if (!grad.empty()) grad.Zero();
+}
+
+Var Constant(Tensor value) {
+  return std::make_shared<Node>(std::move(value), /*requires_grad=*/false);
+}
+
+Var Param(Tensor value) {
+  return std::make_shared<Node>(std::move(value), /*requires_grad=*/true);
+}
+
+namespace {
+
+bool AnyRequiresGrad(const std::vector<Var>& parents) {
+  for (const auto& p : parents) {
+    if (p->requires_grad) return true;
+  }
+  return false;
+}
+
+/// Builds an op node: value, parents, and backward closure. If no parent
+/// needs gradients the node is a plain constant (backward skipped).
+Var MakeOp(Tensor value, std::vector<Var> parents,
+           std::function<void(Node&)> backward) {
+  bool req = AnyRequiresGrad(parents);
+  auto node = std::make_shared<Node>(std::move(value), req);
+  if (req) {
+    node->parents = std::move(parents);
+    node->backward_fn = std::move(backward);
+  }
+  return node;
+}
+
+void TopoSort(const Var& root, std::vector<Node*>& order) {
+  // Iterative post-order DFS over parents.
+  std::unordered_set<Node*> visited;
+  std::vector<std::pair<Node*, size_t>> stack;
+  stack.emplace_back(root.get(), 0);
+  visited.insert(root.get());
+  while (!stack.empty()) {
+    auto& [node, next_child] = stack.back();
+    if (next_child < node->parents.size()) {
+      Node* child = node->parents[next_child].get();
+      ++next_child;
+      if (child->requires_grad && visited.insert(child).second) {
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      order.push_back(node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Backward(const Var& root) {
+  HYBRIDGNN_CHECK(root->value.rows() == 1 && root->value.cols() == 1)
+      << "Backward root must be scalar, got " << root->value.ShapeString();
+  if (!root->requires_grad) return;
+  std::vector<Node*> order;
+  TopoSort(root, order);
+  root->AccumulateGrad(Tensor::Ones(1, 1));
+  // `order` is post-order (leaves first); walk it backwards.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* node = *it;
+    if (node->backward_fn && !node->grad.empty()) {
+      node->backward_fn(*node);
+    }
+  }
+}
+
+Var MatMul(const Var& a, const Var& b) {
+  Tensor out = hybridgnn::MatMul(a->value, b->value);
+  return MakeOp(std::move(out), {a, b}, [a, b](Node& n) {
+    if (a->requires_grad) a->AccumulateGrad(MatMulTransB(n.grad, b->value));
+    if (b->requires_grad) b->AccumulateGrad(MatMulTransA(a->value, n.grad));
+  });
+}
+
+Var Add(const Var& a, const Var& b) {
+  return MakeOp(hybridgnn::Add(a->value, b->value), {a, b}, [a, b](Node& n) {
+    if (a->requires_grad) a->AccumulateGrad(n.grad);
+    if (b->requires_grad) b->AccumulateGrad(n.grad);
+  });
+}
+
+Var Sub(const Var& a, const Var& b) {
+  return MakeOp(hybridgnn::Sub(a->value, b->value), {a, b}, [a, b](Node& n) {
+    if (a->requires_grad) a->AccumulateGrad(n.grad);
+    if (b->requires_grad) b->AccumulateGrad(hybridgnn::Scale(n.grad, -1.0f));
+  });
+}
+
+Var Mul(const Var& a, const Var& b) {
+  return MakeOp(hybridgnn::Mul(a->value, b->value), {a, b}, [a, b](Node& n) {
+    if (a->requires_grad) a->AccumulateGrad(hybridgnn::Mul(n.grad, b->value));
+    if (b->requires_grad) b->AccumulateGrad(hybridgnn::Mul(n.grad, a->value));
+  });
+}
+
+Var AddRowBroadcast(const Var& a, const Var& bias) {
+  return MakeOp(hybridgnn::AddRowBroadcast(a->value, bias->value), {a, bias},
+                [a, bias](Node& n) {
+                  if (a->requires_grad) a->AccumulateGrad(n.grad);
+                  if (bias->requires_grad) {
+                    bias->AccumulateGrad(hybridgnn::SumRows(n.grad));
+                  }
+                });
+}
+
+Var Scale(const Var& a, float alpha) {
+  return MakeOp(hybridgnn::Scale(a->value, alpha), {a}, [a, alpha](Node& n) {
+    if (a->requires_grad) a->AccumulateGrad(hybridgnn::Scale(n.grad, alpha));
+  });
+}
+
+Var Neg(const Var& a) { return Scale(a, -1.0f); }
+
+Var Transpose(const Var& a) {
+  return MakeOp(hybridgnn::Transpose(a->value), {a}, [a](Node& n) {
+    if (a->requires_grad) a->AccumulateGrad(hybridgnn::Transpose(n.grad));
+  });
+}
+
+Var Sigmoid(const Var& a) {
+  Tensor s = hybridgnn::Sigmoid(a->value);
+  return MakeOp(s, {a}, [a](Node& n) {
+    if (!a->requires_grad) return;
+    Tensor da(n.grad.rows(), n.grad.cols());
+    const float* g = n.grad.data();
+    const float* sv = n.value.data();
+    float* d = da.data();
+    for (size_t i = 0; i < da.size(); ++i) d[i] = g[i] * sv[i] * (1.0f - sv[i]);
+    a->AccumulateGrad(da);
+  });
+}
+
+Var Tanh(const Var& a) {
+  Tensor t = hybridgnn::Tanh(a->value);
+  return MakeOp(t, {a}, [a](Node& n) {
+    if (!a->requires_grad) return;
+    Tensor da(n.grad.rows(), n.grad.cols());
+    const float* g = n.grad.data();
+    const float* tv = n.value.data();
+    float* d = da.data();
+    for (size_t i = 0; i < da.size(); ++i) d[i] = g[i] * (1.0f - tv[i] * tv[i]);
+    a->AccumulateGrad(da);
+  });
+}
+
+Var Relu(const Var& a) {
+  return MakeOp(hybridgnn::Relu(a->value), {a}, [a](Node& n) {
+    if (!a->requires_grad) return;
+    Tensor da(n.grad.rows(), n.grad.cols());
+    const float* g = n.grad.data();
+    const float* x = a->value.data();
+    float* d = da.data();
+    for (size_t i = 0; i < da.size(); ++i) d[i] = x[i] > 0.0f ? g[i] : 0.0f;
+    a->AccumulateGrad(da);
+  });
+}
+
+Var LogSigmoid(const Var& a) {
+  Tensor out(a->value.rows(), a->value.cols());
+  const float* x = a->value.data();
+  float* o = out.data();
+  for (size_t i = 0; i < out.size(); ++i) {
+    // log sigmoid(x) = min(x,0) - log1p(exp(-|x|))
+    const float v = x[i];
+    o[i] = std::min(v, 0.0f) - std::log1p(std::exp(-std::abs(v)));
+  }
+  return MakeOp(std::move(out), {a}, [a](Node& n) {
+    if (!a->requires_grad) return;
+    Tensor da(n.grad.rows(), n.grad.cols());
+    const float* g = n.grad.data();
+    const float* x = a->value.data();
+    float* d = da.data();
+    for (size_t i = 0; i < da.size(); ++i) {
+      // d/dx log sigmoid(x) = sigmoid(-x)
+      d[i] = g[i] / (1.0f + std::exp(x[i]));
+    }
+    a->AccumulateGrad(da);
+  });
+}
+
+Var SoftmaxRows(const Var& a) {
+  Tensor s = hybridgnn::SoftmaxRows(a->value);
+  return MakeOp(s, {a}, [a](Node& n) {
+    if (!a->requires_grad) return;
+    // da_ij = s_ij * (g_ij - sum_k g_ik s_ik)
+    Tensor da(n.grad.rows(), n.grad.cols());
+    for (size_t i = 0; i < n.grad.rows(); ++i) {
+      const float* g = n.grad.RowPtr(i);
+      const float* s = n.value.RowPtr(i);
+      float dot = 0.0f;
+      for (size_t j = 0; j < n.grad.cols(); ++j) dot += g[j] * s[j];
+      float* d = da.RowPtr(i);
+      for (size_t j = 0; j < n.grad.cols(); ++j) d[j] = s[j] * (g[j] - dot);
+    }
+    a->AccumulateGrad(da);
+  });
+}
+
+Var RowwiseDot(const Var& a, const Var& b) {
+  return MakeOp(hybridgnn::RowwiseDot(a->value, b->value), {a, b},
+                [a, b](Node& n) {
+                  auto scatter = [&n](const Var& dst, const Var& other) {
+                    Tensor d(dst->value.rows(), dst->value.cols());
+                    for (size_t i = 0; i < d.rows(); ++i) {
+                      const float gi = n.grad.At(i, 0);
+                      const float* o = other->value.RowPtr(i);
+                      float* dr = d.RowPtr(i);
+                      for (size_t j = 0; j < d.cols(); ++j) dr[j] = gi * o[j];
+                    }
+                    dst->AccumulateGrad(d);
+                  };
+                  if (a->requires_grad) scatter(a, b);
+                  if (b->requires_grad) scatter(b, a);
+                });
+}
+
+Var MeanRows(const Var& a) {
+  const float inv = 1.0f / static_cast<float>(a->value.rows());
+  return MakeOp(hybridgnn::MeanRows(a->value), {a}, [a, inv](Node& n) {
+    if (!a->requires_grad) return;
+    Tensor da(a->value.rows(), a->value.cols());
+    const float* g = n.grad.RowPtr(0);
+    for (size_t i = 0; i < da.rows(); ++i) {
+      float* d = da.RowPtr(i);
+      for (size_t j = 0; j < da.cols(); ++j) d[j] = g[j] * inv;
+    }
+    a->AccumulateGrad(da);
+  });
+}
+
+Var SumRows(const Var& a) {
+  return MakeOp(hybridgnn::SumRows(a->value), {a}, [a](Node& n) {
+    if (!a->requires_grad) return;
+    Tensor da(a->value.rows(), a->value.cols());
+    const float* g = n.grad.RowPtr(0);
+    for (size_t i = 0; i < da.rows(); ++i) {
+      float* d = da.RowPtr(i);
+      for (size_t j = 0; j < da.cols(); ++j) d[j] = g[j];
+    }
+    a->AccumulateGrad(da);
+  });
+}
+
+Var MeanAll(const Var& a) {
+  const float inv = 1.0f / static_cast<float>(a->value.size());
+  Tensor out(1, 1);
+  out.At(0, 0) = static_cast<float>(a->value.Sum()) * inv;
+  return MakeOp(std::move(out), {a}, [a, inv](Node& n) {
+    if (!a->requires_grad) return;
+    Tensor da = Tensor::Full(a->value.rows(), a->value.cols(),
+                             n.grad.At(0, 0) * inv);
+    a->AccumulateGrad(da);
+  });
+}
+
+Var SumAll(const Var& a) {
+  Tensor out(1, 1);
+  out.At(0, 0) = static_cast<float>(a->value.Sum());
+  return MakeOp(std::move(out), {a}, [a](Node& n) {
+    if (!a->requires_grad) return;
+    Tensor da = Tensor::Full(a->value.rows(), a->value.cols(),
+                             n.grad.At(0, 0));
+    a->AccumulateGrad(da);
+  });
+}
+
+Var ConcatRows(const std::vector<Var>& parts) {
+  HYBRIDGNN_CHECK(!parts.empty());
+  std::vector<Tensor> values;
+  values.reserve(parts.size());
+  for (const auto& p : parts) values.push_back(p->value);
+  Tensor out = hybridgnn::ConcatRows(values);
+  std::vector<Var> parents(parts.begin(), parts.end());
+  return MakeOp(std::move(out), parents, [parts](Node& n) {
+    size_t at = 0;
+    for (const auto& p : parts) {
+      const size_t r = p->value.rows();
+      if (p->requires_grad) {
+        Tensor slice(r, p->value.cols());
+        std::copy(n.grad.RowPtr(at), n.grad.RowPtr(at) + slice.size(),
+                  slice.data());
+        p->AccumulateGrad(slice);
+      }
+      at += r;
+    }
+  });
+}
+
+Var ConcatCols(const std::vector<Var>& parts) {
+  HYBRIDGNN_CHECK(!parts.empty());
+  std::vector<Tensor> values;
+  values.reserve(parts.size());
+  for (const auto& p : parts) values.push_back(p->value);
+  Tensor out = hybridgnn::ConcatCols(values);
+  std::vector<Var> parents(parts.begin(), parts.end());
+  return MakeOp(std::move(out), parents, [parts](Node& n) {
+    size_t at = 0;
+    for (const auto& p : parts) {
+      const size_t c = p->value.cols();
+      if (p->requires_grad) {
+        Tensor slice(p->value.rows(), c);
+        for (size_t i = 0; i < slice.rows(); ++i) {
+          const float* src = n.grad.RowPtr(i) + at;
+          std::copy(src, src + c, slice.RowPtr(i));
+        }
+        p->AccumulateGrad(slice);
+      }
+      at += c;
+    }
+  });
+}
+
+Var SliceRows(const Var& a, size_t start, size_t count) {
+  HYBRIDGNN_CHECK(start + count <= a->value.rows())
+      << "SliceRows out of range";
+  Tensor out(count, a->value.cols());
+  std::copy(a->value.RowPtr(start), a->value.RowPtr(start) + out.size(),
+            out.data());
+  return MakeOp(std::move(out), {a}, [a, start](Node& n) {
+    if (!a->requires_grad) return;
+    Tensor da(a->value.rows(), a->value.cols());
+    std::copy(n.grad.data(), n.grad.data() + n.grad.size(),
+              da.RowPtr(start));
+    a->AccumulateGrad(da);
+  });
+}
+
+Var GatherRows(const Var& table, std::vector<int32_t> indices) {
+  Tensor out = hybridgnn::GatherRows(table->value, indices);
+  return MakeOp(std::move(out), {table},
+                [table, indices = std::move(indices)](Node& n) {
+                  if (!table->requires_grad) return;
+                  Tensor dt(table->value.rows(), table->value.cols());
+                  for (size_t i = 0; i < indices.size(); ++i) {
+                    const float* g = n.grad.RowPtr(i);
+                    float* d = dt.RowPtr(static_cast<size_t>(indices[i]));
+                    for (size_t j = 0; j < dt.cols(); ++j) d[j] += g[j];
+                  }
+                  table->AccumulateGrad(dt);
+                });
+}
+
+Var BceWithLogits(const Var& logits, const std::vector<float>& targets) {
+  HYBRIDGNN_CHECK(logits->value.cols() == 1 &&
+                  logits->value.rows() == targets.size())
+      << "BceWithLogits expects [m,1] logits matching targets";
+  const size_t m = targets.size();
+  double loss = 0.0;
+  for (size_t i = 0; i < m; ++i) {
+    const float x = logits->value.At(i, 0);
+    const float y = targets[i];
+    // Stable: max(x,0) - x*y + log(1+exp(-|x|))
+    loss += std::max(x, 0.0f) - x * y + std::log1p(std::exp(-std::abs(x)));
+  }
+  Tensor out(1, 1);
+  out.At(0, 0) = static_cast<float>(loss / static_cast<double>(m));
+  return MakeOp(std::move(out), {logits}, [logits, targets](Node& n) {
+    if (!logits->requires_grad) return;
+    const float scale = n.grad.At(0, 0) / static_cast<float>(targets.size());
+    Tensor d(targets.size(), 1);
+    for (size_t i = 0; i < targets.size(); ++i) {
+      const float x = logits->value.At(i, 0);
+      const float s = 1.0f / (1.0f + std::exp(-x));
+      d.At(i, 0) = scale * (s - targets[i]);
+    }
+    logits->AccumulateGrad(d);
+  });
+}
+
+Var SgnsLoss(const Var& pos, const Var& neg) {
+  HYBRIDGNN_CHECK(pos != nullptr || neg != nullptr)
+      << "SgnsLoss needs at least one of pos/neg";
+  Var total;
+  if (pos != nullptr) {
+    total = Neg(MeanAll(LogSigmoid(pos)));
+  }
+  if (neg != nullptr) {
+    Var neg_term = Neg(MeanAll(LogSigmoid(Neg(neg))));
+    total = total == nullptr ? neg_term : Add(total, neg_term);
+  }
+  return total;
+}
+
+}  // namespace hybridgnn::ag

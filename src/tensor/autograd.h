@@ -1,0 +1,94 @@
+#ifndef HYBRIDGNN_TENSOR_AUTOGRAD_H_
+#define HYBRIDGNN_TENSOR_AUTOGRAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace hybridgnn::ag {
+
+/// Reverse-mode automatic differentiation over Tensor.
+///
+/// A computation is built dynamically: every op returns a `Var` (shared node)
+/// that remembers its parents and how to push gradients back to them.
+/// `Backward(root)` seeds d(root)=1 (root must be 1x1) and propagates in
+/// reverse topological order. Gradients accumulate across calls until
+/// `ZeroGrad` is invoked, matching the familiar PyTorch contract.
+
+class Node;
+using Var = std::shared_ptr<Node>;
+
+class Node {
+ public:
+  Node(Tensor value, bool requires_grad)
+      : value(std::move(value)), requires_grad(requires_grad) {}
+
+  Tensor value;
+  Tensor grad;  // Lazily allocated to value's shape on first accumulation.
+  bool requires_grad;
+  std::vector<Var> parents;
+  // Pushes this->grad into parents' grads. Empty for leaves/constants.
+  std::function<void(Node&)> backward_fn;
+
+  /// grad += g, allocating grad on first use.
+  void AccumulateGrad(const Tensor& g);
+  /// Clears the gradient (keeps allocation if shape already set).
+  void ZeroGrad();
+};
+
+/// Creates a non-trainable node (no gradient tracked unless a trainable
+/// ancestor is attached downstream).
+Var Constant(Tensor value);
+/// Creates a trainable leaf (requires_grad = true).
+Var Param(Tensor value);
+
+/// Runs backpropagation from `root`, which must be a 1x1 scalar.
+void Backward(const Var& root);
+
+// ----- Differentiable ops (shapes follow tensor_ops.h) -----
+Var MatMul(const Var& a, const Var& b);
+Var Add(const Var& a, const Var& b);
+Var Sub(const Var& a, const Var& b);
+Var Mul(const Var& a, const Var& b);
+Var AddRowBroadcast(const Var& a, const Var& bias);
+Var Scale(const Var& a, float alpha);
+Var Neg(const Var& a);
+Var Transpose(const Var& a);
+Var Sigmoid(const Var& a);
+Var Tanh(const Var& a);
+Var Relu(const Var& a);
+/// Numerically stable log(sigmoid(x)).
+Var LogSigmoid(const Var& a);
+Var SoftmaxRows(const Var& a);
+Var RowwiseDot(const Var& a, const Var& b);
+Var MeanRows(const Var& a);
+Var SumRows(const Var& a);
+/// Mean of all elements -> 1x1.
+Var MeanAll(const Var& a);
+/// Sum of all elements -> 1x1.
+Var SumAll(const Var& a);
+Var ConcatRows(const std::vector<Var>& parts);
+Var ConcatCols(const std::vector<Var>& parts);
+/// Rows [start, start+count) of `a`.
+Var SliceRows(const Var& a, size_t start, size_t count);
+/// Gathers rows of a trainable table; backward scatters (accumulating
+/// duplicates). `indices` entries must be valid row ids of `table`.
+Var GatherRows(const Var& table, std::vector<int32_t> indices);
+
+// ----- Losses -----
+/// Mean binary cross-entropy with logits. `logits` is [m,1]; `targets` has m
+/// entries in {0,1} (soft labels allowed).
+Var BceWithLogits(const Var& logits, const std::vector<float>& targets);
+
+/// Skip-gram negative-sampling loss:
+///   -mean(log sigmoid(pos)) - mean(log sigmoid(-neg))
+/// `pos`/`neg` are [p,1] and [q,1] score columns. Either may be absent
+/// (pass nullptr) when a batch has no such samples.
+Var SgnsLoss(const Var& pos, const Var& neg);
+
+}  // namespace hybridgnn::ag
+
+#endif  // HYBRIDGNN_TENSOR_AUTOGRAD_H_

@@ -1,0 +1,29 @@
+#include "tensor/init.h"
+
+#include <cmath>
+
+namespace hybridgnn {
+
+void XavierUniform(Tensor& t, Rng& rng) {
+  const float a = std::sqrt(6.0f / static_cast<float>(t.rows() + t.cols()));
+  UniformInit(t, rng, -a, a);
+}
+
+void UniformInit(Tensor& t, Rng& rng, float lo, float hi) {
+  float* p = t.data();
+  for (size_t i = 0; i < t.size(); ++i) p[i] = rng.UniformFloat(lo, hi);
+}
+
+void NormalInit(Tensor& t, Rng& rng, float mean, float stddev) {
+  float* p = t.data();
+  for (size_t i = 0; i < t.size(); ++i) {
+    p[i] = static_cast<float>(rng.Normal(mean, stddev));
+  }
+}
+
+void EmbeddingInit(Tensor& t, Rng& rng) {
+  const float a = 0.5f / static_cast<float>(t.cols());
+  UniformInit(t, rng, -a, a);
+}
+
+}  // namespace hybridgnn

@@ -1,0 +1,24 @@
+#ifndef HYBRIDGNN_TENSOR_INIT_H_
+#define HYBRIDGNN_TENSOR_INIT_H_
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace hybridgnn {
+
+/// Xavier/Glorot uniform: U(-a, a) with a = sqrt(6 / (fan_in + fan_out)),
+/// fan_in = rows, fan_out = cols.
+void XavierUniform(Tensor& t, Rng& rng);
+
+/// U(lo, hi).
+void UniformInit(Tensor& t, Rng& rng, float lo, float hi);
+
+/// N(mean, stddev).
+void NormalInit(Tensor& t, Rng& rng, float mean, float stddev);
+
+/// Classic word2vec-style embedding init: U(-0.5/dim, 0.5/dim).
+void EmbeddingInit(Tensor& t, Rng& rng);
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_TENSOR_INIT_H_

@@ -1,0 +1,79 @@
+#include "tensor/optimizer.h"
+
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace hybridgnn {
+
+void Optimizer::AddParameter(const ag::Var& param) {
+  HYBRIDGNN_CHECK(param != nullptr && param->requires_grad)
+      << "optimizer parameters must be trainable";
+  for (const auto& p : params_) {
+    if (p.get() == param.get()) return;
+  }
+  params_.push_back(param);
+}
+
+void Optimizer::AddParameters(const std::vector<ag::Var>& params) {
+  for (const auto& p : params) AddParameter(p);
+}
+
+void Optimizer::ZeroGrad() {
+  for (auto& p : params_) p->ZeroGrad();
+}
+
+void Sgd::Step() {
+  for (auto& p : params_) {
+    if (p->grad.empty()) continue;
+    if (weight_decay_ > 0.0f) {
+      p->grad.Axpy(weight_decay_, p->value);
+    }
+    p->value.Axpy(-lr_, p->grad);
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  const float alpha = lr_ * std::sqrt(bc2) / bc1;
+  for (auto& p : params_) {
+    if (p->grad.empty()) continue;
+    State& st = state_[p.get()];
+    if (st.m.empty()) {
+      st.m = Tensor(p->value.rows(), p->value.cols());
+      st.v = Tensor(p->value.rows(), p->value.cols());
+    }
+    const size_t cols = p->value.cols();
+    // Lazy row updates: embedding tables receive gradients on a handful of
+    // rows per step; rows whose gradient is entirely zero are skipped (their
+    // moments are not decayed — the standard sparse-Adam approximation).
+    for (size_t r = 0; r < p->value.rows(); ++r) {
+      float* g = p->grad.RowPtr(r);
+      bool any = weight_decay_ > 0.0f;
+      if (!any) {
+        for (size_t j = 0; j < cols; ++j) {
+          if (g[j] != 0.0f) {
+            any = true;
+            break;
+          }
+        }
+      }
+      if (!any) continue;
+      float* val = p->value.RowPtr(r);
+      float* m = st.m.RowPtr(r);
+      float* v = st.v.RowPtr(r);
+      for (size_t j = 0; j < cols; ++j) {
+        float gj = g[j];
+        if (weight_decay_ > 0.0f) gj += weight_decay_ * val[j];
+        m[j] = beta1_ * m[j] + (1.0f - beta1_) * gj;
+        v[j] = beta2_ * v[j] + (1.0f - beta2_) * gj * gj;
+        val[j] -= alpha * m[j] / (std::sqrt(v[j]) + epsilon_);
+      }
+    }
+  }
+}
+
+}  // namespace hybridgnn

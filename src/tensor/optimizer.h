@@ -1,0 +1,85 @@
+#ifndef HYBRIDGNN_TENSOR_OPTIMIZER_H_
+#define HYBRIDGNN_TENSOR_OPTIMIZER_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/autograd.h"
+
+namespace hybridgnn {
+
+/// First-order optimizer over autograd parameters. Parameters are registered
+/// once; `Step()` consumes their accumulated gradients and `ZeroGrad()`
+/// clears them for the next iteration.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Registers a trainable parameter; ignored if already registered.
+  void AddParameter(const ag::Var& param);
+  /// Registers a batch of parameters.
+  void AddParameters(const std::vector<ag::Var>& params);
+
+  /// Applies one update using current gradients.
+  virtual void Step() = 0;
+
+  /// Zeroes all registered parameters' gradients.
+  void ZeroGrad();
+
+  size_t num_parameters() const { return params_.size(); }
+
+ protected:
+  std::vector<ag::Var> params_;
+};
+
+/// Plain stochastic gradient descent with optional L2 weight decay.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(float lr, float weight_decay = 0.0f)
+      : lr_(lr), weight_decay_(weight_decay) {}
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  float lr_;
+  float weight_decay_;
+};
+
+/// Adam (Kingma & Ba, 2015) with bias correction; the paper trains with Adam.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(float lr, float beta1 = 0.9f, float beta2 = 0.999f,
+                float epsilon = 1e-8f, float weight_decay = 0.0f)
+      : lr_(lr),
+        beta1_(beta1),
+        beta2_(beta2),
+        epsilon_(epsilon),
+        weight_decay_(weight_decay) {}
+
+  void Step() override;
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+
+ private:
+  struct State {
+    Tensor m;
+    Tensor v;
+  };
+
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  float weight_decay_;
+  int64_t t_ = 0;
+  std::unordered_map<const ag::Node*, State> state_;
+};
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_TENSOR_OPTIMIZER_H_

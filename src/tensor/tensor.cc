@@ -1,0 +1,82 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace hybridgnn {
+
+Tensor::Tensor(size_t rows, size_t cols, std::vector<float> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  HYBRIDGNN_CHECK(data_.size() == rows * cols)
+      << "Tensor data size " << data_.size() << " != " << rows << "x" << cols;
+}
+
+Tensor Tensor::Full(size_t rows, size_t cols, float value) {
+  Tensor t(rows, cols);
+  t.Fill(value);
+  return t;
+}
+
+Tensor Tensor::Eye(size_t n) {
+  Tensor t(n, n);
+  for (size_t i = 0; i < n; ++i) t.At(i, i) = 1.0f;
+  return t;
+}
+
+Tensor Tensor::Row(std::vector<float> values) {
+  size_t n = values.size();
+  return Tensor(1, n, std::move(values));
+}
+
+void Tensor::Fill(float value) {
+  for (auto& v : data_) v = value;
+}
+
+void Tensor::AddInPlace(const Tensor& other) {
+  HYBRIDGNN_CHECK(SameShape(other)) << "AddInPlace shape mismatch";
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Tensor::Axpy(float alpha, const Tensor& other) {
+  HYBRIDGNN_CHECK(SameShape(other)) << "Axpy shape mismatch";
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+}
+
+void Tensor::ScaleInPlace(float alpha) {
+  for (auto& v : data_) v *= alpha;
+}
+
+Tensor Tensor::CopyRow(size_t r) const {
+  HYBRIDGNN_CHECK(r < rows_);
+  Tensor out(1, cols_);
+  for (size_t c = 0; c < cols_; ++c) out.At(0, c) = At(r, c);
+  return out;
+}
+
+double Tensor::Sum() const {
+  double s = 0.0;
+  for (float v : data_) s += v;
+  return s;
+}
+
+double Tensor::SquaredNorm() const {
+  double s = 0.0;
+  for (float v : data_) s += static_cast<double>(v) * v;
+  return s;
+}
+
+float Tensor::AbsMax() const {
+  float m = 0.0f;
+  for (float v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+std::string Tensor::ShapeString() const {
+  return StrFormat("Tensor(%zux%zu)", rows_, cols_);
+}
+
+}  // namespace hybridgnn

@@ -1,0 +1,90 @@
+#ifndef HYBRIDGNN_TENSOR_TENSOR_H_
+#define HYBRIDGNN_TENSOR_TENSOR_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hybridgnn {
+
+/// Dense row-major float32 matrix. Vectors are represented as 1xN or Nx1.
+/// This is the only numeric container in the library; all models (HybridGNN
+/// and baselines) compute on it. Copyable and movable.
+class Tensor {
+ public:
+  /// Empty 0x0 tensor.
+  Tensor() : rows_(0), cols_(0) {}
+  /// Zero-initialized rows x cols tensor.
+  Tensor(size_t rows, size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
+  /// Takes ownership of `data`, which must have rows*cols elements.
+  Tensor(size_t rows, size_t cols, std::vector<float> data);
+
+  Tensor(const Tensor&) = default;
+  Tensor& operator=(const Tensor&) = default;
+  Tensor(Tensor&&) = default;
+  Tensor& operator=(Tensor&&) = default;
+
+  static Tensor Zeros(size_t rows, size_t cols) { return Tensor(rows, cols); }
+  static Tensor Full(size_t rows, size_t cols, float value);
+  static Tensor Ones(size_t rows, size_t cols) {
+    return Full(rows, cols, 1.0f);
+  }
+  /// Identity matrix of size n.
+  static Tensor Eye(size_t n);
+  /// 1 x values.size() row vector.
+  static Tensor Row(std::vector<float> values);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  float& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+  float At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  float& operator()(size_t r, size_t c) { return At(r, c); }
+  float operator()(size_t r, size_t c) const { return At(r, c); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float* RowPtr(size_t r) { return data_.data() + r * cols_; }
+  const float* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+
+  /// Sets every element to `value`.
+  void Fill(float value);
+  /// Sets every element to zero (keeps shape).
+  void Zero() { Fill(0.0f); }
+
+  /// this += other (shapes must match).
+  void AddInPlace(const Tensor& other);
+  /// this += alpha * other (shapes must match).
+  void Axpy(float alpha, const Tensor& other);
+  /// this *= alpha.
+  void ScaleInPlace(float alpha);
+
+  /// Returns a copy of row r as a 1 x cols tensor.
+  Tensor CopyRow(size_t r) const;
+
+  /// Sum of all elements.
+  double Sum() const;
+  /// Squared Frobenius norm.
+  double SquaredNorm() const;
+  /// Largest absolute element.
+  float AbsMax() const;
+
+  bool SameShape(const Tensor& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// "Tensor(3x4)" plus a few leading values; for debugging/logging.
+  std::string ShapeString() const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<float> data_;
+};
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_TENSOR_TENSOR_H_

@@ -1,0 +1,270 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace hybridgnn {
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  HYBRIDGNN_CHECK(a.cols() == b.rows())
+      << "MatMul " << a.ShapeString() << " x " << b.ShapeString();
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Tensor c(m, n);
+  // ikj loop order: unit-stride inner loop over both B and C rows.
+  for (size_t i = 0; i < m; ++i) {
+    float* crow = c.RowPtr(i);
+    const float* arow = a.RowPtr(i);
+    for (size_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      const float* brow = b.RowPtr(p);
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
+  HYBRIDGNN_CHECK(a.rows() == b.rows())
+      << "MatMulTransA " << a.ShapeString() << " x " << b.ShapeString();
+  const size_t k = a.rows(), m = a.cols(), n = b.cols();
+  Tensor c(m, n);
+  for (size_t p = 0; p < k; ++p) {
+    const float* arow = a.RowPtr(p);
+    const float* brow = b.RowPtr(p);
+    for (size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = c.RowPtr(i);
+      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
+  HYBRIDGNN_CHECK(a.cols() == b.cols())
+      << "MatMulTransB " << a.ShapeString() << " x " << b.ShapeString();
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  Tensor c(m, n);
+  for (size_t i = 0; i < m; ++i) {
+    const float* arow = a.RowPtr(i);
+    float* crow = c.RowPtr(i);
+    for (size_t j = 0; j < n; ++j) {
+      const float* brow = b.RowPtr(j);
+      float s = 0.0f;
+      for (size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
+      crow[j] = s;
+    }
+  }
+  return c;
+}
+
+namespace {
+
+template <typename F>
+Tensor Zip(const Tensor& a, const Tensor& b, F f, const char* what) {
+  HYBRIDGNN_CHECK(a.SameShape(b)) << what << " shape mismatch: "
+                                  << a.ShapeString() << " vs "
+                                  << b.ShapeString();
+  Tensor c(a.rows(), a.cols());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (size_t i = 0; i < a.size(); ++i) pc[i] = f(pa[i], pb[i]);
+  return c;
+}
+
+template <typename F>
+Tensor Map(const Tensor& a, F f) {
+  Tensor c(a.rows(), a.cols());
+  const float* pa = a.data();
+  float* pc = c.data();
+  for (size_t i = 0; i < a.size(); ++i) pc[i] = f(pa[i]);
+  return c;
+}
+
+}  // namespace
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return Zip(a, b, [](float x, float y) { return x + y; }, "Add");
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return Zip(a, b, [](float x, float y) { return x - y; }, "Sub");
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return Zip(a, b, [](float x, float y) { return x * y; }, "Mul");
+}
+
+Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
+  HYBRIDGNN_CHECK(bias.rows() == 1 && bias.cols() == a.cols())
+      << "AddRowBroadcast bias " << bias.ShapeString() << " vs "
+      << a.ShapeString();
+  Tensor c = a;
+  for (size_t i = 0; i < a.rows(); ++i) {
+    float* crow = c.RowPtr(i);
+    const float* brow = bias.RowPtr(0);
+    for (size_t j = 0; j < a.cols(); ++j) crow[j] += brow[j];
+  }
+  return c;
+}
+
+Tensor Scale(const Tensor& a, float alpha) {
+  return Map(a, [alpha](float x) { return alpha * x; });
+}
+
+Tensor Transpose(const Tensor& a) {
+  Tensor c(a.cols(), a.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) c.At(j, i) = a.At(i, j);
+  }
+  return c;
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return Map(a, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return Map(a, [](float x) { return std::tanh(x); });
+}
+
+Tensor Relu(const Tensor& a) {
+  return Map(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Tensor Log(const Tensor& a) {
+  return Map(a, [](float x) { return std::log(std::max(x, 1e-12f)); });
+}
+
+Tensor Exp(const Tensor& a) {
+  return Map(a, [](float x) { return std::exp(x); });
+}
+
+Tensor SoftmaxRows(const Tensor& a) {
+  Tensor c(a.rows(), a.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.RowPtr(i);
+    float* crow = c.RowPtr(i);
+    float mx = arow[0];
+    for (size_t j = 1; j < a.cols(); ++j) mx = std::max(mx, arow[j]);
+    float sum = 0.0f;
+    for (size_t j = 0; j < a.cols(); ++j) {
+      crow[j] = std::exp(arow[j] - mx);
+      sum += crow[j];
+    }
+    const float inv = 1.0f / sum;
+    for (size_t j = 0; j < a.cols(); ++j) crow[j] *= inv;
+  }
+  return c;
+}
+
+Tensor RowwiseDot(const Tensor& a, const Tensor& b) {
+  HYBRIDGNN_CHECK(a.SameShape(b)) << "RowwiseDot shape mismatch";
+  Tensor c(a.rows(), 1);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const float* pa = a.RowPtr(i);
+    const float* pb = b.RowPtr(i);
+    float s = 0.0f;
+    for (size_t j = 0; j < a.cols(); ++j) s += pa[j] * pb[j];
+    c.At(i, 0) = s;
+  }
+  return c;
+}
+
+Tensor MeanRows(const Tensor& a) {
+  HYBRIDGNN_CHECK(a.rows() > 0) << "MeanRows of empty tensor";
+  Tensor c = SumRows(a);
+  c.ScaleInPlace(1.0f / static_cast<float>(a.rows()));
+  return c;
+}
+
+Tensor SumRows(const Tensor& a) {
+  Tensor c(1, a.cols());
+  float* crow = c.RowPtr(0);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const float* arow = a.RowPtr(i);
+    for (size_t j = 0; j < a.cols(); ++j) crow[j] += arow[j];
+  }
+  return c;
+}
+
+Tensor GatherRows(const Tensor& table, const std::vector<int32_t>& indices) {
+  Tensor c(indices.size(), table.cols());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int32_t r = indices[i];
+    HYBRIDGNN_CHECK(r >= 0 && static_cast<size_t>(r) < table.rows())
+        << "GatherRows index " << r << " out of range " << table.rows();
+    const float* src = table.RowPtr(static_cast<size_t>(r));
+    float* dst = c.RowPtr(i);
+    std::copy(src, src + table.cols(), dst);
+  }
+  return c;
+}
+
+Tensor ConcatRows(const std::vector<Tensor>& parts) {
+  HYBRIDGNN_CHECK(!parts.empty()) << "ConcatRows of empty list";
+  const size_t cols = parts[0].cols();
+  size_t rows = 0;
+  for (const auto& p : parts) {
+    HYBRIDGNN_CHECK(p.cols() == cols) << "ConcatRows column mismatch";
+    rows += p.rows();
+  }
+  Tensor c(rows, cols);
+  size_t at = 0;
+  for (const auto& p : parts) {
+    std::copy(p.data(), p.data() + p.size(), c.RowPtr(at));
+    at += p.rows();
+  }
+  return c;
+}
+
+Tensor ConcatCols(const std::vector<Tensor>& parts) {
+  HYBRIDGNN_CHECK(!parts.empty()) << "ConcatCols of empty list";
+  const size_t rows = parts[0].rows();
+  size_t cols = 0;
+  for (const auto& p : parts) {
+    HYBRIDGNN_CHECK(p.rows() == rows) << "ConcatCols row mismatch";
+    cols += p.cols();
+  }
+  Tensor c(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    size_t at = 0;
+    for (const auto& p : parts) {
+      const float* src = p.RowPtr(i);
+      std::copy(src, src + p.cols(), c.RowPtr(i) + at);
+      at += p.cols();
+    }
+  }
+  return c;
+}
+
+void L2NormalizeRowsInPlace(Tensor& a) {
+  for (size_t i = 0; i < a.rows(); ++i) {
+    float* row = a.RowPtr(i);
+    double s = 0.0;
+    for (size_t j = 0; j < a.cols(); ++j) s += static_cast<double>(row[j]) * row[j];
+    if (s < 1e-24) continue;
+    const float inv = static_cast<float>(1.0 / std::sqrt(s));
+    for (size_t j = 0; j < a.cols(); ++j) row[j] *= inv;
+  }
+}
+
+float CosineSimilarity(const Tensor& a, const Tensor& b) {
+  HYBRIDGNN_CHECK(a.rows() == 1 && b.rows() == 1 && a.cols() == b.cols())
+      << "CosineSimilarity expects equal-length row vectors";
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (size_t j = 0; j < a.cols(); ++j) {
+    dot += static_cast<double>(a.At(0, j)) * b.At(0, j);
+    na += static_cast<double>(a.At(0, j)) * a.At(0, j);
+    nb += static_cast<double>(b.At(0, j)) * b.At(0, j);
+  }
+  if (na < 1e-24 || nb < 1e-24) return 0.0f;
+  return static_cast<float>(dot / (std::sqrt(na) * std::sqrt(nb)));
+}
+
+}  // namespace hybridgnn

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/rng.h"
+#include "tensor/autograd.h"
+#include "tensor/init.h"
+
+namespace hybridgnn {
+namespace {
+
+using ag::Var;
+
+/// Checks analytic gradients of `loss_fn` against central finite differences
+/// for every entry of every parameter. `loss_fn` must rebuild the graph from
+/// the parameters' *current values* on each call.
+void CheckGradients(const std::vector<Var>& params,
+                    const std::function<Var()>& loss_fn, float tol = 2e-2f) {
+  for (const Var& p : params) p->ZeroGrad();
+  Var loss = loss_fn();
+  ag::Backward(loss);
+  const float eps = 1e-3f;
+  for (const Var& p : params) {
+    ASSERT_FALSE(p->grad.empty()) << "parameter received no gradient";
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      const float saved = p->value.data()[i];
+      p->value.data()[i] = saved + eps;
+      const float up = loss_fn()->value.At(0, 0);
+      p->value.data()[i] = saved - eps;
+      const float down = loss_fn()->value.At(0, 0);
+      p->value.data()[i] = saved;
+      const float numeric = (up - down) / (2.0f * eps);
+      const float analytic = p->grad.data()[i];
+      EXPECT_NEAR(analytic, numeric,
+                  tol * std::max(1.0f, std::abs(numeric)))
+          << "entry " << i;
+    }
+  }
+}
+
+Var MakeParam(size_t r, size_t c, uint64_t seed) {
+  Rng rng(seed);
+  Tensor t(r, c);
+  UniformInit(t, rng, -0.8f, 0.8f);
+  return ag::Param(std::move(t));
+}
+
+TEST(AutogradTest, BackwardRequiresScalarRoot) {
+  Var a = ag::Param(Tensor::Ones(1, 1));
+  Var b = ag::Scale(a, 2.0f);
+  ag::Backward(b);
+  EXPECT_FLOAT_EQ(a->grad.At(0, 0), 2.0f);
+}
+
+TEST(AutogradTest, ConstantGetsNoGradient) {
+  Var c = ag::Constant(Tensor::Ones(2, 2));
+  Var p = ag::Param(Tensor::Ones(2, 2));
+  Var loss = ag::SumAll(ag::Mul(c, p));
+  ag::Backward(loss);
+  EXPECT_TRUE(c->grad.empty());
+  EXPECT_FALSE(p->grad.empty());
+}
+
+TEST(AutogradTest, GradientsAccumulateAcrossBackwardCalls) {
+  Var p = ag::Param(Tensor::Ones(1, 1));
+  for (int i = 0; i < 2; ++i) {
+    Var loss = ag::Scale(p, 3.0f);
+    ag::Backward(loss);
+  }
+  EXPECT_FLOAT_EQ(p->grad.At(0, 0), 6.0f);
+  p->ZeroGrad();
+  EXPECT_FLOAT_EQ(p->grad.At(0, 0), 0.0f);
+}
+
+TEST(AutogradTest, DiamondGraphAccumulates) {
+  // loss = sum(p * p_used_twice): d/dp = 2p handled via two paths.
+  Var p = ag::Param(Tensor::Full(1, 1, 3.0f));
+  Var loss = ag::SumAll(ag::Mul(p, p));
+  ag::Backward(loss);
+  EXPECT_FLOAT_EQ(p->grad.At(0, 0), 6.0f);
+}
+
+TEST(AutogradGradCheck, MatMul) {
+  Var a = MakeParam(3, 4, 1);
+  Var b = MakeParam(4, 2, 2);
+  CheckGradients({a, b},
+                 [&] { return ag::SumAll(ag::MatMul(a, b)); });
+}
+
+TEST(AutogradGradCheck, AddSubMul) {
+  Var a = MakeParam(2, 3, 3);
+  Var b = MakeParam(2, 3, 4);
+  CheckGradients({a, b}, [&] {
+    return ag::SumAll(ag::Mul(ag::Add(a, b), ag::Sub(a, b)));
+  });
+}
+
+TEST(AutogradGradCheck, AddRowBroadcast) {
+  Var a = MakeParam(3, 2, 5);
+  Var bias = MakeParam(1, 2, 6);
+  CheckGradients({a, bias}, [&] {
+    return ag::SumAll(ag::Sigmoid(ag::AddRowBroadcast(a, bias)));
+  });
+}
+
+TEST(AutogradGradCheck, Activations) {
+  Var a = MakeParam(2, 3, 7);
+  CheckGradients({a}, [&] { return ag::SumAll(ag::Sigmoid(a)); });
+  CheckGradients({a}, [&] { return ag::SumAll(ag::Tanh(a)); });
+  CheckGradients({a}, [&] { return ag::SumAll(ag::LogSigmoid(a)); });
+}
+
+TEST(AutogradGradCheck, SoftmaxRows) {
+  Var a = MakeParam(2, 4, 8);
+  Var w = MakeParam(2, 4, 9);
+  CheckGradients({a}, [&] {
+    return ag::SumAll(ag::Mul(ag::SoftmaxRows(a), w));
+  });
+}
+
+TEST(AutogradGradCheck, RowwiseDot) {
+  Var a = MakeParam(3, 4, 10);
+  Var b = MakeParam(3, 4, 11);
+  CheckGradients({a, b}, [&] {
+    return ag::SumAll(ag::Sigmoid(ag::RowwiseDot(a, b)));
+  });
+}
+
+TEST(AutogradGradCheck, MeanAndSumRows) {
+  Var a = MakeParam(3, 3, 12);
+  CheckGradients({a}, [&] { return ag::SumAll(ag::MeanRows(a)); });
+  CheckGradients({a}, [&] { return ag::MeanAll(ag::SumRows(a)); });
+}
+
+TEST(AutogradGradCheck, ConcatAndSlice) {
+  Var a = MakeParam(2, 3, 13);
+  Var b = MakeParam(1, 3, 14);
+  CheckGradients({a, b}, [&] {
+    Var cat = ag::ConcatRows({a, b});
+    return ag::SumAll(ag::Sigmoid(ag::SliceRows(cat, 1, 2)));
+  });
+}
+
+TEST(AutogradGradCheck, ConcatCols) {
+  Var a = MakeParam(2, 2, 15);
+  Var b = MakeParam(2, 3, 16);
+  CheckGradients({a, b}, [&] {
+    return ag::SumAll(ag::Tanh(ag::ConcatCols({a, b})));
+  });
+}
+
+TEST(AutogradGradCheck, GatherRowsAccumulatesDuplicates) {
+  Var table = MakeParam(4, 3, 17);
+  CheckGradients({table}, [&] {
+    return ag::SumAll(ag::Sigmoid(ag::GatherRows(table, {1, 1, 3})));
+  });
+}
+
+TEST(AutogradGradCheck, Transpose) {
+  Var a = MakeParam(2, 3, 18);
+  Var b = MakeParam(2, 3, 19);
+  CheckGradients({a, b}, [&] {
+    return ag::SumAll(ag::MatMul(ag::Transpose(a), b));
+  });
+}
+
+TEST(AutogradGradCheck, AttentionShapedComposite) {
+  // Mimics the hierarchical attention block: softmax(QK^T/s)V.
+  Var h = MakeParam(3, 4, 20);
+  Var wq = MakeParam(4, 2, 21);
+  Var wk = MakeParam(4, 2, 22);
+  Var wv = MakeParam(4, 2, 23);
+  CheckGradients({h, wq, wk, wv}, [&] {
+    Var q = ag::MatMul(h, wq);
+    Var k = ag::MatMul(h, wk);
+    Var v = ag::MatMul(h, wv);
+    Var attn = ag::SoftmaxRows(
+        ag::Scale(ag::MatMul(q, ag::Transpose(k)), 0.7071f));
+    return ag::MeanAll(ag::MatMul(attn, v));
+  });
+}
+
+TEST(AutogradGradCheck, BceWithLogits) {
+  Var logits = MakeParam(4, 1, 24);
+  std::vector<float> targets = {1.0f, 0.0f, 1.0f, 0.0f};
+  CheckGradients({logits},
+                 [&] { return ag::BceWithLogits(logits, targets); });
+}
+
+TEST(AutogradGradCheck, SgnsLoss) {
+  Var pos = MakeParam(3, 1, 25);
+  Var neg = MakeParam(5, 1, 26);
+  CheckGradients({pos, neg}, [&] { return ag::SgnsLoss(pos, neg); });
+}
+
+TEST(AutogradTest, SgnsLossHandlesMissingSides) {
+  Var pos = MakeParam(3, 1, 27);
+  Var loss_pos_only = ag::SgnsLoss(pos, nullptr);
+  EXPECT_GT(loss_pos_only->value.At(0, 0), 0.0f);
+  Var neg = MakeParam(3, 1, 28);
+  Var loss_neg_only = ag::SgnsLoss(nullptr, neg);
+  EXPECT_GT(loss_neg_only->value.At(0, 0), 0.0f);
+}
+
+TEST(AutogradTest, BceMatchesManualComputation) {
+  Tensor t(2, 1);
+  t.At(0, 0) = 2.0f;
+  t.At(1, 0) = -1.0f;
+  Var logits = ag::Param(std::move(t));
+  Var loss = ag::BceWithLogits(logits, {1.0f, 0.0f});
+  const float expected =
+      0.5f * (std::log1p(std::exp(-2.0f)) + std::log1p(std::exp(-1.0f)));
+  EXPECT_NEAR(loss->value.At(0, 0), expected, 1e-5);
+}
+
+}  // namespace
+}  // namespace hybridgnn

@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/gatne.h"
+#include "baselines/registry.h"
+#include "data/profiles.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+
+namespace hybridgnn {
+namespace {
+
+/// Shared small dataset + split for all baseline smoke tests.
+class BaselinesTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto ds = MakeDataset("taobao", 0.08, 21);
+    ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+    dataset_ = new Dataset(std::move(ds).value());
+    Rng rng(22);
+    // Classic random-negative protocol for the smoke test: every model must
+    // comfortably beat chance on it regardless of relation awareness.
+    SplitOptions options;
+    options.hard_negative_fraction = 0.0;
+    auto split = SplitEdges(dataset_->graph, options, rng);
+    ASSERT_TRUE(split.ok()) << split.status().ToString();
+    split_ = new LinkSplit(std::move(split).value());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete split_;
+    dataset_ = nullptr;
+    split_ = nullptr;
+  }
+
+  static ModelBudget TinyBudget() {
+    ModelBudget b;
+    b.effort = 0.25;
+    b.num_walks = 2;
+    b.walk_length = 5;
+    b.window = 2;
+    b.max_pairs_per_epoch = 2000;
+    return b;
+  }
+
+  static Dataset* dataset_;
+  static LinkSplit* split_;
+};
+
+Dataset* BaselinesTest::dataset_ = nullptr;
+LinkSplit* BaselinesTest::split_ = nullptr;
+
+TEST_F(BaselinesTest, RegistryKnowsTenModels) {
+  EXPECT_EQ(AllModelNames().size(), 10u);
+  EXPECT_FALSE(CreateModel("NotAModel", {}, 1, TinyBudget()).ok());
+}
+
+class BaselineModelTest
+    : public BaselinesTest,
+      public ::testing::WithParamInterface<std::string> {};
+
+TEST_P(BaselineModelTest, FitsAndBeatsRandomGuessing) {
+  const std::string name = GetParam();
+  auto model = CreateModel(name, dataset_->schemes, 99, TinyBudget());
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  EXPECT_EQ((*model)->name(), name);
+  ASSERT_TRUE((*model)->Fit(split_->train_graph).ok());
+
+  // Embeddings finite.
+  Tensor e = (*model)->Embedding(0, 0);
+  EXPECT_EQ(e.rows(), 1u);
+  EXPECT_TRUE(std::isfinite(e.Sum()));
+
+  // Even with a tiny budget, every model must beat coin-flip AUC on the
+  // community-structured synthetic data under the classic protocol.
+  Rng rng(7);
+  EvalOptions opts;
+  opts.max_ranking_queries = 20;
+  LinkPredictionResult r = EvaluateLinkPrediction(
+      **model, dataset_->graph, *split_, opts, rng);
+  EXPECT_GT(r.roc_auc, 45.0) << name << " ROC-AUC " << r.roc_auc;
+  if (name == "HybridGNN") {
+    EXPECT_GT(r.roc_auc, 52.0) << "HybridGNN must clearly beat chance";
+  }
+  EXPECT_TRUE(std::isfinite(r.pr_auc));
+  EXPECT_TRUE(std::isfinite(r.f1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModels, BaselineModelTest,
+    ::testing::Values("DeepWalk", "node2vec", "LINE", "GCN", "GraphSage",
+                      "HAN", "MAGNN", "R-GCN", "GATNE", "HybridGNN"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& ch : name) {
+        if (!std::isalnum(static_cast<unsigned char>(ch))) ch = '_';
+      }
+      return name;
+    });
+
+TEST_F(BaselinesTest, RgcnScoreIsRelationSpecific) {
+  auto model = CreateModel("R-GCN", dataset_->schemes, 5, TinyBudget());
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE((*model)->Fit(split_->train_graph).ok());
+  // DistMult diag differs across relations, so at least one pair must get
+  // different scores under different relations.
+  bool differs = false;
+  for (NodeId u = 0; u < 20 && !differs; ++u) {
+    const double s0 = (*model)->Score(u, u + 1, 0);
+    const double s1 = (*model)->Score(u, u + 1, 1);
+    differs = std::abs(s0 - s1) > 1e-9;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST_F(BaselinesTest, GatneEmbeddingsAreRelationSpecific) {
+  Gatne::Options o;
+  o.epochs = 3;
+  o.pretrain_base = false;
+  o.freeze_pretrained = false;
+  o.restore_best = false;
+  o.corpus.num_walks_per_node = 2;
+  o.corpus.walk_length = 5;
+  o.corpus.window = 2;
+  o.max_pairs_per_epoch = 2000;
+  o.seed = 5;
+  auto model = StatusOr<std::unique_ptr<EmbeddingModel>>(
+      std::unique_ptr<EmbeddingModel>(new Gatne(o, dataset_->schemes)));
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE((*model)->Fit(split_->train_graph).ok());
+  double max_diff = 0.0;
+  for (NodeId v = 0; v < 20; ++v) {
+    Tensor a = (*model)->Embedding(v, 0);
+    Tensor b = (*model)->Embedding(v, 1);
+    for (size_t j = 0; j < a.cols(); ++j) {
+      max_diff = std::max(max_diff,
+                          std::abs(double(a.At(0, j)) - b.At(0, j)));
+    }
+  }
+  EXPECT_GT(max_diff, 1e-6);
+}
+
+TEST_F(BaselinesTest, DeepWalkIsRelationBlind) {
+  auto model = CreateModel("DeepWalk", dataset_->schemes, 5, TinyBudget());
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE((*model)->Fit(split_->train_graph).ok());
+  Tensor a = (*model)->Embedding(3, 0);
+  Tensor b = (*model)->Embedding(3, 1);
+  for (size_t j = 0; j < a.cols(); ++j) {
+    EXPECT_EQ(a.At(0, j), b.At(0, j));
+  }
+}
+
+TEST_F(BaselinesTest, ModelsFailGracefullyOnDegenerateInput) {
+  GraphBuilder b;
+  NodeTypeId t = b.AddNodeType("n").value();
+  RelationId r = b.AddRelation("r").value();
+  ASSERT_TRUE(b.AddNodes(t, 3).ok());
+  (void)r;
+  auto edgeless = b.Build();
+  ASSERT_TRUE(edgeless.ok());
+  for (const auto& name : AllModelNames()) {
+    auto model = CreateModel(name, {}, 1, TinyBudget());
+    ASSERT_TRUE(model.ok());
+    EXPECT_FALSE((*model)->Fit(*edgeless).ok()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace hybridgnn

@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/profiles.h"
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "graph/stats.h"
+
+namespace hybridgnn {
+namespace {
+
+SyntheticConfig TinyConfig(uint64_t seed = 1) {
+  SyntheticConfig c;
+  c.node_types = {{"user", 60}, {"item", 40}};
+  c.blocks = {
+      {"view", "user", "item", 300, 0.1},
+      {"buy", "user", "item", 150, 0.1},
+  };
+  c.num_communities = 4;
+  c.seed = seed;
+  return c;
+}
+
+TEST(SyntheticTest, GeneratesRequestedSchema) {
+  auto g = GenerateSynthetic(TinyConfig());
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->num_nodes(), 100u);
+  EXPECT_EQ(g->num_node_types(), 2u);
+  EXPECT_EQ(g->num_relations(), 2u);
+  // Realized edge counts close to spec (dedup can shave a little).
+  EXPECT_GE(g->EdgesOfRelation(0).size(), 250u);
+  EXPECT_LE(g->EdgesOfRelation(0).size(), 300u);
+}
+
+TEST(SyntheticTest, DeterministicInSeed) {
+  auto g1 = GenerateSynthetic(TinyConfig(7));
+  auto g2 = GenerateSynthetic(TinyConfig(7));
+  ASSERT_TRUE(g1.ok() && g2.ok());
+  EXPECT_EQ(g1->num_edges(), g2->num_edges());
+  for (size_t i = 0; i < g1->edges().size(); ++i) {
+    EXPECT_TRUE(g1->edges()[i] == g2->edges()[i]);
+  }
+  auto g3 = GenerateSynthetic(TinyConfig(8));
+  ASSERT_TRUE(g3.ok());
+  bool differs = g3->num_edges() != g1->num_edges();
+  if (!differs) {
+    for (size_t i = 0; i < g1->edges().size(); ++i) {
+      if (!(g1->edges()[i] == g3->edges()[i])) {
+        differs = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(SyntheticTest, EdgesRespectTypeEndpoints) {
+  auto g = GenerateSynthetic(TinyConfig());
+  ASSERT_TRUE(g.ok());
+  for (const auto& e : g->edges()) {
+    // All blocks are user-item.
+    std::set<NodeTypeId> types = {g->node_type(e.src), g->node_type(e.dst)};
+    EXPECT_EQ(types, (std::set<NodeTypeId>{0, 1}));
+  }
+}
+
+TEST(SyntheticTest, ValidationErrors) {
+  SyntheticConfig empty;
+  EXPECT_FALSE(GenerateSynthetic(empty).ok());
+  SyntheticConfig no_blocks;
+  no_blocks.node_types = {{"n", 10}};
+  EXPECT_FALSE(GenerateSynthetic(no_blocks).ok());
+  SyntheticConfig bad_block = TinyConfig();
+  bad_block.blocks.push_back({"x", "ghost", "item", 10, 0.0});
+  EXPECT_FALSE(GenerateSynthetic(bad_block).ok());
+}
+
+TEST(SyntheticTest, CommunityStructureIsPlanted) {
+  // With zero noise and strong communities, same-community edges dominate:
+  // verify via clustering proxy — edges under the two relations share
+  // endpoints far more often than random (multiplex pairs exist).
+  SyntheticConfig c = TinyConfig();
+  c.blocks[0].noise = 0.0;
+  c.blocks[1].noise = 0.0;
+  c.inter_relation_correlation = 1.0;
+  c.community_strength = 50.0;
+  auto g = GenerateSynthetic(c);
+  ASSERT_TRUE(g.ok());
+  GraphStats s = ComputeStats(*g);
+  EXPECT_GT(s.multiplex_pair_fraction, 0.01);
+}
+
+TEST(ProfilesTest, AllProfilesBuild) {
+  for (const auto& name : DatasetProfileNames()) {
+    auto ds = MakeDataset(name, 0.2, 42);
+    ASSERT_TRUE(ds.ok()) << name << ": " << ds.status().ToString();
+    EXPECT_EQ(ds->name, name);
+    EXPECT_GT(ds->graph.num_edges(), 0u);
+    EXPECT_FALSE(ds->schemes.empty());
+    for (const auto& s : ds->schemes) {
+      EXPECT_TRUE(s.Validate(ds->graph).ok());
+      EXPECT_TRUE(s.IsIntraRelationship());
+    }
+  }
+}
+
+TEST(ProfilesTest, SchemaMatchesPaperTable2) {
+  auto amazon = MakeDataset("amazon", 0.2, 1);
+  ASSERT_TRUE(amazon.ok());
+  EXPECT_EQ(amazon->graph.num_node_types(), 1u);
+  EXPECT_EQ(amazon->graph.num_relations(), 2u);
+
+  auto youtube = MakeDataset("youtube", 0.2, 1);
+  ASSERT_TRUE(youtube.ok());
+  EXPECT_EQ(youtube->graph.num_node_types(), 1u);
+  EXPECT_EQ(youtube->graph.num_relations(), 5u);
+
+  auto imdb = MakeDataset("imdb", 0.2, 1);
+  ASSERT_TRUE(imdb.ok());
+  EXPECT_EQ(imdb->graph.num_node_types(), 3u);
+  EXPECT_EQ(imdb->graph.num_relations(), 1u);
+  EXPECT_EQ(imdb->schemes.size(), 6u);  // M-D-M ... A-M-D-M-A
+
+  auto taobao = MakeDataset("taobao", 0.2, 1);
+  ASSERT_TRUE(taobao.ok());
+  EXPECT_EQ(taobao->graph.num_node_types(), 2u);
+  EXPECT_EQ(taobao->graph.num_relations(), 4u);
+
+  auto kuaishou = MakeDataset("kuaishou", 0.2, 1);
+  ASSERT_TRUE(kuaishou.ok());
+  EXPECT_EQ(kuaishou->graph.num_node_types(), 3u);
+  EXPECT_EQ(kuaishou->graph.num_relations(), 4u);
+}
+
+TEST(ProfilesTest, UnknownProfileRejected) {
+  EXPECT_FALSE(MakeDataset("netflix", 1.0, 1).ok());
+  EXPECT_FALSE(ProfileConfig("netflix", 1.0, 1).ok());
+}
+
+TEST(ProfilesTest, ScaleChangesSize) {
+  auto small = MakeDataset("amazon", 0.1, 3);
+  auto large = MakeDataset("amazon", 0.3, 3);
+  ASSERT_TRUE(small.ok() && large.ok());
+  EXPECT_LT(small->graph.num_nodes(), large->graph.num_nodes());
+  EXPECT_LT(small->graph.num_edges(), large->graph.num_edges());
+}
+
+TEST(SplitTest, FractionsRespectedPerRelation) {
+  auto g = GenerateSynthetic(TinyConfig());
+  ASSERT_TRUE(g.ok());
+  Rng rng(5);
+  SplitOptions options;
+  auto split = SplitEdges(*g, options, rng);
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+  const size_t total = split->train_edges.size() + split->val_pos.size() +
+                       split->test_pos.size();
+  EXPECT_EQ(total, g->num_edges());
+  EXPECT_NEAR(static_cast<double>(split->test_pos.size()) / total, 0.10,
+              0.03);
+  EXPECT_NEAR(static_cast<double>(split->val_pos.size()) / total, 0.05,
+              0.03);
+  // Every relation appears in the test set.
+  std::set<RelationId> rels;
+  for (const auto& e : split->test_pos) rels.insert(e.rel);
+  EXPECT_EQ(rels.size(), g->num_relations());
+}
+
+TEST(SplitTest, NegativesAreTrueNonEdgesOfMatchingType) {
+  auto g = GenerateSynthetic(TinyConfig());
+  ASSERT_TRUE(g.ok());
+  Rng rng(6);
+  auto split = SplitEdges(*g, SplitOptions{}, rng);
+  ASSERT_TRUE(split.ok());
+  ASSERT_EQ(split->test_neg.size(), split->test_pos.size());
+  for (size_t i = 0; i < split->test_neg.size(); ++i) {
+    const auto& neg = split->test_neg[i];
+    EXPECT_FALSE(g->HasEdge(neg.src, neg.dst, neg.rel));
+    EXPECT_EQ(neg.rel, split->test_pos[i].rel);
+  }
+}
+
+TEST(SplitTest, TrainGraphContainsOnlyTrainEdges) {
+  auto g = GenerateSynthetic(TinyConfig());
+  ASSERT_TRUE(g.ok());
+  Rng rng(7);
+  auto split = SplitEdges(*g, SplitOptions{}, rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->train_graph.num_nodes(), g->num_nodes());
+  EXPECT_EQ(split->train_graph.num_edges(), split->train_edges.size());
+  for (const auto& e : split->test_pos) {
+    EXPECT_FALSE(split->train_graph.HasEdge(e.src, e.dst, e.rel));
+  }
+}
+
+TEST(SplitTest, DeterministicGivenSeed) {
+  auto g = GenerateSynthetic(TinyConfig());
+  ASSERT_TRUE(g.ok());
+  Rng rng1(9), rng2(9);
+  auto s1 = SplitEdges(*g, SplitOptions{}, rng1);
+  auto s2 = SplitEdges(*g, SplitOptions{}, rng2);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  ASSERT_EQ(s1->test_pos.size(), s2->test_pos.size());
+  for (size_t i = 0; i < s1->test_pos.size(); ++i) {
+    EXPECT_TRUE(s1->test_pos[i] == s2->test_pos[i]);
+  }
+}
+
+TEST(SplitTest, RejectsBadFractionsAndTinyRelations) {
+  auto g = GenerateSynthetic(TinyConfig());
+  ASSERT_TRUE(g.ok());
+  Rng rng(10);
+  SplitOptions bad;
+  bad.val_fraction = 0.6;
+  bad.test_fraction = 0.6;
+  EXPECT_FALSE(SplitEdges(*g, bad, rng).ok());
+
+  GraphBuilder b;
+  NodeTypeId t = b.AddNodeType("n").value();
+  RelationId r = b.AddRelation("r").value();
+  EXPECT_TRUE(b.AddNodes(t, 5).ok());
+  EXPECT_TRUE(b.AddEdge(0, 1, r).ok());
+  auto tiny = b.Build();
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_FALSE(SplitEdges(*tiny, SplitOptions{}, rng).ok());
+}
+
+}  // namespace
+}  // namespace hybridgnn

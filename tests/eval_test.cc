@@ -1,0 +1,215 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/split.h"
+#include "data/synthetic.h"
+#include "eval/evaluator.h"
+#include "eval/metrics.h"
+#include "eval/stats_test.h"
+
+namespace hybridgnn {
+namespace {
+
+// ---------- Classification metrics ----------
+
+TEST(MetricsTest, RocAucPerfectSeparation) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.9, 0.8}, {0.1, 0.2}), 1.0);
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.2}, {0.9, 0.8}), 0.0);
+}
+
+TEST(MetricsTest, RocAucRandomIsHalf) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.5}, {0.5}), 0.5);  // full tie -> midrank
+  EXPECT_NEAR(RocAuc({0.3, 0.7}, {0.3, 0.7}), 0.5, 1e-9);
+}
+
+TEST(MetricsTest, RocAucHandlesTiesWithMidranks) {
+  // pos: {1, 0}, neg: {0}. P(pos>neg)=1/2, P(=)=1/2 -> AUC 0.75.
+  EXPECT_NEAR(RocAuc({1.0, 0.0}, {0.0}), 0.75, 1e-9);
+}
+
+TEST(MetricsTest, PrAucPerfectAndWorst) {
+  EXPECT_DOUBLE_EQ(PrAuc({0.9, 0.8}, {0.1}), 1.0);
+  // Positives ranked last among 3: AP = (1/2 + 2/3)/2... compute: positions
+  // 2,3 -> (1/2 + 2/3)/2 = 7/12.
+  EXPECT_NEAR(PrAuc({0.1, 0.2}, {0.9}), 7.0 / 12.0, 1e-9);
+}
+
+TEST(MetricsTest, BestF1PerfectSeparation) {
+  EXPECT_DOUBLE_EQ(BestF1({0.9, 0.8}, {0.1, 0.2}), 1.0);
+}
+
+TEST(MetricsTest, BestF1FindsInteriorThreshold) {
+  // pos = {0.9, 0.6}, neg = {0.7, 0.1}. Best threshold ~0.6 ->
+  // tp=2, fp=1, fn=0 -> F1 = 2*2/(2*2+1) = 0.8.
+  EXPECT_NEAR(BestF1({0.9, 0.6}, {0.7, 0.1}), 0.8, 1e-9);
+}
+
+TEST(MetricsTest, MetricsAtThreshold) {
+  ThresholdMetrics m = MetricsAtThreshold({0.9, 0.4}, {0.6, 0.1}, 0.5);
+  EXPECT_NEAR(m.precision, 0.5, 1e-9);  // tp=1, fp=1
+  EXPECT_NEAR(m.recall, 0.5, 1e-9);     // fn=1
+  EXPECT_NEAR(m.f1, 0.5, 1e-9);
+  EXPECT_NEAR(m.accuracy, 0.5, 1e-9);
+}
+
+TEST(MetricsTest, PrecisionAndHitRatioAtK) {
+  std::vector<bool> hits = {true, false, true, false, false};
+  EXPECT_NEAR(PrecisionAtK(hits, 5), 0.4, 1e-9);
+  EXPECT_NEAR(PrecisionAtK(hits, 2), 0.5, 1e-9);
+  EXPECT_NEAR(HitRatioAtK(hits, 5, 4), 0.5, 1e-9);
+  EXPECT_NEAR(HitRatioAtK(hits, 5, 0), 0.0, 1e-9);
+  // Fewer candidates than K: denominator is still K for precision.
+  EXPECT_NEAR(PrecisionAtK({true}, 10), 0.1, 1e-9);
+}
+
+TEST(MetricsTest, MeanAndStdDev) {
+  EXPECT_DOUBLE_EQ(Mean({1, 2, 3}), 2.0);
+  EXPECT_NEAR(SampleStdDev({1, 2, 3}), 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(SampleStdDev({5}), 0.0);
+}
+
+// ---------- Statistical tests ----------
+
+TEST(StatsTest, IncompleteBetaKnownValues) {
+  EXPECT_NEAR(RegularizedIncompleteBeta(1, 1, 0.3), 0.3, 1e-9);  // uniform
+  EXPECT_NEAR(RegularizedIncompleteBeta(2, 2, 0.5), 0.5, 1e-9);  // symmetric
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2, 3, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(RegularizedIncompleteBeta(2, 3, 1.0), 1.0);
+}
+
+TEST(StatsTest, StudentTPValueMatchesTables) {
+  // t=2.0, df=10 -> two-sided p ~ 0.0734.
+  EXPECT_NEAR(StudentTPValue(2.0, 10), 0.0734, 0.001);
+  // t=0 -> p=1.
+  EXPECT_NEAR(StudentTPValue(0.0, 5), 1.0, 1e-9);
+}
+
+TEST(StatsTest, WelchDetectsObviousDifference) {
+  std::vector<double> a = {10.0, 10.1, 9.9, 10.2, 9.8, 10.0};
+  std::vector<double> b = {5.0, 5.1, 4.9, 5.2, 4.8, 5.0};
+  TTestResult r = WelchTTest(a, b);
+  EXPECT_LT(r.p_value, 0.001);
+  EXPECT_GT(r.t_statistic, 10.0);
+}
+
+TEST(StatsTest, WelchNoDifference) {
+  std::vector<double> a = {1.0, 1.2, 0.9, 1.1};
+  TTestResult r = WelchTTest(a, a);
+  EXPECT_GT(r.p_value, 0.9);
+}
+
+TEST(StatsTest, PairedTTestDetectsConsistentDelta) {
+  std::vector<double> a = {1.01, 2.02, 3.01, 4.02, 5.01};
+  std::vector<double> b = {1.00, 2.00, 3.00, 4.00, 5.00};
+  TTestResult r = PairedTTest(a, b);
+  EXPECT_LT(r.p_value, 0.01);
+}
+
+TEST(StatsTest, DegenerateSamplesHandled) {
+  TTestResult r = WelchTTest({1.0}, {2.0});
+  EXPECT_EQ(r.p_value, 1.0);  // too few samples
+  TTestResult same = WelchTTest({1.0, 1.0, 1.0}, {1.0, 1.0, 1.0});
+  EXPECT_EQ(same.p_value, 1.0);
+}
+
+// ---------- Evaluator with a planted oracle model ----------
+
+/// Oracle that scores true full-graph edges high — an upper bound that the
+/// evaluator must rank near-perfectly.
+class OracleModel : public EmbeddingModel {
+ public:
+  explicit OracleModel(const MultiplexHeteroGraph& g) : g_(&g) {}
+  std::string name() const override { return "Oracle"; }
+  Status Fit(const MultiplexHeteroGraph&) override { return Status::OK(); }
+  Tensor Embedding(NodeId v, RelationId r) const override {
+    return Tensor::Ones(1, 2);
+  }
+  double Score(NodeId u, NodeId v, RelationId r) const override {
+    return g_->HasEdge(u, v, r) ? 1.0 : 0.0;
+  }
+
+ private:
+  const MultiplexHeteroGraph* g_;
+};
+
+/// Anti-oracle: inverted scores — the evaluator must report ~0 AUC.
+class AntiOracleModel : public OracleModel {
+ public:
+  explicit AntiOracleModel(const MultiplexHeteroGraph& g)
+      : OracleModel(g), g_(&g) {}
+  double Score(NodeId u, NodeId v, RelationId r) const override {
+    return g_->HasEdge(u, v, r) ? 0.0 : 1.0;
+  }
+
+ private:
+  const MultiplexHeteroGraph* g_;
+};
+
+class EvaluatorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SyntheticConfig c;
+    c.node_types = {{"user", 50}, {"item", 30}};
+    c.blocks = {{"view", "user", "item", 250, 0.1},
+                {"buy", "user", "item", 120, 0.1}};
+    c.seed = 3;
+    auto g = GenerateSynthetic(c);
+    ASSERT_TRUE(g.ok());
+    graph_ = std::move(g).value();
+    Rng rng(4);
+    auto split = SplitEdges(graph_, SplitOptions{}, rng);
+    ASSERT_TRUE(split.ok());
+    split_ = std::move(split).value();
+  }
+
+  MultiplexHeteroGraph graph_;
+  LinkSplit split_;
+};
+
+TEST_F(EvaluatorTest, OracleGetsPerfectClassification) {
+  OracleModel oracle(graph_);
+  Rng rng(5);
+  LinkPredictionResult r = EvaluateLinkPrediction(
+      oracle, graph_, split_, EvalOptions{}, rng);
+  EXPECT_NEAR(r.roc_auc, 100.0, 1e-6);
+  EXPECT_NEAR(r.pr_auc, 100.0, 1e-6);
+  EXPECT_NEAR(r.f1, 100.0, 1e-6);
+  EXPECT_GT(r.hr_at_k, 0.5);  // test edges rank at the top
+}
+
+TEST_F(EvaluatorTest, AntiOracleGetsZeroAuc) {
+  AntiOracleModel anti(graph_);
+  Rng rng(6);
+  LinkPredictionResult r =
+      EvaluateLinkPrediction(anti, graph_, split_, EvalOptions{}, rng);
+  EXPECT_NEAR(r.roc_auc, 0.0, 1e-6);
+  EXPECT_LT(r.hr_at_k, 0.1);
+}
+
+TEST_F(EvaluatorTest, EvaluateRelationIsolatesOneRelation) {
+  OracleModel oracle(graph_);
+  LinkPredictionResult r0 = EvaluateRelation(oracle, split_, 0);
+  EXPECT_NEAR(r0.roc_auc, 100.0, 1e-6);
+  LinkPredictionResult bogus = EvaluateRelation(oracle, split_, 99);
+  EXPECT_EQ(bogus.roc_auc, 0.0);  // empty result for unknown relation
+}
+
+TEST_F(EvaluatorTest, DegreeBucketsCoverQueries) {
+  OracleModel oracle(graph_);
+  Rng rng(7);
+  std::vector<size_t> edges = {0, 5, 10, 1000};
+  std::vector<double> pr =
+      PrAtKByDegree(oracle, graph_, split_, edges, 10, rng);
+  ASSERT_EQ(pr.size(), 3u);
+  double total = 0;
+  for (double p : pr) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    total += p;
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+}  // namespace
+}  // namespace hybridgnn

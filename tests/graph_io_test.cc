@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "graph/graph_io.h"
+#include "test_util.h"
+
+namespace hybridgnn {
+namespace {
+
+using testing::SmallBipartite;
+
+class GraphIoTest : public ::testing::Test {
+ protected:
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_ = ::testing::TempDir() + "/graph_io_test.txt";
+};
+
+TEST_F(GraphIoTest, RoundTripPreservesEverything) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  ASSERT_TRUE(SaveGraph(g, path_).ok());
+  auto loaded = LoadGraph(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded->num_edges(), g.num_edges());
+  EXPECT_EQ(loaded->num_node_types(), g.num_node_types());
+  EXPECT_EQ(loaded->num_relations(), g.num_relations());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(loaded->node_type(v), g.node_type(v));
+  }
+  for (const auto& e : g.edges()) {
+    EXPECT_TRUE(loaded->HasEdge(e.src, e.dst, e.rel));
+  }
+  EXPECT_EQ(loaded->relation_name(1), "buy");
+}
+
+TEST_F(GraphIoTest, LoadMissingFileFails) {
+  auto loaded = LoadGraph("/nonexistent/path/graph.txt");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(GraphIoTest, RejectsUnknownRecordKind) {
+  std::ofstream out(path_);
+  out << "node_types user\nrelations r\nbogus line here\n";
+  out.close();
+  EXPECT_FALSE(LoadGraph(path_).ok());
+}
+
+TEST_F(GraphIoTest, RejectsNonDenseNodeIds) {
+  std::ofstream out(path_);
+  out << "node_types user\nrelations r\nnode 5 user\n";
+  out.close();
+  EXPECT_FALSE(LoadGraph(path_).ok());
+}
+
+TEST_F(GraphIoTest, RejectsUnknownTypeOrRelation) {
+  {
+    std::ofstream out(path_);
+    out << "node_types user\nrelations r\nnode 0 ghost\n";
+  }
+  EXPECT_FALSE(LoadGraph(path_).ok());
+  {
+    std::ofstream out(path_);
+    out << "node_types user\nrelations r\nnode 0 user\nnode 1 user\n"
+        << "edge 0 1 ghost\n";
+  }
+  EXPECT_FALSE(LoadGraph(path_).ok());
+}
+
+TEST_F(GraphIoTest, SkipsCommentsAndBlankLines) {
+  std::ofstream out(path_);
+  out << "# comment\n\nnode_types user\nrelations r\n"
+      << "node 0 user\nnode 1 user\nedge 0 1 r\n";
+  out.close();
+  auto loaded = LoadGraph(path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_edges(), 1u);
+}
+
+TEST_F(GraphIoTest, SaveToUnwritablePathFails) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  EXPECT_FALSE(SaveGraph(g, "/nonexistent/dir/out.txt").ok());
+}
+
+}  // namespace
+}  // namespace hybridgnn

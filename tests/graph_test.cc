@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/graph.h"
+#include "graph/stats.h"
+#include "test_util.h"
+
+namespace hybridgnn {
+namespace {
+
+using testing::SmallBipartite;
+
+TEST(GraphBuilderTest, DuplicateTypeOrRelationRejected) {
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddNodeType("user").ok());
+  EXPECT_FALSE(b.AddNodeType("user").ok());
+  ASSERT_TRUE(b.AddRelation("view").ok());
+  EXPECT_FALSE(b.AddRelation("view").ok());
+}
+
+TEST(GraphBuilderTest, AddNodeValidatesType) {
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddNodeType("user").ok());
+  EXPECT_TRUE(b.AddNode(0).ok());
+  EXPECT_FALSE(b.AddNode(5).ok());
+}
+
+TEST(GraphBuilderTest, AddEdgeValidation) {
+  GraphBuilder b;
+  NodeTypeId t = b.AddNodeType("n").value();
+  RelationId r = b.AddRelation("r").value();
+  ASSERT_TRUE(b.AddNodes(t, 3).ok());
+  EXPECT_TRUE(b.AddEdge(0, 1, r).ok());
+  EXPECT_FALSE(b.AddEdge(0, 0, r).ok());   // self loop
+  EXPECT_FALSE(b.AddEdge(0, 9, r).ok());   // out of range
+  EXPECT_FALSE(b.AddEdge(0, 1, 7).ok());   // unknown relation
+}
+
+TEST(GraphBuilderTest, BuildRequiresTypesAndRelations) {
+  GraphBuilder empty;
+  EXPECT_FALSE(empty.Build().ok());
+  GraphBuilder only_types;
+  ASSERT_TRUE(only_types.AddNodeType("n").ok());
+  EXPECT_FALSE(only_types.Build().ok());
+}
+
+TEST(GraphBuilderTest, DuplicateEdgesDeduplicated) {
+  GraphBuilder b;
+  NodeTypeId t = b.AddNodeType("n").value();
+  RelationId r = b.AddRelation("r").value();
+  ASSERT_TRUE(b.AddNodes(t, 2).ok());
+  ASSERT_TRUE(b.AddEdge(0, 1, r).ok());
+  ASSERT_TRUE(b.AddEdge(1, 0, r).ok());  // same undirected edge
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1u);
+}
+
+TEST(GraphTest, BasicCounts) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  EXPECT_EQ(g.num_nodes(), 7u);
+  EXPECT_EQ(g.num_edges(), 8u);
+  EXPECT_EQ(g.num_node_types(), 2u);
+  EXPECT_EQ(g.num_relations(), 2u);
+  EXPECT_EQ(g.NodesOfType(0).size(), 4u);
+  EXPECT_EQ(g.NodesOfType(1).size(), 3u);
+}
+
+TEST(GraphTest, LookupByName) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  EXPECT_EQ(g.FindNodeType("item"), 1);
+  EXPECT_EQ(g.FindNodeType("nope"), kInvalidNodeType);
+  EXPECT_EQ(g.FindRelation("buy"), 1);
+  EXPECT_EQ(g.FindRelation("nope"), kInvalidRelation);
+}
+
+TEST(GraphTest, NeighborsPerRelation) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  RelationId view = g.FindRelation("view");
+  RelationId buy = g.FindRelation("buy");
+  auto n0_view = g.Neighbors(0, view);
+  std::set<NodeId> s(n0_view.begin(), n0_view.end());
+  EXPECT_EQ(s, (std::set<NodeId>{4, 5}));
+  auto n0_buy = g.Neighbors(0, buy);
+  EXPECT_EQ(n0_buy.size(), 1u);
+  EXPECT_EQ(n0_buy[0], 4u);
+  // Adjacency is symmetric.
+  auto n4_view = g.Neighbors(4, view);
+  EXPECT_EQ(std::set<NodeId>(n4_view.begin(), n4_view.end()),
+            (std::set<NodeId>{0, 1}));
+}
+
+TEST(GraphTest, DegreesAndTotalDegree) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  EXPECT_EQ(g.Degree(0, 0), 2u);
+  EXPECT_EQ(g.Degree(0, 1), 1u);
+  EXPECT_EQ(g.TotalDegree(0), 3u);
+  EXPECT_EQ(g.TotalDegree(3), 1u);
+}
+
+TEST(GraphTest, ActiveRelations) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  auto rels0 = g.ActiveRelations(0);
+  EXPECT_EQ(rels0.size(), 2u);
+  auto rels3 = g.ActiveRelations(3);  // u3 only views
+  ASSERT_EQ(rels3.size(), 1u);
+  EXPECT_EQ(rels3[0], g.FindRelation("view"));
+}
+
+TEST(GraphTest, HasEdge) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  RelationId view = g.FindRelation("view");
+  RelationId buy = g.FindRelation("buy");
+  EXPECT_TRUE(g.HasEdge(0, 4, view));
+  EXPECT_TRUE(g.HasEdge(4, 0, view));  // symmetric
+  EXPECT_TRUE(g.HasEdge(0, 4, buy));
+  EXPECT_FALSE(g.HasEdge(3, 5, buy));  // u3-i5 only under view
+  EXPECT_FALSE(g.HasEdge(0, 6, view));
+  EXPECT_FALSE(g.HasEdge(0, 4, 99));   // bogus relation
+}
+
+TEST(GraphTest, EdgesOfRelationAreCanonical) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  for (RelationId r = 0; r < g.num_relations(); ++r) {
+    for (const auto& e : g.EdgesOfRelation(r)) {
+      EXPECT_LT(e.src, e.dst);
+      EXPECT_EQ(e.rel, r);
+    }
+  }
+  EXPECT_EQ(g.EdgesOfRelation(0).size(), 5u);
+  EXPECT_EQ(g.EdgesOfRelation(1).size(), 3u);
+}
+
+TEST(GraphTest, ExtractRelationSubsetKeepsNodes) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  auto sub = g.ExtractRelationSubset({g.FindRelation("buy")});
+  ASSERT_TRUE(sub.ok());
+  EXPECT_EQ(sub->num_nodes(), g.num_nodes());
+  EXPECT_EQ(sub->num_relations(), 1u);
+  EXPECT_EQ(sub->num_edges(), 3u);
+  EXPECT_EQ(sub->relation_name(0), "buy");
+  EXPECT_TRUE(sub->HasEdge(0, 4, 0));
+  EXPECT_FALSE(sub->HasEdge(0, 5, 0));
+}
+
+TEST(GraphTest, ExtractRelationSubsetValidates) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  EXPECT_FALSE(g.ExtractRelationSubset({}).ok());
+  EXPECT_FALSE(g.ExtractRelationSubset({99}).ok());
+}
+
+TEST(GraphTest, MergeRelationsCollapsesParallelEdges) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  MultiplexHeteroGraph merged = g.MergeRelations("any");
+  EXPECT_EQ(merged.num_relations(), 1u);
+  // 8 triples but 3 pairs are duplicated across relations: 0-4,1-4,2-6.
+  EXPECT_EQ(merged.num_edges(), 5u);
+  EXPECT_TRUE(merged.HasEdge(0, 4, 0));
+}
+
+TEST(GraphStatsTest, ComputesCorrectValues) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  GraphStats s = ComputeStats(g);
+  EXPECT_EQ(s.num_nodes, 7u);
+  EXPECT_EQ(s.num_edges, 8u);
+  EXPECT_EQ(s.nodes_per_type[0], 4u);
+  EXPECT_EQ(s.edges_per_relation[1], 3u);
+  EXPECT_EQ(s.isolated_nodes, 0u);
+  // 5 distinct pairs, 3 multiplex -> 0.6.
+  EXPECT_NEAR(s.multiplex_pair_fraction, 0.6, 1e-9);
+  EXPECT_GT(s.avg_degree, 0.0);
+  EXPECT_EQ(s.max_degree, 4u);  // i4: 2 view + 2 buy
+  std::string text = FormatStats(g, s);
+  EXPECT_NE(text.find("|V| = 7"), std::string::npos);
+}
+
+TEST(GraphStatsTest, IsolatedNodesCounted) {
+  GraphBuilder b;
+  NodeTypeId t = b.AddNodeType("n").value();
+  RelationId r = b.AddRelation("r").value();
+  ASSERT_TRUE(b.AddNodes(t, 3).ok());
+  ASSERT_TRUE(b.AddEdge(0, 1, r).ok());
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(ComputeStats(*g).isolated_nodes, 1u);
+}
+
+}  // namespace
+}  // namespace hybridgnn

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "baselines/registry.h"
+#include "core/hybrid_gnn.h"
+#include "data/profiles.h"
+#include "data/split.h"
+#include "eval/evaluator.h"
+#include "eval/stats_test.h"
+#include "graph/stats.h"
+
+namespace hybridgnn {
+namespace {
+
+/// Full pipeline: dataset profile -> split -> train -> evaluate. This is the
+/// same path every bench binary takes; the test pins its invariants.
+TEST(IntegrationTest, EndToEndPipelineOnTaobaoProfile) {
+  auto ds = MakeDataset("taobao", 0.06, 31);
+  ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+  GraphStats stats = ComputeStats(ds->graph);
+  EXPECT_EQ(stats.num_relations, 4u);
+  EXPECT_LT(stats.isolated_nodes, stats.num_nodes / 2);
+
+  Rng rng(32);
+  SplitOptions options;
+  options.hard_negative_fraction = 0.2;
+  auto split = SplitEdges(ds->graph, options, rng);
+  ASSERT_TRUE(split.ok()) << split.status().ToString();
+
+  HybridGnnConfig config;
+  config.base_dim = 32;
+  config.edge_dim = 4;
+  config.hidden_dim = 8;
+  config.epochs = 2;
+  config.max_pairs_per_epoch = 4000;
+  config.corpus.num_walks_per_node = 4;
+  config.corpus.walk_length = 6;
+  config.corpus.window = 2;
+  config.seed = 33;
+  HybridGnn model(config, ds->schemes);
+  ASSERT_TRUE(model.Fit(split->train_graph).ok());
+
+  Rng eval_rng(34);
+  EvalOptions opts;
+  opts.max_ranking_queries = 30;
+  LinkPredictionResult r = EvaluateLinkPrediction(
+      model, ds->graph, *split, opts, eval_rng);
+  // The generator plants strong community structure; even a briefly trained
+  // HybridGNN must clearly beat chance.
+  EXPECT_GT(r.roc_auc, 54.0);
+  EXPECT_GT(r.pr_auc, 52.0);
+  EXPECT_GT(r.f1, 55.0);
+  EXPECT_GE(r.pr_at_k, 0.0);
+  EXPECT_GE(r.hr_at_k, 0.0);
+}
+
+/// The Table VI mechanism: enlarging the relation subset from one relation
+/// toward the full graph must not break the pipeline, and HybridGNN must be
+/// trainable on every subset.
+TEST(IntegrationTest, RelationSubsetGrowthPipeline) {
+  auto ds = MakeDataset("youtube", 0.5, 41);
+  ASSERT_TRUE(ds.ok());
+  for (size_t keep = 1; keep <= ds->graph.num_relations(); keep += 2) {
+    std::vector<RelationId> rels;
+    for (RelationId r = 0; r < keep; ++r) rels.push_back(r);
+    auto sub = ds->graph.ExtractRelationSubset(rels);
+    ASSERT_TRUE(sub.ok());
+    EXPECT_EQ(sub->num_relations(), keep);
+    Rng rng(42);
+    auto split = SplitEdges(*sub, SplitOptions{}, rng);
+    ASSERT_TRUE(split.ok());
+    HybridGnnConfig config;
+    config.base_dim = 16;
+    config.edge_dim = 4;
+    config.hidden_dim = 8;
+    config.epochs = 1;
+    config.max_pairs_per_epoch = 1500;
+    config.corpus.num_walks_per_node = 2;
+    config.corpus.walk_length = 4;
+    config.corpus.window = 2;
+    std::vector<MetapathScheme> schemes;
+    for (const auto& s : ds->schemes) {
+      if (s.relation() < keep) schemes.push_back(s);
+    }
+    HybridGnn model(config, schemes);
+    ASSERT_TRUE(model.Fit(split->train_graph).ok()) << "keep=" << keep;
+    EXPECT_TRUE(std::isfinite(model.Embedding(0, 0).Sum()));
+  }
+}
+
+/// Repeated-seed evaluation feeds the paper's t-test; the machinery must
+/// produce sane p-values when comparing a model against itself (high p) and
+/// two clearly different score samples (low p).
+TEST(IntegrationTest, SeedSweepAndTTestMachinery) {
+  auto ds = MakeDataset("amazon", 0.15, 51);
+  ASSERT_TRUE(ds.ok());
+  std::vector<double> run_a, run_b;
+  for (uint64_t seed = 0; seed < 3; ++seed) {
+    Rng rng(60 + seed);
+    auto split = SplitEdges(ds->graph, SplitOptions{}, rng);
+    ASSERT_TRUE(split.ok());
+    ModelBudget budget;
+    budget.effort = 0.2;
+    budget.num_walks = 2;
+    budget.walk_length = 5;
+    budget.window = 2;
+    budget.max_pairs_per_epoch = 1500;
+    auto dw = CreateModel("DeepWalk", ds->schemes, seed, budget);
+    ASSERT_TRUE(dw.ok());
+    ASSERT_TRUE((*dw)->Fit(split->train_graph).ok());
+    Rng eval_rng(70 + seed);
+    EvalOptions opts;
+    opts.max_ranking_queries = 10;
+    LinkPredictionResult r = EvaluateLinkPrediction(
+        **dw, ds->graph, *split, opts, eval_rng);
+    run_a.push_back(r.roc_auc);
+    run_b.push_back(r.roc_auc + 20.0);  // synthetic clearly-better model
+  }
+  TTestResult same = WelchTTest(run_a, run_a);
+  EXPECT_GT(same.p_value, 0.9);
+  TTestResult diff = WelchTTest(run_b, run_a);
+  EXPECT_LT(diff.p_value, 0.05);
+}
+
+}  // namespace
+}  // namespace hybridgnn

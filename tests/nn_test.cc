@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/aggregator.h"
+#include "nn/attention.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/semantic_attention.h"
+#include "nn/sparse.h"
+#include "tensor/init.h"
+#include "tensor/optimizer.h"
+#include "tensor/tensor_ops.h"
+#include "test_util.h"
+
+namespace hybridgnn {
+namespace {
+
+using testing::SmallBipartite;
+
+TEST(LinearTest, ShapesAndBias) {
+  Rng rng(1);
+  Linear layer(4, 3, rng);
+  EXPECT_EQ(layer.parameters().size(), 2u);  // weight + bias
+  ag::Var x = ag::Constant(Tensor::Ones(2, 4));
+  ag::Var y = layer.Forward(x);
+  EXPECT_EQ(y->value.rows(), 2u);
+  EXPECT_EQ(y->value.cols(), 3u);
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  Rng rng(2);
+  Linear layer(4, 3, rng, /*with_bias=*/false);
+  EXPECT_EQ(layer.parameters().size(), 1u);
+  // Zero input must map to zero output without bias.
+  ag::Var y = layer.Forward(ag::Constant(Tensor(2, 4)));
+  EXPECT_EQ(y->value.Sum(), 0.0);
+}
+
+TEST(LinearTest, IsTrainable) {
+  Rng rng(3);
+  Linear layer(2, 1, rng);
+  Adam opt(0.1f);
+  opt.AddParameters(layer.parameters());
+  Tensor x_t(4, 2, {0, 0, 0, 1, 1, 0, 1, 1});
+  std::vector<float> targets = {0, 1, 1, 1};  // learn OR-ish function
+  double first_loss = 0, last_loss = 0;
+  for (int step = 0; step < 200; ++step) {
+    ag::Var logits = layer.Forward(ag::Constant(x_t));
+    ag::Var loss = ag::BceWithLogits(logits, targets);
+    ag::Backward(loss);
+    opt.Step();
+    opt.ZeroGrad();
+    if (step == 0) first_loss = loss->value.At(0, 0);
+    last_loss = loss->value.At(0, 0);
+  }
+  EXPECT_LT(last_loss, first_loss * 0.5);
+}
+
+TEST(EmbeddingTableTest, GatherAndTrain) {
+  Rng rng(4);
+  EmbeddingTable table(5, 3, rng);
+  EXPECT_EQ(table.num_rows(), 5u);
+  EXPECT_EQ(table.dim(), 3u);
+  ag::Var rows = table.Forward({1, 1, 4});
+  EXPECT_EQ(rows->value.rows(), 3u);
+  // Rows 1 and 1 identical.
+  for (size_t j = 0; j < 3; ++j) {
+    EXPECT_EQ(rows->value.At(0, j), rows->value.At(1, j));
+  }
+  // Training updates only gathered rows.
+  Adam opt(0.1f);
+  opt.AddParameters(table.parameters());
+  Tensor before = table.table()->value;
+  ag::Var loss = ag::SumAll(ag::Sigmoid(table.Forward({2})));
+  ag::Backward(loss);
+  opt.Step();
+  Tensor after = table.table()->value;
+  bool row2_changed = false;
+  for (size_t j = 0; j < 3; ++j) {
+    if (after.At(2, j) != before.At(2, j)) row2_changed = true;
+    EXPECT_EQ(after.At(0, j), before.At(0, j));
+  }
+  EXPECT_TRUE(row2_changed);
+}
+
+TEST(SelfAttentionTest, OutputShapeAndScores) {
+  Rng rng(5);
+  SelfAttention attn(4, 6, rng);
+  EXPECT_EQ(attn.parameters().size(), 3u);
+  Tensor h(3, 4);
+  UniformInit(h, rng, -1, 1);
+  ag::Var out = attn.Forward(ag::Constant(h));
+  EXPECT_EQ(out->value.rows(), 3u);
+  EXPECT_EQ(out->value.cols(), 6u);
+  Tensor scores = attn.AttentionScores(h);
+  EXPECT_EQ(scores.rows(), 3u);
+  EXPECT_EQ(scores.cols(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    float sum = 0;
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_GE(scores.At(i, j), 0.0f);
+      sum += scores.At(i, j);
+    }
+    EXPECT_NEAR(sum, 1.0f, 1e-5);
+  }
+}
+
+TEST(SelfAttentionTest, SingleRowIsWellDefined) {
+  Rng rng(6);
+  SelfAttention attn(4, 4, rng);
+  Tensor h(1, 4);
+  UniformInit(h, rng, -1, 1);
+  Tensor scores = attn.AttentionScores(h);
+  EXPECT_NEAR(scores.At(0, 0), 1.0f, 1e-6);
+}
+
+TEST(SelfAttentionTest, GradientsFlowToAllProjections) {
+  Rng rng(7);
+  SelfAttention attn(3, 3, rng);
+  Tensor h(2, 3);
+  UniformInit(h, rng, -1, 1);
+  ag::Var loss = ag::MeanAll(attn.Forward(ag::Constant(h)));
+  ag::Backward(loss);
+  for (const auto& p : attn.parameters()) {
+    ASSERT_FALSE(p->grad.empty());
+    EXPECT_GT(p->grad.SquaredNorm(), 0.0);
+  }
+}
+
+TEST(MeanAggregatorTest, CombinesSelfAndNeighbors) {
+  Rng rng(8);
+  MeanAggregator agg(4, rng);
+  ag::Var self = ag::Constant(Tensor::Ones(2, 4));
+  ag::Var neigh = ag::Constant(Tensor::Full(2, 4, -1.0f));
+  ag::Var out = agg.Forward(self, neigh);
+  EXPECT_EQ(out->value.rows(), 2u);
+  EXPECT_EQ(out->value.cols(), 4u);
+  // tanh output bounded.
+  EXPECT_LE(out->value.AbsMax(), 1.0f);
+}
+
+TEST(MeanAggregatorTest, SensitiveToNeighborInput) {
+  Rng rng(9);
+  MeanAggregator agg(4, rng);
+  ag::Var self = ag::Constant(Tensor::Ones(1, 4));
+  Tensor a = agg.Forward(self, ag::Constant(Tensor::Ones(1, 4)))->value;
+  Tensor b =
+      agg.Forward(self, ag::Constant(Tensor::Full(1, 4, -1.0f)))->value;
+  EXPECT_GT(Sub(a, b).SquaredNorm(), 1e-8);
+}
+
+TEST(PoolingAggregatorTest, ForwardShapes) {
+  Rng rng(10);
+  PoolingAggregator agg(4, rng);
+  ag::Var nbrs = ag::Constant(Tensor::Ones(3, 4));
+  ag::Var transformed = agg.TransformNeighbors(nbrs);
+  EXPECT_EQ(transformed->value.rows(), 3u);
+  ag::Var out = agg.Forward(ag::Constant(Tensor::Ones(1, 4)),
+                            ag::MeanRows(transformed));
+  EXPECT_EQ(out->value.cols(), 4u);
+}
+
+TEST(SparseTest, NormalizedAdjacencySymmetricAndStochasticish) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  SparseMatrix s = NormalizedAdjacency(g);
+  EXPECT_TRUE(s.symmetric);
+  EXPECT_EQ(s.rows, g.num_nodes());
+  // All weights positive; the self-loop entry of node i is exactly
+  // 1/(deg_i+1); row sums are finite (they may exceed 1 for symmetric
+  // normalization, unlike row-stochastic normalization).
+  for (size_t i = 0; i < s.rows; ++i) {
+    double row_sum = 0;
+    double self_weight = -1.0;
+    for (size_t e = s.offsets[i]; e < s.offsets[i + 1]; ++e) {
+      EXPECT_GT(s.values[e], 0.0f);
+      row_sum += s.values[e];
+      if (s.col_idx[e] == i) self_weight = s.values[e];
+    }
+    EXPECT_GT(row_sum, 0.0);
+    EXPECT_LT(row_sum, 10.0);
+    size_t multi_degree = 0;
+    for (const auto& edge : g.edges()) {
+      if (edge.src == i || edge.dst == i) ++multi_degree;
+    }
+    EXPECT_NEAR(self_weight, 1.0 / (multi_degree + 1.0), 1e-5) << "node " << i;
+  }
+}
+
+TEST(SparseTest, SpMMMatchesDense) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  SparseMatrix s = NormalizedAdjacency(g);
+  Rng rng(11);
+  Tensor x(g.num_nodes(), 3);
+  UniformInit(x, rng, -1, 1);
+  // Dense reference.
+  Tensor dense(s.rows, s.cols);
+  for (size_t i = 0; i < s.rows; ++i) {
+    for (size_t e = s.offsets[i]; e < s.offsets[i + 1]; ++e) {
+      dense.At(i, s.col_idx[e]) += s.values[e];
+    }
+  }
+  Tensor ref = MatMul(dense, x);
+  ag::Var y = SpMM(s, ag::Constant(x));
+  for (size_t i = 0; i < ref.rows(); ++i) {
+    for (size_t j = 0; j < ref.cols(); ++j) {
+      EXPECT_NEAR(y->value.At(i, j), ref.At(i, j), 1e-5);
+    }
+  }
+}
+
+TEST(SparseTest, SpMMGradientMatchesNumeric) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  SparseMatrix s = NormalizedAdjacency(g);
+  Rng rng(12);
+  Tensor x0(g.num_nodes(), 2);
+  UniformInit(x0, rng, -0.5, 0.5);
+  ag::Var x = ag::Param(x0);
+  auto loss_fn = [&] { return ag::SumAll(ag::Sigmoid(SpMM(s, x))); };
+  ag::Var loss = loss_fn();
+  ag::Backward(loss);
+  const float eps = 1e-3f;
+  for (size_t i : {size_t{0}, size_t{5}, size_t{9}}) {
+    const float saved = x->value.data()[i];
+    x->value.data()[i] = saved + eps;
+    const float up = loss_fn()->value.At(0, 0);
+    x->value.data()[i] = saved - eps;
+    const float down = loss_fn()->value.At(0, 0);
+    x->value.data()[i] = saved;
+    EXPECT_NEAR(x->grad.data()[i], (up - down) / (2 * eps), 2e-2);
+  }
+}
+
+TEST(SparseTest, RelationAdjacencyRowNormalized) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  RelationOperator op = RelationAdjacency(g, g.FindRelation("view"));
+  for (size_t i = 0; i < op.forward.rows; ++i) {
+    double row_sum = 0;
+    for (size_t e = op.forward.offsets[i]; e < op.forward.offsets[i + 1];
+         ++e) {
+      row_sum += op.forward.values[e];
+    }
+    if (g.Degree(static_cast<NodeId>(i), g.FindRelation("view")) > 0) {
+      EXPECT_NEAR(row_sum, 1.0, 1e-5);
+    } else {
+      EXPECT_EQ(row_sum, 0.0);
+    }
+  }
+  // Transpose really is the transpose.
+  EXPECT_EQ(op.transpose.col_idx.size(), op.forward.col_idx.size());
+}
+
+TEST(SemanticAttentionTest, WeightsSumToOne) {
+  Rng rng(13);
+  SemanticAttention sem(4, 8, rng);
+  Tensor h(3, 4);
+  UniformInit(h, rng, -1, 1);
+  Tensor w = sem.Weights(h);
+  EXPECT_EQ(w.rows(), 1u);
+  EXPECT_EQ(w.cols(), 3u);
+  float sum = 0;
+  for (size_t j = 0; j < 3; ++j) sum += w.At(0, j);
+  EXPECT_NEAR(sum, 1.0f, 1e-5);
+}
+
+TEST(SemanticAttentionTest, ForwardIsConvexCombinationShape) {
+  Rng rng(14);
+  SemanticAttention sem(4, 8, rng);
+  Tensor h(3, 4);
+  UniformInit(h, rng, -1, 1);
+  ag::Var out = sem.Forward(ag::Constant(h));
+  EXPECT_EQ(out->value.rows(), 1u);
+  EXPECT_EQ(out->value.cols(), 4u);
+  // Output bounded by row extrema (convex combination).
+  for (size_t j = 0; j < 4; ++j) {
+    float lo = 1e9, hi = -1e9;
+    for (size_t i = 0; i < 3; ++i) {
+      lo = std::min(lo, h.At(i, j));
+      hi = std::max(hi, h.At(i, j));
+    }
+    EXPECT_GE(out->value.At(0, j), lo - 1e-5);
+    EXPECT_LE(out->value.At(0, j), hi + 1e-5);
+  }
+}
+
+TEST(ModuleTest, ParameterCounting) {
+  Rng rng(15);
+  Linear layer(3, 2, rng);
+  EXPECT_EQ(layer.num_scalar_parameters(), 3u * 2u + 2u);
+}
+
+}  // namespace
+}  // namespace hybridgnn

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/autograd.h"
+#include "tensor/optimizer.h"
+
+namespace hybridgnn {
+namespace {
+
+using ag::Var;
+
+/// Minimizes f(x) = sum((x - target)^2) and checks convergence.
+double Rosenish(Optimizer& opt, const Var& x, const Tensor& target,
+                int steps) {
+  Var tgt = ag::Constant(target);
+  double last = 0.0;
+  for (int i = 0; i < steps; ++i) {
+    Var diff = ag::Sub(x, tgt);
+    Var loss = ag::SumAll(ag::Mul(diff, diff));
+    ag::Backward(loss);
+    opt.Step();
+    opt.ZeroGrad();
+    last = loss->value.At(0, 0);
+  }
+  return last;
+}
+
+TEST(OptimizerTest, RegistrationDeduplicates) {
+  Sgd opt(0.1f);
+  Var p = ag::Param(Tensor::Ones(1, 1));
+  opt.AddParameter(p);
+  opt.AddParameter(p);
+  EXPECT_EQ(opt.num_parameters(), 1u);
+}
+
+TEST(OptimizerTest, SgdConvergesOnQuadratic) {
+  Var x = ag::Param(Tensor::Full(2, 2, 5.0f));
+  Tensor target = Tensor::Full(2, 2, 1.0f);
+  Sgd opt(0.1f);
+  opt.AddParameter(x);
+  double final_loss = Rosenish(opt, x, target, 100);
+  EXPECT_LT(final_loss, 1e-4);
+  EXPECT_NEAR(x->value.At(0, 0), 1.0f, 1e-2);
+}
+
+TEST(OptimizerTest, AdamConvergesOnQuadratic) {
+  Var x = ag::Param(Tensor::Full(2, 2, 5.0f));
+  Tensor target = Tensor::Full(2, 2, -2.0f);
+  Adam opt(0.3f);
+  opt.AddParameter(x);
+  double final_loss = Rosenish(opt, x, target, 200);
+  EXPECT_LT(final_loss, 1e-3);
+  EXPECT_NEAR(x->value.At(1, 1), -2.0f, 5e-2);
+}
+
+TEST(OptimizerTest, SgdWeightDecayShrinksWeights) {
+  Var x = ag::Param(Tensor::Full(1, 1, 1.0f));
+  Sgd opt(0.1f, /*weight_decay=*/0.5f);
+  opt.AddParameter(x);
+  // Zero-loss objective: only decay acts.
+  Var loss = ag::Scale(ag::SumAll(x), 0.0f);
+  ag::Backward(loss);
+  opt.Step();
+  EXPECT_LT(x->value.At(0, 0), 1.0f);
+}
+
+TEST(OptimizerTest, StepSkipsParamsWithoutGrad) {
+  Var used = ag::Param(Tensor::Ones(1, 1));
+  Var unused = ag::Param(Tensor::Ones(1, 1));
+  Adam opt(0.1f);
+  opt.AddParameters({used, unused});
+  Var loss = ag::SumAll(used);
+  ag::Backward(loss);
+  opt.Step();
+  EXPECT_NE(used->value.At(0, 0), 1.0f);
+  EXPECT_EQ(unused->value.At(0, 0), 1.0f);
+}
+
+TEST(OptimizerTest, ZeroGradClearsAll) {
+  Var p = ag::Param(Tensor::Ones(1, 1));
+  Adam opt(0.1f);
+  opt.AddParameter(p);
+  Var loss = ag::SumAll(p);
+  ag::Backward(loss);
+  EXPECT_NE(p->grad.At(0, 0), 0.0f);
+  opt.ZeroGrad();
+  EXPECT_EQ(p->grad.At(0, 0), 0.0f);
+}
+
+TEST(OptimizerTest, AdamIsScaleRobust) {
+  // Adam should make progress even with badly scaled gradients.
+  Var x = ag::Param(Tensor::Full(1, 2, 10.0f));
+  Tensor target(1, 2);
+  target.At(0, 0) = 0.0f;
+  target.At(0, 1) = 0.0f;
+  Adam opt(0.5f);
+  opt.AddParameter(x);
+  Var tgt = ag::Constant(target);
+  for (int i = 0; i < 300; ++i) {
+    Var diff = ag::Sub(x, tgt);
+    // Badly conditioned: scale one coordinate by 100.
+    Tensor scale_t(1, 2);
+    scale_t.At(0, 0) = 100.0f;
+    scale_t.At(0, 1) = 0.01f;
+    Var loss = ag::SumAll(ag::Mul(ag::Mul(diff, diff),
+                                  ag::Constant(scale_t)));
+    ag::Backward(loss);
+    opt.Step();
+    opt.ZeroGrad();
+  }
+  EXPECT_NEAR(x->value.At(0, 0), 0.0f, 0.1f);
+  EXPECT_LT(std::abs(x->value.At(0, 1)), 10.0f);
+}
+
+}  // namespace
+}  // namespace hybridgnn

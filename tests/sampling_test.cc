@@ -1,0 +1,333 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "sampling/alias.h"
+#include "sampling/corpus.h"
+#include "sampling/exploration.h"
+#include "sampling/negative_sampler.h"
+#include "sampling/neighbor_sampler.h"
+#include "sampling/walker.h"
+#include "test_util.h"
+
+namespace hybridgnn {
+namespace {
+
+using testing::SmallBipartite;
+using testing::UiuScheme;
+
+// ---------- AliasTable ----------
+
+TEST(AliasTableTest, MatchesWeights) {
+  Rng rng(1);
+  AliasTable table({1.0, 3.0, 6.0});
+  constexpr int kDraws = 60000;
+  std::map<size_t, int> counts;
+  for (int i = 0; i < kDraws; ++i) ++counts[table.Sample(rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(kDraws), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kDraws), 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kDraws), 0.6, 0.02);
+}
+
+TEST(AliasTableTest, ZeroWeightNeverSampled) {
+  Rng rng(2);
+  AliasTable table({0.0, 1.0, 0.0});
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(table.Sample(rng), 1u);
+}
+
+TEST(AliasTableTest, SingleElement) {
+  Rng rng(3);
+  AliasTable table({2.5});
+  EXPECT_EQ(table.Sample(rng), 0u);
+  EXPECT_EQ(table.size(), 1u);
+}
+
+// ---------- NegativeSampler ----------
+
+TEST(NegativeSamplerTest, SampleOfTypeReturnsCorrectType) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  NegativeSampler sampler(g);
+  Rng rng(4);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(g.node_type(sampler.SampleOfType(0, rng)), 0);
+    EXPECT_EQ(g.node_type(sampler.SampleOfType(1, rng)), 1);
+  }
+}
+
+TEST(NegativeSamplerTest, SampleLikeMatchesTypeAndAvoidsSelf) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  NegativeSampler sampler(g);
+  Rng rng(5);
+  int self_hits = 0;
+  for (int i = 0; i < 300; ++i) {
+    NodeId v = sampler.SampleLike(4, rng);
+    EXPECT_EQ(g.node_type(v), g.node_type(4));
+    if (v == 4) ++self_hits;
+  }
+  EXPECT_LT(self_hits, 10);
+}
+
+TEST(NegativeSamplerTest, HigherDegreeSampledMoreOften) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  NegativeSampler sampler(g);
+  Rng rng(6);
+  std::map<NodeId, int> counts;
+  for (int i = 0; i < 30000; ++i) ++counts[sampler.SampleOfType(1, rng)];
+  // i4 has degree 4, i6 has degree 2: expect strictly more draws.
+  EXPECT_GT(counts[4], counts[6]);
+}
+
+// ---------- Walks ----------
+
+TEST(WalkerTest, RelationWalkStaysInRelation) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  Rng rng(7);
+  RelationId buy = g.FindRelation("buy");
+  for (int i = 0; i < 50; ++i) {
+    auto walk = RelationWalk(g, buy, 0, 6, rng);
+    ASSERT_GE(walk.size(), 1u);
+    EXPECT_EQ(walk[0], 0u);
+    for (size_t k = 0; k + 1 < walk.size(); ++k) {
+      EXPECT_TRUE(g.HasEdge(walk[k], walk[k + 1], buy));
+    }
+  }
+}
+
+TEST(WalkerTest, RelationWalkStopsAtIsolatedNode) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  Rng rng(8);
+  RelationId buy = g.FindRelation("buy");
+  // u3 has no buy edges.
+  auto walk = RelationWalk(g, buy, 3, 5, rng);
+  EXPECT_EQ(walk.size(), 1u);
+}
+
+TEST(WalkerTest, UniformWalkUsesAnyRelation) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  Rng rng(9);
+  auto walk = UniformWalk(g, 0, 10, rng);
+  EXPECT_GE(walk.size(), 2u);
+  for (size_t k = 0; k + 1 < walk.size(); ++k) {
+    bool connected = false;
+    for (RelationId r = 0; r < g.num_relations(); ++r) {
+      connected |= g.HasEdge(walk[k], walk[k + 1], r);
+    }
+    EXPECT_TRUE(connected);
+  }
+}
+
+TEST(WalkerTest, MetapathWalkAlternatesTypes) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  Rng rng(10);
+  MetapathScheme scheme = UiuScheme(g, g.FindRelation("view"));
+  for (int i = 0; i < 30; ++i) {
+    auto walk = MetapathWalk(g, scheme, 0, 8, rng);
+    for (size_t k = 0; k < walk.size(); ++k) {
+      // U-I-U cycle: even positions user, odd positions item.
+      EXPECT_EQ(g.node_type(walk[k]), k % 2 == 0 ? 0 : 1);
+    }
+  }
+}
+
+TEST(WalkerTest, MetapathWalkRespectsRelation) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  Rng rng(11);
+  RelationId buy = g.FindRelation("buy");
+  MetapathScheme scheme = UiuScheme(g, buy);
+  auto walk = MetapathWalk(g, scheme, 3, 6, rng);
+  EXPECT_EQ(walk.size(), 1u);  // u3 has no buy edges
+}
+
+TEST(WalkerTest, Node2VecWalkConnected) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  Rng rng(12);
+  for (int i = 0; i < 20; ++i) {
+    auto walk = Node2VecWalk(g, 0, 8, 0.5, 2.0, rng);
+    for (size_t k = 0; k + 1 < walk.size(); ++k) {
+      bool connected = false;
+      for (RelationId r = 0; r < g.num_relations(); ++r) {
+        connected |= g.HasEdge(walk[k], walk[k + 1], r);
+      }
+      EXPECT_TRUE(connected);
+    }
+  }
+}
+
+TEST(WalkerTest, MetapathGuidedNeighborsLevelsTyped) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  Rng rng(13);
+  MetapathScheme scheme = UiuScheme(g, g.FindRelation("view"));
+  auto levels = MetapathGuidedNeighbors(g, scheme, 0, 10, rng);
+  ASSERT_EQ(levels.size(), 3u);
+  EXPECT_EQ(levels[0], (std::vector<NodeId>{0}));
+  for (NodeId v : levels[1]) EXPECT_EQ(g.node_type(v), 1);  // items
+  for (NodeId v : levels[2]) EXPECT_EQ(g.node_type(v), 0);  // users
+  EXPECT_FALSE(levels[1].empty());
+}
+
+// ---------- Randomized inter-relationship exploration ----------
+
+TEST(ExplorationTest, StepReturnsNeighborUnderSomeRelation) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  Rng rng(14);
+  for (int i = 0; i < 100; ++i) {
+    NodeId next = ExplorationStep(g, 0, rng);
+    ASSERT_NE(next, kInvalidNode);
+    bool connected = false;
+    for (RelationId r = 0; r < g.num_relations(); ++r) {
+      connected |= g.HasEdge(0, next, r);
+    }
+    EXPECT_TRUE(connected);
+  }
+}
+
+TEST(ExplorationTest, IsolatedNodeReturnsInvalid) {
+  GraphBuilder b;
+  NodeTypeId t = b.AddNodeType("n").value();
+  RelationId r = b.AddRelation("r").value();
+  EXPECT_TRUE(b.AddNodes(t, 3).ok());
+  EXPECT_TRUE(b.AddEdge(0, 1, r).ok());
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  Rng rng(15);
+  EXPECT_EQ(ExplorationStep(*g, 2, rng), kInvalidNode);
+  auto walk = ExplorationWalk(*g, 2, 5, rng);
+  EXPECT_EQ(walk.size(), 1u);
+}
+
+TEST(ExplorationTest, WalkLengthBounded) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  Rng rng(16);
+  auto walk = ExplorationWalk(g, 0, 4, rng);
+  EXPECT_GE(walk.size(), 2u);
+  EXPECT_LE(walk.size(), 5u);
+  EXPECT_EQ(walk[0], 0u);
+}
+
+// Property test: the empirical two-phase transition frequencies must match
+// the closed-form probability of Eqs. 1-2.
+TEST(ExplorationTest, EmpiricalMatchesClosedFormProbability) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  Rng rng(17);
+  constexpr int kDraws = 200000;
+  std::map<NodeId, int> counts;
+  for (int i = 0; i < kDraws; ++i) ++counts[ExplorationStep(g, 0, rng)];
+  double total_p = 0.0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const double p = ExplorationTransitionProbability(g, 0, u);
+    total_p += p;
+    const double freq = counts.count(u)
+                            ? counts[u] / static_cast<double>(kDraws)
+                            : 0.0;
+    EXPECT_NEAR(freq, p, 0.01) << "node " << u;
+  }
+  EXPECT_NEAR(total_p, 1.0, 1e-9);
+}
+
+TEST(ExplorationTest, NeighborsLevelsRespectDepthAndFanout) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  Rng rng(18);
+  auto levels = ExplorationNeighbors(g, 0, 3, 5, rng);
+  ASSERT_EQ(levels.size(), 4u);
+  EXPECT_EQ(levels[0], (std::vector<NodeId>{0}));
+  for (size_t k = 1; k < levels.size(); ++k) {
+    EXPECT_LE(levels[k].size(), 5u);
+  }
+  EXPECT_FALSE(levels[1].empty());
+}
+
+// Exploration must be able to cross relations: starting from u0 (which has
+// both view and buy edges), multi-step walks should reach i5 (view-only
+// neighbor) AND stay able to traverse buy-only paths.
+TEST(ExplorationTest, CrossesRelationSubgraphs) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  Rng rng(19);
+  std::set<NodeId> visited;
+  for (int i = 0; i < 500; ++i) {
+    auto walk = ExplorationWalk(g, 3, 4, rng);  // u3: only view edges
+    visited.insert(walk.begin(), walk.end());
+  }
+  // From u3 via i5 (view) to u0, then over u0's buy edge to i4.
+  EXPECT_TRUE(visited.count(4) > 0);
+}
+
+// ---------- Corpus ----------
+
+TEST(CorpusTest, HarvestPairsWindow) {
+  std::vector<NodeId> walk = {1, 2, 3, 4};
+  std::vector<SkipGramPair> pairs;
+  HarvestPairs(walk, 1, 0, pairs);
+  // Each interior node pairs with 2 neighbors, ends with 1: 2+2+1+1 = 6.
+  EXPECT_EQ(pairs.size(), 6u);
+  for (const auto& p : pairs) {
+    EXPECT_NE(p.center, p.context);
+    EXPECT_EQ(p.rel, 0);
+  }
+}
+
+TEST(CorpusTest, MetapathCorpusTagsRelations) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  Rng rng(20);
+  auto schemes = DefaultSchemes(g, 4);
+  CorpusOptions options;
+  options.num_walks_per_node = 3;
+  options.walk_length = 4;
+  options.window = 2;
+  WalkCorpus corpus = BuildMetapathCorpus(g, schemes, options, rng);
+  EXPECT_FALSE(corpus.pairs.empty());
+  std::set<RelationId> rels;
+  for (const auto& p : corpus.pairs) rels.insert(p.rel);
+  EXPECT_EQ(rels.size(), g.num_relations());
+}
+
+TEST(CorpusTest, UniformCorpusIsRelationBlind) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  Rng rng(21);
+  CorpusOptions options;
+  options.num_walks_per_node = 2;
+  options.walk_length = 4;
+  options.window = 2;
+  WalkCorpus corpus = BuildUniformCorpus(g, options, rng);
+  EXPECT_FALSE(corpus.pairs.empty());
+  for (const auto& p : corpus.pairs) EXPECT_EQ(p.rel, kInvalidRelation);
+}
+
+TEST(CorpusTest, Node2VecCorpusNonEmpty) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  Rng rng(22);
+  CorpusOptions options;
+  options.num_walks_per_node = 2;
+  options.walk_length = 4;
+  options.window = 2;
+  WalkCorpus corpus = BuildNode2VecCorpus(g, options, 0.5, 2.0, rng);
+  EXPECT_FALSE(corpus.pairs.empty());
+  EXPECT_FALSE(corpus.walks.empty());
+}
+
+// ---------- Layered sampler ----------
+
+TEST(NeighborSamplerTest, SampleLayersShapes) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  Rng rng(23);
+  auto levels = SampleLayers(g, 0, 2, 4, rng);
+  ASSERT_EQ(levels.size(), 3u);
+  EXPECT_EQ(levels[0], (std::vector<NodeId>{0}));
+  EXPECT_LE(levels[1].size(), 4u);
+  EXPECT_FALSE(levels[1].empty());
+}
+
+TEST(NeighborSamplerTest, PerRelationNeighborsRespectRelation) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  Rng rng(24);
+  auto per_rel = SamplePerRelationNeighbors(g, 3, 4, rng);
+  ASSERT_EQ(per_rel.size(), 2u);
+  EXPECT_FALSE(per_rel[g.FindRelation("view")].empty());
+  EXPECT_TRUE(per_rel[g.FindRelation("buy")].empty());
+  for (NodeId u : per_rel[g.FindRelation("view")]) {
+    EXPECT_TRUE(g.HasEdge(3, u, g.FindRelation("view")));
+  }
+}
+
+}  // namespace
+}  // namespace hybridgnn

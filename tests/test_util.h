@@ -1,0 +1,46 @@
+#ifndef HYBRIDGNN_TESTS_TEST_UTIL_H_
+#define HYBRIDGNN_TESTS_TEST_UTIL_H_
+
+#include "common/logging.h"
+#include "graph/graph.h"
+#include "graph/metapath.h"
+
+namespace hybridgnn::testing {
+
+/// Small deterministic multiplex heterogeneous graph used across tests:
+/// 4 users (0-3), 3 items (4-6), relations "view" and "buy".
+///   view: u0-i4, u0-i5, u1-i4, u2-i6, u3-i5
+///   buy : u0-i4, u1-i4, u2-i6
+/// u0-i4 is a multiplex pair (both view and buy).
+inline MultiplexHeteroGraph SmallBipartite() {
+  GraphBuilder b;
+  NodeTypeId user = b.AddNodeType("user").value();
+  NodeTypeId item = b.AddNodeType("item").value();
+  RelationId view = b.AddRelation("view").value();
+  RelationId buy = b.AddRelation("buy").value();
+  HYBRIDGNN_CHECK(b.AddNodes(user, 4).ok());
+  HYBRIDGNN_CHECK(b.AddNodes(item, 3).ok());
+  HYBRIDGNN_CHECK_OK(b.AddEdge(0, 4, view));
+  HYBRIDGNN_CHECK_OK(b.AddEdge(0, 5, view));
+  HYBRIDGNN_CHECK_OK(b.AddEdge(1, 4, view));
+  HYBRIDGNN_CHECK_OK(b.AddEdge(2, 6, view));
+  HYBRIDGNN_CHECK_OK(b.AddEdge(3, 5, view));
+  HYBRIDGNN_CHECK_OK(b.AddEdge(0, 4, buy));
+  HYBRIDGNN_CHECK_OK(b.AddEdge(1, 4, buy));
+  HYBRIDGNN_CHECK_OK(b.AddEdge(2, 6, buy));
+  auto g = b.Build();
+  HYBRIDGNN_CHECK(g.ok()) << g.status().ToString();
+  return std::move(g).value();
+}
+
+/// U-I-U scheme under `rel` for SmallBipartite-shaped graphs.
+inline MetapathScheme UiuScheme(const MultiplexHeteroGraph& g,
+                                RelationId rel) {
+  auto s = MetapathScheme::ParseIntra(g, "U-I-U", rel);
+  HYBRIDGNN_CHECK(s.ok()) << s.status().ToString();
+  return std::move(s).value();
+}
+
+}  // namespace hybridgnn::testing
+
+#endif  // HYBRIDGNN_TESTS_TEST_UTIL_H_
