@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_param_sensitivity.dir/fig5_param_sensitivity.cc.o"
+  "CMakeFiles/fig5_param_sensitivity.dir/fig5_param_sensitivity.cc.o.d"
+  "fig5_param_sensitivity"
+  "fig5_param_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_param_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

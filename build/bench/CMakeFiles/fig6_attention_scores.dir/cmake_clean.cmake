@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_attention_scores.dir/fig6_attention_scores.cc.o"
+  "CMakeFiles/fig6_attention_scores.dir/fig6_attention_scores.cc.o.d"
+  "fig6_attention_scores"
+  "fig6_attention_scores.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_attention_scores.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_overall_part1.dir/table3_overall_part1.cc.o"
+  "CMakeFiles/table3_overall_part1.dir/table3_overall_part1.cc.o.d"
+  "table3_overall_part1"
+  "table3_overall_part1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_overall_part1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

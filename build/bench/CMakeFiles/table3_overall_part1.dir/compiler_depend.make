@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table3_overall_part1.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_overall_part2.dir/table4_overall_part2.cc.o"
+  "CMakeFiles/table4_overall_part2.dir/table4_overall_part2.cc.o.d"
+  "table4_overall_part2"
+  "table4_overall_part2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_overall_part2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

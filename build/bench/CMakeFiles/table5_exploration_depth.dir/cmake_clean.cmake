@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_exploration_depth.dir/table5_exploration_depth.cc.o"
+  "CMakeFiles/table5_exploration_depth.dir/table5_exploration_depth.cc.o.d"
+  "table5_exploration_depth"
+  "table5_exploration_depth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_exploration_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

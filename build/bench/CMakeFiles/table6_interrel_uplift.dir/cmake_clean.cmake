@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_interrel_uplift.dir/table6_interrel_uplift.cc.o"
+  "CMakeFiles/table6_interrel_uplift.dir/table6_interrel_uplift.cc.o.d"
+  "table6_interrel_uplift"
+  "table6_interrel_uplift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_interrel_uplift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

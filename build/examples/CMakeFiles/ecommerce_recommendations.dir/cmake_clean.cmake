@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecommerce_recommendations.dir/ecommerce_recommendations.cpp.o"
+  "CMakeFiles/ecommerce_recommendations.dir/ecommerce_recommendations.cpp.o.d"
+  "ecommerce_recommendations"
+  "ecommerce_recommendations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecommerce_recommendations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_io_roundtrip.dir/graph_io_roundtrip.cpp.o"
+  "CMakeFiles/graph_io_roundtrip.dir/graph_io_roundtrip.cpp.o.d"
+  "graph_io_roundtrip"
+  "graph_io_roundtrip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_io_roundtrip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

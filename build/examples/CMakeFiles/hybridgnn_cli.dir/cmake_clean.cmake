@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybridgnn_cli.dir/hybridgnn_cli.cpp.o"
+  "CMakeFiles/hybridgnn_cli.dir/hybridgnn_cli.cpp.o.d"
+  "hybridgnn_cli"
+  "hybridgnn_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybridgnn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_platform_ranking.dir/video_platform_ranking.cpp.o"
+  "CMakeFiles/video_platform_ranking.dir/video_platform_ranking.cpp.o.d"
+  "video_platform_ranking"
+  "video_platform_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_platform_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

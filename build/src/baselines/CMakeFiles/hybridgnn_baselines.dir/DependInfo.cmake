@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/common.cc" "src/baselines/CMakeFiles/hybridgnn_baselines.dir/common.cc.o" "gcc" "src/baselines/CMakeFiles/hybridgnn_baselines.dir/common.cc.o.d"
+  "/root/repo/src/baselines/deepwalk.cc" "src/baselines/CMakeFiles/hybridgnn_baselines.dir/deepwalk.cc.o" "gcc" "src/baselines/CMakeFiles/hybridgnn_baselines.dir/deepwalk.cc.o.d"
+  "/root/repo/src/baselines/gatne.cc" "src/baselines/CMakeFiles/hybridgnn_baselines.dir/gatne.cc.o" "gcc" "src/baselines/CMakeFiles/hybridgnn_baselines.dir/gatne.cc.o.d"
+  "/root/repo/src/baselines/gcn.cc" "src/baselines/CMakeFiles/hybridgnn_baselines.dir/gcn.cc.o" "gcc" "src/baselines/CMakeFiles/hybridgnn_baselines.dir/gcn.cc.o.d"
+  "/root/repo/src/baselines/graphsage.cc" "src/baselines/CMakeFiles/hybridgnn_baselines.dir/graphsage.cc.o" "gcc" "src/baselines/CMakeFiles/hybridgnn_baselines.dir/graphsage.cc.o.d"
+  "/root/repo/src/baselines/han.cc" "src/baselines/CMakeFiles/hybridgnn_baselines.dir/han.cc.o" "gcc" "src/baselines/CMakeFiles/hybridgnn_baselines.dir/han.cc.o.d"
+  "/root/repo/src/baselines/line.cc" "src/baselines/CMakeFiles/hybridgnn_baselines.dir/line.cc.o" "gcc" "src/baselines/CMakeFiles/hybridgnn_baselines.dir/line.cc.o.d"
+  "/root/repo/src/baselines/magnn.cc" "src/baselines/CMakeFiles/hybridgnn_baselines.dir/magnn.cc.o" "gcc" "src/baselines/CMakeFiles/hybridgnn_baselines.dir/magnn.cc.o.d"
+  "/root/repo/src/baselines/node2vec.cc" "src/baselines/CMakeFiles/hybridgnn_baselines.dir/node2vec.cc.o" "gcc" "src/baselines/CMakeFiles/hybridgnn_baselines.dir/node2vec.cc.o.d"
+  "/root/repo/src/baselines/registry.cc" "src/baselines/CMakeFiles/hybridgnn_baselines.dir/registry.cc.o" "gcc" "src/baselines/CMakeFiles/hybridgnn_baselines.dir/registry.cc.o.d"
+  "/root/repo/src/baselines/rgcn.cc" "src/baselines/CMakeFiles/hybridgnn_baselines.dir/rgcn.cc.o" "gcc" "src/baselines/CMakeFiles/hybridgnn_baselines.dir/rgcn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hybridgnn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hybridgnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/hybridgnn_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/hybridgnn_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hybridgnn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hybridgnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hybridgnn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hybridgnn_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

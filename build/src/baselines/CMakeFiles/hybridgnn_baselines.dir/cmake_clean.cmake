@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybridgnn_baselines.dir/common.cc.o"
+  "CMakeFiles/hybridgnn_baselines.dir/common.cc.o.d"
+  "CMakeFiles/hybridgnn_baselines.dir/deepwalk.cc.o"
+  "CMakeFiles/hybridgnn_baselines.dir/deepwalk.cc.o.d"
+  "CMakeFiles/hybridgnn_baselines.dir/gatne.cc.o"
+  "CMakeFiles/hybridgnn_baselines.dir/gatne.cc.o.d"
+  "CMakeFiles/hybridgnn_baselines.dir/gcn.cc.o"
+  "CMakeFiles/hybridgnn_baselines.dir/gcn.cc.o.d"
+  "CMakeFiles/hybridgnn_baselines.dir/graphsage.cc.o"
+  "CMakeFiles/hybridgnn_baselines.dir/graphsage.cc.o.d"
+  "CMakeFiles/hybridgnn_baselines.dir/han.cc.o"
+  "CMakeFiles/hybridgnn_baselines.dir/han.cc.o.d"
+  "CMakeFiles/hybridgnn_baselines.dir/line.cc.o"
+  "CMakeFiles/hybridgnn_baselines.dir/line.cc.o.d"
+  "CMakeFiles/hybridgnn_baselines.dir/magnn.cc.o"
+  "CMakeFiles/hybridgnn_baselines.dir/magnn.cc.o.d"
+  "CMakeFiles/hybridgnn_baselines.dir/node2vec.cc.o"
+  "CMakeFiles/hybridgnn_baselines.dir/node2vec.cc.o.d"
+  "CMakeFiles/hybridgnn_baselines.dir/registry.cc.o"
+  "CMakeFiles/hybridgnn_baselines.dir/registry.cc.o.d"
+  "CMakeFiles/hybridgnn_baselines.dir/rgcn.cc.o"
+  "CMakeFiles/hybridgnn_baselines.dir/rgcn.cc.o.d"
+  "libhybridgnn_baselines.a"
+  "libhybridgnn_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybridgnn_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybridgnn_common.dir/env.cc.o"
+  "CMakeFiles/hybridgnn_common.dir/env.cc.o.d"
+  "CMakeFiles/hybridgnn_common.dir/logging.cc.o"
+  "CMakeFiles/hybridgnn_common.dir/logging.cc.o.d"
+  "CMakeFiles/hybridgnn_common.dir/rng.cc.o"
+  "CMakeFiles/hybridgnn_common.dir/rng.cc.o.d"
+  "CMakeFiles/hybridgnn_common.dir/status.cc.o"
+  "CMakeFiles/hybridgnn_common.dir/status.cc.o.d"
+  "CMakeFiles/hybridgnn_common.dir/string_util.cc.o"
+  "CMakeFiles/hybridgnn_common.dir/string_util.cc.o.d"
+  "CMakeFiles/hybridgnn_common.dir/threadpool.cc.o"
+  "CMakeFiles/hybridgnn_common.dir/threadpool.cc.o.d"
+  "libhybridgnn_common.a"
+  "libhybridgnn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybridgnn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

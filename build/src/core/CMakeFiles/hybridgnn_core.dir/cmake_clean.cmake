@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybridgnn_core.dir/config.cc.o"
+  "CMakeFiles/hybridgnn_core.dir/config.cc.o.d"
+  "CMakeFiles/hybridgnn_core.dir/hybrid_gnn.cc.o"
+  "CMakeFiles/hybridgnn_core.dir/hybrid_gnn.cc.o.d"
+  "libhybridgnn_core.a"
+  "libhybridgnn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybridgnn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhybridgnn_core.a"
+)

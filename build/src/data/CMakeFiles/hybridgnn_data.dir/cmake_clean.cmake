@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybridgnn_data.dir/profiles.cc.o"
+  "CMakeFiles/hybridgnn_data.dir/profiles.cc.o.d"
+  "CMakeFiles/hybridgnn_data.dir/split.cc.o"
+  "CMakeFiles/hybridgnn_data.dir/split.cc.o.d"
+  "CMakeFiles/hybridgnn_data.dir/synthetic.cc.o"
+  "CMakeFiles/hybridgnn_data.dir/synthetic.cc.o.d"
+  "libhybridgnn_data.a"
+  "libhybridgnn_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybridgnn_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybridgnn_eval.dir/evaluator.cc.o"
+  "CMakeFiles/hybridgnn_eval.dir/evaluator.cc.o.d"
+  "CMakeFiles/hybridgnn_eval.dir/metrics.cc.o"
+  "CMakeFiles/hybridgnn_eval.dir/metrics.cc.o.d"
+  "CMakeFiles/hybridgnn_eval.dir/stats_test.cc.o"
+  "CMakeFiles/hybridgnn_eval.dir/stats_test.cc.o.d"
+  "libhybridgnn_eval.a"
+  "libhybridgnn_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybridgnn_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybridgnn_graph.dir/graph.cc.o"
+  "CMakeFiles/hybridgnn_graph.dir/graph.cc.o.d"
+  "CMakeFiles/hybridgnn_graph.dir/graph_io.cc.o"
+  "CMakeFiles/hybridgnn_graph.dir/graph_io.cc.o.d"
+  "CMakeFiles/hybridgnn_graph.dir/metapath.cc.o"
+  "CMakeFiles/hybridgnn_graph.dir/metapath.cc.o.d"
+  "CMakeFiles/hybridgnn_graph.dir/stats.cc.o"
+  "CMakeFiles/hybridgnn_graph.dir/stats.cc.o.d"
+  "libhybridgnn_graph.a"
+  "libhybridgnn_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybridgnn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/aggregator.cc" "src/nn/CMakeFiles/hybridgnn_nn.dir/aggregator.cc.o" "gcc" "src/nn/CMakeFiles/hybridgnn_nn.dir/aggregator.cc.o.d"
+  "/root/repo/src/nn/attention.cc" "src/nn/CMakeFiles/hybridgnn_nn.dir/attention.cc.o" "gcc" "src/nn/CMakeFiles/hybridgnn_nn.dir/attention.cc.o.d"
+  "/root/repo/src/nn/embedding.cc" "src/nn/CMakeFiles/hybridgnn_nn.dir/embedding.cc.o" "gcc" "src/nn/CMakeFiles/hybridgnn_nn.dir/embedding.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/hybridgnn_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/hybridgnn_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/nn/CMakeFiles/hybridgnn_nn.dir/module.cc.o" "gcc" "src/nn/CMakeFiles/hybridgnn_nn.dir/module.cc.o.d"
+  "/root/repo/src/nn/semantic_attention.cc" "src/nn/CMakeFiles/hybridgnn_nn.dir/semantic_attention.cc.o" "gcc" "src/nn/CMakeFiles/hybridgnn_nn.dir/semantic_attention.cc.o.d"
+  "/root/repo/src/nn/sparse.cc" "src/nn/CMakeFiles/hybridgnn_nn.dir/sparse.cc.o" "gcc" "src/nn/CMakeFiles/hybridgnn_nn.dir/sparse.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/hybridgnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hybridgnn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

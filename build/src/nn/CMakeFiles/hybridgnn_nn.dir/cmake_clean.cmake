@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybridgnn_nn.dir/aggregator.cc.o"
+  "CMakeFiles/hybridgnn_nn.dir/aggregator.cc.o.d"
+  "CMakeFiles/hybridgnn_nn.dir/attention.cc.o"
+  "CMakeFiles/hybridgnn_nn.dir/attention.cc.o.d"
+  "CMakeFiles/hybridgnn_nn.dir/embedding.cc.o"
+  "CMakeFiles/hybridgnn_nn.dir/embedding.cc.o.d"
+  "CMakeFiles/hybridgnn_nn.dir/linear.cc.o"
+  "CMakeFiles/hybridgnn_nn.dir/linear.cc.o.d"
+  "CMakeFiles/hybridgnn_nn.dir/module.cc.o"
+  "CMakeFiles/hybridgnn_nn.dir/module.cc.o.d"
+  "CMakeFiles/hybridgnn_nn.dir/semantic_attention.cc.o"
+  "CMakeFiles/hybridgnn_nn.dir/semantic_attention.cc.o.d"
+  "CMakeFiles/hybridgnn_nn.dir/sparse.cc.o"
+  "CMakeFiles/hybridgnn_nn.dir/sparse.cc.o.d"
+  "libhybridgnn_nn.a"
+  "libhybridgnn_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybridgnn_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sampling/alias.cc" "src/sampling/CMakeFiles/hybridgnn_sampling.dir/alias.cc.o" "gcc" "src/sampling/CMakeFiles/hybridgnn_sampling.dir/alias.cc.o.d"
+  "/root/repo/src/sampling/corpus.cc" "src/sampling/CMakeFiles/hybridgnn_sampling.dir/corpus.cc.o" "gcc" "src/sampling/CMakeFiles/hybridgnn_sampling.dir/corpus.cc.o.d"
+  "/root/repo/src/sampling/exploration.cc" "src/sampling/CMakeFiles/hybridgnn_sampling.dir/exploration.cc.o" "gcc" "src/sampling/CMakeFiles/hybridgnn_sampling.dir/exploration.cc.o.d"
+  "/root/repo/src/sampling/negative_sampler.cc" "src/sampling/CMakeFiles/hybridgnn_sampling.dir/negative_sampler.cc.o" "gcc" "src/sampling/CMakeFiles/hybridgnn_sampling.dir/negative_sampler.cc.o.d"
+  "/root/repo/src/sampling/neighbor_sampler.cc" "src/sampling/CMakeFiles/hybridgnn_sampling.dir/neighbor_sampler.cc.o" "gcc" "src/sampling/CMakeFiles/hybridgnn_sampling.dir/neighbor_sampler.cc.o.d"
+  "/root/repo/src/sampling/sgns.cc" "src/sampling/CMakeFiles/hybridgnn_sampling.dir/sgns.cc.o" "gcc" "src/sampling/CMakeFiles/hybridgnn_sampling.dir/sgns.cc.o.d"
+  "/root/repo/src/sampling/walker.cc" "src/sampling/CMakeFiles/hybridgnn_sampling.dir/walker.cc.o" "gcc" "src/sampling/CMakeFiles/hybridgnn_sampling.dir/walker.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/hybridgnn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hybridgnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hybridgnn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

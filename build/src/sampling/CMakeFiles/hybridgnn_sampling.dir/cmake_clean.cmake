@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybridgnn_sampling.dir/alias.cc.o"
+  "CMakeFiles/hybridgnn_sampling.dir/alias.cc.o.d"
+  "CMakeFiles/hybridgnn_sampling.dir/corpus.cc.o"
+  "CMakeFiles/hybridgnn_sampling.dir/corpus.cc.o.d"
+  "CMakeFiles/hybridgnn_sampling.dir/exploration.cc.o"
+  "CMakeFiles/hybridgnn_sampling.dir/exploration.cc.o.d"
+  "CMakeFiles/hybridgnn_sampling.dir/negative_sampler.cc.o"
+  "CMakeFiles/hybridgnn_sampling.dir/negative_sampler.cc.o.d"
+  "CMakeFiles/hybridgnn_sampling.dir/neighbor_sampler.cc.o"
+  "CMakeFiles/hybridgnn_sampling.dir/neighbor_sampler.cc.o.d"
+  "CMakeFiles/hybridgnn_sampling.dir/sgns.cc.o"
+  "CMakeFiles/hybridgnn_sampling.dir/sgns.cc.o.d"
+  "CMakeFiles/hybridgnn_sampling.dir/walker.cc.o"
+  "CMakeFiles/hybridgnn_sampling.dir/walker.cc.o.d"
+  "libhybridgnn_sampling.a"
+  "libhybridgnn_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybridgnn_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

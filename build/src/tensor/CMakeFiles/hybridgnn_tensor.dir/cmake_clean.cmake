@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybridgnn_tensor.dir/autograd.cc.o"
+  "CMakeFiles/hybridgnn_tensor.dir/autograd.cc.o.d"
+  "CMakeFiles/hybridgnn_tensor.dir/init.cc.o"
+  "CMakeFiles/hybridgnn_tensor.dir/init.cc.o.d"
+  "CMakeFiles/hybridgnn_tensor.dir/optimizer.cc.o"
+  "CMakeFiles/hybridgnn_tensor.dir/optimizer.cc.o.d"
+  "CMakeFiles/hybridgnn_tensor.dir/tensor.cc.o"
+  "CMakeFiles/hybridgnn_tensor.dir/tensor.cc.o.d"
+  "CMakeFiles/hybridgnn_tensor.dir/tensor_ops.cc.o"
+  "CMakeFiles/hybridgnn_tensor.dir/tensor_ops.cc.o.d"
+  "libhybridgnn_tensor.a"
+  "libhybridgnn_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybridgnn_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core_test.cc" "tests/CMakeFiles/core_test.dir/core_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/hybridgnn_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hybridgnn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hybridgnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/hybridgnn_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hybridgnn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/sampling/CMakeFiles/hybridgnn_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hybridgnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/hybridgnn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hybridgnn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
