@@ -72,7 +72,10 @@ inline LinkPredictionResult RunModel(const std::string& model_name,
                                      const ModelBudget& budget) {
   auto model = CreateModel(model_name, prep.dataset.schemes, seed, budget);
   HYBRIDGNN_CHECK(model.ok()) << model.status().ToString();
-  Status st = (*model)->Fit(prep.split.train_graph);
+  // num_threads = 0 defers to HYBRIDGNN_THREADS, so `HYBRIDGNN_THREADS=4
+  // ./table3_...` parallelizes training without touching per-model configs.
+  FitOptions fit_opts;
+  Status st = (*model)->Fit(prep.split.train_graph, fit_opts);
   HYBRIDGNN_CHECK(st.ok()) << model_name << ": " << st.ToString();
   Rng eval_rng(seed ^ 0xE7A1);
   EvalOptions opts;
@@ -100,7 +103,8 @@ inline HybridGnnConfig HybridConfigFromBudget(const ModelBudget& budget,
 inline LinkPredictionResult RunHybrid(const HybridGnnConfig& config,
                                       const Prepared& prep) {
   HybridGnn model(config, prep.dataset.schemes);
-  Status st = model.Fit(prep.split.train_graph);
+  FitOptions fit_opts;  // num_threads = 0 -> HYBRIDGNN_THREADS
+  Status st = model.Fit(prep.split.train_graph, fit_opts);
   HYBRIDGNN_CHECK(st.ok()) << st.ToString();
   Rng eval_rng(config.seed ^ 0xE7A1);
   EvalOptions opts;

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Builds the concurrency-sensitive tests under ThreadSanitizer and runs them.
+#
+# The Hogwild SGD loops (sgns.cc, line.cc) intentionally race on embedding
+# rows; those update functions carry HYBRIDGNN_NO_SANITIZE_THREAD, so any
+# report from this script is an unintended data race and must be fixed.
+#
+# Usage: scripts/tsan_check.sh [build-dir]   (default: build-tsan)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . \
+  -DHYBRIDGNN_TSAN=ON \
+  -DHYBRIDGNN_BUILD_BENCHMARKS=OFF \
+  -DHYBRIDGNN_BUILD_EXAMPLES=OFF
+
+# Only the tests exercising the parallel pipeline — full suite under TSan is
+# slow and the rest is single-threaded.
+TESTS=(threadpool_test sampling_test determinism_test)
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TESTS[@]}"
+
+status=0
+for t in "${TESTS[@]}"; do
+  echo "=== TSan: $t ==="
+  TSAN_OPTIONS="halt_on_error=1" "$BUILD_DIR/tests/$t" || status=$?
+done
+exit "$status"

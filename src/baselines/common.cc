@@ -1,6 +1,19 @@
 #include "baselines/common.h"
 
+#include <cstring>
+
 namespace hybridgnn {
+
+Tensor GatherNodeRows(
+    const Tensor& table,
+    std::span<const std::pair<NodeId, RelationId>> queries) {
+  Tensor out(queries.size(), table.cols());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    std::memcpy(out.RowPtr(i), table.RowPtr(queries[i].first),
+                table.cols() * sizeof(float));
+  }
+  return out;
+}
 
 EdgeTriple SampleNegativeEdge(const MultiplexHeteroGraph& g,
                               const EdgeTriple& pos, Rng& rng) {

@@ -1,9 +1,13 @@
 #ifndef HYBRIDGNN_BASELINES_COMMON_H_
 #define HYBRIDGNN_BASELINES_COMMON_H_
 
+#include <span>
+#include <utility>
+
 #include "common/rng.h"
 #include "graph/graph.h"
 #include "sampling/sgns.h"
+#include "tensor/tensor.h"
 
 namespace hybridgnn {
 
@@ -11,6 +15,12 @@ namespace hybridgnn {
 /// (used by BCE-trained GNN baselines for on-the-fly negatives).
 EdgeTriple SampleNegativeEdge(const MultiplexHeteroGraph& g,
                               const EdgeTriple& pos, Rng& rng);
+
+/// Row-gather from a relation-blind [V, d] embedding table: result row i is
+/// table row queries[i].first. The shared EmbeddingsFor fast path for
+/// table-backed baselines (one allocation instead of one per query).
+Tensor GatherNodeRows(const Tensor& table,
+                      std::span<const std::pair<NodeId, RelationId>> queries);
 
 }  // namespace hybridgnn
 

@@ -4,16 +4,24 @@
 
 namespace hybridgnn {
 
-Status DeepWalk::Fit(const MultiplexHeteroGraph& g) {
+Status DeepWalk::Fit(const MultiplexHeteroGraph& g,
+                     const FitOptions& options) {
+  const size_t threads = options.threads();
   Rng rng(options_.seed);
-  WalkCorpus corpus = BuildUniformCorpus(g, options_.corpus, rng);
+  CorpusOptions corpus_opts = options_.corpus;
+  corpus_opts.num_threads = threads;
+  WalkCorpus corpus = BuildUniformCorpus(g, corpus_opts, rng);
   if (corpus.pairs.empty()) {
     return Status::FailedPrecondition("DeepWalk: empty walk corpus");
   }
+  options.Report("corpus", 1, 1);
   NegativeSampler sampler(g);
-  SgnsEmbedder embedder(g.num_nodes(), options_.sgns.dim, rng);
-  embedder.Train(corpus.pairs, sampler, options_.sgns, rng);
+  SgnsOptions sgns = options_.sgns;
+  sgns.num_threads = options.deterministic ? 1 : threads;
+  SgnsEmbedder embedder(g.num_nodes(), sgns.dim, rng);
+  embedder.Train(corpus.pairs, sampler, sgns, rng);
   embeddings_ = embedder.embeddings();
+  options.Report("train", 1, 1);
   fitted_ = true;
   return Status::OK();
 }
@@ -22,6 +30,12 @@ Tensor DeepWalk::Embedding(NodeId v, RelationId r) const {
   HYBRIDGNN_CHECK(fitted_);
   (void)r;  // relation-blind
   return embeddings_.CopyRow(v);
+}
+
+Tensor DeepWalk::EmbeddingsFor(
+    std::span<const std::pair<NodeId, RelationId>> queries) const {
+  HYBRIDGNN_CHECK(fitted_);
+  return GatherNodeRows(embeddings_, queries);
 }
 
 }  // namespace hybridgnn

@@ -22,8 +22,14 @@ class DeepWalk : public EmbeddingModel {
   explicit DeepWalk(const Options& options) : options_(options) {}
 
   std::string name() const override { return "DeepWalk"; }
-  Status Fit(const MultiplexHeteroGraph& g) override;
+  /// options.num_threads feeds both walk generation (reproducible parallel
+  /// streams) and Hogwild SGNS; options.deterministic keeps SGNS serial.
+  Status Fit(const MultiplexHeteroGraph& g,
+             const FitOptions& options) override;
+  using EmbeddingModel::Fit;
   Tensor Embedding(NodeId v, RelationId r) const override;
+  Tensor EmbeddingsFor(std::span<const std::pair<NodeId, RelationId>> queries)
+      const override;
 
  private:
   Options options_;

@@ -1,9 +1,11 @@
 #include "baselines/gatne.h"
 
 #include <algorithm>
+#include <cstring>
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "sampling/negative_sampler.h"
 #include "sampling/sgns.h"
 #include "tensor/init.h"
@@ -60,10 +62,11 @@ ag::Var Gatne::ForwardNode(const MultiplexHeteroGraph& g, NodeId v,
   return ag::AddRowBroadcast(local, base_row);  // [R, base]
 }
 
-Status Gatne::Fit(const MultiplexHeteroGraph& g) {
+Status Gatne::Fit(const MultiplexHeteroGraph& g, const FitOptions& options) {
   if (g.num_nodes() == 0) return Status::InvalidArgument("empty graph");
   for (const auto& s : schemes_) HYBRIDGNN_RETURN_IF_ERROR(s.Validate(g));
   num_relations_ = g.num_relations();
+  const size_t threads = options.threads();
   Rng rng(options_.seed);
 
   base_ =
@@ -98,14 +101,17 @@ Status Gatne::Fit(const MultiplexHeteroGraph& g) {
   optimizer.AddParameters(attn_query_);
   optimizer.AddParameters(m_rel_);
 
-  WalkCorpus corpus = BuildMetapathCorpus(g, schemes_, options_.corpus, rng);
+  CorpusOptions corpus_opts = options_.corpus;
+  corpus_opts.num_threads = threads;
+  WalkCorpus corpus = BuildMetapathCorpus(g, schemes_, corpus_opts, rng);
   if (corpus.pairs.empty()) {
     return Status::FailedPrecondition("GATNE: no skip-gram pairs");
   }
+  options.Report("corpus", 1, 1);
   NegativeSampler neg_sampler(g);
 
   if (options_.pretrain_base) {
-    CorpusOptions pre_corpus = options_.corpus;
+    CorpusOptions pre_corpus = corpus_opts;
     pre_corpus.direct_edge_copies = 2;
     WalkCorpus uniform = BuildUniformCorpus(g, pre_corpus, rng);
     for (size_t copy = 0; copy < pre_corpus.direct_edge_copies; ++copy) {
@@ -117,10 +123,12 @@ Status Gatne::Fit(const MultiplexHeteroGraph& g) {
     SgnsOptions pre;
     pre.dim = options_.base_dim;
     pre.negatives = options_.num_negatives;
+    pre.num_threads = options.deterministic ? 1 : threads;
     SgnsEmbedder pretrainer(g.num_nodes(), options_.base_dim, rng);
     pretrainer.Train(uniform.pairs, neg_sampler, pre, rng);
     base_->table()->value = pretrainer.embeddings();
     context_->table()->value = pretrainer.contexts();
+    options.Report("pretrain", 1, 1);
   }
 
   // Fine-tune the relation machinery on the link objective with
@@ -237,6 +245,7 @@ Status Gatne::Fit(const MultiplexHeteroGraph& g) {
       optimizer.ZeroGrad();
     }
     const double val = validation_auc();
+    options.Report("epoch", epoch + 1, options_.epochs);
     if (val > best_val + 1e-4) {
       best_val = val;
       best_snapshot = snapshot();
@@ -247,16 +256,27 @@ Status Gatne::Fit(const MultiplexHeteroGraph& g) {
   }
   if (options_.restore_best) restore(best_snapshot);
 
-  Rng cache_rng(options_.seed ^ 0xDEFACE);
   cache_ = Tensor(g.num_nodes() * num_relations_, options_.base_dim);
-  for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    ag::Var all = ForwardNode(g, v, cache_rng);
+  auto cache_node = [&](NodeId v, Rng& node_rng) {
+    ag::Var all = ForwardNode(g, v, node_rng);
     for (RelationId r = 0; r < num_relations_; ++r) {
       const float* src = all->value.RowPtr(r);
       std::copy(src, src + options_.base_dim,
                 cache_.RowPtr(v * num_relations_ + r));
     }
+  };
+  if (threads > 1) {
+    // Per-node forked streams: reproducible and thread-count invariant.
+    const Rng cache_master(options_.seed ^ 0xDEFACE);
+    RunParallel(threads, g.num_nodes(), [&](size_t v) {
+      Rng node_rng = cache_master.Fork(v);
+      cache_node(static_cast<NodeId>(v), node_rng);
+    });
+  } else {
+    Rng cache_rng(options_.seed ^ 0xDEFACE);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) cache_node(v, cache_rng);
   }
+  options.Report("cache", 1, 1);
   fitted_ = true;
   return Status::OK();
 }
@@ -264,6 +284,19 @@ Status Gatne::Fit(const MultiplexHeteroGraph& g) {
 Tensor Gatne::Embedding(NodeId v, RelationId r) const {
   HYBRIDGNN_CHECK(fitted_ && r < num_relations_);
   return cache_.CopyRow(v * num_relations_ + r);
+}
+
+Tensor Gatne::EmbeddingsFor(
+    std::span<const std::pair<NodeId, RelationId>> queries) const {
+  HYBRIDGNN_CHECK(fitted_);
+  Tensor out(queries.size(), options_.base_dim);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const auto& [v, r] = queries[i];
+    HYBRIDGNN_CHECK(r < num_relations_);
+    std::memcpy(out.RowPtr(i), cache_.RowPtr(v * num_relations_ + r),
+                options_.base_dim * sizeof(float));
+  }
+  return out;
 }
 
 }  // namespace hybridgnn

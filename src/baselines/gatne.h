@@ -56,8 +56,15 @@ class Gatne : public EmbeddingModel {
       : options_(options), schemes_(std::move(schemes)) {}
 
   std::string name() const override { return "GATNE"; }
-  Status Fit(const MultiplexHeteroGraph& g) override;
+  /// options.num_threads parallelizes walk corpus, SGNS pretraining
+  /// (Hogwild; serial under options.deterministic) and the frozen
+  /// embedding cache.
+  Status Fit(const MultiplexHeteroGraph& g,
+             const FitOptions& options) override;
+  using EmbeddingModel::Fit;
   Tensor Embedding(NodeId v, RelationId r) const override;
+  Tensor EmbeddingsFor(std::span<const std::pair<NodeId, RelationId>> queries)
+      const override;
 
  private:
   /// e_{v,r} rows for all relations at once: [R, base_dim].

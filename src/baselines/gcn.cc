@@ -9,7 +9,8 @@
 
 namespace hybridgnn {
 
-Status Gcn::Fit(const MultiplexHeteroGraph& g) {
+Status Gcn::Fit(const MultiplexHeteroGraph& g, const FitOptions& options) {
+  (void)options;  // dense full-graph training; no parallel path yet
   const auto& edges = g.edges();
   if (edges.empty()) return Status::FailedPrecondition("GCN: no edges");
   Rng rng(options_.seed);

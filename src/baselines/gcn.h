@@ -29,7 +29,9 @@ class Gcn : public EmbeddingModel {
   explicit Gcn(const Options& options) : options_(options) {}
 
   std::string name() const override { return "GCN"; }
-  Status Fit(const MultiplexHeteroGraph& g) override;
+  Status Fit(const MultiplexHeteroGraph& g,
+             const FitOptions& options) override;
+  using EmbeddingModel::Fit;
   Tensor Embedding(NodeId v, RelationId r) const override;
 
  private:

@@ -28,7 +28,8 @@ ag::Var GraphSage::ForwardNode(const MultiplexHeteroGraph& g, NodeId v,
   return rep;
 }
 
-Status GraphSage::Fit(const MultiplexHeteroGraph& g) {
+Status GraphSage::Fit(const MultiplexHeteroGraph& g, const FitOptions& options) {
+  (void)options;  // dense full-graph training; no parallel path yet
   const auto& edges = g.edges();
   if (edges.empty()) return Status::FailedPrecondition("GraphSage: no edges");
   Rng rng(options_.seed);

@@ -31,7 +31,9 @@ class GraphSage : public EmbeddingModel {
   explicit GraphSage(const Options& options) : options_(options) {}
 
   std::string name() const override { return "GraphSage"; }
-  Status Fit(const MultiplexHeteroGraph& g) override;
+  Status Fit(const MultiplexHeteroGraph& g,
+             const FitOptions& options) override;
+  using EmbeddingModel::Fit;
   Tensor Embedding(NodeId v, RelationId r) const override;
 
  private:

@@ -36,7 +36,8 @@ ag::Var MetapathEmbed(const MultiplexHeteroGraph& g,
 
 }  // namespace
 
-Status Han::Fit(const MultiplexHeteroGraph& g) {
+Status Han::Fit(const MultiplexHeteroGraph& g, const FitOptions& options) {
+  (void)options;  // dense full-graph training; no parallel path yet
   const auto& edges = g.edges();
   if (edges.empty()) return Status::FailedPrecondition("HAN: no edges");
   for (const auto& s : schemes_) HYBRIDGNN_RETURN_IF_ERROR(s.Validate(g));

@@ -31,7 +31,9 @@ class Han : public EmbeddingModel {
       : options_(options), schemes_(std::move(schemes)) {}
 
   std::string name() const override { return "HAN"; }
-  Status Fit(const MultiplexHeteroGraph& g) override;
+  Status Fit(const MultiplexHeteroGraph& g,
+             const FitOptions& options) override;
+  using EmbeddingModel::Fit;
   Tensor Embedding(NodeId v, RelationId r) const override;
 
  private:

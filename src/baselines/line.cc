@@ -3,14 +3,72 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "tensor/init.h"
 #include "tensor/tensor_ops.h"
 
 namespace hybridgnn {
 
-Status Line::Fit(const MultiplexHeteroGraph& g) {
+namespace {
+
+// One (u, target) sigmoid step against `table` rows: accumulates the u
+// gradient in `grad`, updates the target row in place. A standalone
+// function — not a lambda inside LineUpdateEdge — because no_sanitize
+// attributes do not propagate into a lambda's operator().
+HYBRIDGNN_NO_SANITIZE_THREAD
+void LinePush(const float* eu, float* row, float* grad, size_t half,
+              float label, float lr) {
+  float dot = 0.0f;
+  for (size_t j = 0; j < half; ++j) dot += eu[j] * row[j];
+  const float gcoef = (1.0f / (1.0f + std::exp(-dot)) - label) * lr;
+  for (size_t j = 0; j < half; ++j) {
+    grad[j] += gcoef * row[j];
+    row[j] -= gcoef * eu[j];
+  }
+}
+
+// One sampled-edge SGD step on both orders and both directions. Hogwild
+// workers race on embedding rows by design (sparse updates, tolerant
+// objective) — uninstrumented under TSan like SgnsEmbedder::Update.
+HYBRIDGNN_NO_SANITIZE_THREAD
+void LineUpdateEdge(Tensor& first, Tensor& second, Tensor& second_ctx,
+                    const NegativeSampler& sampler, const EdgeTriple& e,
+                    size_t half, size_t negatives, float lr, Rng& rng) {
+  // Undirected: train both directions.
+  for (int dir = 0; dir < 2; ++dir) {
+    const NodeId u = dir == 0 ? e.src : e.dst;
+    const NodeId v = dir == 0 ? e.dst : e.src;
+    // ---- first order: symmetric, targets live in `first` itself ----
+    {
+      float* eu = first.RowPtr(u);
+      std::vector<float> grad(half, 0.0f);
+      LinePush(eu, first.RowPtr(v), grad.data(), half, 1.0f, lr);
+      for (size_t n = 0; n < negatives; ++n) {
+        LinePush(eu, first.RowPtr(sampler.SampleLike(v, rng)), grad.data(),
+                 half, 0.0f, lr);
+      }
+      for (size_t j = 0; j < half; ++j) eu[j] -= grad[j];
+    }
+    // ---- second order: targets are context rows ----
+    {
+      float* eu = second.RowPtr(u);
+      std::vector<float> grad(half, 0.0f);
+      LinePush(eu, second_ctx.RowPtr(v), grad.data(), half, 1.0f, lr);
+      for (size_t n = 0; n < negatives; ++n) {
+        LinePush(eu, second_ctx.RowPtr(sampler.SampleLike(v, rng)),
+                 grad.data(), half, 0.0f, lr);
+      }
+      for (size_t j = 0; j < half; ++j) eu[j] -= grad[j];
+    }
+  }
+}
+
+}  // namespace
+
+Status Line::Fit(const MultiplexHeteroGraph& g, const FitOptions& options) {
   const auto& edges = g.edges();
   if (edges.empty()) return Status::FailedPrecondition("LINE: no edges");
+  const size_t threads = options.deterministic ? 1 : options.threads();
   Rng rng(options_.seed);
   const size_t half = std::max<size_t>(1, options_.dim / 2);
   NegativeSampler sampler(g);
@@ -24,57 +82,33 @@ Status Line::Fit(const MultiplexHeteroGraph& g) {
   Tensor second_ctx(g.num_nodes(), half);
 
   const size_t total = options_.samples_per_edge * edges.size();
-  for (size_t s = 0; s < total; ++s) {
-    const float lr = options_.learning_rate *
-                     (1.0f - 0.9f * static_cast<float>(s) /
-                                 static_cast<float>(total));
-    const auto& e = edges[rng.UniformUint64(edges.size())];
-    // Undirected: train both directions.
-    for (int dir = 0; dir < 2; ++dir) {
-      const NodeId u = dir == 0 ? e.src : e.dst;
-      const NodeId v = dir == 0 ? e.dst : e.src;
-      // ---- first order ----
-      {
-        float* eu = first.RowPtr(u);
-        std::vector<float> grad(half, 0.0f);
-        auto push = [&](NodeId target, float label) {
-          float* ev = first.RowPtr(target);
-          float dot = 0.0f;
-          for (size_t j = 0; j < half; ++j) dot += eu[j] * ev[j];
-          const float gcoef = (1.0f / (1.0f + std::exp(-dot)) - label) * lr;
-          for (size_t j = 0; j < half; ++j) {
-            grad[j] += gcoef * ev[j];
-            ev[j] -= gcoef * eu[j];
-          }
-        };
-        push(v, 1.0f);
-        for (size_t n = 0; n < options_.negatives; ++n) {
-          push(sampler.SampleLike(v, rng), 0.0f);
-        }
-        for (size_t j = 0; j < half; ++j) eu[j] -= grad[j];
-      }
-      // ---- second order ----
-      {
-        float* eu = second.RowPtr(u);
-        std::vector<float> grad(half, 0.0f);
-        auto push = [&](NodeId target, float label) {
-          float* cv = second_ctx.RowPtr(target);
-          float dot = 0.0f;
-          for (size_t j = 0; j < half; ++j) dot += eu[j] * cv[j];
-          const float gcoef = (1.0f / (1.0f + std::exp(-dot)) - label) * lr;
-          for (size_t j = 0; j < half; ++j) {
-            grad[j] += gcoef * cv[j];
-            cv[j] -= gcoef * eu[j];
-          }
-        };
-        push(v, 1.0f);
-        for (size_t n = 0; n < options_.negatives; ++n) {
-          push(sampler.SampleLike(v, rng), 0.0f);
-        }
-        for (size_t j = 0; j < half; ++j) eu[j] -= grad[j];
-      }
+  if (threads <= 1 || total < 2 * threads) {
+    for (size_t s = 0; s < total; ++s) {
+      const float lr = options_.learning_rate *
+                       (1.0f - 0.9f * static_cast<float>(s) /
+                                   static_cast<float>(total));
+      const auto& e = edges[rng.UniformUint64(edges.size())];
+      LineUpdateEdge(first, second, second_ctx, sampler, e, half,
+                     options_.negatives, lr, rng);
     }
+  } else {
+    // Hogwild: contiguous shards of the sample budget, per-worker streams,
+    // lr decay keyed off the global sample index.
+    RunParallel(threads, threads, [&](size_t w) {
+      Rng wrng = rng.Fork(w + 1);
+      const size_t lo = total * w / threads;
+      const size_t hi = total * (w + 1) / threads;
+      for (size_t s = lo; s < hi; ++s) {
+        const float lr = options_.learning_rate *
+                         (1.0f - 0.9f * static_cast<float>(s) /
+                                     static_cast<float>(total));
+        const auto& e = edges[wrng.UniformUint64(edges.size())];
+        LineUpdateEdge(first, second, second_ctx, sampler, e, half,
+                       options_.negatives, lr, wrng);
+      }
+    });
   }
+  options.Report("train", 1, 1);
   // Normalize halves so neither order dominates the concatenated dot.
   L2NormalizeRowsInPlace(first);
   L2NormalizeRowsInPlace(second);
@@ -87,6 +121,12 @@ Tensor Line::Embedding(NodeId v, RelationId r) const {
   HYBRIDGNN_CHECK(fitted_);
   (void)r;
   return embeddings_.CopyRow(v);
+}
+
+Tensor Line::EmbeddingsFor(
+    std::span<const std::pair<NodeId, RelationId>> queries) const {
+  HYBRIDGNN_CHECK(fitted_);
+  return GatherNodeRows(embeddings_, queries);
 }
 
 }  // namespace hybridgnn

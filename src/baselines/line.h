@@ -26,8 +26,15 @@ class Line : public EmbeddingModel {
   explicit Line(const Options& options) : options_(options) {}
 
   std::string name() const override { return "LINE"; }
-  Status Fit(const MultiplexHeteroGraph& g) override;
+  /// options.num_threads > 1 shards the edge-sample loop Hogwild-style
+  /// (lock-free updates, per-worker sample streams); deterministic or
+  /// single-threaded runs keep the original serial loop.
+  Status Fit(const MultiplexHeteroGraph& g,
+             const FitOptions& options) override;
+  using EmbeddingModel::Fit;
   Tensor Embedding(NodeId v, RelationId r) const override;
+  Tensor EmbeddingsFor(std::span<const std::pair<NodeId, RelationId>> queries)
+      const override;
 
  private:
   Options options_;

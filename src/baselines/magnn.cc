@@ -12,7 +12,8 @@
 
 namespace hybridgnn {
 
-Status Magnn::Fit(const MultiplexHeteroGraph& g) {
+Status Magnn::Fit(const MultiplexHeteroGraph& g, const FitOptions& options) {
+  (void)options;  // dense full-graph training; no parallel path yet
   const auto& edges = g.edges();
   if (edges.empty()) return Status::FailedPrecondition("MAGNN: no edges");
   for (const auto& s : schemes_) HYBRIDGNN_RETURN_IF_ERROR(s.Validate(g));

@@ -4,17 +4,25 @@
 
 namespace hybridgnn {
 
-Status Node2Vec::Fit(const MultiplexHeteroGraph& g) {
+Status Node2Vec::Fit(const MultiplexHeteroGraph& g,
+                     const FitOptions& options) {
+  const size_t threads = options.threads();
   Rng rng(options_.seed);
+  CorpusOptions corpus_opts = options_.corpus;
+  corpus_opts.num_threads = threads;
   WalkCorpus corpus =
-      BuildNode2VecCorpus(g, options_.corpus, options_.p, options_.q, rng);
+      BuildNode2VecCorpus(g, corpus_opts, options_.p, options_.q, rng);
   if (corpus.pairs.empty()) {
     return Status::FailedPrecondition("node2vec: empty walk corpus");
   }
+  options.Report("corpus", 1, 1);
   NegativeSampler sampler(g);
-  SgnsEmbedder embedder(g.num_nodes(), options_.sgns.dim, rng);
-  embedder.Train(corpus.pairs, sampler, options_.sgns, rng);
+  SgnsOptions sgns = options_.sgns;
+  sgns.num_threads = options.deterministic ? 1 : threads;
+  SgnsEmbedder embedder(g.num_nodes(), sgns.dim, rng);
+  embedder.Train(corpus.pairs, sampler, sgns, rng);
   embeddings_ = embedder.embeddings();
+  options.Report("train", 1, 1);
   fitted_ = true;
   return Status::OK();
 }
@@ -23,6 +31,12 @@ Tensor Node2Vec::Embedding(NodeId v, RelationId r) const {
   HYBRIDGNN_CHECK(fitted_);
   (void)r;
   return embeddings_.CopyRow(v);
+}
+
+Tensor Node2Vec::EmbeddingsFor(
+    std::span<const std::pair<NodeId, RelationId>> queries) const {
+  HYBRIDGNN_CHECK(fitted_);
+  return GatherNodeRows(embeddings_, queries);
 }
 
 }  // namespace hybridgnn

@@ -24,8 +24,12 @@ class Node2Vec : public EmbeddingModel {
   explicit Node2Vec(const Options& options) : options_(options) {}
 
   std::string name() const override { return "node2vec"; }
-  Status Fit(const MultiplexHeteroGraph& g) override;
+  Status Fit(const MultiplexHeteroGraph& g,
+             const FitOptions& options) override;
+  using EmbeddingModel::Fit;
   Tensor Embedding(NodeId v, RelationId r) const override;
+  Tensor EmbeddingsFor(std::span<const std::pair<NodeId, RelationId>> queries)
+      const override;
 
  private:
   Options options_;

@@ -12,7 +12,8 @@
 
 namespace hybridgnn {
 
-Status Rgcn::Fit(const MultiplexHeteroGraph& g) {
+Status Rgcn::Fit(const MultiplexHeteroGraph& g, const FitOptions& options) {
+  (void)options;  // dense full-graph training; no parallel path yet
   const auto& edges = g.edges();
   if (edges.empty()) return Status::FailedPrecondition("R-GCN: no edges");
   Rng rng(options_.seed);
@@ -110,6 +111,14 @@ double Rgcn::Score(NodeId u, NodeId v, RelationId r) const {
     s += static_cast<double>(hu[j]) * w[j] * hv[j];
   }
   return s;
+}
+
+std::vector<double> Rgcn::ScoreMany(
+    std::span<const EdgeTriple> queries) const {
+  std::vector<double> out;
+  out.reserve(queries.size());
+  for (const auto& q : queries) out.push_back(Score(q.src, q.dst, q.rel));
+  return out;
 }
 
 }  // namespace hybridgnn

@@ -30,10 +30,16 @@ class Rgcn : public EmbeddingModel {
   explicit Rgcn(const Options& options) : options_(options) {}
 
   std::string name() const override { return "R-GCN"; }
-  Status Fit(const MultiplexHeteroGraph& g) override;
+  Status Fit(const MultiplexHeteroGraph& g,
+             const FitOptions& options) override;
+  using EmbeddingModel::Fit;
   Tensor Embedding(NodeId v, RelationId r) const override;
   /// DistMult scoring (relation-specific even though Embedding is shared).
   double Score(NodeId u, NodeId v, RelationId r) const override;
+  /// DistMult is not a dot of Embedding rows, so the batched default would
+  /// diverge from Score; route every element through Score instead.
+  std::vector<double> ScoreMany(
+      std::span<const EdgeTriple> queries) const override;
 
  private:
   Options options_;

@@ -1,0 +1,43 @@
+#include "common/parallel.h"
+
+#include <thread>
+
+#include "common/env.h"
+
+namespace hybridgnn {
+
+size_t DefaultNumThreads() {
+  const int64_t raw = GetEnvInt("HYBRIDGNN_THREADS", 1);
+  if (raw == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<size_t>(hw);
+  }
+  if (raw < 0) return 1;
+  return static_cast<size_t>(raw);
+}
+
+size_t ResolveNumThreads(size_t requested) {
+  return requested == 0 ? DefaultNumThreads() : requested;
+}
+
+void RunParallel(size_t num_threads, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  num_threads = ResolveNumThreads(num_threads);
+  if (num_threads <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(std::min(num_threads, n));
+  pool.ParallelFor(n, fn);
+}
+
+void RunParallel(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn) {
+  if (pool == nullptr || pool->num_threads() <= 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  pool->ParallelFor(n, fn);
+}
+
+}  // namespace hybridgnn

@@ -1,0 +1,52 @@
+#ifndef HYBRIDGNN_COMMON_PARALLEL_H_
+#define HYBRIDGNN_COMMON_PARALLEL_H_
+
+#include <cstddef>
+#include <functional>
+
+#include "common/threadpool.h"
+
+// Annotates functions whose data races are *by design* (Hogwild-style
+// lock-free SGD updates, Recht et al. 2011) so the ThreadSanitizer build
+// (cmake -DHYBRIDGNN_TSAN=ON) does not flag them. Everything else in the
+// library must be race-free under TSan.
+#if defined(__SANITIZE_THREAD__)
+#define HYBRIDGNN_NO_SANITIZE_THREAD __attribute__((no_sanitize("thread")))
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define HYBRIDGNN_NO_SANITIZE_THREAD __attribute__((no_sanitize("thread")))
+#else
+#define HYBRIDGNN_NO_SANITIZE_THREAD
+#endif
+#else
+#define HYBRIDGNN_NO_SANITIZE_THREAD
+#endif
+
+namespace hybridgnn {
+
+/// The library-wide default worker count, read from the HYBRIDGNN_THREADS
+/// environment variable: unset or 1 -> 1 (serial, bit-identical to the
+/// original single-threaded code paths); 0 -> hardware concurrency; any
+/// other value is used as-is.
+size_t DefaultNumThreads();
+
+/// Maps a `num_threads` knob to an effective worker count: 0 defers to
+/// DefaultNumThreads(); anything else is returned unchanged.
+size_t ResolveNumThreads(size_t requested);
+
+/// Runs fn(i) for i in [0, n). With `num_threads <= 1` (after resolution
+/// via ResolveNumThreads) the loop runs inline on the calling thread in
+/// index order; otherwise a transient ThreadPool executes iterations
+/// concurrently (no ordering guarantee). fn must be safe to invoke
+/// concurrently for distinct indices when num_threads > 1. Exceptions
+/// thrown by fn propagate to the caller (first one wins).
+void RunParallel(size_t num_threads, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+/// Pool-reusing variant for hot loops: `pool == nullptr` means serial.
+void RunParallel(ThreadPool* pool, size_t n,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_COMMON_PARALLEL_H_

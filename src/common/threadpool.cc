@@ -1,6 +1,7 @@
 #include "common/threadpool.h"
 
 #include <atomic>
+#include <utility>
 
 namespace hybridgnn {
 
@@ -36,6 +37,11 @@ void ThreadPool::Submit(std::function<void()> task) {
 void ThreadPool::Wait() {
   std::unique_lock<std::mutex> lock(mu_);
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
+  if (first_error_) {
+    std::exception_ptr err = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(err);
+  }
 }
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
@@ -69,9 +75,15 @@ void ThreadPool::WorkerLoop() {
       task = std::move(tasks_.front());
       tasks_.pop();
     }
-    task();
+    std::exception_ptr err;
+    try {
+      task();
+    } catch (...) {
+      err = std::current_exception();
+    }
     {
       std::unique_lock<std::mutex> lock(mu_);
+      if (err && !first_error_) first_error_ = std::move(err);
       --in_flight_;
       if (in_flight_ == 0) all_done_.notify_all();
     }

@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -14,6 +15,10 @@ namespace hybridgnn {
 /// Fixed-size worker pool for embarrassingly parallel loops (walk generation,
 /// batched evaluation). Tasks are void() closures; Wait() blocks until the
 /// queue drains and all in-flight tasks complete.
+///
+/// A task that throws does not deadlock or kill the pool: the first
+/// exception is captured and rethrown from the next Wait() (or ParallelFor)
+/// on the calling thread, after all in-flight tasks have drained.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (>= 1; 0 means hardware concurrency).
@@ -26,7 +31,8 @@ class ThreadPool {
   /// Enqueues a task for execution.
   void Submit(std::function<void()> task);
 
-  /// Blocks until all submitted tasks have finished.
+  /// Blocks until all submitted tasks have finished; rethrows the first
+  /// exception any of them raised since the previous Wait().
   void Wait();
 
   size_t num_threads() const { return workers_.size(); }
@@ -45,6 +51,7 @@ class ThreadPool {
   std::condition_variable all_done_;
   size_t in_flight_ = 0;
   bool shutdown_ = false;
+  std::exception_ptr first_error_;
 };
 
 }  // namespace hybridgnn

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstring>
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/parallel.h"
 #include "common/string_util.h"
+#include "common/threadpool.h"
 #include "sampling/exploration.h"
 #include "sampling/neighbor_sampler.h"
 #include "sampling/sgns.h"
@@ -106,8 +109,14 @@ ag::Var HybridGnn::ForwardNode(const MultiplexHeteroGraph& g, NodeId v,
   return ag::AddRowBroadcast(local, base_row);  // [R, base_dim]
 }
 
-Status HybridGnn::Fit(const MultiplexHeteroGraph& g) {
+Status HybridGnn::Fit(const MultiplexHeteroGraph& g,
+                      const FitOptions& options) {
   HYBRIDGNN_RETURN_IF_ERROR(config_.Validate());
+  // Reproducible-in-parallel stages (corpus, cache) use `threads`; stages
+  // whose parallel schedule is racy (SGNS pretrain, minibatch epochs) drop
+  // to serial under options.deterministic.
+  const size_t threads = options.threads();
+  const size_t train_threads = options.deterministic ? 1 : threads;
   if (g.num_nodes() == 0) {
     return Status::InvalidArgument("empty graph");
   }
@@ -164,16 +173,19 @@ Status HybridGnn::Fit(const MultiplexHeteroGraph& g) {
   optimizer.AddParameters(w_rel_);
 
   // ---- Training corpus (Sec. III-E) ----
-  WalkCorpus corpus = BuildMetapathCorpus(g, schemes_, config_.corpus, rng);
+  CorpusOptions corpus_opts = config_.corpus;
+  corpus_opts.num_threads = threads;
+  WalkCorpus corpus = BuildMetapathCorpus(g, schemes_, corpus_opts, rng);
   if (corpus.pairs.empty()) {
     return Status::FailedPrecondition("no skip-gram pairs generated");
   }
+  options.Report("corpus", 1, 1);
   NegativeSampler neg_sampler(g);
 
   if (config_.pretrain_base) {
     // Relation-blind uniform corpus: the base embedding captures global
     // proximity; relation-specific structure is learned on top.
-    CorpusOptions pre_corpus = config_.corpus;
+    CorpusOptions pre_corpus = corpus_opts;
     pre_corpus.direct_edge_copies = 2;
     WalkCorpus uniform = BuildUniformCorpus(g, pre_corpus, rng);
     for (size_t copy = 0; copy < pre_corpus.direct_edge_copies; ++copy) {
@@ -185,10 +197,12 @@ Status HybridGnn::Fit(const MultiplexHeteroGraph& g) {
     SgnsOptions pre;
     pre.dim = config_.base_dim;
     pre.negatives = config_.num_negatives;
+    pre.num_threads = train_threads;
     SgnsEmbedder pretrainer(v_count, config_.base_dim, rng);
     pretrainer.Train(uniform.pairs, neg_sampler, pre, rng);
     base_->table()->value = pretrainer.embeddings();
     context_->table()->value = pretrainer.contexts();
+    options.Report("pretrain", 1, 1);
   }
 
   // ---- End-to-end training ----
@@ -275,10 +289,47 @@ Status HybridGnn::Fit(const MultiplexHeteroGraph& g) {
   std::vector<size_t> order(train_edges.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
 
+  // One minibatch over edges [start, end) of the shuffled order, built and
+  // backpropagated with `brng`. Returns (sum of per-element BCE terms,
+  // element count) so shard losses can be reduced exactly.
+  auto run_batch = [&](size_t start, size_t end, Rng& brng) {
+    std::unordered_map<NodeId, ag::Var> node_vars;
+    auto node_var = [&](NodeId v) {
+      auto it = node_vars.find(v);
+      if (it == node_vars.end()) {
+        it = node_vars.emplace(v, ForwardNode(g, v, brng)).first;
+      }
+      return it->second;
+    };
+    std::vector<ag::Var> lhs, rhs;
+    std::vector<float> labels;
+    for (size_t i = start; i < end; ++i) {
+      const EdgeTriple& e = train_edges[order[i]];
+      lhs.push_back(ag::SliceRows(node_var(e.src), e.rel, 1));
+      rhs.push_back(ag::SliceRows(node_var(e.dst), e.rel, 1));
+      labels.push_back(1.0f);
+      for (size_t n = 0; n < config_.num_negatives; ++n) {
+        NodeId x = neg_sampler.SampleRelationAware(
+            e.src, e.dst, e.rel, config_.cross_negative_fraction, brng);
+        lhs.push_back(ag::SliceRows(node_var(e.src), e.rel, 1));
+        rhs.push_back(ag::SliceRows(node_var(x), e.rel, 1));
+        labels.push_back(0.0f);
+      }
+    }
+    ag::Var logits =
+        ag::RowwiseDot(ag::ConcatRows(lhs), ag::ConcatRows(rhs));
+    ag::Var loss = ag::BceWithLogits(logits, labels);
+    ag::Backward(loss);
+    return std::make_pair(static_cast<double>(loss->value.At(0, 0)),
+                          labels.size());
+  };
+
   double best_val = validation_auc();  // epoch 0: the pretrained base
   std::vector<Tensor> best_snapshot = snapshot();
   size_t bad_epochs = 0;
   const size_t edge_batch = std::max<size_t>(16, config_.batch_size / 2);
+  std::unique_ptr<ThreadPool> pool;
+  if (train_threads > 1) pool = std::make_unique<ThreadPool>(train_threads);
   for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
     rng.Shuffle(order);
     const size_t use_edges =
@@ -289,36 +340,48 @@ Status HybridGnn::Fit(const MultiplexHeteroGraph& g) {
     size_t batches = 0;
     for (size_t start = 0; start < use_edges; start += edge_batch) {
       const size_t end = std::min(use_edges, start + edge_batch);
-      std::unordered_map<NodeId, ag::Var> node_vars;
-      auto node_var = [&](NodeId v) {
-        auto it = node_vars.find(v);
-        if (it == node_vars.end()) {
-          it = node_vars.emplace(v, ForwardNode(g, v, rng)).first;
-        }
-        return it->second;
-      };
-      std::vector<ag::Var> lhs, rhs;
-      std::vector<float> labels;
-      for (size_t i = start; i < end; ++i) {
-        const EdgeTriple& e = train_edges[order[i]];
-        lhs.push_back(ag::SliceRows(node_var(e.src), e.rel, 1));
-        rhs.push_back(ag::SliceRows(node_var(e.dst), e.rel, 1));
-        labels.push_back(1.0f);
-        for (size_t n = 0; n < config_.num_negatives; ++n) {
-          NodeId x = neg_sampler.SampleRelationAware(
-              e.src, e.dst, e.rel, config_.cross_negative_fraction, rng);
-          lhs.push_back(ag::SliceRows(node_var(e.src), e.rel, 1));
-          rhs.push_back(ag::SliceRows(node_var(x), e.rel, 1));
-          labels.push_back(0.0f);
+      double batch_loss = 0.0;
+      if (pool == nullptr || end - start < 2 * train_threads) {
+        batch_loss = run_batch(start, end, rng).first;
+      } else {
+        // Data-parallel shards: each worker backprops its slice of the
+        // batch under a private gradient sink; the main thread reduces
+        // sinks into the shared grads (weighted by element share, since
+        // BCE is a mean over elements) before the single Adam step.
+        const size_t count = end - start;
+        const size_t shards = std::min<size_t>(train_threads, count);
+        Rng bmaster(rng.NextUint64());
+        std::vector<ag::GradSinkScope::Sink> sinks(shards);
+        std::vector<double> shard_loss(shards, 0.0);
+        std::vector<size_t> shard_elems(shards, 0);
+        pool->ParallelFor(shards, [&](size_t w) {
+          Rng wrng = bmaster.Fork(w);
+          ag::GradSinkScope scope(&sinks[w]);
+          const size_t lo = start + count * w / shards;
+          const size_t hi = start + count * (w + 1) / shards;
+          auto [l, n] = run_batch(lo, hi, wrng);
+          shard_loss[w] = l;
+          shard_elems[w] = n;
+        });
+        size_t total_elems = 0;
+        for (size_t n : shard_elems) total_elems += n;
+        for (size_t w = 0; w < shards; ++w) {
+          const float weight = static_cast<float>(shard_elems[w]) /
+                               static_cast<float>(total_elems);
+          for (auto& [node, grad] : sinks[w]) {
+            if (node->grad.empty()) {
+              node->grad = Tensor(node->value.rows(), node->value.cols());
+            }
+            node->grad.Axpy(weight, grad);
+          }
+          batch_loss += shard_loss[w] *
+                        (static_cast<double>(shard_elems[w]) /
+                         static_cast<double>(total_elems));
         }
       }
-      ag::Var logits =
-          ag::RowwiseDot(ag::ConcatRows(lhs), ag::ConcatRows(rhs));
-      ag::Var loss = ag::BceWithLogits(logits, labels);
-      ag::Backward(loss);
       optimizer.Step();
       optimizer.ZeroGrad();
-      epoch_loss += loss->value.At(0, 0);
+      epoch_loss += batch_loss;
       ++batches;
     }
     epoch_loss /= std::max<size_t>(1, batches);
@@ -328,6 +391,7 @@ Status HybridGnn::Fit(const MultiplexHeteroGraph& g) {
       HYBRIDGNN_LOG(Info) << "HybridGNN epoch " << epoch << " loss "
                           << epoch_loss << " val-auc " << val;
     }
+    options.Report("epoch", epoch + 1, config_.epochs);
     if (val > best_val + 1e-4) {
       best_val = val;
       best_snapshot = snapshot();
@@ -341,12 +405,11 @@ Status HybridGnn::Fit(const MultiplexHeteroGraph& g) {
   // ---- Freeze: cache e*_{v,r} for every node and relation. The forward
   // pass samples neighbors stochastically, so we average a few samples to
   // reduce inference variance (training sees many samples implicitly).
-  Rng cache_rng(config_.seed ^ 0xC0FFEE);
   constexpr size_t kCacheSamples = 4;
   cache_ = Tensor(v_count * num_relations_, config_.base_dim);
-  for (NodeId v = 0; v < v_count; ++v) {
+  auto cache_node = [&](NodeId v, Rng& node_rng) {
     for (size_t s = 0; s < kCacheSamples; ++s) {
-      ag::Var all = ForwardNode(g, v, cache_rng);
+      ag::Var all = ForwardNode(g, v, node_rng);
       for (RelationId r = 0; r < num_relations_; ++r) {
         const float* src = all->value.RowPtr(r);
         float* dst = cache_.RowPtr(v * num_relations_ + r);
@@ -355,9 +418,36 @@ Status HybridGnn::Fit(const MultiplexHeteroGraph& g) {
         }
       }
     }
+  };
+  if (threads > 1) {
+    // Per-node forked streams: each worker writes its node's rows only, so
+    // the cache is reproducible and invariant to the thread count.
+    const Rng cache_master(config_.seed ^ 0xC0FFEE);
+    RunParallel(threads, v_count, [&](size_t v) {
+      Rng node_rng = cache_master.Fork(v);
+      cache_node(static_cast<NodeId>(v), node_rng);
+    });
+  } else {
+    Rng cache_rng(config_.seed ^ 0xC0FFEE);
+    for (NodeId v = 0; v < v_count; ++v) cache_node(v, cache_rng);
   }
+  options.Report("cache", 1, 1);
   fitted_ = true;
   return Status::OK();
+}
+
+Tensor HybridGnn::EmbeddingsFor(
+    std::span<const std::pair<NodeId, RelationId>> queries) const {
+  HYBRIDGNN_CHECK(fitted_) << "Fit() must succeed before EmbeddingsFor()";
+  Tensor out(queries.size(), config_.base_dim);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const auto& [v, r] = queries[i];
+    HYBRIDGNN_CHECK(r < num_relations_ &&
+                    v * num_relations_ + r < cache_.rows());
+    std::memcpy(out.RowPtr(i), cache_.RowPtr(v * num_relations_ + r),
+                config_.base_dim * sizeof(float));
+  }
+  return out;
 }
 
 Tensor HybridGnn::Embedding(NodeId v, RelationId r) const {

@@ -42,11 +42,22 @@ class HybridGnn : public EmbeddingModel, public Module {
   std::string name() const override { return "HybridGNN"; }
 
   /// Builds the walk corpus, trains with Adam, then freezes and caches all
-  /// e*_{v,r} for fast scoring.
-  Status Fit(const MultiplexHeteroGraph& train_graph) override;
+  /// e*_{v,r} for fast scoring. With options.num_threads > 1 the corpus,
+  /// SGNS pretraining, minibatch epochs (per-worker gradient sinks reduced
+  /// on the main thread before each Adam step) and the embedding cache all
+  /// run on worker threads; options.deterministic keeps the racy stages
+  /// serial. num_threads <= 1 is bit-identical to the original pipeline.
+  Status Fit(const MultiplexHeteroGraph& train_graph,
+             const FitOptions& options) override;
+  using EmbeddingModel::Fit;
 
   /// Cached final embedding e*_{v,r} (valid after Fit).
   Tensor Embedding(NodeId v, RelationId r) const override;
+
+  /// Batched lookup straight out of the frozen cache: one gather, no
+  /// per-query Tensor allocations.
+  Tensor EmbeddingsFor(std::span<const std::pair<NodeId, RelationId>> queries)
+      const override;
 
   /// Mean attention received by each aggregation flow for (v, r): the
   /// column-means of the metapath-level attention matrix (Fig. 6). Order:

@@ -1,0 +1,65 @@
+#include "eval/embedding_model.h"
+
+#include <cstring>
+
+#include "common/parallel.h"
+
+namespace hybridgnn {
+
+size_t FitOptions::threads() const { return ResolveNumThreads(num_threads); }
+
+void FitOptions::Report(const char* phase, size_t step,
+                        size_t total_steps) const {
+  if (!progress_callback) return;
+  progress_callback(FitProgress{phase, step, total_steps});
+}
+
+Tensor EmbeddingModel::EmbeddingsFor(
+    std::span<const std::pair<NodeId, RelationId>> queries) const {
+  if (queries.empty()) return Tensor();
+  Tensor first = Embedding(queries[0].first, queries[0].second);
+  Tensor out(queries.size(), first.cols());
+  std::memcpy(out.RowPtr(0), first.RowPtr(0), first.cols() * sizeof(float));
+  for (size_t i = 1; i < queries.size(); ++i) {
+    Tensor row = Embedding(queries[i].first, queries[i].second);
+    std::memcpy(out.RowPtr(i), row.RowPtr(0), row.cols() * sizeof(float));
+  }
+  return out;
+}
+
+std::vector<double> EmbeddingModel::ScoreMany(
+    std::span<const EdgeTriple> queries) const {
+  std::vector<double> out(queries.size(), 0.0);
+  if (queries.empty()) return out;
+  std::vector<std::pair<NodeId, RelationId>> lhs, rhs;
+  lhs.reserve(queries.size());
+  rhs.reserve(queries.size());
+  for (const auto& q : queries) {
+    lhs.emplace_back(q.src, q.rel);
+    rhs.emplace_back(q.dst, q.rel);
+  }
+  const Tensor eu = EmbeddingsFor(lhs);
+  const Tensor ev = EmbeddingsFor(rhs);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const float* a = eu.RowPtr(i);
+    const float* b = ev.RowPtr(i);
+    double s = 0.0;
+    for (size_t j = 0; j < eu.cols(); ++j) {
+      s += static_cast<double>(a[j]) * b[j];
+    }
+    out[i] = s;
+  }
+  return out;
+}
+
+double EmbeddingModel::Score(NodeId u, NodeId v, RelationId r) const {
+  Tensor eu = Embedding(u, r);
+  Tensor ev = Embedding(v, r);
+  double s = 0.0;
+  for (size_t j = 0; j < eu.cols(); ++j) {
+    s += static_cast<double>(eu.At(0, j)) * ev.At(0, j);
+  }
+  return s;
+}
+
+}  // namespace hybridgnn

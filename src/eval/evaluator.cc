@@ -5,25 +5,40 @@
 #include <set>
 #include <unordered_map>
 
+#include "common/parallel.h"
 #include "eval/metrics.h"
 
 namespace hybridgnn {
 
 namespace {
 
+/// Batched positive/negative scoring through the model's ScoreMany, chunked
+/// across worker threads (indexed slices, so the output is independent of
+/// the thread count).
 void CollectScores(const EmbeddingModel& model,
                    const std::vector<EdgeTriple>& pos,
-                   const std::vector<EdgeTriple>& neg,
+                   const std::vector<EdgeTriple>& neg, size_t num_threads,
                    std::vector<double>& pos_scores,
                    std::vector<double>& neg_scores) {
-  pos_scores.reserve(pos.size());
-  neg_scores.reserve(neg.size());
-  for (const auto& e : pos) {
-    pos_scores.push_back(model.Score(e.src, e.dst, e.rel));
-  }
-  for (const auto& e : neg) {
-    neg_scores.push_back(model.Score(e.src, e.dst, e.rel));
-  }
+  auto score_all = [&](const std::vector<EdgeTriple>& edges,
+                       std::vector<double>& out) {
+    out.resize(edges.size());
+    if (edges.empty()) return;
+    const size_t threads = std::min(num_threads, edges.size());
+    if (threads <= 1) {
+      out = model.ScoreMany(std::span<const EdgeTriple>(edges));
+      return;
+    }
+    RunParallel(threads, threads, [&](size_t w) {
+      const size_t lo = edges.size() * w / threads;
+      const size_t hi = edges.size() * (w + 1) / threads;
+      std::vector<double> chunk = model.ScoreMany(
+          std::span<const EdgeTriple>(edges.data() + lo, hi - lo));
+      std::copy(chunk.begin(), chunk.end(), out.begin() + lo);
+    });
+  };
+  score_all(pos, pos_scores);
+  score_all(neg, neg_scores);
 }
 
 /// Ranking queries: test positives grouped by (source, relation). The
@@ -55,7 +70,8 @@ std::vector<RankingQuery> BuildQueries(const std::vector<EdgeTriple>& test_pos,
   return queries;
 }
 
-/// Ranks candidates for one query and returns per-rank hit flags.
+/// Ranks candidates for one query and returns per-rank hit flags. Scores
+/// all candidates in one ScoreMany batch.
 std::vector<bool> RankQuery(const EmbeddingModel& model,
                             const MultiplexHeteroGraph& full,
                             const MultiplexHeteroGraph& train,
@@ -66,10 +82,17 @@ std::vector<bool> RankQuery(const EmbeddingModel& model,
   // training neighbors under this relation.
   auto train_nbrs = train.Neighbors(q.src, q.rel);
   std::set<NodeId> exclude(train_nbrs.begin(), train_nbrs.end());
-  std::vector<std::pair<double, NodeId>> scored;
+  std::vector<EdgeTriple> batch;
   for (NodeId cand : full.NodesOfType(want)) {
     if (cand == q.src || exclude.count(cand)) continue;
-    scored.emplace_back(model.Score(q.src, cand, q.rel), cand);
+    batch.push_back(EdgeTriple{q.src, cand, q.rel});
+  }
+  const std::vector<double> scores =
+      model.ScoreMany(std::span<const EdgeTriple>(batch));
+  std::vector<std::pair<double, NodeId>> scored;
+  scored.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    scored.emplace_back(scores[i], batch[i].dst);
   }
   const size_t top = std::min(k, scored.size());
   std::partial_sort(scored.begin(), scored.begin() + top, scored.end(),
@@ -87,24 +110,15 @@ std::vector<bool> RankQuery(const EmbeddingModel& model,
 
 }  // namespace
 
-double EmbeddingModel::Score(NodeId u, NodeId v, RelationId r) const {
-  Tensor eu = Embedding(u, r);
-  Tensor ev = Embedding(v, r);
-  double s = 0.0;
-  for (size_t j = 0; j < eu.cols(); ++j) {
-    s += static_cast<double>(eu.At(0, j)) * ev.At(0, j);
-  }
-  return s;
-}
-
 LinkPredictionResult EvaluateLinkPrediction(const EmbeddingModel& model,
                                             const MultiplexHeteroGraph& full,
                                             const LinkSplit& split,
                                             const EvalOptions& options,
                                             Rng& rng) {
+  const size_t threads = ResolveNumThreads(options.num_threads);
   LinkPredictionResult r;
   std::vector<double> pos_scores, neg_scores;
-  CollectScores(model, split.test_pos, split.test_neg, pos_scores,
+  CollectScores(model, split.test_pos, split.test_neg, threads, pos_scores,
                 neg_scores);
   r.roc_auc = 100.0 * RocAuc(pos_scores, neg_scores);
   r.pr_auc = 100.0 * PrAuc(pos_scores, neg_scores);
@@ -113,12 +127,18 @@ LinkPredictionResult EvaluateLinkPrediction(const EmbeddingModel& model,
   std::vector<RankingQuery> queries =
       BuildQueries(split.test_pos, options.max_ranking_queries, rng);
   if (!queries.empty()) {
-    double pr_sum = 0.0, hr_sum = 0.0;
-    for (const auto& q : queries) {
+    std::vector<double> pr(queries.size(), 0.0), hr(queries.size(), 0.0);
+    RunParallel(threads, queries.size(), [&](size_t i) {
+      const RankingQuery& q = queries[i];
       std::vector<bool> hits =
           RankQuery(model, full, split.train_graph, q, options.k);
-      pr_sum += PrecisionAtK(hits, options.k);
-      hr_sum += HitRatioAtK(hits, options.k, q.positives.size());
+      pr[i] = PrecisionAtK(hits, options.k);
+      hr[i] = HitRatioAtK(hits, options.k, q.positives.size());
+    });
+    double pr_sum = 0.0, hr_sum = 0.0;
+    for (size_t i = 0; i < queries.size(); ++i) {
+      pr_sum += pr[i];
+      hr_sum += hr[i];
     }
     r.pr_at_k = pr_sum / static_cast<double>(queries.size());
     r.hr_at_k = hr_sum / static_cast<double>(queries.size());
@@ -138,7 +158,7 @@ LinkPredictionResult EvaluateRelation(const EmbeddingModel& model,
   LinkPredictionResult r;
   if (pos.empty() || neg.empty()) return r;
   std::vector<double> pos_scores, neg_scores;
-  CollectScores(model, pos, neg, pos_scores, neg_scores);
+  CollectScores(model, pos, neg, /*num_threads=*/1, pos_scores, neg_scores);
   r.roc_auc = 100.0 * RocAuc(pos_scores, neg_scores);
   r.pr_auc = 100.0 * PrAuc(pos_scores, neg_scores);
   r.f1 = 100.0 * BestF1(pos_scores, neg_scores);
@@ -154,23 +174,30 @@ std::vector<double> PrAtKBuckets(const EmbeddingModel& model,
                                  const std::vector<size_t>& bucket_edges,
                                  size_t k, Rng& rng) {
   const size_t num_buckets = bucket_edges.size() - 1;
-  std::vector<double> sums(num_buckets, 0.0);
-  std::vector<size_t> counts(num_buckets, 0);
   std::vector<RankingQuery> queries = BuildQueries(test_pos, 400, rng);
-  for (const auto& q : queries) {
-    const size_t degree = full.TotalDegree(q.src);
-    size_t bucket = num_buckets;  // sentinel: out of range
+  std::vector<size_t> bucket_of(queries.size(), num_buckets);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const size_t degree = full.TotalDegree(queries[i].src);
     for (size_t b = 0; b < num_buckets; ++b) {
       if (degree >= bucket_edges[b] && degree < bucket_edges[b + 1]) {
-        bucket = b;
+        bucket_of[i] = b;
         break;
       }
     }
-    if (bucket == num_buckets) continue;
+  }
+  std::vector<double> pr(queries.size(), 0.0);
+  RunParallel(ResolveNumThreads(0), queries.size(), [&](size_t i) {
+    if (bucket_of[i] == num_buckets) return;  // out of range
     std::vector<bool> hits =
-        RankQuery(model, full, split.train_graph, q, k);
-    sums[bucket] += PrecisionAtK(hits, k);
-    ++counts[bucket];
+        RankQuery(model, full, split.train_graph, queries[i], k);
+    pr[i] = PrecisionAtK(hits, k);
+  });
+  std::vector<double> sums(num_buckets, 0.0);
+  std::vector<size_t> counts(num_buckets, 0);
+  for (size_t i = 0; i < queries.size(); ++i) {
+    if (bucket_of[i] == num_buckets) continue;
+    sums[bucket_of[i]] += pr[i];
+    ++counts[bucket_of[i]];
   }
   std::vector<double> out(num_buckets, 0.0);
   for (size_t b = 0; b < num_buckets; ++b) {

@@ -26,6 +26,11 @@ struct EvalOptions {
   /// Cap on ranking queries (distinct test sources) per relation, for bench
   /// runtime; 0 = no cap.
   size_t max_ranking_queries = 200;
+  /// Worker threads for candidate scoring and query ranking. 0 defers to
+  /// HYBRIDGNN_THREADS (common/parallel.h); 1 runs serially. Results are
+  /// identical for every thread count — queries are independent and land in
+  /// indexed slots.
+  size_t num_threads = 0;
 };
 
 /// Scores a fitted model on held-out positives/negatives.

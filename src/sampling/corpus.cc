@@ -1,5 +1,8 @@
 #include "sampling/corpus.h"
 
+#include <utility>
+
+#include "common/parallel.h"
 #include "sampling/walker.h"
 
 namespace hybridgnn {
@@ -16,16 +19,58 @@ void HarvestPairs(const std::vector<NodeId>& walk, size_t window,
   }
 }
 
+namespace {
+
+/// One unit of corpus work: all of a start node's walks under one relation
+/// (kInvalidRelation for relation-blind corpora). Units are enumerated in
+/// the serial iteration order, so slot-ordered concatenation of their
+/// outputs does not depend on how they are scheduled across workers.
+struct WalkUnit {
+  NodeId start;
+  RelationId rel;
+  const MetapathScheme* scheme;  // nullptr -> relation/uniform fallback
+};
+
+/// Runs `units` through `gen` (unit, rng, corpus-slot). Serial mode threads
+/// the caller's Rng through every unit in order — bit-identical to the seed
+/// implementation. Parallel mode consumes exactly one draw from the caller's
+/// Rng to seed a master generator and forks one independent stream per unit,
+/// so the result is reproducible and invariant to the worker count.
+template <typename GenFn>
+WalkCorpus RunUnits(const std::vector<WalkUnit>& units,
+                    const CorpusOptions& options, Rng& rng, const GenFn& gen) {
+  WalkCorpus corpus;
+  const size_t threads = ResolveNumThreads(options.num_threads);
+  if (threads <= 1) {
+    for (const WalkUnit& u : units) gen(u, rng, corpus);
+    return corpus;
+  }
+  Rng master(rng.NextUint64());
+  std::vector<WalkCorpus> slots(units.size());
+  RunParallel(threads, units.size(), [&](size_t i) {
+    Rng unit_rng = master.Fork(i);
+    gen(units[i], unit_rng, slots[i]);
+  });
+  size_t total_walks = 0, total_pairs = 0;
+  for (const WalkCorpus& s : slots) {
+    total_walks += s.walks.size();
+    total_pairs += s.pairs.size();
+  }
+  corpus.walks.reserve(total_walks);
+  corpus.pairs.reserve(total_pairs);
+  for (WalkCorpus& s : slots) {
+    for (auto& w : s.walks) corpus.walks.push_back(std::move(w));
+    corpus.pairs.insert(corpus.pairs.end(), s.pairs.begin(), s.pairs.end());
+  }
+  return corpus;
+}
+
+}  // namespace
+
 WalkCorpus BuildMetapathCorpus(const MultiplexHeteroGraph& g,
                                const std::vector<MetapathScheme>& schemes,
                                const CorpusOptions& options, Rng& rng) {
-  WalkCorpus corpus;
-  for (size_t copy = 0; copy < options.direct_edge_copies; ++copy) {
-    for (const auto& e : g.edges()) {
-      corpus.pairs.push_back(SkipGramPair{e.src, e.dst, e.rel});
-      corpus.pairs.push_back(SkipGramPair{e.dst, e.src, e.rel});
-    }
-  }
+  std::vector<WalkUnit> units;
   for (RelationId r = 0; r < g.num_relations(); ++r) {
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
       if (g.Degree(v, r) == 0) continue;
@@ -38,50 +83,82 @@ WalkCorpus BuildMetapathCorpus(const MultiplexHeteroGraph& g,
           break;
         }
       }
-      for (size_t w = 0; w < options.num_walks_per_node; ++w) {
-        std::vector<NodeId> walk =
-            scheme != nullptr
-                ? MetapathWalk(g, *scheme, v, options.walk_length, rng)
-                : RelationWalk(g, r, v, options.walk_length, rng);
-        if (walk.size() < 2) continue;
-        HarvestPairs(walk, options.window, r, corpus.pairs);
-        corpus.walks.push_back(std::move(walk));
-      }
+      units.push_back(WalkUnit{v, r, scheme});
     }
   }
+  WalkCorpus corpus = RunUnits(
+      units, options, rng,
+      [&](const WalkUnit& u, Rng& unit_rng, WalkCorpus& out) {
+        for (size_t w = 0; w < options.num_walks_per_node; ++w) {
+          std::vector<NodeId> walk =
+              u.scheme != nullptr
+                  ? MetapathWalk(g, *u.scheme, u.start, options.walk_length,
+                                 unit_rng)
+                  : RelationWalk(g, u.rel, u.start, options.walk_length,
+                                 unit_rng);
+          if (walk.size() < 2) continue;
+          HarvestPairs(walk, options.window, u.rel, out.pairs);
+          out.walks.push_back(std::move(walk));
+        }
+      });
+  // Direct-edge up-weighting (serial and cheap; order matches the seed
+  // implementation's prefix position in the pair list only when serial — the
+  // multiset is identical either way).
+  std::vector<SkipGramPair> with_edges;
+  with_edges.reserve(corpus.pairs.size() +
+                     2 * options.direct_edge_copies * g.edges().size());
+  for (size_t copy = 0; copy < options.direct_edge_copies; ++copy) {
+    for (const auto& e : g.edges()) {
+      with_edges.push_back(SkipGramPair{e.src, e.dst, e.rel});
+      with_edges.push_back(SkipGramPair{e.dst, e.src, e.rel});
+    }
+  }
+  with_edges.insert(with_edges.end(), corpus.pairs.begin(),
+                    corpus.pairs.end());
+  corpus.pairs = std::move(with_edges);
   return corpus;
 }
 
 WalkCorpus BuildUniformCorpus(const MultiplexHeteroGraph& g,
                               const CorpusOptions& options, Rng& rng) {
-  WalkCorpus corpus;
+  std::vector<WalkUnit> units;
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     if (g.TotalDegree(v) == 0) continue;
-    for (size_t w = 0; w < options.num_walks_per_node; ++w) {
-      std::vector<NodeId> walk = UniformWalk(g, v, options.walk_length, rng);
-      if (walk.size() < 2) continue;
-      HarvestPairs(walk, options.window, kInvalidRelation, corpus.pairs);
-      corpus.walks.push_back(std::move(walk));
-    }
+    units.push_back(WalkUnit{v, kInvalidRelation, nullptr});
   }
-  return corpus;
+  return RunUnits(units, options, rng,
+                  [&](const WalkUnit& u, Rng& unit_rng, WalkCorpus& out) {
+                    for (size_t w = 0; w < options.num_walks_per_node; ++w) {
+                      std::vector<NodeId> walk =
+                          UniformWalk(g, u.start, options.walk_length,
+                                      unit_rng);
+                      if (walk.size() < 2) continue;
+                      HarvestPairs(walk, options.window, kInvalidRelation,
+                                   out.pairs);
+                      out.walks.push_back(std::move(walk));
+                    }
+                  });
 }
 
 WalkCorpus BuildNode2VecCorpus(const MultiplexHeteroGraph& g,
                                const CorpusOptions& options, double p,
                                double q, Rng& rng) {
-  WalkCorpus corpus;
+  std::vector<WalkUnit> units;
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     if (g.TotalDegree(v) == 0) continue;
-    for (size_t w = 0; w < options.num_walks_per_node; ++w) {
-      std::vector<NodeId> walk =
-          Node2VecWalk(g, v, options.walk_length, p, q, rng);
-      if (walk.size() < 2) continue;
-      HarvestPairs(walk, options.window, kInvalidRelation, corpus.pairs);
-      corpus.walks.push_back(std::move(walk));
-    }
+    units.push_back(WalkUnit{v, kInvalidRelation, nullptr});
   }
-  return corpus;
+  return RunUnits(units, options, rng,
+                  [&](const WalkUnit& u, Rng& unit_rng, WalkCorpus& out) {
+                    for (size_t w = 0; w < options.num_walks_per_node; ++w) {
+                      std::vector<NodeId> walk = Node2VecWalk(
+                          g, u.start, options.walk_length, p, q, unit_rng);
+                      if (walk.size() < 2) continue;
+                      HarvestPairs(walk, options.window, kInvalidRelation,
+                                   out.pairs);
+                      out.walks.push_back(std::move(walk));
+                    }
+                  });
 }
 
 }  // namespace hybridgnn

@@ -30,6 +30,16 @@ struct CorpusOptions {
   /// proximity; link prediction is a first-order task, so up-weighting
   /// direct edges sharpens the signal. 0 disables.
   size_t direct_edge_copies = 2;
+  /// Worker threads for walk generation. 1 (the default) runs the original
+  /// serial path, bit-identical to the single-threaded seed implementation;
+  /// 0 defers to HYBRIDGNN_THREADS (common/parallel.h). With more than one
+  /// thread every (start node, relation) walk unit draws from its own Rng
+  /// stream forked off the caller's seed, so the corpus is reproducible and
+  /// *identical for any thread count > 1* — but it is a different (equally
+  /// distributed) sample than the serial stream, which interleaves one
+  /// generator across all walks and therefore cannot be replayed in
+  /// parallel.
+  size_t num_threads = 1;
 };
 
 /// A bag of random walks plus the skip-gram pairs extracted from them.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/parallel.h"
 #include "tensor/init.h"
 
 namespace hybridgnn {
@@ -13,26 +14,40 @@ SgnsEmbedder::SgnsEmbedder(size_t num_nodes, size_t dim, Rng& rng)
   // Context vectors start at zero, as in word2vec.
 }
 
+namespace {
+
+// One (center, target) sigmoid step: accumulates the center gradient in
+// `e_grad` and updates the context row in place. A standalone function —
+// not a lambda inside Update — because no_sanitize attributes do not
+// propagate into a lambda's operator().
+HYBRIDGNN_NO_SANITIZE_THREAD
+void SgnsPush(const float* e, float* c, float* e_grad, size_t dim,
+              float label, float lr) {
+  float dot = 0.0f;
+  for (size_t j = 0; j < dim; ++j) dot += e[j] * c[j];
+  const float sig = 1.0f / (1.0f + std::exp(-dot));
+  const float g = (sig - label) * lr;
+  for (size_t j = 0; j < dim; ++j) {
+    e_grad[j] += g * c[j];
+    c[j] -= g * e[j];
+  }
+}
+
+}  // namespace
+
+// Hogwild workers race on emb_/ctx_ rows by design; uninstrumented under
+// TSan so the benign races don't drown out real findings elsewhere.
+HYBRIDGNN_NO_SANITIZE_THREAD
 void SgnsEmbedder::Update(NodeId center, NodeId context,
                           const NegativeSampler& sampler, size_t negatives,
                           float lr, Rng& rng) {
   const size_t dim = emb_.cols();
   float* e = emb_.RowPtr(center);
   std::vector<float> e_grad(dim, 0.0f);
-  auto push = [&](NodeId target, float label) {
-    float* c = ctx_.RowPtr(target);
-    float dot = 0.0f;
-    for (size_t j = 0; j < dim; ++j) dot += e[j] * c[j];
-    const float sig = 1.0f / (1.0f + std::exp(-dot));
-    const float g = (sig - label) * lr;
-    for (size_t j = 0; j < dim; ++j) {
-      e_grad[j] += g * c[j];
-      c[j] -= g * e[j];
-    }
-  };
-  push(context, 1.0f);
+  SgnsPush(e, ctx_.RowPtr(context), e_grad.data(), dim, 1.0f, lr);
   for (size_t n = 0; n < negatives; ++n) {
-    push(sampler.SampleLike(context, rng), 0.0f);
+    SgnsPush(e, ctx_.RowPtr(sampler.SampleLike(context, rng)), e_grad.data(),
+             dim, 0.0f, lr);
   }
   for (size_t j = 0; j < dim; ++j) e[j] -= e_grad[j];
 }
@@ -42,20 +57,42 @@ void SgnsEmbedder::Train(const std::vector<SkipGramPair>& pairs,
                          const SgnsOptions& opts, Rng& rng) {
   std::vector<size_t> order(pairs.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  const size_t threads = ResolveNumThreads(opts.num_threads);
   for (size_t epoch = 0; epoch < opts.epochs; ++epoch) {
     rng.Shuffle(order);
     const size_t use = opts.max_pairs_per_epoch == 0
                            ? order.size()
                            : std::min(order.size(),
                                       opts.max_pairs_per_epoch);
-    for (size_t i = 0; i < use; ++i) {
-      const auto& p = pairs[order[i]];
-      // Linear learning-rate decay within the epoch, word2vec style.
-      const float lr = opts.learning_rate *
-                       (1.0f - 0.9f * static_cast<float>(i) /
-                                   static_cast<float>(use));
-      Update(p.center, p.context, sampler, opts.negatives, lr, rng);
+    if (threads <= 1 || use < 2 * threads) {
+      for (size_t i = 0; i < use; ++i) {
+        const auto& p = pairs[order[i]];
+        // Linear learning-rate decay within the epoch, word2vec style.
+        const float lr = opts.learning_rate *
+                         (1.0f - 0.9f * static_cast<float>(i) /
+                                     static_cast<float>(use));
+        Update(p.center, p.context, sampler, opts.negatives, lr, rng);
+      }
+      continue;
     }
+    // Hogwild: shard the shuffled order contiguously across workers. Each
+    // worker draws negatives from its own forked stream; the lr schedule
+    // keys off the global index so it matches the serial decay profile.
+    RunParallel(threads, threads, [&](size_t w) {
+      Rng wrng = rng.Fork(w + 1);
+      const size_t lo = use * w / threads;
+      const size_t hi = use * (w + 1) / threads;
+      for (size_t i = lo; i < hi; ++i) {
+        const auto& p = pairs[order[i]];
+        const float lr = opts.learning_rate *
+                         (1.0f - 0.9f * static_cast<float>(i) /
+                                     static_cast<float>(use));
+        Update(p.center, p.context, sampler, opts.negatives, lr, wrng);
+      }
+    });
+    // Keep the parent stream moving so successive epochs (and the caller)
+    // don't see identical fork seeds.
+    rng.NextUint64();
   }
 }
 

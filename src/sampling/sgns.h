@@ -20,6 +20,14 @@ struct SgnsOptions {
   size_t epochs = 2;
   /// Pair cap per epoch (0 = all pairs).
   size_t max_pairs_per_epoch = 200000;
+  /// Worker threads for Train. 1 (the default) runs the original serial
+  /// SGD loop, bit-identical to the seed implementation; 0 defers to
+  /// HYBRIDGNN_THREADS. With more than one thread the shuffled pair order
+  /// is sharded across workers which update emb_/ctx_ rows lock-free
+  /// (Hogwild, Recht et al. 2011): sparse updates rarely collide, and
+  /// word2vec-family systems tolerate the occasional lost write. Results
+  /// are then nondeterministic run-to-run.
+  size_t num_threads = 1;
 };
 
 /// Classic SGNS embedder with manual SGD updates — the high-throughput

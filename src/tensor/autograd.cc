@@ -9,7 +9,28 @@
 
 namespace hybridgnn::ag {
 
+namespace {
+thread_local GradSinkScope::Sink* g_grad_sink = nullptr;
+}  // namespace
+
+GradSinkScope::GradSinkScope(Sink* sink) : prev_(g_grad_sink) {
+  g_grad_sink = sink;
+}
+
+GradSinkScope::~GradSinkScope() { g_grad_sink = prev_; }
+
 void Node::AccumulateGrad(const Tensor& g) {
+  if (g_grad_sink != nullptr && requires_grad && !backward_fn) {
+    // Shared trainable leaf under a sink scope: divert to the per-thread
+    // buffer so concurrent Backward calls never touch the shared `grad`.
+    Tensor& slot = (*g_grad_sink)[this];
+    if (slot.empty()) slot = Tensor(value.rows(), value.cols());
+    HYBRIDGNN_CHECK(slot.SameShape(g))
+        << "gradient shape mismatch: " << slot.ShapeString() << " vs "
+        << g.ShapeString();
+    slot.AddInPlace(g);
+    return;
+  }
   if (grad.empty()) {
     grad = Tensor(value.rows(), value.cols());
   }

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -37,6 +38,29 @@ class Node {
   void AccumulateGrad(const Tensor& g);
   /// Clears the gradient (keeps allocation if shape already set).
   void ZeroGrad();
+};
+
+/// RAII scope that redirects *leaf-parameter* gradient accumulation on the
+/// current thread into a private map keyed by Node pointer, instead of the
+/// node's own `grad` field. Interior op nodes are unaffected (they are
+/// built per-thread, so their grads never race); only shared trainable
+/// leaves (requires_grad set, no backward_fn) are redirected.
+///
+/// This is what makes data-parallel minibatch training safe: each worker
+/// runs Backward on its own subgraph under a GradSinkScope, and the main
+/// thread then reduces the per-worker sinks into the real `grad` fields
+/// before the optimizer step. Nested scopes restore the previous sink on
+/// destruction.
+class GradSinkScope {
+ public:
+  using Sink = std::unordered_map<Node*, Tensor>;
+  explicit GradSinkScope(Sink* sink);
+  ~GradSinkScope();
+  GradSinkScope(const GradSinkScope&) = delete;
+  GradSinkScope& operator=(const GradSinkScope&) = delete;
+
+ private:
+  Sink* prev_;
 };
 
 /// Creates a non-trainable node (no gradient tracked unless a trainable

@@ -1,0 +1,257 @@
+// Regression tests pinning the parallel pipeline's reproducibility
+// contract:
+//   * num_threads <= 1 is bit-identical to the pre-parallelism serial
+//     implementation (golden values captured from the seed build);
+//   * parallel corpus generation is invariant to the worker count (every
+//     thread count > 1 produces the same corpus);
+//   * FitOptions{num_threads: N, deterministic: true} is run-to-run
+//     reproducible for fixed (seed, N);
+//   * EmbeddingsFor matches the per-node Embedding loop.
+#include <cmath>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/hybrid_gnn.h"
+#include "graph/metapath.h"
+#include "sampling/corpus.h"
+#include "sampling/negative_sampler.h"
+#include "sampling/sgns.h"
+#include "test_util.h"
+
+namespace hybridgnn {
+namespace {
+
+std::vector<MetapathScheme> TinySchemes(const MultiplexHeteroGraph& g) {
+  std::vector<MetapathScheme> schemes;
+  for (RelationId r = 0; r < g.num_relations(); ++r) {
+    schemes.push_back(MetapathScheme::ParseIntra(g, "U-I-U", r).value());
+    schemes.push_back(MetapathScheme::ParseIntra(g, "I-U-I", r).value());
+  }
+  return schemes;
+}
+
+HybridGnnConfig TinyConfig() {
+  HybridGnnConfig c;
+  c.base_dim = 16;
+  c.edge_dim = 4;
+  c.hidden_dim = 8;
+  c.epochs = 2;
+  c.batch_size = 64;
+  c.max_pairs_per_epoch = 500;
+  c.corpus.num_walks_per_node = 3;
+  c.corpus.walk_length = 4;
+  c.corpus.window = 2;
+  c.fanout = 3;
+  c.seed = 123;
+  return c;
+}
+
+// Golden rows dumped from the pre-parallelism serial build (full float
+// precision). If these fail, the threads<=1 path is no longer the original
+// pipeline.
+constexpr float kGoldenV0R0[16] = {
+    0.029116407f,   0.00659689587f, -0.00732238032f, 0.0927861407f,
+    0.0335711539f,  0.0307084247f,  -0.009861378f,   -0.0642795861f,
+    0.0377879292f,  0.0116837798f,  0.04985952f,     0.0171902403f,
+    -0.011715766f,  -0.0284654126f, 0.0397054702f,   0.0169521496f};
+constexpr float kGoldenV5R1[16] = {
+    0.0343935937f,  -0.0380339362f, 0.0695880502f,  0.141735554f,
+    -0.0357713699f, -0.00363818393f, 0.0801288038f, -0.0368240103f,
+    0.0157920476f,  0.0375176258f,  0.0284227915f,  0.00354929827f,
+    -0.0141490465f, 0.0361460708f,  -0.0378150828f, -0.00168883754f};
+constexpr float kGoldenSgnsV0[8] = {
+    -0.193856314f, -0.263697565f, 0.131161436f,  -0.43157804f,
+    0.107928365f,  -0.0737559721f, 0.881925464f, 0.116057098f};
+
+TEST(DeterminismTest, SerialFitMatchesPreParallelGolden) {
+  MultiplexHeteroGraph g = testing::SmallBipartite();
+  HybridGnn model(TinyConfig(), TinySchemes(g));
+  FitOptions opts;
+  opts.num_threads = 1;
+  ASSERT_TRUE(model.Fit(g, opts).ok());
+  Tensor e00 = model.Embedding(0, 0);
+  Tensor e51 = model.Embedding(5, 1);
+  ASSERT_EQ(e00.cols(), 16u);
+  for (size_t j = 0; j < 16; ++j) {
+    EXPECT_FLOAT_EQ(e00.At(0, j), kGoldenV0R0[j]) << "v0 r0 col " << j;
+    EXPECT_FLOAT_EQ(e51.At(0, j), kGoldenV5R1[j]) << "v5 r1 col " << j;
+  }
+}
+
+TEST(DeterminismTest, DefaultFitOverloadIsTheSerialPath) {
+  // Fit(g) forwards to Fit(g, FitOptions{}) which resolves to one thread
+  // when HYBRIDGNN_THREADS is unset — still the golden serial result.
+  MultiplexHeteroGraph g = testing::SmallBipartite();
+  HybridGnn a(TinyConfig(), TinySchemes(g));
+  HybridGnn b(TinyConfig(), TinySchemes(g));
+  ASSERT_TRUE(a.Fit(g).ok());
+  FitOptions serial;
+  serial.num_threads = 1;
+  ASSERT_TRUE(b.Fit(g, serial).ok());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (RelationId r = 0; r < g.num_relations(); ++r) {
+      Tensor ea = a.Embedding(v, r);
+      Tensor eb = b.Embedding(v, r);
+      for (size_t j = 0; j < ea.cols(); ++j) {
+        ASSERT_EQ(ea.At(0, j), eb.At(0, j)) << "v" << v << " r" << r;
+      }
+    }
+  }
+}
+
+TEST(DeterminismTest, SerialSgnsMatchesPreParallelGolden) {
+  MultiplexHeteroGraph g = testing::SmallBipartite();
+  Rng rng(77);
+  CorpusOptions co;
+  co.num_walks_per_node = 3;
+  co.walk_length = 4;
+  co.window = 2;
+  WalkCorpus corpus = BuildMetapathCorpus(g, TinySchemes(g), co, rng);
+  EXPECT_EQ(corpus.walks.size(), 36u);
+  EXPECT_EQ(corpus.pairs.size(), 536u);
+  NegativeSampler sampler(g);
+  SgnsOptions so;
+  so.dim = 8;
+  so.epochs = 2;
+  SgnsEmbedder emb(g.num_nodes(), so.dim, rng);
+  emb.Train(corpus.pairs, sampler, so, rng);
+  for (size_t j = 0; j < 8; ++j) {
+    EXPECT_FLOAT_EQ(emb.embeddings().At(0, j), kGoldenSgnsV0[j])
+        << "sgns v0 col " << j;
+  }
+}
+
+// Parallel corpus generation consumes one seed draw and forks one stream
+// per walk unit, so the output is a pure function of (seed), not of how
+// units are scheduled: every thread count > 1 must agree exactly.
+TEST(DeterminismTest, ParallelCorpusInvariantToThreadCount) {
+  MultiplexHeteroGraph g = testing::SmallBipartite();
+  auto schemes = TinySchemes(g);
+  auto build = [&](size_t threads) {
+    Rng rng(99);
+    CorpusOptions co;
+    co.num_walks_per_node = 4;
+    co.walk_length = 5;
+    co.window = 2;
+    co.num_threads = threads;
+    return BuildMetapathCorpus(g, schemes, co, rng);
+  };
+  WalkCorpus c2 = build(2);
+  WalkCorpus c4 = build(4);
+  WalkCorpus c8 = build(8);
+  ASSERT_EQ(c2.walks.size(), c4.walks.size());
+  ASSERT_EQ(c2.walks.size(), c8.walks.size());
+  EXPECT_EQ(c2.walks, c4.walks);
+  EXPECT_EQ(c2.walks, c8.walks);
+  ASSERT_EQ(c2.pairs.size(), c4.pairs.size());
+  ASSERT_EQ(c2.pairs.size(), c8.pairs.size());
+  for (size_t i = 0; i < c2.pairs.size(); ++i) {
+    ASSERT_EQ(c2.pairs[i].center, c4.pairs[i].center) << "pair " << i;
+    ASSERT_EQ(c2.pairs[i].context, c4.pairs[i].context) << "pair " << i;
+    ASSERT_EQ(c2.pairs[i].rel, c4.pairs[i].rel) << "pair " << i;
+    ASSERT_EQ(c2.pairs[i].center, c8.pairs[i].center) << "pair " << i;
+    ASSERT_EQ(c2.pairs[i].context, c8.pairs[i].context) << "pair " << i;
+    ASSERT_EQ(c2.pairs[i].rel, c8.pairs[i].rel) << "pair " << i;
+  }
+  // Repeat-run stability at a fixed thread count.
+  WalkCorpus again = build(4);
+  EXPECT_EQ(c4.walks, again.walks);
+}
+
+// Serial and parallel corpora draw from differently-structured streams (a
+// single interleaved generator vs. one fork per walk unit), so they are
+// different samples — but the same *shape* of work: identical walk counts
+// and walk lengths per start node.
+TEST(DeterminismTest, ParallelCorpusMatchesSerialShape) {
+  MultiplexHeteroGraph g = testing::SmallBipartite();
+  auto schemes = TinySchemes(g);
+  auto build = [&](size_t threads) {
+    Rng rng(99);
+    CorpusOptions co;
+    co.num_walks_per_node = 4;
+    co.walk_length = 5;
+    co.window = 2;
+    co.num_threads = threads;
+    return BuildMetapathCorpus(g, schemes, co, rng);
+  };
+  WalkCorpus serial = build(1);
+  WalkCorpus parallel = build(4);
+  ASSERT_EQ(serial.walks.size(), parallel.walks.size());
+  for (size_t i = 0; i < serial.walks.size(); ++i) {
+    // Same unit enumeration order: walk i starts at the same node.
+    EXPECT_EQ(serial.walks[i].front(), parallel.walks[i].front())
+        << "walk " << i;
+  }
+}
+
+TEST(DeterminismTest, DeterministicParallelFitIsReproducible) {
+  MultiplexHeteroGraph g = testing::SmallBipartite();
+  FitOptions opts;
+  opts.num_threads = 4;
+  opts.deterministic = true;
+  HybridGnn a(TinyConfig(), TinySchemes(g));
+  HybridGnn b(TinyConfig(), TinySchemes(g));
+  ASSERT_TRUE(a.Fit(g, opts).ok());
+  ASSERT_TRUE(b.Fit(g, opts).ok());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (RelationId r = 0; r < g.num_relations(); ++r) {
+      Tensor ea = a.Embedding(v, r);
+      Tensor eb = b.Embedding(v, r);
+      for (size_t j = 0; j < ea.cols(); ++j) {
+        ASSERT_EQ(ea.At(0, j), eb.At(0, j))
+            << "deterministic fit diverged at v" << v << " r" << r;
+      }
+    }
+  }
+}
+
+TEST(DeterminismTest, ParallelFitProducesFiniteEmbeddingsAndProgress) {
+  MultiplexHeteroGraph g = testing::SmallBipartite();
+  FitOptions opts;
+  opts.num_threads = 4;
+  std::vector<std::string> phases;
+  opts.progress_callback = [&](const FitProgress& p) {
+    phases.push_back(p.phase);
+  };
+  HybridGnn model(TinyConfig(), TinySchemes(g));
+  ASSERT_TRUE(model.Fit(g, opts).ok());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (RelationId r = 0; r < g.num_relations(); ++r) {
+      Tensor e = model.Embedding(v, r);
+      for (size_t j = 0; j < e.cols(); ++j) {
+        ASSERT_TRUE(std::isfinite(e.At(0, j))) << "v" << v << " r" << r;
+      }
+    }
+  }
+  // corpus, pretrain, >=1 epoch, cache.
+  EXPECT_GE(phases.size(), 4u);
+  EXPECT_EQ(phases.front(), "corpus");
+  EXPECT_EQ(phases.back(), "cache");
+}
+
+TEST(DeterminismTest, EmbeddingsForMatchesPerNodeLoop) {
+  MultiplexHeteroGraph g = testing::SmallBipartite();
+  HybridGnn model(TinyConfig(), TinySchemes(g));
+  ASSERT_TRUE(model.Fit(g).ok());
+  std::vector<std::pair<NodeId, RelationId>> queries;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (RelationId r = 0; r < g.num_relations(); ++r) {
+      queries.emplace_back(v, r);
+    }
+  }
+  Tensor batched = model.EmbeddingsFor(queries);
+  ASSERT_EQ(batched.rows(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    Tensor row = model.Embedding(queries[i].first, queries[i].second);
+    ASSERT_EQ(batched.cols(), row.cols());
+    for (size_t j = 0; j < row.cols(); ++j) {
+      EXPECT_EQ(batched.At(i, j), row.At(0, j)) << "query " << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hybridgnn

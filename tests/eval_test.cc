@@ -121,12 +121,23 @@ class OracleModel : public EmbeddingModel {
  public:
   explicit OracleModel(const MultiplexHeteroGraph& g) : g_(&g) {}
   std::string name() const override { return "Oracle"; }
-  Status Fit(const MultiplexHeteroGraph&) override { return Status::OK(); }
+  Status Fit(const MultiplexHeteroGraph&, const FitOptions&) override {
+    return Status::OK();
+  }
+  using EmbeddingModel::Fit;
   Tensor Embedding(NodeId v, RelationId r) const override {
     return Tensor::Ones(1, 2);
   }
   double Score(NodeId u, NodeId v, RelationId r) const override {
     return g_->HasEdge(u, v, r) ? 1.0 : 0.0;
+  }
+  // Score is not a dot of Embedding rows, so the batched default would
+  // diverge; route through the virtual Score.
+  std::vector<double> ScoreMany(
+      std::span<const EdgeTriple> queries) const override {
+    std::vector<double> out;
+    for (const auto& q : queries) out.push_back(Score(q.src, q.dst, q.rel));
+    return out;
   }
 
  private:
@@ -193,6 +204,60 @@ TEST_F(EvaluatorTest, EvaluateRelationIsolatesOneRelation) {
   EXPECT_NEAR(r0.roc_auc, 100.0, 1e-6);
   LinkPredictionResult bogus = EvaluateRelation(oracle, split_, 99);
   EXPECT_EQ(bogus.roc_auc, 0.0);  // empty result for unknown relation
+}
+
+TEST_F(EvaluatorTest, ParallelEvaluationMatchesSerial) {
+  // Queries are independent and land in indexed slots, so every thread
+  // count must produce identical metrics.
+  OracleModel oracle(graph_);
+  EvalOptions serial;
+  serial.num_threads = 1;
+  EvalOptions parallel;
+  parallel.num_threads = 4;
+  Rng rng_a(8);
+  LinkPredictionResult a =
+      EvaluateLinkPrediction(oracle, graph_, split_, serial, rng_a);
+  Rng rng_b(8);
+  LinkPredictionResult b =
+      EvaluateLinkPrediction(oracle, graph_, split_, parallel, rng_b);
+  EXPECT_EQ(a.roc_auc, b.roc_auc);
+  EXPECT_EQ(a.pr_auc, b.pr_auc);
+  EXPECT_EQ(a.f1, b.f1);
+  EXPECT_EQ(a.pr_at_k, b.pr_at_k);
+  EXPECT_EQ(a.hr_at_k, b.hr_at_k);
+}
+
+TEST_F(EvaluatorTest, DefaultScoreManyMatchesScoreLoop) {
+  // For dot-scored models the batched path must agree with per-pair Score.
+  class DotModel : public EmbeddingModel {
+   public:
+    std::string name() const override { return "Dot"; }
+    Status Fit(const MultiplexHeteroGraph&, const FitOptions&) override {
+      return Status::OK();
+    }
+    using EmbeddingModel::Fit;
+    Tensor Embedding(NodeId v, RelationId r) const override {
+      Tensor e(1, 4);
+      for (size_t j = 0; j < 4; ++j) {
+        e.At(0, j) = static_cast<float>((v + 1) * (j + 1)) /
+                     static_cast<float>(8 + r);
+      }
+      return e;
+    }
+  };
+  DotModel model;
+  std::vector<EdgeTriple> queries;
+  for (NodeId v = 0; v < 10; ++v) {
+    queries.push_back(EdgeTriple{v, static_cast<NodeId>(v + 3),
+                                 static_cast<RelationId>(v % 2)});
+  }
+  std::vector<double> batched = model.ScoreMany(queries);
+  ASSERT_EQ(batched.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    EXPECT_DOUBLE_EQ(batched[i], model.Score(queries[i].src, queries[i].dst,
+                                             queries[i].rel))
+        << "query " << i;
+  }
 }
 
 TEST_F(EvaluatorTest, DegreeBucketsCoverQueries) {

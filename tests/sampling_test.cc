@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <map>
 #include <set>
 
@@ -8,6 +9,7 @@
 #include "sampling/exploration.h"
 #include "sampling/negative_sampler.h"
 #include "sampling/neighbor_sampler.h"
+#include "sampling/sgns.h"
 #include "sampling/walker.h"
 #include "test_util.h"
 
@@ -303,6 +305,53 @@ TEST(CorpusTest, Node2VecCorpusNonEmpty) {
   WalkCorpus corpus = BuildNode2VecCorpus(g, options, 0.5, 2.0, rng);
   EXPECT_FALSE(corpus.pairs.empty());
   EXPECT_FALSE(corpus.walks.empty());
+}
+
+TEST(CorpusTest, ParallelCorpusWellFormed) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  Rng rng(25);
+  CorpusOptions options;
+  options.num_walks_per_node = 3;
+  options.walk_length = 4;
+  options.window = 2;
+  options.num_threads = 4;
+  WalkCorpus corpus = BuildMetapathCorpus(g, {UiuScheme(g, 0)}, options, rng);
+  EXPECT_FALSE(corpus.walks.empty());
+  EXPECT_FALSE(corpus.pairs.empty());
+  for (const auto& walk : corpus.walks) {
+    EXPECT_GE(walk.size(), 2u);
+    for (NodeId v : walk) EXPECT_LT(v, g.num_nodes());
+  }
+  // Same corpus shape as the serial path: one unit per (start, relation)
+  // with degree > 0, each yielding up to num_walks_per_node walks.
+  Rng rng2(25);
+  CorpusOptions serial = options;
+  serial.num_threads = 1;
+  WalkCorpus sc = BuildMetapathCorpus(g, {UiuScheme(g, 0)}, serial, rng2);
+  EXPECT_EQ(corpus.walks.size(), sc.walks.size());
+}
+
+TEST(SgnsTest, HogwildTrainProducesFiniteEmbeddings) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  Rng rng(26);
+  CorpusOptions options;
+  options.num_walks_per_node = 4;
+  options.walk_length = 5;
+  options.window = 2;
+  WalkCorpus corpus = BuildUniformCorpus(g, options, rng);
+  NegativeSampler sampler(g);
+  SgnsOptions so;
+  so.dim = 8;
+  so.epochs = 3;
+  so.num_threads = 4;
+  SgnsEmbedder emb(g.num_nodes(), so.dim, rng);
+  emb.Train(corpus.pairs, sampler, so, rng);
+  for (size_t v = 0; v < g.num_nodes(); ++v) {
+    for (size_t j = 0; j < so.dim; ++j) {
+      EXPECT_TRUE(std::isfinite(emb.embeddings().At(v, j)));
+      EXPECT_TRUE(std::isfinite(emb.contexts().At(v, j)));
+    }
+  }
 }
 
 // ---------- Layered sampler ----------

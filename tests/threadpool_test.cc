@@ -1,0 +1,106 @@
+#include "common/threadpool.h"
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/parallel.h"
+
+namespace hybridgnn {
+namespace {
+
+TEST(ThreadPoolTest, ParallelForCoversAllIndicesExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 10000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.ParallelFor(kN, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForFewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.ParallelFor(3, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < 3; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroItemsReturnsImmediately) {
+  ThreadPool pool(4);
+  bool called = false;
+  pool.ParallelFor(0, [&](size_t) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ThreadPoolTest, NestedSubmitIsDrainedByWait) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int outer = 0; outer < 8; ++outer) {
+    pool.Submit([&pool, &done] {
+      done.fetch_add(1);
+      // A task may enqueue follow-up work; Wait() must cover it too.
+      pool.Submit([&done] { done.fetch_add(1); });
+    });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 16);
+}
+
+TEST(ThreadPoolTest, ExceptionInTaskDoesNotDeadlockAndIsRethrown) {
+  ThreadPool pool(2);
+  pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.Wait(), std::runtime_error);
+  // The pool stays usable after an exception.
+  std::atomic<int> ran{0};
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ThreadPoolTest, ExceptionInParallelForBodyPropagates) {
+  ThreadPool pool(4);
+  std::atomic<int> visited{0};
+  EXPECT_THROW(pool.ParallelFor(100,
+                                [&](size_t i) {
+                                  visited.fetch_add(1);
+                                  if (i == 42) {
+                                    throw std::runtime_error("bad index");
+                                  }
+                                }),
+               std::runtime_error);
+  // Still alive: a clean run afterwards succeeds.
+  pool.ParallelFor(10, [&](size_t) { visited.fetch_add(1); });
+}
+
+TEST(RunParallelTest, SerialModeRunsInIndexOrder) {
+  std::vector<size_t> order;
+  RunParallel(/*num_threads=*/1, 16, [&](size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 16u);
+  for (size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(RunParallelTest, ParallelModeCoversAllIndices) {
+  std::vector<std::atomic<int>> hits(257);
+  RunParallel(/*num_threads=*/4, hits.size(), [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(RunParallelTest, NullPoolRunsSerial) {
+  std::vector<size_t> order;
+  RunParallel(static_cast<ThreadPool*>(nullptr), 5,
+              [&](size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace hybridgnn
