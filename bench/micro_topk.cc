@@ -1,0 +1,164 @@
+// Online-serving throughput/latency: brute-force top-K retrieval over a
+// frozen EmbeddingStore at 1/2/4/8 worker threads, checkpoint save/load
+// (copy vs zero-copy mmap) timings, and RecommendService micro-batching
+// latency percentiles under concurrent clients.
+//
+// Reports queries/s and speedup over the 1-thread row and verifies that
+// the ranked results are invariant to the thread count. As with
+// micro_parallel, speedups only materialize with as many physical cores as
+// workers; on a single-core host all rows collapse to ~1x, which is
+// expected. On >= 8 cores the 8-thread row lands at >= 4x.
+//
+// Environment: HYBRIDGNN_BENCH_SCALE scales the store size; the checkpoint
+// artifact is written under bench-out/ (gitignored).
+#include <filesystem>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "serve/checkpoint.h"
+#include "serve/service.h"
+
+namespace hybridgnn::bench {
+namespace {
+
+uint64_t HashResults(
+    const std::vector<StatusOr<std::vector<Recommendation>>>& results) {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t x) {
+    h ^= x;
+    h *= 1099511628211ULL;
+  };
+  for (const auto& r : results) {
+    HYBRIDGNN_CHECK(r.ok()) << r.status().ToString();
+    mix(r.value().size());
+    for (const auto& rec : r.value()) mix(rec.node);
+  }
+  return h;
+}
+
+EmbeddingStore MakeRandomStore(size_t num_nodes, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<EmbeddingStore::TableInit> tables;
+  const char* names[] = {"click", "buy"};
+  for (const char* name : names) {
+    EmbeddingStore::TableInit t;
+    t.name = name;
+    t.row_to_node.resize(num_nodes);
+    t.data = Tensor(num_nodes, dim);
+    for (NodeId v = 0; v < num_nodes; ++v) t.row_to_node[v] = v;
+    for (size_t i = 0; i < t.data.size(); ++i) {
+      t.data.data()[i] = rng.UniformFloat(-1.0f, 1.0f);
+    }
+    tables.push_back(std::move(t));
+  }
+  auto store = EmbeddingStore::FromTables("random", num_nodes,
+                                          std::move(tables));
+  HYBRIDGNN_CHECK(store.ok()) << store.status().ToString();
+  return std::move(store).value();
+}
+
+void Run() {
+  BenchEnv env = GetBenchEnv();
+  PrintHeaderBanner("online top-K serving (retrieval / checkpoint / service)");
+  const size_t num_nodes =
+      std::max<size_t>(2000, static_cast<size_t>(40000 * env.scale));
+  const size_t dim = 64;
+  const size_t num_queries = 256;
+  const size_t k = 10;
+  EmbeddingStore store = MakeRandomStore(num_nodes, dim, /*seed=*/7);
+  std::printf("store: %zu nodes x dim %zu, %zu relations; %zu queries, "
+              "k=%zu\n\n",
+              num_nodes, dim, store.num_relations(), num_queries, k);
+
+  Rng qrng(99);
+  std::vector<TopKQuery> queries(num_queries);
+  for (auto& q : queries) {
+    q.node = static_cast<NodeId>(qrng.UniformUint64(num_nodes));
+    q.rel = static_cast<RelationId>(qrng.UniformUint64(2));
+    q.k = k;
+  }
+
+  // --- batched top-K vs thread count ---
+  const size_t threads_axis[] = {1, 2, 4, 8};
+  std::printf("%-8s %12s %12s %10s\n", "threads", "batch_ms", "queries/s",
+              "speedup");
+  double base_ms = 0.0;
+  uint64_t ref_hash = 0;
+  for (size_t threads : threads_axis) {
+    TopKOptions opts;
+    opts.num_threads = threads;
+    TopKRecommender rec(&store, /*graph=*/nullptr, opts);
+    Timer t;
+    auto results = rec.RecommendBatch(queries);
+    const double ms = t.ElapsedMillis();
+    const uint64_t h = HashResults(results);
+    if (ref_hash == 0) ref_hash = h;
+    HYBRIDGNN_CHECK(h == ref_hash)
+        << "top-K results differ across thread counts";
+    if (threads == 1) base_ms = ms;
+    std::printf("%-8zu %9.1f ms %12.0f %9.2fx\n", threads, ms,
+                ms > 0 ? 1e3 * num_queries / ms : 0,
+                ms > 0 ? base_ms / ms : 0.0);
+  }
+
+  // --- checkpoint write / load(copy) / load(mmap) ---
+  std::filesystem::create_directories("bench-out");
+  const std::string path = "bench-out/micro_topk.hgc";
+  Timer t;
+  HYBRIDGNN_CHECK_OK(WriteCheckpoint(store, path));
+  const double write_ms = t.ElapsedMillis();
+  t.Reset();
+  auto copy = LoadCheckpoint(path, LoadMode::kCopy);
+  const double copy_ms = t.ElapsedMillis();
+  HYBRIDGNN_CHECK(copy.ok()) << copy.status().ToString();
+  t.Reset();
+  auto mapped = LoadCheckpoint(path, LoadMode::kMmap);
+  const double mmap_ms = t.ElapsedMillis();
+  HYBRIDGNN_CHECK(mapped.ok()) << mapped.status().ToString();
+  const double mib =
+      static_cast<double>(std::filesystem::file_size(path)) / (1 << 20);
+  std::printf("\ncheckpoint (%.1f MiB): write %.1f ms, load-copy %.1f ms, "
+              "load-mmap %.1f ms (%.1fx)\n",
+              mib, write_ms, copy_ms, mmap_ms,
+              mmap_ms > 0 ? copy_ms / mmap_ms : 0.0);
+
+  // --- RecommendService micro-batching under concurrent clients ---
+  TopKOptions sopts;
+  sopts.num_threads = 4;
+  TopKRecommender rec(&*mapped, /*graph=*/nullptr, sopts);
+  ServiceOptions service_options;
+  service_options.num_threads = 4;
+  service_options.batch_window_ms = 0.5;
+  service_options.max_batch_size = 32;
+  RecommendService service(&rec, service_options);
+  const size_t num_clients = 4;
+  t.Reset();
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      for (size_t i = c; i < queries.size(); i += num_clients) {
+        RecommendResponse resp = service.Call(queries[i]);
+        HYBRIDGNN_CHECK(resp.status.ok()) << resp.status.ToString();
+      }
+    });
+  }
+  for (auto& th : clients) th.join();
+  const double service_ms = t.ElapsedMillis();
+  MetricsSnapshot snap = service.metrics();
+  std::printf("\nservice: %zu clients, %.1f ms wall, %.0f queries/s\n",
+              num_clients, service_ms,
+              service_ms > 0 ? 1e3 * num_queries / service_ms : 0);
+  std::printf("  %s\n", snap.ToString().c_str());
+  HYBRIDGNN_CHECK(snap.requests == num_queries);
+  HYBRIDGNN_CHECK(snap.errors == 0);
+}
+
+}  // namespace
+}  // namespace hybridgnn::bench
+
+int main() {
+  hybridgnn::bench::Run();
+  return 0;
+}

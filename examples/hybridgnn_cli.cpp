@@ -3,8 +3,16 @@
 //
 //   hybridgnn_cli train --graph g.txt --model HybridGNN [--seed N]
 //                       [--scale-epochs X] [--hard-negatives F]
+//                       [--save ckpt.hgc | --load ckpt.hgc]
 //   hybridgnn_cli embed --graph g.txt --model DeepWalk --out emb.tsv
+//                       [--save ckpt.hgc | --load ckpt.hgc]
 //   hybridgnn_cli stats --graph g.txt
+//
+// --save freezes the fitted model's embedding tables to a `.hgc` checkpoint
+// (serve/checkpoint.h); --load skips training entirely and evaluates or
+// exports the frozen tables instead. A loaded checkpoint reproduces the
+// saved model's link-prediction metrics bit-identically for dot-decoder
+// models (see serve/store_model.h for the R-GCN caveat).
 //
 // The graph file format is the one written by SaveGraph (see
 // graph/graph_io.h); `examples/graph_io_roundtrip` produces samples.
@@ -15,6 +23,8 @@
 #include <map>
 #include <string>
 
+#include <memory>
+
 #include "baselines/registry.h"
 #include "common/string_util.h"
 #include "data/split.h"
@@ -22,6 +32,8 @@
 #include "graph/graph_io.h"
 #include "graph/metapath.h"
 #include "graph/stats.h"
+#include "serve/checkpoint.h"
+#include "serve/store_model.h"
 
 using namespace hybridgnn;
 
@@ -40,6 +52,35 @@ std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
 int Fail(const Status& st) {
   std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
   return 1;
+}
+
+/// Produces a ready-to-query model: with --load, the frozen tables of an
+/// `.hgc` checkpoint (no training); otherwise trains `model_name` on
+/// `fit_graph` and, with --save, freezes the result for the next run.
+StatusOr<std::unique_ptr<EmbeddingModel>> ObtainModel(
+    std::map<std::string, std::string>& flags, const std::string& model_name,
+    const std::vector<MetapathScheme>& schemes, uint64_t seed,
+    const ModelBudget& budget, const MultiplexHeteroGraph& fit_graph) {
+  if (flags.count("load")) {
+    auto loaded = LoadCheckpoint(flags["load"], LoadMode::kMmap);
+    if (!loaded.ok()) return loaded.status();
+    auto store = std::make_shared<EmbeddingStore>(std::move(loaded).value());
+    std::fprintf(stderr, "loaded %s (model=%s, dim=%zu), skipping training\n",
+                 flags["load"].c_str(), store->model_name().c_str(),
+                 store->dim());
+    return std::unique_ptr<EmbeddingModel>(
+        std::make_unique<StoreBackedModel>(std::move(store)));
+  }
+  auto model = CreateModel(model_name, schemes, seed, budget);
+  if (!model.ok()) return model.status();
+  Status st = (*model)->Fit(fit_graph);
+  if (!st.ok()) return st;
+  if (flags.count("save")) {
+    Status ws = SaveCheckpoint(**model, fit_graph, flags["save"]);
+    if (!ws.ok()) return ws;
+    std::fprintf(stderr, "froze embeddings to %s\n", flags["save"].c_str());
+  }
+  return std::move(model).value();
 }
 
 }  // namespace
@@ -79,10 +120,9 @@ int main(int argc, char** argv) {
       DefaultSchemes(*graph, /*max_schemes_per_relation=*/2);
 
   if (cmd == "embed") {
-    auto model = CreateModel(model_name, schemes, seed, budget);
+    auto model = ObtainModel(flags, model_name, schemes, seed, budget,
+                             *graph);
     if (!model.ok()) return Fail(model.status());
-    Status st = (*model)->Fit(*graph);
-    if (!st.ok()) return Fail(st);
     const std::string out_path =
         flags.count("out") ? flags["out"] : "embeddings.tsv";
     std::ofstream out(out_path);
@@ -110,10 +150,12 @@ int main(int argc, char** argv) {
     }
     auto split = SplitEdges(*graph, options, rng);
     if (!split.ok()) return Fail(split.status());
-    auto model = CreateModel(model_name, schemes, seed, budget);
+    // --save/--load freeze/restore the tables the model produces on the
+    // *training* graph, so a reloaded checkpoint reproduces this run's
+    // evaluation exactly (the split is deterministic in --seed).
+    auto model = ObtainModel(flags, model_name, schemes, seed, budget,
+                             split->train_graph);
     if (!model.ok()) return Fail(model.status());
-    Status st = (*model)->Fit(split->train_graph);
-    if (!st.ok()) return Fail(st);
     Rng eval_rng(seed ^ 0xE7A1);
     EvalOptions opts;
     LinkPredictionResult r = EvaluateLinkPrediction(

@@ -1,0 +1,193 @@
+// Online top-K recommendation server: train a model (or load a frozen
+// `.hgc` checkpoint) and answer queries from stdin through the micro-
+// batching RecommendService.
+//
+//   hybridgnn_serve --graph g.txt [--model HybridGNN] [--seed N]
+//                   [--load ckpt.hgc] [--save ckpt.hgc] [--copy 1]
+//                   [--k 10] [--cosine 1] [--threads N]
+//                   [--window-ms 1.0] [--max-batch 64]
+//
+// With --load pointing at an existing checkpoint the model is NOT retrained
+// — the tables come straight off the file (zero-copy mmap unless --copy 1).
+// Otherwise the model trains on the full graph and, with --save, freezes
+// its tables to the given path for the next run.
+//
+// Query loop (stdin, one query per line):
+//   <node-id> <relation-name-or-id> [k]   top-k recommendations
+//   metrics                               print serving counters/latency
+//   quit                                  exit (EOF works too)
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "baselines/registry.h"
+#include "common/string_util.h"
+#include "graph/graph_io.h"
+#include "graph/metapath.h"
+#include "serve/checkpoint.h"
+#include "serve/service.h"
+#include "serve/store_model.h"
+
+using namespace hybridgnn;
+
+namespace {
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) == 0) {
+      flags[argv[i] + 2] = argv[i + 1];
+    }
+  }
+  return flags;
+}
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+/// Serving-side candidate typing: recommend nodes of the type the query
+/// node actually links to under this relation (e.g. a user querying `click`
+/// gets items, not other users). Falls back to "all rows" for isolated
+/// nodes.
+NodeTypeId InferCandidateType(const MultiplexHeteroGraph& g, NodeId node,
+                              RelationId rel) {
+  if (node >= g.num_nodes() || rel >= g.num_relations()) {
+    return kInvalidNodeType;
+  }
+  auto nbrs = g.Neighbors(node, rel);
+  return nbrs.empty() ? kInvalidNodeType : g.node_type(nbrs.front());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = ParseFlags(argc, argv);
+  if (!flags.count("graph")) {
+    std::fprintf(stderr,
+                 "usage: %s --graph <file> [--model NAME] [--load ckpt.hgc] "
+                 "[--save ckpt.hgc] [--copy 1] [--k N] [--cosine 1] "
+                 "[--threads N] [--window-ms F] [--max-batch N] [--seed N]\n",
+                 argv[0]);
+    return 2;
+  }
+  auto graph = LoadGraph(flags["graph"]);
+  if (!graph.ok()) return Fail(graph.status());
+
+  // --- obtain an EmbeddingStore: load a checkpoint, or train + freeze ---
+  std::shared_ptr<const EmbeddingStore> store;
+  if (flags.count("load")) {
+    const LoadMode mode = flags.count("copy") && flags["copy"] != "0"
+                              ? LoadMode::kCopy
+                              : LoadMode::kMmap;
+    auto loaded = LoadCheckpoint(flags["load"], mode);
+    if (!loaded.ok()) return Fail(loaded.status());
+    store = std::make_shared<EmbeddingStore>(std::move(loaded).value());
+    std::printf("loaded %s: model=%s, %zu relations, %zu nodes, dim=%zu%s\n",
+                flags["load"].c_str(), store->model_name().c_str(),
+                store->num_relations(), store->num_nodes(), store->dim(),
+                store->mmapped() ? " (mmap, zero-copy)" : " (copied)");
+  } else {
+    const std::string model_name =
+        flags.count("model") ? flags["model"] : "HybridGNN";
+    const uint64_t seed =
+        flags.count("seed") ? ParseInt64(flags["seed"]).value_or(1) : 1;
+    std::vector<MetapathScheme> schemes =
+        DefaultSchemes(*graph, /*max_schemes_per_relation=*/2);
+    auto model = CreateModel(model_name, schemes, seed, ModelBudget{});
+    if (!model.ok()) return Fail(model.status());
+    std::printf("training %s on %zu nodes / %zu edges...\n",
+                model_name.c_str(), graph->num_nodes(), graph->num_edges());
+    Status st = (*model)->Fit(*graph);
+    if (!st.ok()) return Fail(st);
+    auto built = BuildStore(**model, *graph);
+    if (!built.ok()) return Fail(built.status());
+    store = std::make_shared<EmbeddingStore>(std::move(built).value());
+    if (flags.count("save")) {
+      Status ws = WriteCheckpoint(*store, flags["save"]);
+      if (!ws.ok()) return Fail(ws);
+      std::printf("froze embeddings to %s\n", flags["save"].c_str());
+    }
+  }
+
+  // --- retrieval engine + micro-batching service ---
+  TopKOptions topk;
+  topk.cosine = flags.count("cosine") && flags["cosine"] != "0";
+  if (flags.count("threads")) {
+    topk.num_threads =
+        static_cast<size_t>(ParseInt64(flags["threads"]).value_or(0));
+  }
+  TopKRecommender recommender(store.get(), &*graph, topk);
+  ServiceOptions service_options;
+  service_options.num_threads = topk.num_threads;
+  if (flags.count("window-ms")) {
+    service_options.batch_window_ms =
+        ParseDouble(flags["window-ms"]).value_or(1.0);
+  }
+  if (flags.count("max-batch")) {
+    service_options.max_batch_size =
+        static_cast<size_t>(ParseInt64(flags["max-batch"]).value_or(64));
+  }
+  RecommendService service(&recommender, service_options);
+  const size_t default_k =
+      flags.count("k")
+          ? static_cast<size_t>(ParseInt64(flags["k"]).value_or(10))
+          : 10;
+
+  std::printf("ready — '<node> <relation> [k]', 'metrics', 'quit'\n");
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    if (line == "quit" || line == "exit") break;
+    if (line == "metrics") {
+      std::printf("%s\n", service.metrics().ToString().c_str());
+      continue;
+    }
+    std::istringstream in(line);
+    uint64_t node = 0;
+    std::string rel_token;
+    size_t k = default_k;
+    if (!(in >> node >> rel_token)) {
+      std::printf("? expected: <node-id> <relation-name-or-id> [k]\n");
+      continue;
+    }
+    in >> k;
+    RelationId rel = store->FindRelation(rel_token);
+    if (rel == kInvalidRelation) {
+      auto parsed = ParseInt64(rel_token);
+      if (parsed.ok() && *parsed >= 0 &&
+          static_cast<size_t>(*parsed) < store->num_relations()) {
+        rel = static_cast<RelationId>(*parsed);
+      } else {
+        std::printf("? unknown relation '%s'\n", rel_token.c_str());
+        continue;
+      }
+    }
+    TopKQuery q;
+    q.node = static_cast<NodeId>(node);
+    q.rel = rel;
+    q.k = k;
+    q.candidate_type = InferCandidateType(*graph, q.node, rel);
+    RecommendResponse resp = service.Call(q);
+    if (!resp.status.ok()) {
+      std::printf("! %s\n", resp.status.ToString().c_str());
+      continue;
+    }
+    std::printf("top-%zu for node %llu under '%s' (%.3f ms):\n", q.k,
+                static_cast<unsigned long long>(node),
+                store->relation_name(rel).c_str(), resp.latency_ms);
+    for (size_t i = 0; i < resp.items.size(); ++i) {
+      std::printf("  %2zu. node %-8u score %.6f\n", i + 1,
+                  resp.items[i].node, resp.items[i].score);
+    }
+  }
+
+  std::printf("final %s\n", service.metrics().ToString().c_str());
+  return 0;
+}

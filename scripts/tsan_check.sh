@@ -17,8 +17,9 @@ cmake -B "$BUILD_DIR" -S . \
   -DHYBRIDGNN_BUILD_EXAMPLES=OFF
 
 # Only the tests exercising the parallel pipeline — full suite under TSan is
-# slow and the rest is single-threaded.
-TESTS=(threadpool_test sampling_test determinism_test)
+# slow and the rest is single-threaded. serve_test covers the concurrent
+# RecommendService (multi-client Submit + dispatcher + scoring pool).
+TESTS=(threadpool_test sampling_test determinism_test serve_test)
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TESTS[@]}"
 
 status=0

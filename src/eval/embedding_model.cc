@@ -1,5 +1,6 @@
 #include "eval/embedding_model.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/parallel.h"
@@ -24,6 +25,29 @@ Tensor EmbeddingModel::EmbeddingsFor(
     Tensor row = Embedding(queries[i].first, queries[i].second);
     std::memcpy(out.RowPtr(i), row.RowPtr(0), row.cols() * sizeof(float));
   }
+  return out;
+}
+
+Tensor EmbeddingModel::ExportRelationTable(size_t num_nodes, RelationId r,
+                                           size_t num_threads) const {
+  if (num_nodes == 0) return Tensor();
+  const size_t threads = ResolveNumThreads(num_threads);
+  constexpr size_t kChunk = 2048;
+  const size_t num_chunks = (num_nodes + kChunk - 1) / kChunk;
+  const size_t dim = Embedding(0, r).cols();
+  Tensor out(num_nodes, dim);
+  RunParallel(threads, num_chunks, [&](size_t c) {
+    const size_t lo = c * kChunk;
+    const size_t hi = std::min(lo + kChunk, num_nodes);
+    std::vector<std::pair<NodeId, RelationId>> queries;
+    queries.reserve(hi - lo);
+    for (size_t v = lo; v < hi; ++v) {
+      queries.emplace_back(static_cast<NodeId>(v), r);
+    }
+    const Tensor rows = EmbeddingsFor(queries);
+    std::memcpy(out.RowPtr(lo), rows.data(),
+                (hi - lo) * dim * sizeof(float));
+  });
   return out;
 }
 

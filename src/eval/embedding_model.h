@@ -89,6 +89,15 @@ class EmbeddingModel {
   /// (monotone in sigmoid, so threshold-free metrics are unaffected).
   virtual double Score(NodeId u, NodeId v, RelationId r) const;
 
+  /// Materializes the frozen table e*_{v,r} for one relation as a
+  /// num_nodes x d tensor (row v = Embedding(v, r)) — the export hook the
+  /// serve/ checkpoint writer builds on. Rows are produced in fixed-size
+  /// chunks through EmbeddingsFor, chunks run across `num_threads` workers
+  /// (0 defers to HYBRIDGNN_THREADS), and every chunk lands in its own row
+  /// range, so the result is independent of the thread count.
+  Tensor ExportRelationTable(size_t num_nodes, RelationId r,
+                             size_t num_threads = 0) const;
+
   /// Batched link scoring: element i is Score(queries[i]). The default
   /// fetches both endpoints through EmbeddingsFor and takes row dot
   /// products — the batched equivalent of the default Score, so cached

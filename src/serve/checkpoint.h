@@ -1,0 +1,89 @@
+#ifndef HYBRIDGNN_SERVE_CHECKPOINT_H_
+#define HYBRIDGNN_SERVE_CHECKPOINT_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "eval/embedding_model.h"
+#include "graph/graph.h"
+#include "serve/embedding_store.h"
+
+namespace hybridgnn {
+
+/// The `.hgc` (HybridGnn Checkpoint) binary format, version 1.
+///
+/// Layout (all integers little-or-big endian as written; the endian tag
+/// lets a reader on the other byte order reject the file cleanly):
+///
+///   [ 64-byte header ]
+///     0   u8[4]  magic "HGC1"
+///     4   u16    endian tag 0xFEFF (reads as 0xFFFE on a foreign-endian host)
+///     6   u16    format version (kCheckpointVersion)
+///     8   u64    num_relations
+///     16  u64    num_nodes (size of the node-id space)
+///     24  u64    dim
+///     32  u64    meta_bytes (size of the metadata blob)
+///     40  u64    payload_bytes (everything after the header == file size - 64)
+///     48  u64    payload checksum (FNV-1a 64 over the payload bytes)
+///     56  u64    header checksum  (FNV-1a 64 over header bytes [0, 56))
+///   [ metadata blob, meta_bytes bytes ]
+///     u32 model-name length + bytes, then per relation:
+///     u32 name length + bytes, u64 num_rows, num_rows * u32 row->node ids
+///   [ zero padding to the next 64-byte file offset ]
+///   [ per relation, in id order: num_rows * dim f32 table,
+///     each table start padded to a 64-byte file offset ]
+///
+/// The 64-byte table alignment is what makes zero-copy mmap loading valid:
+/// every table pointer handed out by EmbeddingStore is at least 64-byte
+/// aligned, so float (and future SIMD) access is safe straight off the map.
+inline constexpr char kCheckpointMagic[4] = {'H', 'G', 'C', '1'};
+inline constexpr uint16_t kCheckpointEndianTag = 0xFEFF;
+inline constexpr uint16_t kCheckpointVersion = 1;
+inline constexpr size_t kCheckpointHeaderBytes = 64;
+
+/// How LoadCheckpoint materializes the tables.
+enum class LoadMode : int {
+  /// Read the file and copy tables into owned heap memory. The file can be
+  /// deleted afterwards; costs one full copy.
+  kCopy = 0,
+  /// Map the file read-only and point the store's tables straight into the
+  /// mapping (zero-copy). The mapping lives exactly as long as the returned
+  /// EmbeddingStore; deleting the file while the store is alive is safe on
+  /// POSIX (the mapping keeps the inode), truncating it is not.
+  kMmap = 1,
+};
+
+/// Serializes an in-memory store to `path` in the `.hgc` format. Writes to
+/// `path` directly; on error the file may be left partially written (callers
+/// that need atomicity should write to a temp path and rename).
+Status WriteCheckpoint(const EmbeddingStore& store, const std::string& path);
+
+/// Materializes a fitted model's per-relationship embedding tables into an
+/// owning EmbeddingStore: for every relation of `graph` one
+/// num_nodes x dim table (row v = model.Embedding(v, r)), built through the
+/// batched EmbeddingsFor export hook, chunked across `num_threads` workers
+/// (0 defers to HYBRIDGNN_THREADS). Output is independent of the thread
+/// count.
+StatusOr<EmbeddingStore> BuildStore(const EmbeddingModel& model,
+                                    const MultiplexHeteroGraph& graph,
+                                    size_t num_threads = 0);
+
+/// BuildStore + WriteCheckpoint: the one-call "freeze this model" path.
+Status SaveCheckpoint(const EmbeddingModel& model,
+                      const MultiplexHeteroGraph& graph,
+                      const std::string& path, size_t num_threads = 0);
+
+/// Loads a `.hgc` file. Every integrity violation — short file, bad magic,
+/// foreign endianness, version skew, size inconsistencies, checksum
+/// mismatch — comes back as a non-OK Status; no partial store is ever
+/// returned.
+StatusOr<EmbeddingStore> LoadCheckpoint(const std::string& path,
+                                        LoadMode mode = LoadMode::kCopy);
+
+/// FNV-1a 64-bit hash, the checksum used by the `.hgc` header. Exposed for
+/// tests that craft corrupted files.
+uint64_t Fnv1a64(const void* data, size_t length);
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_SERVE_CHECKPOINT_H_

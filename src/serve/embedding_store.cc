@@ -1,0 +1,79 @@
+#include "serve/embedding_store.h"
+
+#include <sys/mman.h>
+
+#include <cstring>
+#include <utility>
+
+namespace hybridgnn {
+
+MmapRegion::~MmapRegion() {
+  if (base != nullptr && length > 0) munmap(base, length);
+}
+
+Status EmbeddingStore::IndexTable(RelationTable& table, size_t num_nodes) {
+  table.node_to_row.assign(num_nodes, kNoRow);
+  for (size_t row = 0; row < table.row_to_node.size(); ++row) {
+    const NodeId v = table.row_to_node[row];
+    if (v >= num_nodes) {
+      return Status::InvalidArgument(
+          "table '" + table.name + "': node id " + std::to_string(v) +
+          " out of range (num_nodes=" + std::to_string(num_nodes) + ")");
+    }
+    if (table.node_to_row[v] != kNoRow) {
+      return Status::InvalidArgument("table '" + table.name +
+                                     "': duplicate node id " +
+                                     std::to_string(v));
+    }
+    table.node_to_row[v] = static_cast<uint32_t>(row);
+  }
+  return Status::OK();
+}
+
+StatusOr<EmbeddingStore> EmbeddingStore::FromTables(
+    std::string model_name, size_t num_nodes, std::vector<TableInit> tables) {
+  EmbeddingStore store;
+  store.model_name_ = std::move(model_name);
+  store.num_nodes_ = num_nodes;
+  size_t dim = 0;
+  for (const auto& t : tables) {
+    if (t.data.rows() != t.row_to_node.size()) {
+      return Status::InvalidArgument(
+          "table '" + t.name + "': " + std::to_string(t.data.rows()) +
+          " rows but " + std::to_string(t.row_to_node.size()) +
+          " node mappings");
+    }
+    if (dim == 0) dim = t.data.cols();
+    if (t.data.cols() != dim && t.data.rows() > 0) {
+      return Status::InvalidArgument("table '" + t.name +
+                                     "': dim mismatch across relations");
+    }
+  }
+  if (dim == 0) {
+    return Status::InvalidArgument("embedding store needs dim > 0");
+  }
+  store.dim_ = dim;
+  store.tables_.reserve(tables.size());
+  store.owned_.reserve(tables.size());
+  for (auto& t : tables) {
+    RelationTable rt;
+    rt.name = std::move(t.name);
+    rt.row_to_node = std::move(t.row_to_node);
+    std::vector<float> data(t.data.data(), t.data.data() + t.data.size());
+    store.owned_.push_back(std::move(data));
+    rt.data = std::span<const float>(store.owned_.back().data(),
+                                     store.owned_.back().size());
+    HYBRIDGNN_RETURN_IF_ERROR(IndexTable(rt, num_nodes));
+    store.tables_.push_back(std::move(rt));
+  }
+  return store;
+}
+
+RelationId EmbeddingStore::FindRelation(const std::string& name) const {
+  for (size_t r = 0; r < tables_.size(); ++r) {
+    if (tables_[r].name == name) return static_cast<RelationId>(r);
+  }
+  return kInvalidRelation;
+}
+
+}  // namespace hybridgnn

@@ -1,0 +1,138 @@
+#ifndef HYBRIDGNN_SERVE_EMBEDDING_STORE_H_
+#define HYBRIDGNN_SERVE_EMBEDDING_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "graph/types.h"
+#include "tensor/tensor.h"
+
+namespace hybridgnn {
+
+class EmbeddingStore;
+
+/// How LoadCheckpoint materializes tables (defined in serve/checkpoint.h;
+/// forward-declared here for the friend declaration below).
+enum class LoadMode : int;
+StatusOr<EmbeddingStore> LoadCheckpoint(const std::string& path,
+                                        LoadMode mode);
+
+/// RAII wrapper around one read-only file mapping. Owned by an
+/// EmbeddingStore loaded in zero-copy mode; unmapped on destruction, so the
+/// store's spans stay valid exactly as long as the store lives.
+struct MmapRegion {
+  MmapRegion(void* base, size_t length) : base(base), length(length) {}
+  ~MmapRegion();
+
+  MmapRegion(const MmapRegion&) = delete;
+  MmapRegion& operator=(const MmapRegion&) = delete;
+
+  void* base = nullptr;
+  size_t length = 0;
+};
+
+/// Immutable collection of per-relationship frozen embedding tables — the
+/// serving-side counterpart of a fitted EmbeddingModel. Each relationship r
+/// holds a num_rows(r) x dim matrix plus a node-id <-> row mapping (tables
+/// need not cover every node). Backing storage is either owned heap memory
+/// (LoadMode::kCopy, FromTables) or a borrowed mmap region
+/// (LoadMode::kMmap); either way the data is read-only after construction,
+/// so lookups are safe from any number of threads.
+class EmbeddingStore {
+ public:
+  /// Sentinel in the node -> row index meaning "node absent from table".
+  static constexpr uint32_t kNoRow = UINT32_MAX;
+
+  /// One relationship's table for in-memory construction: `data` is
+  /// row_to_node.size() x dim; row i holds the embedding of node
+  /// row_to_node[i].
+  struct TableInit {
+    std::string name;
+    std::vector<NodeId> row_to_node;
+    Tensor data;
+  };
+
+  /// Builds an owning store from materialized tables. All tables must share
+  /// one dim; row counts must match the mappings; node ids must be unique
+  /// within a table and < num_nodes.
+  static StatusOr<EmbeddingStore> FromTables(std::string model_name,
+                                             size_t num_nodes,
+                                             std::vector<TableInit> tables);
+
+  EmbeddingStore(const EmbeddingStore&) = delete;
+  EmbeddingStore& operator=(const EmbeddingStore&) = delete;
+  EmbeddingStore(EmbeddingStore&&) = default;
+  EmbeddingStore& operator=(EmbeddingStore&&) = default;
+
+  const std::string& model_name() const { return model_name_; }
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_relations() const { return tables_.size(); }
+  size_t dim() const { return dim_; }
+  /// True when backed by a file mapping instead of owned memory.
+  bool mmapped() const { return mapping_ != nullptr; }
+
+  const std::string& relation_name(RelationId r) const {
+    return tables_[r].name;
+  }
+  /// Id of a relation by name, or kInvalidRelation.
+  RelationId FindRelation(const std::string& name) const;
+
+  size_t NumRows(RelationId r) const { return tables_[r].row_to_node.size(); }
+  /// Node id stored at `row` of relation `r`'s table.
+  NodeId RowNode(RelationId r, size_t row) const {
+    return tables_[r].row_to_node[row];
+  }
+  /// Row index of node `v` in relation `r`'s table, or kNoRow.
+  uint32_t RowOf(NodeId v, RelationId r) const {
+    const auto& idx = tables_[r].node_to_row;
+    return v < idx.size() ? idx[v] : kNoRow;
+  }
+
+  /// Pointer to node `v`'s dim-length embedding under `r`, or nullptr when
+  /// `r` is out of range or the table does not cover `v`.
+  const float* Lookup(NodeId v, RelationId r) const {
+    if (r >= tables_.size()) return nullptr;
+    const uint32_t row = RowOf(v, r);
+    if (row == kNoRow) return nullptr;
+    return tables_[r].data.data() + static_cast<size_t>(row) * dim_;
+  }
+
+  /// The whole num_rows x dim table of relation `r`, row-major.
+  std::span<const float> Table(RelationId r) const { return tables_[r].data; }
+  /// Row -> node mapping of relation `r`.
+  std::span<const NodeId> RowNodes(RelationId r) const {
+    return tables_[r].row_to_node;
+  }
+
+ private:
+  friend StatusOr<EmbeddingStore> LoadCheckpoint(const std::string&,
+                                                 LoadMode);
+
+  struct RelationTable {
+    std::string name;
+    std::span<const float> data;       // num_rows * dim floats
+    std::vector<NodeId> row_to_node;   // row -> node id
+    std::vector<uint32_t> node_to_row; // node id -> row or kNoRow
+  };
+
+  EmbeddingStore() = default;
+
+  /// Builds node_to_row from row_to_node; fails on duplicate or
+  /// out-of-range node ids.
+  static Status IndexTable(RelationTable& table, size_t num_nodes);
+
+  std::string model_name_;
+  size_t num_nodes_ = 0;
+  size_t dim_ = 0;
+  std::vector<RelationTable> tables_;
+  std::vector<std::vector<float>> owned_;  // backing storage in copy mode
+  std::unique_ptr<MmapRegion> mapping_;    // backing storage in mmap mode
+};
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_SERVE_EMBEDDING_STORE_H_

@@ -1,0 +1,72 @@
+#ifndef HYBRIDGNN_SERVE_METRICS_H_
+#define HYBRIDGNN_SERVE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace hybridgnn {
+
+/// Lock-free log2-bucketed latency histogram. Buckets are powers of two
+/// starting at 1 microsecond (bucket i covers [2^i, 2^(i+1)) us), which
+/// spans 1us .. ~17min in 30 buckets — plenty for request latencies.
+/// Record() is wait-free (one relaxed fetch_add); Percentile() walks the
+/// bucket counts and returns the upper bound of the bucket containing the
+/// requested rank, i.e. a conservative (<= 2x) estimate. All methods are
+/// safe to call concurrently.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 30;
+
+  LatencyHistogram() = default;
+
+  /// Records one observation in milliseconds.
+  void Record(double ms);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Mean of all recorded values in milliseconds (exact, not bucketed).
+  double MeanMs() const;
+
+  /// Approximate percentile (pct in [0, 100]) in milliseconds. Returns 0
+  /// when nothing has been recorded.
+  double PercentileMs(double pct) const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> total_nanos_{0};
+};
+
+/// Point-in-time copy of the serving counters, safe to read after the
+/// service is gone.
+struct MetricsSnapshot {
+  uint64_t requests = 0;       // queries answered (ok or error)
+  uint64_t errors = 0;         // queries answered with a non-OK status
+  uint64_t batches = 0;        // micro-batches dispatched
+  uint64_t items_returned = 0; // total recommendations across responses
+  double mean_batch_size = 0.0;
+  double latency_p50_ms = 0.0;
+  double latency_p99_ms = 0.0;
+  double latency_mean_ms = 0.0;
+
+  /// One-line human-readable summary for CLI / bench output.
+  std::string ToString() const;
+};
+
+/// Counters + latency histogram shared by RecommendService and its clients.
+/// Everything is atomic, so concurrent Submit/Snapshot never needs a lock.
+struct ServeMetrics {
+  std::atomic<uint64_t> requests{0};
+  std::atomic<uint64_t> errors{0};
+  std::atomic<uint64_t> batches{0};
+  std::atomic<uint64_t> items_returned{0};
+  LatencyHistogram latency;
+
+  MetricsSnapshot Snapshot() const;
+};
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_SERVE_METRICS_H_

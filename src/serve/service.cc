@@ -1,0 +1,116 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/parallel.h"
+
+namespace hybridgnn {
+
+RecommendService::RecommendService(const TopKRecommender* recommender,
+                                   ServiceOptions options)
+    : recommender_(recommender), options_(options) {
+  if (options_.max_batch_size == 0) options_.max_batch_size = 1;
+  // Always own a pool (even single-threaded) so batch scoring never falls
+  // back to the recommender's transient-pool path mid-request.
+  pool_ = std::make_unique<ThreadPool>(ResolveNumThreads(options_.num_threads));
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+RecommendService::~RecommendService() { Shutdown(); }
+
+std::future<RecommendResponse> RecommendService::Submit(
+    const TopKQuery& query) {
+  Pending p;
+  p.query = query;
+  p.enqueued = std::chrono::steady_clock::now();
+  std::future<RecommendResponse> future = p.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      RecommendResponse resp;
+      resp.status = Status::FailedPrecondition("service is shut down");
+      p.promise.set_value(std::move(resp));
+      return future;
+    }
+    pending_.push_back(std::move(p));
+  }
+  work_available_.notify_one();
+  return future;
+}
+
+void RecommendService::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_ && !dispatcher_.joinable()) return;
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+void RecommendService::DispatchLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_available_.wait(lock,
+                         [this] { return shutdown_ || !pending_.empty(); });
+    if (pending_.empty()) return;  // shutdown with nothing left to drain
+
+    // Micro-batch accumulation: wait out the window from the *first*
+    // request unless the batch fills (or shutdown asks us to flush now).
+    if (options_.batch_window_ms > 0.0) {
+      const auto deadline =
+          pending_.front().enqueued +
+          std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+              std::chrono::duration<double, std::milli>(
+                  options_.batch_window_ms));
+      while (!shutdown_ && pending_.size() < options_.max_batch_size) {
+        if (work_available_.wait_until(lock, deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
+    }
+
+    const size_t n = std::min(pending_.size(), options_.max_batch_size);
+    std::vector<Pending> batch;
+    batch.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(pending_.front()));
+      pending_.pop_front();
+    }
+    lock.unlock();
+    ProcessBatch(std::move(batch));
+    lock.lock();
+  }
+}
+
+void RecommendService::ProcessBatch(std::vector<Pending> batch) {
+  std::vector<TopKQuery> queries;
+  queries.reserve(batch.size());
+  for (const Pending& p : batch) queries.push_back(p.query);
+  std::vector<StatusOr<std::vector<Recommendation>>> results =
+      recommender_->RecommendBatch(queries, pool_.get());
+
+  const auto done = std::chrono::steady_clock::now();
+  metrics_.batches.fetch_add(1, std::memory_order_relaxed);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    RecommendResponse resp;
+    resp.latency_ms =
+        std::chrono::duration<double, std::milli>(done - batch[i].enqueued)
+            .count();
+    if (results[i].ok()) {
+      resp.items = std::move(results[i]).value();
+    } else {
+      resp.status = results[i].status();
+      metrics_.errors.fetch_add(1, std::memory_order_relaxed);
+    }
+    metrics_.requests.fetch_add(1, std::memory_order_relaxed);
+    metrics_.items_returned.fetch_add(resp.items.size(),
+                                      std::memory_order_relaxed);
+    metrics_.latency.Record(resp.latency_ms);
+    batch[i].promise.set_value(std::move(resp));
+  }
+}
+
+}  // namespace hybridgnn

@@ -1,0 +1,99 @@
+#ifndef HYBRIDGNN_SERVE_SERVICE_H_
+#define HYBRIDGNN_SERVE_SERVICE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/threadpool.h"
+#include "serve/metrics.h"
+#include "serve/topk.h"
+
+namespace hybridgnn {
+
+struct ServiceOptions {
+  /// Scoring workers shared by all micro-batches. 0 defers to
+  /// HYBRIDGNN_THREADS; 1 scores on the dispatcher thread.
+  size_t num_threads = 0;
+  /// A micro-batch is flushed as soon as it holds this many requests...
+  size_t max_batch_size = 64;
+  /// ...or once this much time has passed since its first request arrived,
+  /// whichever comes first. 0 flushes immediately (no batching delay).
+  double batch_window_ms = 1.0;
+};
+
+/// One answered request: the recommendations (empty on error) plus the
+/// end-to-end latency from Submit to completion.
+struct RecommendResponse {
+  Status status;
+  std::vector<Recommendation> items;
+  double latency_ms = 0.0;
+};
+
+/// Online serving front end over a TopKRecommender. Clients Submit()
+/// queries from any thread and get a future; a dispatcher thread gathers
+/// requests into micro-batches under (max_batch_size, batch_window_ms) and
+/// fans each batch out across the scoring pool — the classic
+/// throughput-for-tail-latency trade of embedding retrieval tiers. Counters
+/// and a latency histogram (p50/p99) are kept in ServeMetrics.
+///
+/// Shutdown() (also run by the destructor) stops accepting new work,
+/// drains every pending request, and joins the dispatcher, so no future
+/// obtained from Submit() is ever abandoned.
+class RecommendService {
+ public:
+  /// `recommender` must outlive the service.
+  RecommendService(const TopKRecommender* recommender,
+                   ServiceOptions options);
+  ~RecommendService();
+
+  RecommendService(const RecommendService&) = delete;
+  RecommendService& operator=(const RecommendService&) = delete;
+
+  /// Enqueues a query; the future resolves when its micro-batch completes.
+  /// After Shutdown() the future resolves immediately with
+  /// FailedPrecondition.
+  std::future<RecommendResponse> Submit(const TopKQuery& query);
+
+  /// Synchronous convenience wrapper: Submit + wait.
+  RecommendResponse Call(const TopKQuery& query) {
+    return Submit(query).get();
+  }
+
+  /// Stops intake, drains pending requests, joins the dispatcher.
+  /// Idempotent.
+  void Shutdown();
+
+  MetricsSnapshot metrics() const { return metrics_.Snapshot(); }
+
+ private:
+  struct Pending {
+    TopKQuery query;
+    std::promise<RecommendResponse> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void DispatchLoop();
+  void ProcessBatch(std::vector<Pending> batch);
+
+  const TopKRecommender* recommender_;
+  ServiceOptions options_;
+  std::unique_ptr<ThreadPool> pool_;  // scoring workers, owned
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::deque<Pending> pending_;
+  bool shutdown_ = false;
+  std::thread dispatcher_;
+
+  ServeMetrics metrics_;
+};
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_SERVE_SERVICE_H_

@@ -1,0 +1,28 @@
+#include "serve/store_model.h"
+
+#include <cstring>
+
+namespace hybridgnn {
+
+Tensor StoreBackedModel::Embedding(NodeId v, RelationId r) const {
+  Tensor out(1, store_->dim());
+  const float* row = store_->Lookup(v, r);
+  if (row != nullptr) {
+    std::memcpy(out.RowPtr(0), row, store_->dim() * sizeof(float));
+  }
+  return out;
+}
+
+Tensor StoreBackedModel::EmbeddingsFor(
+    std::span<const std::pair<NodeId, RelationId>> queries) const {
+  Tensor out(queries.size(), store_->dim());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const float* row = store_->Lookup(queries[i].first, queries[i].second);
+    if (row != nullptr) {
+      std::memcpy(out.RowPtr(i), row, store_->dim() * sizeof(float));
+    }
+  }
+  return out;
+}
+
+}  // namespace hybridgnn

@@ -1,0 +1,55 @@
+#ifndef HYBRIDGNN_SERVE_STORE_MODEL_H_
+#define HYBRIDGNN_SERVE_STORE_MODEL_H_
+
+#include <memory>
+#include <string>
+
+#include "eval/embedding_model.h"
+#include "serve/embedding_store.h"
+
+namespace hybridgnn {
+
+/// EmbeddingModel adapter over a frozen EmbeddingStore: plugs a loaded
+/// checkpoint into everything that consumes the model interface (the
+/// evaluator, the benches, the CLI) without retraining. Embedding lookups
+/// return the stored rows bit-for-bit, and ScoreMany inherits the default
+/// dot-product path over those rows — so link-prediction metrics on a
+/// store-backed model reproduce the in-memory model's *exactly* for every
+/// dot-decoder model. (R-GCN's DistMult decoder is not a plain dot; a
+/// checkpoint of it serves dot-product scores, as documented in
+/// serve/checkpoint.h.)
+class StoreBackedModel : public EmbeddingModel {
+ public:
+  explicit StoreBackedModel(std::shared_ptr<const EmbeddingStore> store)
+      : store_(std::move(store)) {}
+
+  /// Reports the name of the model that produced the checkpoint, so
+  /// evaluation tables look identical to the live-model runs.
+  std::string name() const override { return store_->model_name(); }
+
+  /// A checkpoint is frozen; training it again is a usage error.
+  Status Fit(const MultiplexHeteroGraph& train_graph,
+             const FitOptions& options) override {
+    return Status::FailedPrecondition(
+        "StoreBackedModel is frozen: load a checkpoint or fit the original "
+        "model instead");
+  }
+  using EmbeddingModel::Fit;
+
+  /// Stored row of (v, r), or a zero vector when the table has no row for
+  /// `v` (an untrained/out-of-vocabulary node scores 0 against everything).
+  Tensor Embedding(NodeId v, RelationId r) const override;
+
+  /// Bulk gather straight out of the store — one memcpy per query row.
+  Tensor EmbeddingsFor(
+      std::span<const std::pair<NodeId, RelationId>> queries) const override;
+
+  const EmbeddingStore& store() const { return *store_; }
+
+ private:
+  std::shared_ptr<const EmbeddingStore> store_;
+};
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_SERVE_STORE_MODEL_H_

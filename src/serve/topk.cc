@@ -1,0 +1,144 @@
+#include "serve/topk.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/parallel.h"
+
+namespace hybridgnn {
+
+namespace {
+
+/// Bounded min-heap entry ordering: the heap's top is the *worst* kept
+/// candidate — lowest score, ties resolved so that the larger node id is
+/// evicted first (keeping the evaluator's "smaller id wins ties" rule).
+struct WorseOnTop {
+  bool operator()(const Recommendation& a, const Recommendation& b) const {
+    if (a.score != b.score) return a.score > b.score;
+    return a.node < b.node;
+  }
+};
+
+double Dot(const float* a, const float* b, size_t dim) {
+  double s = 0.0;
+  for (size_t j = 0; j < dim; ++j) {
+    s += static_cast<double>(a[j]) * b[j];
+  }
+  return s;
+}
+
+}  // namespace
+
+TopKRecommender::TopKRecommender(const EmbeddingStore* store,
+                                 const MultiplexHeteroGraph* graph,
+                                 TopKOptions options)
+    : store_(store), graph_(graph), options_(options) {
+  if (!options_.cosine) return;
+  row_norms_.resize(store_->num_relations());
+  for (RelationId r = 0; r < store_->num_relations(); ++r) {
+    const size_t rows = store_->NumRows(r);
+    const size_t dim = store_->dim();
+    row_norms_[r].resize(rows);
+    const float* data = store_->Table(r).data();
+    for (size_t i = 0; i < rows; ++i) {
+      const float* row = data + i * dim;
+      row_norms_[r][i] = static_cast<float>(std::sqrt(Dot(row, row, dim)));
+    }
+  }
+}
+
+StatusOr<std::vector<Recommendation>> TopKRecommender::Recommend(
+    const TopKQuery& q) const {
+  if (q.rel >= store_->num_relations()) {
+    return Status::InvalidArgument("unknown relation id " +
+                                   std::to_string(q.rel));
+  }
+  if (q.k == 0) return Status::InvalidArgument("k must be > 0");
+  const float* query_row = store_->Lookup(q.node, q.rel);
+  if (query_row == nullptr) {
+    return Status::NotFound("node " + std::to_string(q.node) +
+                            " has no embedding under relation '" +
+                            store_->relation_name(q.rel) + "'");
+  }
+  const size_t dim = store_->dim();
+  double query_norm = 1.0;
+  if (options_.cosine) {
+    query_norm = std::sqrt(Dot(query_row, query_row, dim));
+    if (query_norm == 0.0) query_norm = 1.0;
+  }
+  std::span<const NodeId> train_nbrs;
+  if (graph_ != nullptr && q.exclude_train_neighbors &&
+      q.rel < graph_->num_relations() && q.node < graph_->num_nodes()) {
+    train_nbrs = graph_->Neighbors(q.node, q.rel);  // sorted (CSR)
+  }
+  const float* table = store_->Table(q.rel).data();
+
+  // Bounded min-heap over the candidate scan. `heap` is kept as a vector
+  // with std::push/pop_heap so the final extraction can sort in place.
+  std::vector<Recommendation> heap;
+  heap.reserve(q.k + 1);
+  const WorseOnTop worse;
+  auto consider = [&](NodeId cand, uint32_t row) {
+    if (cand == q.node) return;
+    if (!train_nbrs.empty() &&
+        std::binary_search(train_nbrs.begin(), train_nbrs.end(), cand)) {
+      return;
+    }
+    double s = Dot(query_row, table + static_cast<size_t>(row) * dim, dim);
+    if (options_.cosine) {
+      const float cn = row_norms_[q.rel][row];
+      s /= query_norm * (cn == 0.0f ? 1.0f : cn);
+    }
+    const Recommendation rec{cand, static_cast<float>(s)};
+    if (heap.size() < q.k) {
+      heap.push_back(rec);
+      std::push_heap(heap.begin(), heap.end(), worse);
+    } else if (worse(rec, heap.front())) {
+      std::pop_heap(heap.begin(), heap.end(), worse);
+      heap.back() = rec;
+      std::push_heap(heap.begin(), heap.end(), worse);
+    }
+  };
+
+  if (q.candidate_type != kInvalidNodeType) {
+    if (graph_ == nullptr) {
+      return Status::FailedPrecondition(
+          "candidate_type filtering needs a graph-aware recommender");
+    }
+    if (q.candidate_type >= graph_->num_node_types()) {
+      return Status::InvalidArgument("unknown node type id " +
+                                     std::to_string(q.candidate_type));
+    }
+    for (NodeId cand : graph_->NodesOfType(q.candidate_type)) {
+      const uint32_t row = store_->RowOf(cand, q.rel);
+      if (row != EmbeddingStore::kNoRow) consider(cand, row);
+    }
+  } else {
+    const size_t rows = store_->NumRows(q.rel);
+    for (uint32_t row = 0; row < rows; ++row) {
+      consider(store_->RowNode(q.rel, row), row);
+    }
+  }
+
+  std::sort_heap(heap.begin(), heap.end(), worse);  // best-first afterwards
+  return heap;
+}
+
+std::vector<StatusOr<std::vector<Recommendation>>>
+TopKRecommender::RecommendBatch(std::span<const TopKQuery> queries,
+                                ThreadPool* pool) const {
+  std::vector<StatusOr<std::vector<Recommendation>>> results(
+      queries.size(),
+      StatusOr<std::vector<Recommendation>>(
+          Status::Internal("query not processed")));
+  auto work = [&](size_t i) { results[i] = Recommend(queries[i]); };
+  if (pool != nullptr) {
+    RunParallel(pool, queries.size(), work);
+  } else {
+    RunParallel(ResolveNumThreads(options_.num_threads), queries.size(),
+                work);
+  }
+  return results;
+}
+
+}  // namespace hybridgnn

@@ -1,0 +1,84 @@
+#ifndef HYBRIDGNN_SERVE_TOPK_H_
+#define HYBRIDGNN_SERVE_TOPK_H_
+
+#include <span>
+#include <vector>
+
+#include "common/statusor.h"
+#include "common/threadpool.h"
+#include "graph/graph.h"
+#include "serve/embedding_store.h"
+
+namespace hybridgnn {
+
+/// Engine-wide retrieval options.
+struct TopKOptions {
+  /// Worker threads for RecommendBatch when no external pool is supplied.
+  /// 0 defers to HYBRIDGNN_THREADS; 1 runs serially. Results are identical
+  /// for every thread count — queries land in indexed slots.
+  size_t num_threads = 0;
+  /// Rank by cosine similarity instead of raw dot product: both sides are
+  /// L2-normalized (per-row candidate norms are precomputed at
+  /// construction, so the per-query cost is one extra multiply per
+  /// candidate).
+  bool cosine = false;
+};
+
+/// One retrieval request: top-`k` nodes for `node` under relationship `rel`
+/// (Eq. 10's argmax over sigma(dot(e*_{u,r}, e*_{v,r})), which shares its
+/// argsort with the raw dot).
+struct TopKQuery {
+  NodeId node = 0;
+  RelationId rel = 0;
+  size_t k = 10;
+  /// Restrict candidates to this node type (needs a graph); kInvalidNodeType
+  /// means every row of the relation's table is a candidate.
+  NodeTypeId candidate_type = kInvalidNodeType;
+  /// Drop candidates already linked to `node` under `rel` in the training
+  /// graph — the standard "don't recommend what the user already has"
+  /// filter. Ignored when the recommender has no graph.
+  bool exclude_train_neighbors = true;
+};
+
+struct Recommendation {
+  NodeId node = 0;
+  float score = 0.0f;
+};
+
+/// Brute-force dot-product top-K over a frozen EmbeddingStore: for each
+/// query, scans the relation's table once, keeping the best k in a bounded
+/// min-heap (O(rows * dim + rows * log k), no full sort, no per-candidate
+/// allocation). Query batches fan out across a thread pool. Stateless apart
+/// from precomputed norms, so one instance serves any number of threads.
+///
+/// Ordering is deterministic: descending score, ties broken by ascending
+/// node id — the same rule the offline evaluator uses.
+class TopKRecommender {
+ public:
+  /// `graph` (optional) enables candidate typing and training-neighbor
+  /// exclusion; it must outlive the recommender, as must `store`.
+  TopKRecommender(const EmbeddingStore* store,
+                  const MultiplexHeteroGraph* graph, TopKOptions options);
+
+  /// Answers one query.
+  StatusOr<std::vector<Recommendation>> Recommend(const TopKQuery& q) const;
+
+  /// Answers a batch, one result slot per query, parallel across
+  /// `options.num_threads` (or `pool` when given — the RecommendService
+  /// path, which reuses one pool across micro-batches).
+  std::vector<StatusOr<std::vector<Recommendation>>> RecommendBatch(
+      std::span<const TopKQuery> queries, ThreadPool* pool = nullptr) const;
+
+  const EmbeddingStore& store() const { return *store_; }
+
+ private:
+  const EmbeddingStore* store_;
+  const MultiplexHeteroGraph* graph_;
+  TopKOptions options_;
+  /// Per-relation, per-row L2 norms; only filled in cosine mode.
+  std::vector<std::vector<float>> row_norms_;
+};
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_SERVE_TOPK_H_

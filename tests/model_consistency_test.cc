@@ -1,0 +1,129 @@
+// Cross-model consistency of the batched scoring API (closes a gap left by
+// the PR-1 batched rewrite): for every registered model,
+//
+//   * EmbeddingsFor must gather exactly what per-query Embedding returns,
+//   * ScoreMany must equal per-element Score, and
+//   * ScoreMany must equal per-pair double-precision dot products of the
+//     EmbeddingsFor rows — the contract the serving tier's frozen tables
+//     rely on. The one documented exception is R-GCN, whose DistMult
+//     decoder is not a plain dot (eval/embedding_model.h requires such
+//     models to override ScoreMany, and this test pins that its override
+//     really is Score applied element-wise).
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "data/profiles.h"
+#include "data/split.h"
+
+namespace hybridgnn {
+namespace {
+
+class ModelConsistencyTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  static void SetUpTestSuite() {
+    auto ds = MakeDataset("taobao", 0.08, 31);
+    ASSERT_TRUE(ds.ok()) << ds.status().ToString();
+    dataset_ = new Dataset(std::move(ds).value());
+    Rng rng(32);
+    auto split = SplitEdges(dataset_->graph, SplitOptions{}, rng);
+    ASSERT_TRUE(split.ok()) << split.status().ToString();
+    split_ = new LinkSplit(std::move(split).value());
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    delete split_;
+    dataset_ = nullptr;
+    split_ = nullptr;
+  }
+
+  static ModelBudget TinyBudget() {
+    ModelBudget b;
+    b.effort = 0.25;
+    b.num_walks = 2;
+    b.walk_length = 5;
+    b.window = 2;
+    b.max_pairs_per_epoch = 2000;
+    return b;
+  }
+
+  static Dataset* dataset_;
+  static LinkSplit* split_;
+};
+
+Dataset* ModelConsistencyTest::dataset_ = nullptr;
+LinkSplit* ModelConsistencyTest::split_ = nullptr;
+
+TEST_P(ModelConsistencyTest, BatchedApisAgreeWithScalarApis) {
+  const std::string& name = GetParam();
+  auto model = CreateModel(name, dataset_->schemes, 33, TinyBudget());
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  ASSERT_TRUE((*model)->Fit(split_->train_graph).ok());
+
+  // A mixed bag of held-out positives and negatives.
+  std::vector<EdgeTriple> queries;
+  for (size_t i = 0; i < split_->test_pos.size() && queries.size() < 40;
+       i += 3) {
+    queries.push_back(split_->test_pos[i]);
+  }
+  for (size_t i = 0; i < split_->test_neg.size() && queries.size() < 80;
+       i += 3) {
+    queries.push_back(split_->test_neg[i]);
+  }
+  ASSERT_FALSE(queries.empty());
+
+  // EmbeddingsFor == per-query Embedding, exactly.
+  std::vector<std::pair<NodeId, RelationId>> lhs, rhs;
+  for (const auto& q : queries) {
+    lhs.emplace_back(q.src, q.rel);
+    rhs.emplace_back(q.dst, q.rel);
+  }
+  const Tensor eu = (*model)->EmbeddingsFor(lhs);
+  const Tensor ev = (*model)->EmbeddingsFor(rhs);
+  ASSERT_EQ(eu.rows(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const Tensor row = (*model)->Embedding(lhs[i].first, lhs[i].second);
+    ASSERT_EQ(row.cols(), eu.cols());
+    for (size_t j = 0; j < row.cols(); ++j) {
+      ASSERT_EQ(row.At(0, j), eu.At(i, j))
+          << name << ": EmbeddingsFor row " << i << " col " << j;
+    }
+  }
+
+  // ScoreMany == per-element Score.
+  const std::vector<double> batched = (*model)->ScoreMany(queries);
+  ASSERT_EQ(batched.size(), queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    const double scalar =
+        (*model)->Score(queries[i].src, queries[i].dst, queries[i].rel);
+    ASSERT_NEAR(batched[i], scalar, 1e-9) << name << ": query " << i;
+  }
+
+  // ScoreMany == per-pair dot of the EmbeddingsFor rows — the frozen-table
+  // serving contract. R-GCN's DistMult decoder is the documented exception.
+  if (name == "R-GCN") return;
+  for (size_t i = 0; i < queries.size(); ++i) {
+    double dot = 0.0;
+    for (size_t j = 0; j < eu.cols(); ++j) {
+      dot += static_cast<double>(eu.At(i, j)) * ev.At(i, j);
+    }
+    ASSERT_NEAR(batched[i], dot, 1e-9) << name << ": query " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModels, ModelConsistencyTest,
+                         ::testing::ValuesIn(AllModelNames()),
+                         [](const auto& info) {
+                           std::string s = info.param;
+                           for (char& c : s) {
+                             if (!std::isalnum(static_cast<unsigned char>(c)))
+                               c = '_';
+                           }
+                           return s;
+                         });
+
+}  // namespace
+}  // namespace hybridgnn
