@@ -1,0 +1,88 @@
+// Machine-readable baselines for the hand-rolled micro benches: collects
+// per-stage timings/throughput and writes BENCH_<name>.json next to the
+// binary's working directory, so successive runs can be diffed by tooling
+// (see README "Bench baselines"). The google-benchmark micro benches emit
+// the same file name through benchmark's own JSONReporter instead
+// (gbench_json_main.h).
+#ifndef HYBRIDGNN_BENCH_BENCH_JSON_H_
+#define HYBRIDGNN_BENCH_BENCH_JSON_H_
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace hybridgnn::bench {
+
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench_name)
+      : name_(std::move(bench_name)) {}
+
+  /// One timed stage at a given worker-thread count. `throughput` is
+  /// items/s in whatever unit the stage reports (walks, pairs, queries);
+  /// pass 0 when a rate is not meaningful.
+  void AddStage(const std::string& stage, size_t threads, double ms,
+                double throughput) {
+    stages_.push_back(StageRow{stage, threads, ms, throughput});
+  }
+
+  /// FNV-style content hash of the bench's result. Stored as hex so a
+  /// baseline diff shows thread-count invariance at a glance.
+  void set_result_hash(uint64_t h) {
+    result_hash_ = h;
+    has_hash_ = true;
+  }
+
+  /// Writes BENCH_<name>.json in the current directory. Best-effort: bench
+  /// binaries must not fail their run over an unwritable baseline file.
+  void Write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return;
+    }
+    out << "{\n";
+    out << "  \"bench\": \"" << name_ << "\",\n";
+    out << "  \"hardware_threads\": "
+        << std::thread::hardware_concurrency() << ",\n";
+    if (has_hash_) {
+      char hex[32];
+      std::snprintf(hex, sizeof(hex), "%016" PRIx64, result_hash_);
+      out << "  \"result_hash\": \"" << hex << "\",\n";
+    }
+    out << "  \"stages\": [\n";
+    for (size_t i = 0; i < stages_.size(); ++i) {
+      const StageRow& s = stages_[i];
+      char row[256];
+      std::snprintf(row, sizeof(row),
+                    "    {\"stage\": \"%s\", \"threads\": %zu, "
+                    "\"ms\": %.6g, \"throughput\": %.6g}",
+                    s.stage.c_str(), s.threads, s.ms, s.throughput);
+      out << row << (i + 1 < stages_.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s (%zu stage rows)\n", path.c_str(), stages_.size());
+  }
+
+ private:
+  struct StageRow {
+    std::string stage;
+    size_t threads;
+    double ms;
+    double throughput;
+  };
+
+  std::string name_;
+  std::vector<StageRow> stages_;
+  uint64_t result_hash_ = 0;
+  bool has_hash_ = false;
+};
+
+}  // namespace hybridgnn::bench
+
+#endif  // HYBRIDGNN_BENCH_BENCH_JSON_H_

@@ -34,10 +34,12 @@ int main() {
   }
   std::printf("\n\n%-16s %8s %8s %8s %8s\n", "relationship", "b1", "b2",
               "b3", "b4");
+  EvalOptions eval_options;
+  eval_options.max_ranking_queries = 400;
   for (RelationId r = 0; r < g.num_relations(); ++r) {
     Rng rng(901 + r);
     std::vector<double> pr = PrAtKByDegreeForRelation(
-        model, g, prep.split, r, edges, 10, rng);
+        model, g, prep.split, r, edges, 10, eval_options, rng);
     std::printf("%-16s", g.relation_name(r).c_str());
     for (double p : pr) std::printf(" %8.4f", p);
     std::printf("\n");

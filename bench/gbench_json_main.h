@@ -1,0 +1,50 @@
+// Drop-in main() for the google-benchmark micro benches that, besides the
+// usual console output, always writes the full JSON report to
+// BENCH_<name>.json (benchmark's own schema: context + per-benchmark
+// real/cpu time and counters). Define HYBRIDGNN_BENCH_NAME before including.
+//
+// Replaces benchmark::benchmark_main so the baseline file is produced on
+// every run without remembering --benchmark_out flags. Implemented by
+// injecting the flag before Initialize(), so an explicit --benchmark_out on
+// the command line still wins.
+#ifndef HYBRIDGNN_BENCH_GBENCH_JSON_MAIN_H_
+#define HYBRIDGNN_BENCH_GBENCH_JSON_MAIN_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#ifndef HYBRIDGNN_BENCH_NAME
+#error "define HYBRIDGNN_BENCH_NAME before including gbench_json_main.h"
+#endif
+
+int main(int argc, char** argv) {
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
+  }
+  std::string out_flag = std::string("--benchmark_out=BENCH_") +
+                         HYBRIDGNN_BENCH_NAME + ".json";
+  std::string fmt_flag = "--benchmark_out_format=json";
+  std::vector<char*> args(argv, argv + argc);
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  if (!has_out) {
+    std::printf("wrote BENCH_%s.json\n", HYBRIDGNN_BENCH_NAME);
+  }
+  benchmark::Shutdown();
+  return 0;
+}
+
+#endif  // HYBRIDGNN_BENCH_GBENCH_JSON_MAIN_H_

@@ -90,3 +90,6 @@ BENCHMARK(BM_ComputeStats);
 
 }  // namespace
 }  // namespace hybridgnn
+
+#define HYBRIDGNN_BENCH_NAME "micro_graph"
+#include "gbench_json_main.h"

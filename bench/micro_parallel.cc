@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "baselines/deepwalk.h"
+#include "bench_json.h"
 #include "bench_util.h"
 #include "common/timer.h"
 #include "sampling/corpus.h"
@@ -52,6 +53,7 @@ void Run() {
   co.window = 3;
 
   NegativeSampler sampler(g);
+  BenchReport report("micro_parallel");
   const size_t threads_axis[] = {1, 2, 4, 8};
 
   std::printf("%-8s %12s %12s %12s %10s %10s\n", "threads", "corpus_ms",
@@ -111,6 +113,9 @@ void Run() {
         corpus_ms > 0 ? 1e3 * corpus.walks.size() / corpus_ms : 0;
     const double pairs_per_s =
         sgns_ms > 0 ? 1e3 * corpus.pairs.size() / sgns_ms : 0;
+    report.AddStage("corpus", threads, corpus_ms, walks_per_s);
+    report.AddStage("sgns", threads, sgns_ms, pairs_per_s);
+    report.AddStage("eval", threads, eval_ms, 0.0);
     std::printf("%-8zu %9.1f ms %12.0f %9.1f ms %10.0f %7.1f ms\n", threads,
                 corpus_ms, walks_per_s, sgns_ms, pairs_per_s, eval_ms);
     if (threads != 1) {
@@ -124,6 +129,8 @@ void Run() {
               hash_ok ? "OK (identical for all thread counts > 1)"
                       : "FAILED — corpora differ across thread counts!");
   HYBRIDGNN_CHECK(hash_ok);
+  report.set_result_hash(parallel_hash);
+  report.Write();
 }
 
 }  // namespace

@@ -109,3 +109,6 @@ BENCHMARK(BM_MetapathCorpus);
 
 }  // namespace
 }  // namespace hybridgnn
+
+#define HYBRIDGNN_BENCH_NAME "micro_sampling"
+#include "gbench_json_main.h"

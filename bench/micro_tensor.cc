@@ -100,3 +100,6 @@ BENCHMARK(BM_GatherScatter);
 
 }  // namespace
 }  // namespace hybridgnn
+
+#define HYBRIDGNN_BENCH_NAME "micro_tensor"
+#include "gbench_json_main.h"

@@ -15,6 +15,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.h"
 #include "bench_util.h"
 #include "common/rng.h"
 #include "serve/checkpoint.h"
@@ -81,6 +82,7 @@ void Run() {
   }
 
   // --- batched top-K vs thread count ---
+  BenchReport report("micro_topk");
   const size_t threads_axis[] = {1, 2, 4, 8};
   std::printf("%-8s %12s %12s %10s\n", "threads", "batch_ms", "queries/s",
               "speedup");
@@ -98,6 +100,8 @@ void Run() {
     HYBRIDGNN_CHECK(h == ref_hash)
         << "top-K results differ across thread counts";
     if (threads == 1) base_ms = ms;
+    report.AddStage("topk_batch", threads, ms,
+                    ms > 0 ? 1e3 * num_queries / ms : 0);
     std::printf("%-8zu %9.1f ms %12.0f %9.2fx\n", threads, ms,
                 ms > 0 ? 1e3 * num_queries / ms : 0,
                 ms > 0 ? base_ms / ms : 0.0);
@@ -123,6 +127,9 @@ void Run() {
               "load-mmap %.1f ms (%.1fx)\n",
               mib, write_ms, copy_ms, mmap_ms,
               mmap_ms > 0 ? copy_ms / mmap_ms : 0.0);
+  report.AddStage("ckpt_write", 1, write_ms, 0.0);
+  report.AddStage("ckpt_load_copy", 1, copy_ms, 0.0);
+  report.AddStage("ckpt_load_mmap", 1, mmap_ms, 0.0);
 
   // --- RecommendService micro-batching under concurrent clients ---
   TopKOptions sopts;
@@ -153,6 +160,10 @@ void Run() {
   std::printf("  %s\n", snap.ToString().c_str());
   HYBRIDGNN_CHECK(snap.requests == num_queries);
   HYBRIDGNN_CHECK(snap.errors == 0);
+  report.AddStage("service", num_clients, service_ms,
+                  service_ms > 0 ? 1e3 * num_queries / service_ms : 0);
+  report.set_result_hash(ref_hash);
+  report.Write();
 }
 
 }  // namespace

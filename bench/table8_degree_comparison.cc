@@ -34,8 +34,11 @@ int main() {
     HYBRIDGNN_CHECK(model.ok());
     HYBRIDGNN_CHECK_OK((*model)->Fit(prep.split.train_graph));
     Rng rng(601);
+    EvalOptions eval_options;
+    eval_options.max_ranking_queries = 400;
     std::vector<double> pr = PrAtKByDegree(**model, prep.dataset.graph,
-                                           prep.split, edges, 10, rng);
+                                           prep.split, edges, 10,
+                                           eval_options, rng);
     std::printf("%-12s", name);
     for (double p : pr) std::printf(" %8.4f", p);
     std::printf("\n");

@@ -4,9 +4,15 @@
 //   hybridgnn_cli train --graph g.txt --model HybridGNN [--seed N]
 //                       [--scale-epochs X] [--hard-negatives F]
 //                       [--save ckpt.hgc | --load ckpt.hgc]
+//                       [--metrics-out metrics.json]
 //   hybridgnn_cli embed --graph g.txt --model DeepWalk --out emb.tsv
 //                       [--save ckpt.hgc | --load ckpt.hgc]
+//                       [--metrics-out metrics.json]
 //   hybridgnn_cli stats --graph g.txt
+//
+// --metrics-out dumps the process-wide observability registry
+// (obs/metrics.h) — stage timers such as sampling/walk_corpus and
+// core/sgns_epoch, plus counters — as JSON after the command finishes.
 //
 // --save freezes the fitted model's embedding tables to a `.hgc` checkpoint
 // (serve/checkpoint.h); --load skips training entirely and evaluates or
@@ -32,6 +38,7 @@
 #include "graph/graph_io.h"
 #include "graph/metapath.h"
 #include "graph/stats.h"
+#include "obs/metrics.h"
 #include "serve/checkpoint.h"
 #include "serve/store_model.h"
 
@@ -52,6 +59,18 @@ std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
 int Fail(const Status& st) {
   std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
   return 1;
+}
+
+/// Dumps the global metric registry if --metrics-out was given; returns the
+/// intended process exit code so callers can `return Finish(flags, 0);`.
+int Finish(std::map<std::string, std::string>& flags, int code) {
+  if (flags.count("metrics-out")) {
+    Status st = obs::WriteJsonFile(obs::GlobalRegistry(), flags["metrics-out"]);
+    if (!st.ok()) return Fail(st);
+    std::fprintf(stderr, "wrote metrics to %s\n",
+                 flags["metrics-out"].c_str());
+  }
+  return code;
 }
 
 /// Produces a ready-to-query model: with --load, the frozen tables of an
@@ -90,7 +109,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s <train|embed|stats> --graph <file> "
                  "[--model NAME] [--seed N] [--out FILE] "
-                 "[--hard-negatives F]\n",
+                 "[--hard-negatives F] [--metrics-out FILE]\n",
                  argv[0]);
     return 2;
   }
@@ -138,7 +157,7 @@ int main(int argc, char** argv) {
     std::printf("wrote %zu x %zu embeddings to %s\n",
                 graph->num_nodes(), graph->num_relations(),
                 out_path.c_str());
-    return 0;
+    return Finish(flags, 0);
   }
 
   if (cmd == "train") {
@@ -164,7 +183,7 @@ int main(int argc, char** argv) {
                 "HR@10 %.4f\n",
                 model_name.c_str(), r.roc_auc, r.pr_auc, r.f1, r.pr_at_k,
                 r.hr_at_k);
-    return 0;
+    return Finish(flags, 0);
   }
 
   std::fprintf(stderr, "unknown command: %s\n", cmd.c_str());

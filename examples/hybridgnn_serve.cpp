@@ -6,6 +6,10 @@
 //                   [--load ckpt.hgc] [--save ckpt.hgc] [--copy 1]
 //                   [--k 10] [--cosine 1] [--threads N]
 //                   [--window-ms 1.0] [--max-batch 64]
+//                   [--metrics-out metrics.json]
+//
+// --metrics-out dumps the process-wide observability registry (counters,
+// gauges, serve/request_latency stage histogram) as JSON on exit.
 //
 // With --load pointing at an existing checkpoint the model is NOT retrained
 // — the tables come straight off the file (zero-copy mmap unless --copy 1).
@@ -29,6 +33,7 @@
 #include "common/string_util.h"
 #include "graph/graph_io.h"
 #include "graph/metapath.h"
+#include "obs/metrics.h"
 #include "serve/checkpoint.h"
 #include "serve/service.h"
 #include "serve/store_model.h"
@@ -73,7 +78,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s --graph <file> [--model NAME] [--load ckpt.hgc] "
                  "[--save ckpt.hgc] [--copy 1] [--k N] [--cosine 1] "
-                 "[--threads N] [--window-ms F] [--max-batch N] [--seed N]\n",
+                 "[--threads N] [--window-ms F] [--max-batch N] [--seed N] "
+                 "[--metrics-out FILE]\n",
                  argv[0]);
     return 2;
   }
@@ -189,5 +195,10 @@ int main(int argc, char** argv) {
   }
 
   std::printf("final %s\n", service.metrics().ToString().c_str());
+  if (flags.count("metrics-out")) {
+    Status st = obs::WriteJsonFile(obs::GlobalRegistry(), flags["metrics-out"]);
+    if (!st.ok()) return Fail(st);
+    std::printf("wrote metrics to %s\n", flags["metrics-out"].c_str());
+  }
   return 0;
 }

@@ -9,6 +9,7 @@
 #include "common/parallel.h"
 #include "common/string_util.h"
 #include "common/threadpool.h"
+#include "obs/metrics.h"
 #include "sampling/exploration.h"
 #include "sampling/neighbor_sampler.h"
 #include "sampling/sgns.h"
@@ -44,6 +45,10 @@ ag::Var HybridGnn::AggregateLevels(
 
 ag::Var HybridGnn::FlowStack(const MultiplexHeteroGraph& g, NodeId v,
                              RelationId r, Rng& rng) const {
+  // Stage timer on the hot path: references are cached after first use, so
+  // past initialization this is two clock reads and relaxed fetch_adds.
+  static obs::LatencyHistogram& agg_stage = obs::Stage("core/aggregate");
+  obs::ScopedTimer agg_timer(agg_stage);
   std::vector<ag::Var> flows;
   if (config_.use_hybrid_aggregation) {
     for (size_t i = 0; i < schemes_.size(); ++i) {
@@ -76,6 +81,8 @@ ag::Var HybridGnn::FlowStack(const MultiplexHeteroGraph& g, NodeId v,
 }
 
 ag::Var HybridGnn::FuseFlows(const ag::Var& stack) const {
+  static obs::LatencyHistogram& attn_stage = obs::Stage("core/attention");
+  obs::ScopedTimer attn_timer(attn_stage);
   if (config_.use_metapath_attention && stack->value.rows() > 1) {
     return ag::MeanRows(metapath_attn_->Forward(stack));  // Eqs. 6-7
   }
@@ -92,9 +99,12 @@ ag::Var HybridGnn::ForwardNode(const MultiplexHeteroGraph& g, NodeId v,
   }
   ag::Var u = per_rel.size() == 1 ? per_rel[0] : ag::ConcatRows(per_rel);
   // Relationship-level attention (Eqs. 8-9); identity under the ablation.
-  ag::Var u_hat = (config_.use_relation_attention && num_relations_ > 1)
-                      ? relation_attn_->Forward(u)
-                      : u;
+  ag::Var u_hat = u;
+  if (config_.use_relation_attention && num_relations_ > 1) {
+    static obs::LatencyHistogram& attn_stage = obs::Stage("core/attention");
+    obs::ScopedTimer attn_timer(attn_stage);
+    u_hat = relation_attn_->Forward(u);
+  }
   // e*_{v,r} = e_v + e_{v,r} W_r (Eq. 10).
   std::vector<ag::Var> rows;
   rows.reserve(num_relations_);
@@ -330,7 +340,13 @@ Status HybridGnn::Fit(const MultiplexHeteroGraph& g,
   const size_t edge_batch = std::max<size_t>(16, config_.batch_size / 2);
   std::unique_ptr<ThreadPool> pool;
   if (train_threads > 1) pool = std::make_unique<ThreadPool>(train_threads);
+  static obs::LatencyHistogram& epoch_stage = obs::Stage("core/epoch");
+  static obs::Counter& minibatch_counter =
+      obs::GlobalRegistry().GetCounter("core/minibatches");
+  static obs::Gauge& loss_gauge =
+      obs::GlobalRegistry().GetGauge("core/last_epoch_loss");
   for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    obs::ScopedTimer epoch_timer(epoch_stage);
     rng.Shuffle(order);
     const size_t use_edges =
         config_.max_pairs_per_epoch == 0
@@ -384,8 +400,10 @@ Status HybridGnn::Fit(const MultiplexHeteroGraph& g,
       epoch_loss += batch_loss;
       ++batches;
     }
+    minibatch_counter.Add(batches);
     epoch_loss /= std::max<size_t>(1, batches);
     last_epoch_loss_ = epoch_loss;
+    loss_gauge.Set(epoch_loss);
     const double val = validation_auc();
     if (config_.verbose) {
       HYBRIDGNN_LOG(Info) << "HybridGNN epoch " << epoch << " loss "
@@ -406,6 +424,7 @@ Status HybridGnn::Fit(const MultiplexHeteroGraph& g,
   // pass samples neighbors stochastically, so we average a few samples to
   // reduce inference variance (training sees many samples implicitly).
   constexpr size_t kCacheSamples = 4;
+  obs::ScopedTimer cache_timer(obs::Stage("core/embedding_cache"));
   cache_ = Tensor(v_count * num_relations_, config_.base_dim);
   auto cache_node = [&](NodeId v, Rng& node_rng) {
     for (size_t s = 0; s < kCacheSamples; ++s) {

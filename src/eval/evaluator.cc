@@ -7,6 +7,7 @@
 
 #include "common/parallel.h"
 #include "eval/metrics.h"
+#include "obs/metrics.h"
 
 namespace hybridgnn {
 
@@ -115,6 +116,10 @@ LinkPredictionResult EvaluateLinkPrediction(const EmbeddingModel& model,
                                             const LinkSplit& split,
                                             const EvalOptions& options,
                                             Rng& rng) {
+  static obs::LatencyHistogram& eval_stage = obs::Stage("eval/link_prediction");
+  static obs::Counter& queries_ranked =
+      obs::GlobalRegistry().GetCounter("eval/queries_ranked");
+  obs::ScopedTimer eval_timer(eval_stage);
   const size_t threads = ResolveNumThreads(options.num_threads);
   LinkPredictionResult r;
   std::vector<double> pos_scores, neg_scores;
@@ -126,6 +131,7 @@ LinkPredictionResult EvaluateLinkPrediction(const EmbeddingModel& model,
 
   std::vector<RankingQuery> queries =
       BuildQueries(split.test_pos, options.max_ranking_queries, rng);
+  queries_ranked.Add(queries.size());
   if (!queries.empty()) {
     std::vector<double> pr(queries.size(), 0.0), hr(queries.size(), 0.0);
     RunParallel(threads, queries.size(), [&](size_t i) {
@@ -147,7 +153,8 @@ LinkPredictionResult EvaluateLinkPrediction(const EmbeddingModel& model,
 }
 
 LinkPredictionResult EvaluateRelation(const EmbeddingModel& model,
-                                      const LinkSplit& split, RelationId rel) {
+                                      const LinkSplit& split, RelationId rel,
+                                      const EvalOptions& options) {
   std::vector<EdgeTriple> pos, neg;
   for (const auto& e : split.test_pos) {
     if (e.rel == rel) pos.push_back(e);
@@ -158,7 +165,8 @@ LinkPredictionResult EvaluateRelation(const EmbeddingModel& model,
   LinkPredictionResult r;
   if (pos.empty() || neg.empty()) return r;
   std::vector<double> pos_scores, neg_scores;
-  CollectScores(model, pos, neg, /*num_threads=*/1, pos_scores, neg_scores);
+  CollectScores(model, pos, neg, ResolveNumThreads(options.num_threads),
+                pos_scores, neg_scores);
   r.roc_auc = 100.0 * RocAuc(pos_scores, neg_scores);
   r.pr_auc = 100.0 * PrAuc(pos_scores, neg_scores);
   r.f1 = 100.0 * BestF1(pos_scores, neg_scores);
@@ -172,9 +180,11 @@ std::vector<double> PrAtKBuckets(const EmbeddingModel& model,
                                  const LinkSplit& split,
                                  const std::vector<EdgeTriple>& test_pos,
                                  const std::vector<size_t>& bucket_edges,
-                                 size_t k, Rng& rng) {
+                                 size_t k, const EvalOptions& options,
+                                 Rng& rng) {
   const size_t num_buckets = bucket_edges.size() - 1;
-  std::vector<RankingQuery> queries = BuildQueries(test_pos, 400, rng);
+  std::vector<RankingQuery> queries =
+      BuildQueries(test_pos, options.max_ranking_queries, rng);
   std::vector<size_t> bucket_of(queries.size(), num_buckets);
   for (size_t i = 0; i < queries.size(); ++i) {
     const size_t degree = full.TotalDegree(queries[i].src);
@@ -186,7 +196,8 @@ std::vector<double> PrAtKBuckets(const EmbeddingModel& model,
     }
   }
   std::vector<double> pr(queries.size(), 0.0);
-  RunParallel(ResolveNumThreads(0), queries.size(), [&](size_t i) {
+  RunParallel(ResolveNumThreads(options.num_threads), queries.size(),
+              [&](size_t i) {
     if (bucket_of[i] == num_buckets) return;  // out of range
     std::vector<bool> hits =
         RankQuery(model, full, split.train_graph, queries[i], k);
@@ -212,20 +223,22 @@ std::vector<double> PrAtKByDegree(const EmbeddingModel& model,
                                   const MultiplexHeteroGraph& full,
                                   const LinkSplit& split,
                                   const std::vector<size_t>& bucket_edges,
-                                  size_t k, Rng& rng) {
+                                  size_t k, const EvalOptions& options,
+                                  Rng& rng) {
   return PrAtKBuckets(model, full, split, split.test_pos, bucket_edges, k,
-                      rng);
+                      options, rng);
 }
 
 std::vector<double> PrAtKByDegreeForRelation(
     const EmbeddingModel& model, const MultiplexHeteroGraph& full,
     const LinkSplit& split, RelationId rel,
-    const std::vector<size_t>& bucket_edges, size_t k, Rng& rng) {
+    const std::vector<size_t>& bucket_edges, size_t k,
+    const EvalOptions& options, Rng& rng) {
   std::vector<EdgeTriple> pos;
   for (const auto& e : split.test_pos) {
     if (e.rel == rel) pos.push_back(e);
   }
-  return PrAtKBuckets(model, full, split, pos, bucket_edges, k, rng);
+  return PrAtKBuckets(model, full, split, pos, bucket_edges, k, options, rng);
 }
 
 }  // namespace hybridgnn

@@ -47,23 +47,30 @@ LinkPredictionResult EvaluateLinkPrediction(const EmbeddingModel& model,
                                             Rng& rng);
 
 /// Classification-only variant restricted to one relation (Table VI).
+/// Honors `options.num_threads` for batched scoring; the ranking-related
+/// options are unused here.
 LinkPredictionResult EvaluateRelation(const EmbeddingModel& model,
-                                      const LinkSplit& split, RelationId r);
+                                      const LinkSplit& split, RelationId r,
+                                      const EvalOptions& options = {});
 
 /// Per-degree-bucket PR@K (Fig. 7 / Table VIII): nodes are bucketed by
 /// *full-graph* total degree into `bucket_edges.size()-1` clusters
 /// [e_i, e_{i+1}); returns mean PR@K per bucket (NaN-free; empty -> 0).
+/// Honors `options.max_ranking_queries` and `options.num_threads`; the
+/// number of ranked candidates per query is `k`, not `options.k`.
 std::vector<double> PrAtKByDegree(const EmbeddingModel& model,
                                   const MultiplexHeteroGraph& full,
                                   const LinkSplit& split,
                                   const std::vector<size_t>& bucket_edges,
-                                  size_t k, Rng& rng);
+                                  size_t k, const EvalOptions& options,
+                                  Rng& rng);
 
 /// Same bucketing restricted to one relation's test edges.
 std::vector<double> PrAtKByDegreeForRelation(
     const EmbeddingModel& model, const MultiplexHeteroGraph& full,
     const LinkSplit& split, RelationId rel,
-    const std::vector<size_t>& bucket_edges, size_t k, Rng& rng);
+    const std::vector<size_t>& bucket_edges, size_t k,
+    const EvalOptions& options, Rng& rng);
 
 }  // namespace hybridgnn
 

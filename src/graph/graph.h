@@ -124,6 +124,9 @@ class MultiplexHeteroGraph {
 
  private:
   friend class GraphBuilder;
+  // Test-only backdoor (defined in tests): desyncs internal tables to
+  // exercise defensive paths that Build() can never produce.
+  friend struct GraphTestPeer;
 
   std::vector<std::string> type_names_;
   std::vector<std::string> relation_names_;

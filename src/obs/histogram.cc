@@ -1,0 +1,71 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hybridgnn::obs {
+
+namespace {
+
+/// Bucket index for a latency of `ms` milliseconds (>= 1us):
+/// floor(log2(us)), clamped into [0, kNumBuckets).
+size_t BucketIndex(double ms) {
+  const double us = ms * 1e3;
+  const int b = static_cast<int>(std::floor(std::log2(us)));
+  return std::min<size_t>(static_cast<size_t>(std::max(b, 0)),
+                          LatencyHistogram::kNumBuckets - 1);
+}
+
+}  // namespace
+
+double LatencyHistogram::BucketUpperBoundMs(size_t i) {
+  return std::ldexp(1.0, static_cast<int>(i) + 1) * 1e-3;
+}
+
+void LatencyHistogram::Record(double ms) {
+  if (ms < 0.0) ms = 0.0;
+  if (ms * 1e3 < 1.0) {
+    underflow_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    buckets_[BucketIndex(ms)].fetch_add(1, std::memory_order_relaxed);
+  }
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_nanos_.fetch_add(static_cast<uint64_t>(ms * 1e6),
+                         std::memory_order_relaxed);
+}
+
+double LatencyHistogram::MeanMs() const {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  return total_nanos_.load(std::memory_order_relaxed) * 1e-6 /
+         static_cast<double>(n);
+}
+
+double LatencyHistogram::TotalMs() const {
+  return total_nanos_.load(std::memory_order_relaxed) * 1e-6;
+}
+
+double LatencyHistogram::PercentileMs(double pct) const {
+  const uint64_t n = count();
+  if (n == 0) return 0.0;
+  pct = std::clamp(pct, 0.0, 100.0);
+  // Rank of the requested percentile, 1-based (p100 -> last observation).
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(std::ceil(pct / 100.0 * n)));
+  uint64_t seen = underflow_.load(std::memory_order_relaxed);
+  if (seen >= rank) return kUnderflowUpperMs;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) return BucketUpperBoundMs(i);
+  }
+  return BucketUpperBoundMs(kNumBuckets - 1);
+}
+
+void LatencyHistogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  underflow_.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  total_nanos_.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace hybridgnn::obs

@@ -1,0 +1,61 @@
+#ifndef HYBRIDGNN_OBS_HISTOGRAM_H_
+#define HYBRIDGNN_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace hybridgnn::obs {
+
+/// Lock-free log2-bucketed latency histogram. Bucket i covers
+/// [2^i, 2^(i+1)) microseconds, which spans 1us .. ~17min in 30 buckets —
+/// plenty for request latencies and stage timings. Observations below 1us
+/// land in a dedicated underflow bucket covering [0, 1us), so percentiles
+/// over very fast operations report 1us — the true upper bound of what is
+/// known about them — instead of inflating them into the [1us, 2us) bucket.
+///
+/// Record() is wait-free (relaxed fetch_adds); PercentileMs() walks the
+/// bucket counts and returns the upper bound of the bucket containing the
+/// requested rank, i.e. a conservative (<= 2x) estimate. All methods are
+/// safe to call concurrently.
+class LatencyHistogram {
+ public:
+  static constexpr size_t kNumBuckets = 30;
+  /// Upper bound reported for sub-microsecond observations, in ms.
+  static constexpr double kUnderflowUpperMs = 1e-3;
+
+  LatencyHistogram() = default;
+
+  /// Records one observation in milliseconds.
+  void Record(double ms);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+
+  /// Mean of all recorded values in milliseconds (exact, not bucketed).
+  double MeanMs() const;
+
+  /// Sum of all recorded values in milliseconds (exact, not bucketed).
+  double TotalMs() const;
+
+  /// Approximate percentile (pct in [0, 100]) in milliseconds. Returns 0
+  /// when nothing has been recorded.
+  double PercentileMs(double pct) const;
+
+  /// Upper bound of bucket i in milliseconds: 2^(i+1) us. Exposed so tests
+  /// and serializers can pin the bucket edges.
+  static double BucketUpperBoundMs(size_t i);
+
+  /// Zeroes all counts. Not atomic with respect to concurrent Record()
+  /// calls; intended for tests and between-run resets.
+  void Reset();
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> underflow_{0};  // observations in [0, 1us)
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> total_nanos_{0};
+};
+
+}  // namespace hybridgnn::obs
+
+#endif  // HYBRIDGNN_OBS_HISTOGRAM_H_

@@ -1,0 +1,161 @@
+#include "obs/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace hybridgnn::obs {
+
+namespace {
+
+template <typename Map, typename Factory>
+auto& GetOrCreate(std::mutex& mu, Map& map, std::string_view name,
+                  const Factory& make) {
+  std::lock_guard<std::mutex> lock(mu);
+  auto it = map.find(name);
+  if (it == map.end()) {
+    it = map.emplace(std::string(name), make()).first;
+  }
+  return *it->second;
+}
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void AppendKey(std::string& out, const std::string& name) {
+  out += '"';
+  AppendEscaped(out, name);
+  out += "\": ";
+}
+
+void AppendDouble(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  // %g may emit bare "inf"/"nan" which is not JSON; metrics never should,
+  // but clamp defensively.
+  out += std::isfinite(v) ? buf : "0";
+}
+
+}  // namespace
+
+Counter& MetricRegistry::GetCounter(std::string_view name) {
+  return GetOrCreate(mu_, counters_, name,
+                     [] { return std::make_unique<Counter>(); });
+}
+
+Gauge& MetricRegistry::GetGauge(std::string_view name) {
+  return GetOrCreate(mu_, gauges_, name,
+                     [] { return std::make_unique<Gauge>(); });
+}
+
+LatencyHistogram& MetricRegistry::GetHistogram(std::string_view name) {
+  return GetOrCreate(mu_, histograms_, name,
+                     [] { return std::make_unique<LatencyHistogram>(); });
+}
+
+RegistrySnapshot MetricRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.stages.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    RegistrySnapshot::Stage s;
+    s.name = name;
+    s.count = h->count();
+    s.total_ms = h->TotalMs();
+    s.mean_ms = h->MeanMs();
+    s.p50_ms = h->PercentileMs(50.0);
+    s.p99_ms = h->PercentileMs(99.0);
+    s.max_ms = h->PercentileMs(100.0);
+    snap.stages.push_back(std::move(s));
+  }
+  return snap;
+}
+
+void MetricRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+MetricRegistry& GlobalRegistry() {
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+LatencyHistogram& Stage(std::string_view name) {
+  return GlobalRegistry().GetHistogram(name);
+}
+
+std::string ToJson(const MetricRegistry& registry) {
+  const RegistrySnapshot snap = registry.Snapshot();
+  std::string out = "{\n  \"counters\": {";
+  for (size_t i = 0; i < snap.counters.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    AppendKey(out, snap.counters[i].first);
+    out += std::to_string(snap.counters[i].second);
+  }
+  out += snap.counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (size_t i = 0; i < snap.gauges.size(); ++i) {
+    out += i == 0 ? "\n    " : ",\n    ";
+    AppendKey(out, snap.gauges[i].first);
+    AppendDouble(out, snap.gauges[i].second);
+  }
+  out += snap.gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"stages\": {";
+  for (size_t i = 0; i < snap.stages.size(); ++i) {
+    const auto& s = snap.stages[i];
+    out += i == 0 ? "\n    " : ",\n    ";
+    AppendKey(out, s.name);
+    out += "{\"count\": " + std::to_string(s.count);
+    out += ", \"total_ms\": ";
+    AppendDouble(out, s.total_ms);
+    out += ", \"mean_ms\": ";
+    AppendDouble(out, s.mean_ms);
+    out += ", \"p50_ms\": ";
+    AppendDouble(out, s.p50_ms);
+    out += ", \"p99_ms\": ";
+    AppendDouble(out, s.p99_ms);
+    out += ", \"max_ms\": ";
+    AppendDouble(out, s.max_ms);
+    out += "}";
+  }
+  out += snap.stages.empty() ? "}\n" : "\n  }\n";
+  out += "}";
+  return out;
+}
+
+Status WriteJsonFile(const MetricRegistry& registry, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot write metrics file: " + path);
+  out << ToJson(registry) << '\n';
+  if (!out.good()) return Status::IoError("short write: " + path);
+  return Status::OK();
+}
+
+}  // namespace hybridgnn::obs

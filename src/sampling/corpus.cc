@@ -3,9 +3,26 @@
 #include <utility>
 
 #include "common/parallel.h"
+#include "obs/metrics.h"
 #include "sampling/walker.h"
 
 namespace hybridgnn {
+
+namespace {
+
+/// Counts a finished corpus into the global registry. The matching
+/// `sampling/walk_corpus` stage timer is recorded by the callers' scoped
+/// timers around the whole build.
+void CountCorpus(const WalkCorpus& corpus) {
+  static obs::Counter& walks =
+      obs::GlobalRegistry().GetCounter("sampling/walks_generated");
+  static obs::Counter& pairs =
+      obs::GlobalRegistry().GetCounter("sampling/pairs_generated");
+  walks.Add(corpus.walks.size());
+  pairs.Add(corpus.pairs.size());
+}
+
+}  // namespace
 
 void HarvestPairs(const std::vector<NodeId>& walk, size_t window,
                   RelationId rel, std::vector<SkipGramPair>& out) {
@@ -70,6 +87,7 @@ WalkCorpus RunUnits(const std::vector<WalkUnit>& units,
 WalkCorpus BuildMetapathCorpus(const MultiplexHeteroGraph& g,
                                const std::vector<MetapathScheme>& schemes,
                                const CorpusOptions& options, Rng& rng) {
+  obs::ScopedTimer stage_timer(obs::Stage("sampling/walk_corpus"));
   std::vector<WalkUnit> units;
   for (RelationId r = 0; r < g.num_relations(); ++r) {
     for (NodeId v = 0; v < g.num_nodes(); ++v) {
@@ -116,49 +134,55 @@ WalkCorpus BuildMetapathCorpus(const MultiplexHeteroGraph& g,
   with_edges.insert(with_edges.end(), corpus.pairs.begin(),
                     corpus.pairs.end());
   corpus.pairs = std::move(with_edges);
+  CountCorpus(corpus);
   return corpus;
 }
 
 WalkCorpus BuildUniformCorpus(const MultiplexHeteroGraph& g,
                               const CorpusOptions& options, Rng& rng) {
+  obs::ScopedTimer stage_timer(obs::Stage("sampling/walk_corpus"));
   std::vector<WalkUnit> units;
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     if (g.TotalDegree(v) == 0) continue;
     units.push_back(WalkUnit{v, kInvalidRelation, nullptr});
   }
-  return RunUnits(units, options, rng,
-                  [&](const WalkUnit& u, Rng& unit_rng, WalkCorpus& out) {
-                    for (size_t w = 0; w < options.num_walks_per_node; ++w) {
-                      std::vector<NodeId> walk =
-                          UniformWalk(g, u.start, options.walk_length,
-                                      unit_rng);
-                      if (walk.size() < 2) continue;
-                      HarvestPairs(walk, options.window, kInvalidRelation,
-                                   out.pairs);
-                      out.walks.push_back(std::move(walk));
-                    }
-                  });
+  WalkCorpus corpus = RunUnits(
+      units, options, rng,
+      [&](const WalkUnit& u, Rng& unit_rng, WalkCorpus& out) {
+        for (size_t w = 0; w < options.num_walks_per_node; ++w) {
+          std::vector<NodeId> walk =
+              UniformWalk(g, u.start, options.walk_length, unit_rng);
+          if (walk.size() < 2) continue;
+          HarvestPairs(walk, options.window, kInvalidRelation, out.pairs);
+          out.walks.push_back(std::move(walk));
+        }
+      });
+  CountCorpus(corpus);
+  return corpus;
 }
 
 WalkCorpus BuildNode2VecCorpus(const MultiplexHeteroGraph& g,
                                const CorpusOptions& options, double p,
                                double q, Rng& rng) {
+  obs::ScopedTimer stage_timer(obs::Stage("sampling/walk_corpus"));
   std::vector<WalkUnit> units;
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     if (g.TotalDegree(v) == 0) continue;
     units.push_back(WalkUnit{v, kInvalidRelation, nullptr});
   }
-  return RunUnits(units, options, rng,
-                  [&](const WalkUnit& u, Rng& unit_rng, WalkCorpus& out) {
-                    for (size_t w = 0; w < options.num_walks_per_node; ++w) {
-                      std::vector<NodeId> walk = Node2VecWalk(
-                          g, u.start, options.walk_length, p, q, unit_rng);
-                      if (walk.size() < 2) continue;
-                      HarvestPairs(walk, options.window, kInvalidRelation,
-                                   out.pairs);
-                      out.walks.push_back(std::move(walk));
-                    }
-                  });
+  WalkCorpus corpus = RunUnits(
+      units, options, rng,
+      [&](const WalkUnit& u, Rng& unit_rng, WalkCorpus& out) {
+        for (size_t w = 0; w < options.num_walks_per_node; ++w) {
+          std::vector<NodeId> walk = Node2VecWalk(
+              g, u.start, options.walk_length, p, q, unit_rng);
+          if (walk.size() < 2) continue;
+          HarvestPairs(walk, options.window, kInvalidRelation, out.pairs);
+          out.walks.push_back(std::move(walk));
+        }
+      });
+  CountCorpus(corpus);
+  return corpus;
 }
 
 }  // namespace hybridgnn

@@ -7,8 +7,12 @@ NodeId ExplorationStep(const MultiplexHeteroGraph& g, NodeId v, Rng& rng) {
   if (rels.empty()) return kInvalidNode;
   // Phase 1 (Eq. 1): uniform over active relations.
   const RelationId r = rels[rng.UniformUint64(rels.size())];
-  // Phase 2 (Eq. 2): uniform over neighbors under r.
+  // Phase 2 (Eq. 2): uniform over neighbors under r. The active-relation
+  // table can go stale relative to the adjacency (filtered or asymmetric
+  // edge loads), and Rng::UniformUint64 CHECK-aborts on a zero bound — so an
+  // empty neighborhood must terminate the walk, not the process.
   auto nbrs = g.Neighbors(v, r);
+  if (nbrs.empty()) return kInvalidNode;
   return nbrs[rng.UniformUint64(nbrs.size())];
 }
 

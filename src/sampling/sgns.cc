@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/parallel.h"
+#include "obs/metrics.h"
 #include "tensor/init.h"
 
 namespace hybridgnn {
@@ -55,15 +56,22 @@ void SgnsEmbedder::Update(NodeId center, NodeId context,
 void SgnsEmbedder::Train(const std::vector<SkipGramPair>& pairs,
                          const NegativeSampler& sampler,
                          const SgnsOptions& opts, Rng& rng) {
+  // Every SGNS-style trainer (HybridGNN pretrain, DeepWalk, node2vec, ...)
+  // funnels through here, so one stage timer covers the skip-gram hot loop.
+  static obs::LatencyHistogram& epoch_stage = obs::Stage("core/sgns_epoch");
+  static obs::Counter& pairs_trained =
+      obs::GlobalRegistry().GetCounter("core/sgns_pairs_trained");
   std::vector<size_t> order(pairs.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
   const size_t threads = ResolveNumThreads(opts.num_threads);
   for (size_t epoch = 0; epoch < opts.epochs; ++epoch) {
+    obs::ScopedTimer epoch_timer(epoch_stage);
     rng.Shuffle(order);
     const size_t use = opts.max_pairs_per_epoch == 0
                            ? order.size()
                            : std::min(order.size(),
                                       opts.max_pairs_per_epoch);
+    pairs_trained.Add(use);
     if (threads <= 1 || use < 2 * threads) {
       for (size_t i = 0; i < use; ++i) {
         const auto& p = pairs[order[i]];

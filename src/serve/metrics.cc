@@ -1,57 +1,8 @@
 #include "serve/metrics.h"
 
-#include <algorithm>
-#include <cmath>
 #include <cstdio>
 
 namespace hybridgnn {
-
-namespace {
-
-/// Bucket index for a latency of `ms` milliseconds: floor(log2(us)),
-/// clamped into [0, kNumBuckets).
-size_t BucketIndex(double ms) {
-  const double us = ms * 1e3;
-  if (us < 1.0) return 0;
-  const int b = static_cast<int>(std::floor(std::log2(us)));
-  return std::min<size_t>(static_cast<size_t>(std::max(b, 0)),
-                          LatencyHistogram::kNumBuckets - 1);
-}
-
-/// Upper bound of bucket i in milliseconds.
-double BucketUpperMs(size_t i) { return std::ldexp(1.0, i + 1) * 1e-3; }
-
-}  // namespace
-
-void LatencyHistogram::Record(double ms) {
-  if (ms < 0.0) ms = 0.0;
-  buckets_[BucketIndex(ms)].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-  total_nanos_.fetch_add(static_cast<uint64_t>(ms * 1e6),
-                         std::memory_order_relaxed);
-}
-
-double LatencyHistogram::MeanMs() const {
-  const uint64_t n = count();
-  if (n == 0) return 0.0;
-  return total_nanos_.load(std::memory_order_relaxed) * 1e-6 /
-         static_cast<double>(n);
-}
-
-double LatencyHistogram::PercentileMs(double pct) const {
-  const uint64_t n = count();
-  if (n == 0) return 0.0;
-  pct = std::clamp(pct, 0.0, 100.0);
-  // Rank of the requested percentile, 1-based (p100 -> last observation).
-  const uint64_t rank = std::max<uint64_t>(
-      1, static_cast<uint64_t>(std::ceil(pct / 100.0 * n)));
-  uint64_t seen = 0;
-  for (size_t i = 0; i < kNumBuckets; ++i) {
-    seen += buckets_[i].load(std::memory_order_relaxed);
-    if (seen >= rank) return BucketUpperMs(i);
-  }
-  return BucketUpperMs(kNumBuckets - 1);
-}
 
 MetricsSnapshot ServeMetrics::Snapshot() const {
   MetricsSnapshot s;

@@ -1,43 +1,18 @@
 #ifndef HYBRIDGNN_SERVE_METRICS_H_
 #define HYBRIDGNN_SERVE_METRICS_H_
 
-#include <array>
 #include <atomic>
 #include <cstdint>
 #include <string>
 
+#include "obs/histogram.h"
+
 namespace hybridgnn {
 
-/// Lock-free log2-bucketed latency histogram. Buckets are powers of two
-/// starting at 1 microsecond (bucket i covers [2^i, 2^(i+1)) us), which
-/// spans 1us .. ~17min in 30 buckets — plenty for request latencies.
-/// Record() is wait-free (one relaxed fetch_add); Percentile() walks the
-/// bucket counts and returns the upper bound of the bucket containing the
-/// requested rank, i.e. a conservative (<= 2x) estimate. All methods are
-/// safe to call concurrently.
-class LatencyHistogram {
- public:
-  static constexpr size_t kNumBuckets = 30;
-
-  LatencyHistogram() = default;
-
-  /// Records one observation in milliseconds.
-  void Record(double ms);
-
-  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
-
-  /// Mean of all recorded values in milliseconds (exact, not bucketed).
-  double MeanMs() const;
-
-  /// Approximate percentile (pct in [0, 100]) in milliseconds. Returns 0
-  /// when nothing has been recorded.
-  double PercentileMs(double pct) const;
-
- private:
-  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
-  std::atomic<uint64_t> count_{0};
-  std::atomic<uint64_t> total_nanos_{0};
-};
+/// The serving latency histogram is the shared observability one
+/// (obs/histogram.h); the alias keeps the original serve-era spelling
+/// working.
+using LatencyHistogram = obs::LatencyHistogram;
 
 /// Point-in-time copy of the serving counters, safe to read after the
 /// service is gone.
@@ -57,6 +32,8 @@ struct MetricsSnapshot {
 
 /// Counters + latency histogram shared by RecommendService and its clients.
 /// Everything is atomic, so concurrent Submit/Snapshot never needs a lock.
+/// These are per-service-instance numbers; RecommendService additionally
+/// mirrors them into the process-wide obs::GlobalRegistry() under `serve/*`.
 struct ServeMetrics {
   std::atomic<uint64_t> requests{0};
   std::atomic<uint64_t> errors{0};

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/parallel.h"
+#include "obs/metrics.h"
 
 namespace hybridgnn {
 
@@ -92,8 +93,22 @@ void RecommendService::ProcessBatch(std::vector<Pending> batch) {
   std::vector<StatusOr<std::vector<Recommendation>>> results =
       recommender_->RecommendBatch(queries, pool_.get());
 
+  // Per-service counters plus their process-wide mirrors in the obs
+  // registry (references are stable, so only relaxed atomics past init).
+  static obs::Counter& g_requests =
+      obs::GlobalRegistry().GetCounter("serve/requests");
+  static obs::Counter& g_errors =
+      obs::GlobalRegistry().GetCounter("serve/errors");
+  static obs::Counter& g_batches =
+      obs::GlobalRegistry().GetCounter("serve/batches");
+  static obs::Counter& g_items =
+      obs::GlobalRegistry().GetCounter("serve/items_returned");
+  static obs::LatencyHistogram& g_latency =
+      obs::Stage("serve/request_latency");
+
   const auto done = std::chrono::steady_clock::now();
   metrics_.batches.fetch_add(1, std::memory_order_relaxed);
+  g_batches.Add();
   for (size_t i = 0; i < batch.size(); ++i) {
     RecommendResponse resp;
     resp.latency_ms =
@@ -104,11 +119,15 @@ void RecommendService::ProcessBatch(std::vector<Pending> batch) {
     } else {
       resp.status = results[i].status();
       metrics_.errors.fetch_add(1, std::memory_order_relaxed);
+      g_errors.Add();
     }
     metrics_.requests.fetch_add(1, std::memory_order_relaxed);
     metrics_.items_returned.fetch_add(resp.items.size(),
                                       std::memory_order_relaxed);
+    g_requests.Add();
+    g_items.Add(resp.items.size());
     metrics_.latency.Record(resp.latency_ms);
+    g_latency.Record(resp.latency_ms);
     batch[i].promise.set_value(std::move(resp));
   }
 }

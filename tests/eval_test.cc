@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
+#include <mutex>
 
 #include "data/split.h"
 #include "data/synthetic.h"
@@ -26,6 +28,14 @@ TEST(MetricsTest, RocAucRandomIsHalf) {
 TEST(MetricsTest, RocAucHandlesTiesWithMidranks) {
   // pos: {1, 0}, neg: {0}. P(pos>neg)=1/2, P(=)=1/2 -> AUC 0.75.
   EXPECT_NEAR(RocAuc({1.0, 0.0}, {0.0}), 0.75, 1e-9);
+  // All scores tied: midranks make the AUC exactly chance, regardless of
+  // class balance.
+  EXPECT_NEAR(RocAuc({0.5}, {0.5, 0.5}), 0.5, 1e-9);
+  EXPECT_NEAR(RocAuc({0.5, 0.5}, {0.5}), 0.5, 1e-9);
+  // Tie block in the middle of an otherwise separated ranking:
+  // pos {0.9, 0.5}, neg {0.5, 0.1}. Pairs: (0.9 beats both) + (0.5 vs 0.5
+  // half credit) + (0.5 beats 0.1) -> (2 + 0.5 + 1) / 4 = 0.875.
+  EXPECT_NEAR(RocAuc({0.9, 0.5}, {0.5, 0.1}), 0.875, 1e-9);
 }
 
 TEST(MetricsTest, PrAucPerfectAndWorst) {
@@ -37,6 +47,22 @@ TEST(MetricsTest, PrAucPerfectAndWorst) {
 
 TEST(MetricsTest, BestF1PerfectSeparation) {
   EXPECT_DOUBLE_EQ(BestF1({0.9, 0.8}, {0.1, 0.2}), 1.0);
+}
+
+TEST(MetricsTest, PrAucAllTiedUsesDeterministicTieBreak) {
+  // Ranked() places positives before negatives at equal score, so a fully
+  // tied input degenerates to a perfect ranking under this tie policy.
+  EXPECT_NEAR(PrAuc({0.5, 0.5}, {0.5}), 1.0, 1e-9);
+  EXPECT_NEAR(PrAuc({0.5}, {0.5, 0.5}), 1.0, 1e-9);
+}
+
+TEST(MetricsTest, BestF1AllTiedEvaluatesOnlyFullCut) {
+  // With every score equal there is a single feasible threshold cut
+  // (predict-all-positive); interior cuts are skipped as tie-continuations.
+  // pos {t,t}, neg {t}: tp=2, fp=1, fn=0 -> P=2/3, R=1 -> F1=0.8.
+  EXPECT_NEAR(BestF1({0.5, 0.5}, {0.5}), 0.8, 1e-9);
+  // pos {t}, neg {t,t}: tp=1, fp=2, fn=0 -> P=1/3, R=1 -> F1=0.5.
+  EXPECT_NEAR(BestF1({0.5}, {0.5, 0.5}), 0.5, 1e-9);
 }
 
 TEST(MetricsTest, BestF1FindsInteriorThreshold) {
@@ -61,6 +87,16 @@ TEST(MetricsTest, PrecisionAndHitRatioAtK) {
   EXPECT_NEAR(HitRatioAtK(hits, 5, 0), 0.0, 1e-9);
   // Fewer candidates than K: denominator is still K for precision.
   EXPECT_NEAR(PrecisionAtK({true}, 10), 0.1, 1e-9);
+}
+
+TEST(MetricsTest, RankingMetricsOnShortCandidateLists) {
+  // Candidate list shorter than K: hit ratio still divides by the number of
+  // relevant items, not by K or the list length.
+  EXPECT_NEAR(HitRatioAtK({true}, 10, 2), 0.5, 1e-9);
+  EXPECT_NEAR(HitRatioAtK({true, true}, 10, 2), 1.0, 1e-9);
+  // Empty candidate list (isolated query node): both metrics are zero.
+  EXPECT_NEAR(PrecisionAtK({}, 10), 0.0, 1e-9);
+  EXPECT_NEAR(HitRatioAtK({}, 10, 3), 0.0, 1e-9);
 }
 
 TEST(MetricsTest, MeanAndStdDev) {
@@ -265,7 +301,7 @@ TEST_F(EvaluatorTest, DegreeBucketsCoverQueries) {
   Rng rng(7);
   std::vector<size_t> edges = {0, 5, 10, 1000};
   std::vector<double> pr =
-      PrAtKByDegree(oracle, graph_, split_, edges, 10, rng);
+      PrAtKByDegree(oracle, graph_, split_, edges, 10, EvalOptions{}, rng);
   ASSERT_EQ(pr.size(), 3u);
   double total = 0;
   for (double p : pr) {
@@ -274,6 +310,87 @@ TEST_F(EvaluatorTest, DegreeBucketsCoverQueries) {
     total += p;
   }
   EXPECT_GT(total, 0.0);
+}
+
+/// Oracle that also counts ScoreMany invocations and records span sizes, to
+/// observe how the evaluator batches and caps its work.
+class CountingOracleModel : public OracleModel {
+ public:
+  explicit CountingOracleModel(const MultiplexHeteroGraph& g)
+      : OracleModel(g) {}
+  std::vector<double> ScoreMany(
+      std::span<const EdgeTriple> queries) const override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++calls_;
+      spans_.push_back(queries.size());
+    }
+    return OracleModel::ScoreMany(queries);
+  }
+  size_t calls() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return calls_;
+  }
+  std::vector<size_t> spans() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return spans_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  mutable size_t calls_ = 0;
+  mutable std::vector<size_t> spans_;
+};
+
+// Regression: PrAtKByDegree used to hardcode a 400-query cap, ignoring
+// EvalOptions::max_ranking_queries. Each ranked query issues exactly one
+// ScoreMany batch, so the call count exposes the cap actually applied.
+TEST_F(EvaluatorTest, PrAtKByDegreeHonorsMaxRankingQueries) {
+  std::map<std::pair<NodeId, RelationId>, size_t> groups;
+  for (const auto& e : split_.test_pos) ++groups[{e.src, e.rel}];
+  ASSERT_GT(groups.size(), 3u) << "fixture must have more queries than cap";
+
+  CountingOracleModel counting(graph_);
+  EvalOptions options;
+  options.max_ranking_queries = 3;
+  options.num_threads = 1;
+  Rng rng(9);
+  // One catch-all bucket so no query is dropped by degree filtering.
+  std::vector<size_t> edges = {0, 1000000};
+  std::vector<double> pr =
+      PrAtKByDegree(counting, graph_, split_, edges, 10, options, rng);
+  ASSERT_EQ(pr.size(), 1u);
+  EXPECT_EQ(counting.calls(), 3u);
+}
+
+// Regression: EvaluateRelation used to hardcode num_threads=1 in its
+// CollectScores call. With two threads each score list must arrive split
+// into two indexed chunks instead of one full-list span.
+TEST_F(EvaluatorTest, EvaluateRelationHonorsNumThreads) {
+  size_t pos0 = 0, neg0 = 0;
+  for (const auto& e : split_.test_pos) pos0 += (e.rel == 0);
+  for (const auto& e : split_.test_neg) neg0 += (e.rel == 0);
+  ASSERT_GE(pos0, 2u);
+  ASSERT_GE(neg0, 2u);
+
+  CountingOracleModel counting(graph_);
+  EvalOptions options;
+  options.num_threads = 2;
+  LinkPredictionResult r = EvaluateRelation(counting, split_, 0, options);
+  EXPECT_NEAR(r.roc_auc, 100.0, 1e-6);
+  std::vector<size_t> spans = counting.spans();
+  EXPECT_EQ(spans.size(), 4u) << "expected 2 chunks per score list";
+  for (size_t s : spans) {
+    EXPECT_LT(s, std::max(pos0, neg0)) << "full-list span means serial path";
+  }
+  // The chunking must not change the metrics themselves.
+  CountingOracleModel serial(graph_);
+  EvalOptions one_thread;
+  one_thread.num_threads = 1;
+  LinkPredictionResult rs = EvaluateRelation(serial, split_, 0, one_thread);
+  EXPECT_EQ(r.roc_auc, rs.roc_auc);
+  EXPECT_EQ(r.pr_auc, rs.pr_auc);
+  EXPECT_EQ(r.f1, rs.f1);
 }
 
 }  // namespace

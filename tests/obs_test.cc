@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+
+namespace hybridgnn::obs {
+namespace {
+
+// ---------- LatencyHistogram ----------
+
+TEST(LatencyHistogramTest, EmptyHistogram) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.MeanMs(), 0.0);
+  EXPECT_DOUBLE_EQ(h.TotalMs(), 0.0);
+  EXPECT_DOUBLE_EQ(h.PercentileMs(50), 0.0);
+}
+
+TEST(LatencyHistogramTest, BucketEdgesArePowersOfTwoMicros) {
+  // Bucket i covers [2^i, 2^(i+1)) us; the reported value is the upper edge.
+  EXPECT_DOUBLE_EQ(LatencyHistogram::BucketUpperBoundMs(0), 0.002);
+  EXPECT_DOUBLE_EQ(LatencyHistogram::BucketUpperBoundMs(1), 0.004);
+  EXPECT_DOUBLE_EQ(LatencyHistogram::BucketUpperBoundMs(9), 1.024);
+  EXPECT_DOUBLE_EQ(LatencyHistogram::BucketUpperBoundMs(16), 131.072);
+
+  LatencyHistogram h;
+  h.Record(0.001);  // exactly 1us -> bucket 0, upper edge 2us
+  EXPECT_DOUBLE_EQ(h.PercentileMs(100), 0.002);
+  h.Reset();
+  h.Record(0.002);  // exactly 2us -> bucket 1, upper edge 4us
+  EXPECT_DOUBLE_EQ(h.PercentileMs(100), 0.004);
+  h.Reset();
+  h.Record(1.0);  // 1000us -> bucket 9 [512us, 1024us), upper edge 1.024ms
+  EXPECT_DOUBLE_EQ(h.PercentileMs(100), 1.024);
+}
+
+// Regression: sub-microsecond observations used to fold into bucket 0 and
+// report 0.002ms — double the worst-case truth. They must land in the
+// dedicated underflow bucket and report the 1us upper bound instead.
+TEST(LatencyHistogramTest, SubMicrosecondReportsUnderflowUpperBound) {
+  LatencyHistogram h;
+  h.Record(0.0005);  // 0.5us
+  h.Record(0.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_DOUBLE_EQ(h.PercentileMs(50), LatencyHistogram::kUnderflowUpperMs);
+  EXPECT_DOUBLE_EQ(h.PercentileMs(100), 0.001);
+  // Mixed with slower observations, the underflow entries occupy the low
+  // ranks and the slow one still dominates p100.
+  h.Record(1.0);
+  EXPECT_DOUBLE_EQ(h.PercentileMs(50), 0.001);
+  EXPECT_DOUBLE_EQ(h.PercentileMs(100), 1.024);
+}
+
+TEST(LatencyHistogramTest, GoldenPercentiles) {
+  LatencyHistogram h;
+  // 1000 x 10us -> bucket 3 [8us, 16us), upper edge 0.016ms.
+  for (int i = 0; i < 1000; ++i) h.Record(0.01);
+  EXPECT_DOUBLE_EQ(h.PercentileMs(50), 0.016);
+  EXPECT_DOUBLE_EQ(h.PercentileMs(99), 0.016);
+  // One 100ms outlier -> bucket 16 [65.536ms, 131.072ms).
+  h.Record(100.0);
+  EXPECT_DOUBLE_EQ(h.PercentileMs(50), 0.016);
+  EXPECT_DOUBLE_EQ(h.PercentileMs(99), 0.016);
+  EXPECT_DOUBLE_EQ(h.PercentileMs(100), 131.072);
+  EXPECT_EQ(h.count(), 1001u);
+  EXPECT_NEAR(h.MeanMs(), (1000 * 0.01 + 100.0) / 1001.0, 1e-6);
+  EXPECT_NEAR(h.TotalMs(), 110.0, 1e-3);
+}
+
+TEST(LatencyHistogramTest, ResetZeroesEverything) {
+  LatencyHistogram h;
+  h.Record(0.0005);
+  h.Record(5.0);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.PercentileMs(100), 0.0);
+  EXPECT_DOUBLE_EQ(h.TotalMs(), 0.0);
+}
+
+TEST(LatencyHistogramTest, ConcurrentRecordKeepsTotalCount) {
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.Record(0.5);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_DOUBLE_EQ(h.PercentileMs(100), 0.512);  // 500us -> [256us, 512us)
+}
+
+// ---------- Counters / gauges / registry ----------
+
+TEST(MetricRegistryTest, CounterAndGaugeBasics) {
+  MetricRegistry reg;
+  Counter& c = reg.GetCounter("test/events");
+  c.Add();
+  c.Add(9);
+  EXPECT_EQ(c.value(), 10u);
+  Gauge& g = reg.GetGauge("test/loss");
+  g.Set(0.25);
+  EXPECT_DOUBLE_EQ(g.value(), 0.25);
+}
+
+TEST(MetricRegistryTest, GetReturnsStableReferences) {
+  MetricRegistry reg;
+  Counter& a = reg.GetCounter("test/a");
+  // Registering more entries must not invalidate earlier references.
+  for (int i = 0; i < 100; ++i) {
+    reg.GetCounter("test/filler" + std::to_string(i));
+  }
+  Counter& a2 = reg.GetCounter("test/a");
+  EXPECT_EQ(&a, &a2);
+  a.Add(3);
+  EXPECT_EQ(a2.value(), 3u);
+}
+
+TEST(MetricRegistryTest, ResetKeepsEntriesButZeroesValues) {
+  MetricRegistry reg;
+  Counter& c = reg.GetCounter("test/c");
+  Gauge& g = reg.GetGauge("test/g");
+  LatencyHistogram& h = reg.GetHistogram("test/h");
+  c.Add(5);
+  g.Set(1.5);
+  h.Record(1.0);
+  reg.Reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  // References are still the registered entries.
+  EXPECT_EQ(&c, &reg.GetCounter("test/c"));
+}
+
+TEST(MetricRegistryTest, SnapshotCopiesAllMetricKinds) {
+  MetricRegistry reg;
+  reg.GetCounter("z/counter").Add(7);
+  reg.GetGauge("z/gauge").Set(-2.5);
+  reg.GetHistogram("z/stage").Record(0.01);
+  RegistrySnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].first, "z/counter");
+  EXPECT_EQ(snap.counters[0].second, 7u);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(snap.gauges[0].second, -2.5);
+  ASSERT_EQ(snap.stages.size(), 1u);
+  EXPECT_EQ(snap.stages[0].name, "z/stage");
+  EXPECT_EQ(snap.stages[0].count, 1u);
+  EXPECT_DOUBLE_EQ(snap.stages[0].p50_ms, 0.016);
+  EXPECT_DOUBLE_EQ(snap.stages[0].max_ms, 0.016);
+}
+
+TEST(MetricRegistryTest, ConcurrentRegistrationAndUpdates) {
+  MetricRegistry reg;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg] {
+      // All threads race to register the same names, then hammer them.
+      Counter& c = reg.GetCounter("race/counter");
+      LatencyHistogram& h = reg.GetHistogram("race/stage");
+      for (int i = 0; i < 1000; ++i) {
+        c.Add();
+        h.Record(0.01);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(reg.GetCounter("race/counter").value(), 8000u);
+  EXPECT_EQ(reg.GetHistogram("race/stage").count(), 8000u);
+}
+
+TEST(ScopedTimerTest, RecordsOneObservationOnScopeExit) {
+  MetricRegistry reg;
+  LatencyHistogram& h = reg.GetHistogram("timer/stage");
+  {
+    ScopedTimer timer(h);
+    EXPECT_GE(timer.ElapsedMs(), 0.0);
+    EXPECT_EQ(h.count(), 0u) << "must not record before destruction";
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GT(h.PercentileMs(100), 0.0);
+}
+
+TEST(GlobalRegistryTest, StageIsGlobalHistogram) {
+  LatencyHistogram& h = Stage("obs_test/global_stage");
+  EXPECT_EQ(&h, &GlobalRegistry().GetHistogram("obs_test/global_stage"));
+}
+
+// ---------- JSON serialization ----------
+
+TEST(ToJsonTest, EmptyRegistryIsValidSkeleton) {
+  MetricRegistry reg;
+  const std::string json = ToJson(reg);
+  EXPECT_NE(json.find("\"counters\": {}"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\": {}"), std::string::npos);
+  EXPECT_NE(json.find("\"stages\": {}"), std::string::npos);
+}
+
+TEST(ToJsonTest, ContainsAllEntriesWithValues) {
+  MetricRegistry reg;
+  reg.GetCounter("a/requests").Add(42);
+  reg.GetGauge("a/loss").Set(0.5);
+  LatencyHistogram& h = reg.GetHistogram("a/latency");
+  for (int i = 0; i < 10; ++i) h.Record(0.01);
+  const std::string json = ToJson(reg);
+  EXPECT_NE(json.find("\"a/requests\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"a/loss\": 0.5"), std::string::npos);
+  EXPECT_NE(json.find("\"a/latency\": {\"count\": 10"), std::string::npos);
+  EXPECT_NE(json.find("\"p50_ms\": 0.016"), std::string::npos);
+  // Braces balance — cheap structural sanity for hand-rolled JSON.
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(ToJsonTest, EscapesMetricNames) {
+  MetricRegistry reg;
+  reg.GetCounter("weird\"name\\with\nescapes").Add(1);
+  const std::string json = ToJson(reg);
+  EXPECT_NE(json.find("weird\\\"name\\\\with\\nescapes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hybridgnn::obs

@@ -1,9 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <set>
 
+#include "graph/graph.h"
 #include "sampling/alias.h"
 #include "sampling/corpus.h"
 #include "sampling/exploration.h"
@@ -14,6 +16,18 @@
 #include "test_util.h"
 
 namespace hybridgnn {
+
+/// Test-only peer (befriended by MultiplexHeteroGraph): desyncs the CSR
+/// adjacency from the active-relation table, a state Build() never produces
+/// but filtered or partially loaded graphs can.
+struct GraphTestPeer {
+  static void ClearRelationAdjacency(MultiplexHeteroGraph& g, RelationId r) {
+    g.adjacency_[r].clear();
+    std::fill(g.offsets_[r].begin(), g.offsets_[r].end(), 0);
+    // active_rels_ is deliberately left stale.
+  }
+};
+
 namespace {
 
 using testing::SmallBipartite;
@@ -196,6 +210,37 @@ TEST(ExplorationTest, IsolatedNodeReturnsInvalid) {
   EXPECT_EQ(ExplorationStep(*g, 2, rng), kInvalidNode);
   auto walk = ExplorationWalk(*g, 2, 5, rng);
   EXPECT_EQ(walk.size(), 1u);
+}
+
+// Regression: when the active-relation table still lists a relation whose
+// adjacency is empty, phase 2 used to call Rng::UniformUint64(0) and
+// CHECK-abort the process. The step must fail soft with kInvalidNode.
+TEST(ExplorationTest, StaleActiveRelationReturnsInvalidInsteadOfAborting) {
+  MultiplexHeteroGraph g = SmallBipartite();
+  const RelationId buy = g.FindRelation("buy");
+  GraphTestPeer::ClearRelationAdjacency(g, buy);
+  ASSERT_TRUE(g.Neighbors(0, buy).empty());
+  // u0's active table still lists buy, so phase 1 keeps proposing it.
+  bool active_lists_buy = false;
+  for (RelationId r : g.ActiveRelations(0)) active_lists_buy |= (r == buy);
+  ASSERT_TRUE(active_lists_buy) << "fixture must present the stale state";
+
+  Rng rng(27);
+  int invalid = 0;
+  for (int i = 0; i < 200; ++i) {
+    NodeId next = ExplorationStep(g, 0, rng);
+    if (next == kInvalidNode) {
+      ++invalid;
+    } else {
+      // Any real step must use a relation that still has edges.
+      EXPECT_TRUE(g.HasEdge(0, next, g.FindRelation("view")));
+    }
+  }
+  EXPECT_GT(invalid, 0) << "empty-neighborhood branch never exercised";
+  // Walks terminate cleanly instead of crashing mid-walk.
+  auto walk = ExplorationWalk(g, 0, 10, rng);
+  EXPECT_GE(walk.size(), 1u);
+  EXPECT_LE(walk.size(), 11u);
 }
 
 TEST(ExplorationTest, WalkLengthBounded) {
