@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# One-shot CI gate: configure + build + full ctest suite, then the
+# ThreadSanitizer and AddressSanitizer sweeps. Exits non-zero on the first
+# failing stage, so `scripts/ci_check.sh && git push` is a safe habit.
+#
+# Usage: scripts/ci_check.sh [build-dir]   (default: build)
+# The sanitizer stages use their own build trees (build-tsan, build-asan);
+# all three trees are incremental across runs.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+echo "=== ci_check: configure + build ($BUILD_DIR) ==="
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$(nproc)"
+
+echo "=== ci_check: ctest ==="
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$(nproc)"
+
+echo "=== ci_check: ThreadSanitizer sweep ==="
+scripts/tsan_check.sh
+
+echo "=== ci_check: AddressSanitizer sweep ==="
+scripts/asan_check.sh
+
+echo "=== ci_check: all stages passed ==="

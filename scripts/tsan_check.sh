@@ -18,8 +18,11 @@ cmake -B "$BUILD_DIR" -S . \
 
 # Only the tests exercising the parallel pipeline — full suite under TSan is
 # slow and the rest is single-threaded. serve_test covers the concurrent
-# RecommendService (multi-client Submit + dispatcher + scoring pool).
-TESTS=(threadpool_test sampling_test determinism_test serve_test obs_test)
+# RecommendService (multi-client Submit + dispatcher + scoring pool);
+# service_stress_test hammers the same service with producer threads while
+# cross-checking every response against a direct recommender call.
+TESTS=(threadpool_test sampling_test determinism_test serve_test obs_test
+       service_stress_test)
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TESTS[@]}"
 
 status=0

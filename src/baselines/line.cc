@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "kernels/kernels.h"
 #include "tensor/init.h"
 #include "tensor/tensor_ops.h"
 
@@ -12,19 +13,13 @@ namespace hybridgnn {
 namespace {
 
 // One (u, target) sigmoid step against `table` rows: accumulates the u
-// gradient in `grad`, updates the target row in place. A standalone
-// function — not a lambda inside LineUpdateEdge — because no_sanitize
-// attributes do not propagate into a lambda's operator().
+// gradient in `grad`, updates the target row in place. LINE's push is the
+// same fused sigmoid-gradient update as SGNS, so it dispatches through the
+// kernel layer (scalar/AVX2).
 HYBRIDGNN_NO_SANITIZE_THREAD
 void LinePush(const float* eu, float* row, float* grad, size_t half,
               float label, float lr) {
-  float dot = 0.0f;
-  for (size_t j = 0; j < half; ++j) dot += eu[j] * row[j];
-  const float gcoef = (1.0f / (1.0f + std::exp(-dot)) - label) * lr;
-  for (size_t j = 0; j < half; ++j) {
-    grad[j] += gcoef * row[j];
-    row[j] -= gcoef * eu[j];
-  }
+  kernels::SgnsUpdateStep(eu, row, grad, half, label, lr);
 }
 
 // One sampled-edge SGD step on both orders and both directions. Hogwild
@@ -47,7 +42,7 @@ void LineUpdateEdge(Tensor& first, Tensor& second, Tensor& second_ctx,
         LinePush(eu, first.RowPtr(sampler.SampleLike(v, rng)), grad.data(),
                  half, 0.0f, lr);
       }
-      for (size_t j = 0; j < half; ++j) eu[j] -= grad[j];
+      kernels::Axpy(-1.0f, grad.data(), eu, half);
     }
     // ---- second order: targets are context rows ----
     {
@@ -58,7 +53,7 @@ void LineUpdateEdge(Tensor& first, Tensor& second, Tensor& second_ctx,
         LinePush(eu, second_ctx.RowPtr(sampler.SampleLike(v, rng)),
                  grad.data(), half, 0.0f, lr);
       }
-      for (size_t j = 0; j < half; ++j) eu[j] -= grad[j];
+      kernels::Axpy(-1.0f, grad.data(), eu, half);
     }
   }
 }

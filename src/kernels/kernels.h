@@ -1,0 +1,95 @@
+#ifndef HYBRIDGNN_KERNELS_KERNELS_H_
+#define HYBRIDGNN_KERNELS_KERNELS_H_
+
+#include <cstddef>
+
+namespace hybridgnn::kernels {
+
+/// Runtime-dispatched dense float kernels backing the library's hot loops:
+/// the Hogwild skip-gram inner loop (sampling/sgns.cc, baselines/line.cc),
+/// blocked top-K candidate scoring (serve/topk.cc), and the dense
+/// reductions in tensor/tensor_ops.cc.
+///
+/// Two implementations exist behind one entry point each:
+///   * kScalar — plain loops, semantically identical to the pre-kernel-layer
+///     code. With HYBRIDGNN_KERNELS=scalar the whole library reproduces the
+///     pre-SIMD results bit for bit (pinned by determinism_test).
+///   * kAvx2   — AVX2+FMA vector loops, compiled only when the toolchain
+///     supports -mavx2 -mfma and selected only when CPUID reports both.
+///
+/// The backend is resolved once, on first kernel call:
+///   HYBRIDGNN_KERNELS=scalar   force the reference path
+///   HYBRIDGNN_KERNELS=avx2     force AVX2 (falls back to scalar with a
+///                              warning when the host cannot run it)
+///   unset / anything else      auto-detect via CPUID
+///
+/// Equivalence contract between backends (enforced by tests/kernel_test.cc):
+///   * Scale: bit-identical (one rounding per element on both paths).
+///   * Axpy:  <= 1 ULP per element (the scalar path may or may not contract
+///     mul+add into an FMA depending on compiler defaults).
+///   * Dot / SgnsUpdateStep: reductions are reassociated by the vector
+///     path, so results agree only to ULP-scaled tolerance (see
+///     tests/kernel_test.cc and DESIGN.md §11 for the exact bounds).
+///   * ScoreBlock: accumulates in double on both paths; backend drift is
+///     bounded by double rounding of the partial sums (~1e-15 relative).
+enum class Backend : int {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// "scalar" / "avx2".
+const char* BackendName(Backend b);
+
+/// True when the AVX2 implementation was compiled in AND the CPU reports
+/// AVX2 and FMA support.
+bool Avx2Available();
+
+/// The backend every kernel entry point currently dispatches to.
+Backend ActiveBackend();
+
+/// Forces dispatch to `b` and returns the previously active backend.
+/// CHECK-fails when forcing kAvx2 on a host without it. Intended for the
+/// differential tests and the kernel micro-bench; not thread-safe with
+/// respect to concurrent kernel calls.
+Backend SetBackend(Backend b);
+
+/// RAII backend override for tests: forces `b` on construction, restores
+/// the previous backend on destruction.
+class ScopedBackend {
+ public:
+  explicit ScopedBackend(Backend b) : previous_(SetBackend(b)) {}
+  ~ScopedBackend() { SetBackend(previous_); }
+
+  ScopedBackend(const ScopedBackend&) = delete;
+  ScopedBackend& operator=(const ScopedBackend&) = delete;
+
+ private:
+  Backend previous_;
+};
+
+/// sum_j a[j] * b[j], accumulated in float (word2vec-style training math).
+float Dot(const float* a, const float* b, size_t n);
+
+/// y[j] += alpha * x[j]. Safe on the Hogwild training path: both backend
+/// implementations are TSan-uninstrumented (see kernels_scalar.cc).
+void Axpy(float alpha, const float* x, float* y, size_t n);
+
+/// x[j] *= alpha.
+void Scale(float alpha, float* x, size_t n);
+
+/// Fused SGNS sigmoid-gradient step (Eqs. 11-13 of the paper): computes
+/// g = (sigmoid(e.c) - label) * lr, then e_grad[j] += g * c[j] and
+/// c[j] -= g * e[j] in place. Returns g. The scalar path is the exact
+/// pre-kernel-layer SgnsPush/LinePush loop.
+float SgnsUpdateStep(const float* e, float* c, float* e_grad, size_t n,
+                     float label, float lr);
+
+/// Batched candidate scoring for top-K retrieval: out[i] = sum_j
+/// query[j] * rows[i*n + j], accumulated in double. `rows` is `num_rows`
+/// contiguous row-major rows of length n (an EmbeddingStore table slice).
+void ScoreBlock(const float* query, const float* rows, size_t num_rows,
+                size_t n, double* out);
+
+}  // namespace hybridgnn::kernels
+
+#endif  // HYBRIDGNN_KERNELS_KERNELS_H_

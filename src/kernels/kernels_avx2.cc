@@ -1,0 +1,144 @@
+// AVX2+FMA implementation of the kernel layer. This translation unit is
+// compiled with -mavx2 -mfma -ffp-contract=off (see CMakeLists.txt):
+// the AVX2 flags let us use 256-bit intrinsics, and contraction is disabled
+// so the scalar tail loops below perform exactly the same mul-then-add
+// sequence as kernels_scalar.cc — every FMA in this file is an explicit
+// intrinsic, never a compiler rewrite.
+//
+// Equivalence with the scalar backend (enforced by tests/kernel_test.cc):
+// Axpy/Scale are element-wise with one rounding per element, so they match
+// bit for bit; Dot and SgnsUpdateStep reassociate the float reduction
+// across lanes and fuse mul+add, so they agree to ULP-scaled tolerance;
+// ScoreBlock widens to double before accumulating, keeping backend drift at
+// double-rounding scale even for long rows.
+#include <immintrin.h>
+
+#include <cmath>
+
+#include "common/parallel.h"
+#include "kernels/kernels_impl.h"
+
+namespace hybridgnn::kernels::internal {
+
+namespace {
+
+/// Horizontal sum of 8 floats, in a fixed (lane-pairing) order.
+float Hsum256(__m256 v) {
+  __m128 s = _mm_add_ps(_mm256_castps256_ps128(v),
+                        _mm256_extractf128_ps(v, 1));
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 1));
+  return _mm_cvtss_f32(s);
+}
+
+/// Horizontal sum of 4 doubles.
+double Hsum256d(__m256d v) {
+  __m128d s = _mm_add_pd(_mm256_castpd256_pd128(v),
+                         _mm256_extractf128_pd(v, 1));
+  return _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)));
+}
+
+float DotAvx2(const float* a, const float* b, size_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  size_t j = 0;
+  for (; j + 16 <= n; j += 16) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + j), _mm256_loadu_ps(b + j),
+                           acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + j + 8),
+                           _mm256_loadu_ps(b + j + 8), acc1);
+  }
+  if (j + 8 <= n) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + j), _mm256_loadu_ps(b + j),
+                           acc0);
+    j += 8;
+  }
+  float s = Hsum256(_mm256_add_ps(acc0, acc1));
+  for (; j < n; ++j) s += a[j] * b[j];
+  return s;
+}
+
+// TSan-uninstrumented: runs on the Hogwild path (see kernels_scalar.cc).
+HYBRIDGNN_NO_SANITIZE_THREAD
+void AxpyAvx2(float alpha, const float* x, float* y, size_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  size_t j = 0;
+  // Deliberately mul + add (not fmadd): one rounding per step, exactly the
+  // scalar backend's arithmetic, so Axpy stays bit-identical across
+  // backends.
+  for (; j + 8 <= n; j += 8) {
+    const __m256 prod = _mm256_mul_ps(va, _mm256_loadu_ps(x + j));
+    _mm256_storeu_ps(y + j, _mm256_add_ps(_mm256_loadu_ps(y + j), prod));
+  }
+  for (; j < n; ++j) y[j] += alpha * x[j];
+}
+
+void ScaleAvx2(float alpha, float* x, size_t n) {
+  const __m256 va = _mm256_set1_ps(alpha);
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    _mm256_storeu_ps(x + j, _mm256_mul_ps(va, _mm256_loadu_ps(x + j)));
+  }
+  for (; j < n; ++j) x[j] *= alpha;
+}
+
+HYBRIDGNN_NO_SANITIZE_THREAD
+float SgnsUpdateStepAvx2(const float* e, float* c, float* e_grad, size_t n,
+                         float label, float lr) {
+  const float dot = DotAvx2(e, c, n);
+  const float sig = 1.0f / (1.0f + std::exp(-dot));
+  const float g = (sig - label) * lr;
+  const __m256 vg = _mm256_set1_ps(g);
+  size_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    const __m256 vc = _mm256_loadu_ps(c + j);
+    const __m256 ve = _mm256_loadu_ps(e + j);
+    _mm256_storeu_ps(e_grad + j,
+                     _mm256_fmadd_ps(vg, vc, _mm256_loadu_ps(e_grad + j)));
+    _mm256_storeu_ps(c + j, _mm256_fnmadd_ps(vg, ve, vc));
+  }
+  for (; j < n; ++j) {
+    e_grad[j] += g * c[j];
+    c[j] -= g * e[j];
+  }
+  return g;
+}
+
+void ScoreBlockAvx2(const float* query, const float* rows, size_t num_rows,
+                    size_t n, double* out) {
+  for (size_t i = 0; i < num_rows; ++i) {
+    const float* row = rows + i * n;
+    __m256d acc0 = _mm256_setzero_pd();
+    __m256d acc1 = _mm256_setzero_pd();
+    size_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      const __m256 q = _mm256_loadu_ps(query + j);
+      const __m256 r = _mm256_loadu_ps(row + j);
+      acc0 = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm256_castps256_ps128(q)),
+                             _mm256_cvtps_pd(_mm256_castps256_ps128(r)),
+                             acc0);
+      acc1 = _mm256_fmadd_pd(_mm256_cvtps_pd(_mm256_extractf128_ps(q, 1)),
+                             _mm256_cvtps_pd(_mm256_extractf128_ps(r, 1)),
+                             acc1);
+    }
+    double s = Hsum256d(_mm256_add_pd(acc0, acc1));
+    for (; j < n; ++j) s += static_cast<double>(query[j]) * row[j];
+    out[i] = s;
+  }
+}
+
+}  // namespace
+
+const KernelOps* Avx2Ops() {
+  // Compiled-in does not mean runnable: gate on CPUID so a binary built on
+  // an AVX2 machine still starts (on the scalar path) elsewhere.
+  static const bool supported =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  if (!supported) return nullptr;
+  static const KernelOps ops = {
+      DotAvx2, AxpyAvx2, ScaleAvx2, SgnsUpdateStepAvx2, ScoreBlockAvx2,
+  };
+  return &ops;
+}
+
+}  // namespace hybridgnn::kernels::internal

@@ -1,0 +1,30 @@
+#ifndef HYBRIDGNN_KERNELS_KERNELS_IMPL_H_
+#define HYBRIDGNN_KERNELS_KERNELS_IMPL_H_
+
+#include <cstddef>
+
+// Internal dispatch table shared by kernels.cc and the per-backend
+// translation units. Not part of the public API; include kernels/kernels.h
+// instead.
+namespace hybridgnn::kernels::internal {
+
+struct KernelOps {
+  float (*dot)(const float*, const float*, size_t);
+  void (*axpy)(float, const float*, float*, size_t);
+  void (*scale)(float, float*, size_t);
+  float (*sgns_update_step)(const float*, float*, float*, size_t, float,
+                            float);
+  void (*score_block)(const float*, const float*, size_t, size_t, double*);
+};
+
+/// The scalar reference implementation. Always present.
+const KernelOps& ScalarOps();
+
+/// The AVX2+FMA implementation, or nullptr when it was not compiled in
+/// (non-x86 target / compiler without -mavx2) or the CPU lacks AVX2/FMA.
+/// Defined in kernels_avx2.cc when built, stubbed in kernels.cc otherwise.
+const KernelOps* Avx2Ops();
+
+}  // namespace hybridgnn::kernels::internal
+
+#endif  // HYBRIDGNN_KERNELS_KERNELS_IMPL_H_

@@ -1,0 +1,72 @@
+// Scalar reference implementation of the kernel layer. These loops are the
+// exact pre-kernel-layer hot loops moved out of sgns.cc / line.cc / topk.cc
+// / tensor_ops.cc, so HYBRIDGNN_KERNELS=scalar reproduces the pre-SIMD
+// library bit for bit (pinned by determinism_test's golden vectors). Do not
+// "improve" the arithmetic here — reorderings change results and break the
+// reproducibility contract; speed work belongs in kernels_avx2.cc.
+#include <cmath>
+
+#include "common/parallel.h"
+#include "kernels/kernels_impl.h"
+
+namespace hybridgnn::kernels::internal {
+
+namespace {
+
+float DotScalar(const float* a, const float* b, size_t n) {
+  float s = 0.0f;
+  for (size_t j = 0; j < n; ++j) s += a[j] * b[j];
+  return s;
+}
+
+// Runs inside the Hogwild SGNS/LINE update path where workers race on
+// embedding rows by design, so it must stay TSan-uninstrumented (see
+// common/parallel.h).
+HYBRIDGNN_NO_SANITIZE_THREAD
+void AxpyScalar(float alpha, const float* x, float* y, size_t n) {
+  for (size_t j = 0; j < n; ++j) y[j] += alpha * x[j];
+}
+
+void ScaleScalar(float alpha, float* x, size_t n) {
+  for (size_t j = 0; j < n; ++j) x[j] *= alpha;
+}
+
+// The pre-kernel-layer SgnsPush/LinePush body, verbatim. Benign Hogwild
+// races on `c` (and reads of `e`) by design.
+HYBRIDGNN_NO_SANITIZE_THREAD
+float SgnsUpdateStepScalar(const float* e, float* c, float* e_grad, size_t n,
+                           float label, float lr) {
+  float dot = 0.0f;
+  for (size_t j = 0; j < n; ++j) dot += e[j] * c[j];
+  const float sig = 1.0f / (1.0f + std::exp(-dot));
+  const float g = (sig - label) * lr;
+  for (size_t j = 0; j < n; ++j) {
+    e_grad[j] += g * c[j];
+    c[j] -= g * e[j];
+  }
+  return g;
+}
+
+void ScoreBlockScalar(const float* query, const float* rows, size_t num_rows,
+                      size_t n, double* out) {
+  for (size_t i = 0; i < num_rows; ++i) {
+    const float* row = rows + i * n;
+    double s = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      s += static_cast<double>(query[j]) * row[j];
+    }
+    out[i] = s;
+  }
+}
+
+}  // namespace
+
+const KernelOps& ScalarOps() {
+  static const KernelOps ops = {
+      DotScalar, AxpyScalar, ScaleScalar, SgnsUpdateStepScalar,
+      ScoreBlockScalar,
+  };
+  return ops;
+}
+
+}  // namespace hybridgnn::kernels::internal

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/parallel.h"
+#include "kernels/kernels.h"
 #include "obs/metrics.h"
 #include "tensor/init.h"
 
@@ -15,29 +16,10 @@ SgnsEmbedder::SgnsEmbedder(size_t num_nodes, size_t dim, Rng& rng)
   // Context vectors start at zero, as in word2vec.
 }
 
-namespace {
-
-// One (center, target) sigmoid step: accumulates the center gradient in
-// `e_grad` and updates the context row in place. A standalone function —
-// not a lambda inside Update — because no_sanitize attributes do not
-// propagate into a lambda's operator().
-HYBRIDGNN_NO_SANITIZE_THREAD
-void SgnsPush(const float* e, float* c, float* e_grad, size_t dim,
-              float label, float lr) {
-  float dot = 0.0f;
-  for (size_t j = 0; j < dim; ++j) dot += e[j] * c[j];
-  const float sig = 1.0f / (1.0f + std::exp(-dot));
-  const float g = (sig - label) * lr;
-  for (size_t j = 0; j < dim; ++j) {
-    e_grad[j] += g * c[j];
-    c[j] -= g * e[j];
-  }
-}
-
-}  // namespace
-
 // Hogwild workers race on emb_/ctx_ rows by design; uninstrumented under
-// TSan so the benign races don't drown out real findings elsewhere.
+// TSan so the benign races don't drown out real findings elsewhere. The
+// row-level arithmetic lives in the kernel layer (runtime scalar/AVX2
+// dispatch); its implementations on this path carry the same annotation.
 HYBRIDGNN_NO_SANITIZE_THREAD
 void SgnsEmbedder::Update(NodeId center, NodeId context,
                           const NegativeSampler& sampler, size_t negatives,
@@ -45,12 +27,13 @@ void SgnsEmbedder::Update(NodeId center, NodeId context,
   const size_t dim = emb_.cols();
   float* e = emb_.RowPtr(center);
   std::vector<float> e_grad(dim, 0.0f);
-  SgnsPush(e, ctx_.RowPtr(context), e_grad.data(), dim, 1.0f, lr);
+  kernels::SgnsUpdateStep(e, ctx_.RowPtr(context), e_grad.data(), dim, 1.0f,
+                          lr);
   for (size_t n = 0; n < negatives; ++n) {
-    SgnsPush(e, ctx_.RowPtr(sampler.SampleLike(context, rng)), e_grad.data(),
-             dim, 0.0f, lr);
+    kernels::SgnsUpdateStep(e, ctx_.RowPtr(sampler.SampleLike(context, rng)),
+                            e_grad.data(), dim, 0.0f, lr);
   }
-  for (size_t j = 0; j < dim; ++j) e[j] -= e_grad[j];
+  kernels::Axpy(-1.0f, e_grad.data(), e, dim);
 }
 
 void SgnsEmbedder::Train(const std::vector<SkipGramPair>& pairs,

@@ -7,6 +7,7 @@
 
 #include <cstring>
 #include <fstream>
+#include <new>
 #include <utility>
 #include <vector>
 
@@ -63,7 +64,9 @@ class MetaReader {
 
   bool ReadNodeIds(size_t count, std::vector<NodeId>* out) {
     static_assert(sizeof(NodeId) == sizeof(uint32_t));
-    if (pos_ + count * sizeof(uint32_t) > size_) return false;
+    // Divide instead of multiplying: count arrives straight from the file,
+    // and count * 4 can wrap size_t on an adversarial header.
+    if (count > (size_ - pos_) / sizeof(uint32_t)) return false;
     out->resize(count);
     std::memcpy(out->data(), data_ + pos_, count * sizeof(uint32_t));
     pos_ += count * sizeof(uint32_t);
@@ -150,6 +153,18 @@ Status ParseCheckpoint(const uint8_t* data, size_t size,
     return Status::InvalidArgument("corrupt header: implausible dim " +
                                    std::to_string(dim));
   }
+  // The writer refuses empty stores, so a zero here is corruption; catching
+  // it in the shared parser keeps the copy and mmap paths consistent.
+  if (num_relations == 0) {
+    return Status::InvalidArgument("corrupt header: zero relations");
+  }
+  // NodeId is 32 bits and the store builds an O(num_nodes) index per
+  // relation, so a wider node-id space cannot be honest and must not reach
+  // the index allocation.
+  if (num_nodes == 0 || num_nodes > (uint64_t{1} << 32)) {
+    return Status::InvalidArgument("corrupt header: implausible num_nodes " +
+                                   std::to_string(num_nodes));
+  }
 
   MetaReader meta(data + kCheckpointHeaderBytes, meta_bytes);
   if (!meta.ReadString(&out->model_name)) {
@@ -157,6 +172,14 @@ Status ParseCheckpoint(const uint8_t* data, size_t size,
   }
   out->num_nodes = num_nodes;
   out->dim = dim;
+  // Every relation record costs at least 4 (name length) + 8 (num_rows)
+  // metadata bytes, so anything larger than meta_bytes / 12 cannot be
+  // honest — and must not reach the resize below, where a forged 2^60
+  // would abort on allocation instead of returning a Status.
+  if (num_relations > meta_bytes / 12) {
+    return Status::InvalidArgument(
+        "corrupt header: num_relations inconsistent with metadata size");
+  }
   out->relations.resize(num_relations);
   size_t offset = Align64(kCheckpointHeaderBytes + meta_bytes);
   for (auto& rel : out->relations) {
@@ -295,7 +318,7 @@ Status SaveCheckpoint(const EmbeddingModel& model,
 }
 
 StatusOr<EmbeddingStore> LoadCheckpoint(const std::string& path,
-                                        LoadMode mode) {
+                                        LoadMode mode) try {
   if (mode == LoadMode::kCopy) {
     HYBRIDGNN_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
                                ReadWholeFile(path));
@@ -357,6 +380,11 @@ StatusOr<EmbeddingStore> LoadCheckpoint(const std::string& path,
   }
   store.mapping_ = std::move(region);
   return store;
+} catch (const std::bad_alloc&) {
+  // A header can pass every structural check and still describe a store
+  // (say, 2^32 sparsely-covered nodes) whose index exceeds memory; that is
+  // an I/O-level rejection, not a crash.
+  return Status::IoError("checkpoint load exhausted memory on " + path);
 }
 
 }  // namespace hybridgnn

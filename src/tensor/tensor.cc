@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "kernels/kernels.h"
 
 namespace hybridgnn {
 
@@ -36,18 +37,16 @@ void Tensor::Fill(float value) {
 
 void Tensor::AddInPlace(const Tensor& other) {
   HYBRIDGNN_CHECK(SameShape(other)) << "AddInPlace shape mismatch";
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  kernels::Axpy(1.0f, other.data_.data(), data_.data(), data_.size());
 }
 
 void Tensor::Axpy(float alpha, const Tensor& other) {
   HYBRIDGNN_CHECK(SameShape(other)) << "Axpy shape mismatch";
-  for (size_t i = 0; i < data_.size(); ++i) {
-    data_[i] += alpha * other.data_[i];
-  }
+  kernels::Axpy(alpha, other.data_.data(), data_.data(), data_.size());
 }
 
 void Tensor::ScaleInPlace(float alpha) {
-  for (auto& v : data_) v *= alpha;
+  kernels::Scale(alpha, data_.data(), data_.size());
 }
 
 Tensor Tensor::CopyRow(size_t r) const {
@@ -64,8 +63,9 @@ double Tensor::Sum() const {
 }
 
 double Tensor::SquaredNorm() const {
+  if (data_.empty()) return 0.0;
   double s = 0.0;
-  for (float v : data_) s += static_cast<double>(v) * v;
+  kernels::ScoreBlock(data_.data(), data_.data(), 1, data_.size(), &s);
   return s;
 }
 

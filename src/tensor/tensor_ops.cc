@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "kernels/kernels.h"
 
 namespace hybridgnn {
 
@@ -12,15 +13,16 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       << "MatMul " << a.ShapeString() << " x " << b.ShapeString();
   const size_t m = a.rows(), k = a.cols(), n = b.cols();
   Tensor c(m, n);
-  // ikj loop order: unit-stride inner loop over both B and C rows.
+  // ikj loop order: unit-stride axpy over both B and C rows. The zero skip
+  // both saves work on sparse-ish activations and keeps results bit-stable
+  // when a row is untouched.
   for (size_t i = 0; i < m; ++i) {
     float* crow = c.RowPtr(i);
     const float* arow = a.RowPtr(i);
     for (size_t p = 0; p < k; ++p) {
       const float av = arow[p];
       if (av == 0.0f) continue;
-      const float* brow = b.RowPtr(p);
-      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      kernels::Axpy(av, b.RowPtr(p), crow, n);
     }
   }
   return c;
@@ -37,8 +39,7 @@ Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
     for (size_t i = 0; i < m; ++i) {
       const float av = arow[i];
       if (av == 0.0f) continue;
-      float* crow = c.RowPtr(i);
-      for (size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      kernels::Axpy(av, brow, c.RowPtr(i), n);
     }
   }
   return c;
@@ -53,10 +54,7 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
     const float* arow = a.RowPtr(i);
     float* crow = c.RowPtr(i);
     for (size_t j = 0; j < n; ++j) {
-      const float* brow = b.RowPtr(j);
-      float s = 0.0f;
-      for (size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
-      crow[j] = s;
+      crow[j] = kernels::Dot(arow, b.RowPtr(j), k);
     }
   }
   return c;
@@ -106,15 +104,15 @@ Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
       << a.ShapeString();
   Tensor c = a;
   for (size_t i = 0; i < a.rows(); ++i) {
-    float* crow = c.RowPtr(i);
-    const float* brow = bias.RowPtr(0);
-    for (size_t j = 0; j < a.cols(); ++j) crow[j] += brow[j];
+    kernels::Axpy(1.0f, bias.RowPtr(0), c.RowPtr(i), a.cols());
   }
   return c;
 }
 
 Tensor Scale(const Tensor& a, float alpha) {
-  return Map(a, [alpha](float x) { return alpha * x; });
+  Tensor c = a;
+  kernels::Scale(alpha, c.data(), c.size());
+  return c;
 }
 
 Tensor Transpose(const Tensor& a) {
@@ -167,11 +165,7 @@ Tensor RowwiseDot(const Tensor& a, const Tensor& b) {
   HYBRIDGNN_CHECK(a.SameShape(b)) << "RowwiseDot shape mismatch";
   Tensor c(a.rows(), 1);
   for (size_t i = 0; i < a.rows(); ++i) {
-    const float* pa = a.RowPtr(i);
-    const float* pb = b.RowPtr(i);
-    float s = 0.0f;
-    for (size_t j = 0; j < a.cols(); ++j) s += pa[j] * pb[j];
-    c.At(i, 0) = s;
+    c.At(i, 0) = kernels::Dot(a.RowPtr(i), b.RowPtr(i), a.cols());
   }
   return c;
 }
@@ -184,11 +178,13 @@ Tensor MeanRows(const Tensor& a) {
 }
 
 Tensor SumRows(const Tensor& a) {
+  // The dense reduction behind HybridGNN mean-aggregation; kept as a
+  // row-at-a-time axpy so the summation order (and therefore the result)
+  // matches the pre-kernel-layer loop on every backend.
   Tensor c(1, a.cols());
   float* crow = c.RowPtr(0);
   for (size_t i = 0; i < a.rows(); ++i) {
-    const float* arow = a.RowPtr(i);
-    for (size_t j = 0; j < a.cols(); ++j) crow[j] += arow[j];
+    kernels::Axpy(1.0f, a.RowPtr(i), crow, a.cols());
   }
   return c;
 }
@@ -247,10 +243,10 @@ void L2NormalizeRowsInPlace(Tensor& a) {
   for (size_t i = 0; i < a.rows(); ++i) {
     float* row = a.RowPtr(i);
     double s = 0.0;
-    for (size_t j = 0; j < a.cols(); ++j) s += static_cast<double>(row[j]) * row[j];
+    kernels::ScoreBlock(row, row, 1, a.cols(), &s);
     if (s < 1e-24) continue;
     const float inv = static_cast<float>(1.0 / std::sqrt(s));
-    for (size_t j = 0; j < a.cols(); ++j) row[j] *= inv;
+    kernels::Scale(inv, row, a.cols());
   }
 }
 

@@ -1,0 +1,251 @@
+// Fuzz-style robustness suite for the .hgc checkpoint loader: every-byte
+// flips, truncations at every interesting boundary, trailing garbage,
+// random-garbage files, and forged headers whose checksums are recomputed
+// so the deeper structural validation (not just the checksum) is what has
+// to hold. The loader's contract (serve/checkpoint.h) is that every
+// corruption comes back as a clean non-OK Status — never a crash, abort,
+// or huge allocation. scripts/asan_check.sh runs this binary under
+// AddressSanitizer, which turns any loader overread into a hard failure.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "serve/checkpoint.h"
+#include "serve/embedding_store.h"
+#include "tensor/tensor.h"
+
+namespace hybridgnn {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& name) {
+  return (fs::path(::testing::TempDir()) / name).string();
+}
+
+EmbeddingStore MakeSmallStore(uint64_t seed) {
+  Rng rng(seed);
+  std::vector<EmbeddingStore::TableInit> tables;
+  for (int which : {0, 1}) {
+    EmbeddingStore::TableInit t;
+    t.name = which == 0 ? "view" : "buy";
+    for (NodeId v = 0; v < 11; ++v) {
+      if (which == 1 && v % 2 != 0) continue;
+      t.row_to_node.push_back(v);
+    }
+    t.data = Tensor(t.row_to_node.size(), 6);
+    for (size_t i = 0; i < t.data.size(); ++i) {
+      t.data.data()[i] = rng.UniformFloat(-1.0f, 1.0f);
+    }
+    tables.push_back(std::move(t));
+  }
+  auto store = EmbeddingStore::FromTables("fuzz", 11, std::move(tables));
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  return std::move(store).value();
+}
+
+std::vector<char> ReadFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.is_open()) << path;
+  return std::vector<char>(std::istreambuf_iterator<char>(f),
+                           std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(f.is_open()) << path;
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Loads `path` under both modes; the attempt must return a non-OK Status
+/// (and, under ASan, must not overread). `what` labels the failure.
+void ExpectRejected(const std::string& path, const std::string& what) {
+  for (LoadMode mode : {LoadMode::kCopy, LoadMode::kMmap}) {
+    auto r = LoadCheckpoint(path, mode);
+    EXPECT_FALSE(r.ok()) << what << " accepted under mode "
+                         << static_cast<int>(mode);
+  }
+}
+
+void PutU64(std::vector<char>& bytes, size_t offset, uint64_t value) {
+  ASSERT_LE(offset + 8, bytes.size());
+  std::memcpy(bytes.data() + offset, &value, 8);
+}
+
+/// Recomputes the two FNV-1a checksums so forged header fields survive the
+/// checksum check and hit the structural validation behind it.
+void ResealChecksums(std::vector<char>& bytes) {
+  ASSERT_GE(bytes.size(), kCheckpointHeaderBytes);
+  const uint64_t payload = Fnv1a64(bytes.data() + kCheckpointHeaderBytes,
+                                   bytes.size() - kCheckpointHeaderBytes);
+  PutU64(bytes, 48, payload);
+  PutU64(bytes, 56, Fnv1a64(bytes.data(), 56));
+}
+
+class CheckpointCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TempPath("corruption.hgc");
+    ASSERT_TRUE(WriteCheckpoint(MakeSmallStore(42), path_).ok());
+    pristine_ = ReadFile(path_);
+    ASSERT_GT(pristine_.size(), kCheckpointHeaderBytes);
+    // Sanity: the pristine bytes load under both modes.
+    for (LoadMode mode : {LoadMode::kCopy, LoadMode::kMmap}) {
+      ASSERT_TRUE(LoadCheckpoint(path_, mode).ok());
+    }
+  }
+
+  std::string path_;
+  std::vector<char> pristine_;
+};
+
+TEST_F(CheckpointCorruptionTest, EveryByteFlipIsRejectedOrHarmless) {
+  // Flip every byte of the file, one at a time. Most flips must be caught
+  // (magic/version/structure/checksums); a flip is allowed to slip through
+  // only if the load still fully succeeds — never a crash in between.
+  size_t rejected = 0;
+  for (size_t off = 0; off < pristine_.size(); ++off) {
+    std::vector<char> bytes = pristine_;
+    bytes[off] ^= 0xFF;
+    WriteFile(path_, bytes);
+    bool all_ok = true;
+    for (LoadMode mode : {LoadMode::kCopy, LoadMode::kMmap}) {
+      auto r = LoadCheckpoint(path_, mode);
+      if (!r.ok()) all_ok = false;
+    }
+    if (!all_ok) ++rejected;
+  }
+  // Header and payload are both checksummed, so every single-byte flip in
+  // this file must be detected.
+  EXPECT_EQ(rejected, pristine_.size());
+}
+
+TEST_F(CheckpointCorruptionTest, EveryTruncationLengthIsRejected) {
+  // Cut the file to every possible shorter length: 0, mid-header, header
+  // boundary, mid-metadata, padding, mid-table, one-byte-short.
+  for (size_t len = 0; len < pristine_.size(); ++len) {
+    std::vector<char> bytes(pristine_.begin(),
+                            pristine_.begin() + static_cast<long>(len));
+    WriteFile(path_, bytes);
+    ExpectRejected(path_, "truncation to " + std::to_string(len));
+  }
+}
+
+TEST_F(CheckpointCorruptionTest, TrailingGarbageIsRejected) {
+  for (size_t extra : {1u, 64u, 4096u}) {
+    std::vector<char> bytes = pristine_;
+    bytes.insert(bytes.end(), extra, '\x7f');
+    WriteFile(path_, bytes);
+    ExpectRejected(path_, "trailing garbage x" + std::to_string(extra));
+  }
+}
+
+TEST_F(CheckpointCorruptionTest, RandomGarbageFilesAreRejected) {
+  Rng rng(7);
+  for (int trial = 0; trial < 64; ++trial) {
+    const size_t len = static_cast<size_t>(rng.UniformUint64(4096));
+    std::vector<char> bytes(len);
+    for (auto& b : bytes) {
+      b = static_cast<char>(rng.UniformUint64(256));
+    }
+    WriteFile(path_, bytes);
+    ExpectRejected(path_, "random garbage trial " + std::to_string(trial));
+  }
+}
+
+TEST_F(CheckpointCorruptionTest, RandomGarbageWithValidMagicIsRejected) {
+  Rng rng(8);
+  for (int trial = 0; trial < 64; ++trial) {
+    const size_t len =
+        kCheckpointHeaderBytes + static_cast<size_t>(rng.UniformUint64(2048));
+    std::vector<char> bytes(len);
+    for (auto& b : bytes) {
+      b = static_cast<char>(rng.UniformUint64(256));
+    }
+    std::memcpy(bytes.data(), kCheckpointMagic, 4);
+    std::memcpy(bytes.data() + 4, &kCheckpointEndianTag, 2);
+    std::memcpy(bytes.data() + 6, &kCheckpointVersion, 2);
+    WriteFile(path_, bytes);
+    ExpectRejected(path_, "magic garbage trial " + std::to_string(trial));
+  }
+}
+
+// Forged headers: patch one u64 field, reseal both checksums so the forgery
+// passes the hash check, and demand the structural validation catches it
+// without attempting an absurd allocation (ASan would flag allocator abuse,
+// and a resize(2^60) would abort the process outright).
+TEST_F(CheckpointCorruptionTest, ForgedHeaderFieldsAreRejected) {
+  struct Forgery {
+    const char* what;
+    size_t offset;
+    uint64_t value;
+  };
+  const Forgery forgeries[] = {
+      {"num_relations=0", 8, 0},
+      {"num_relations huge", 8, uint64_t{1} << 60},
+      {"num_relations+1", 8, 3},
+      {"num_nodes=0", 16, 0},
+      {"num_nodes huge", 16, uint64_t{1} << 60},
+      {"dim=0", 24, 0},
+      {"dim huge", 24, uint64_t{1} << 60},
+      {"meta_bytes=0", 32, 0},
+      {"meta_bytes huge", 32, uint64_t{1} << 60},
+      {"meta_bytes past payload", 32, uint64_t{1} << 20},
+      {"payload_bytes=0", 40, 0},
+      {"payload_bytes huge", 40, uint64_t{1} << 60},
+      {"payload_bytes off by one", 40, 0},  // patched below
+  };
+  for (Forgery f : forgeries) {
+    std::vector<char> bytes = pristine_;
+    if (std::string(f.what) == "payload_bytes off by one") {
+      f.value = bytes.size() - kCheckpointHeaderBytes + 1;
+    }
+    PutU64(bytes, f.offset, f.value);
+    ResealChecksums(bytes);
+    WriteFile(path_, bytes);
+    ExpectRejected(path_, f.what);
+  }
+}
+
+TEST_F(CheckpointCorruptionTest, ForgedMetadataCountsAreRejected) {
+  // The metadata blob leads with u32 model-name length; a forged huge
+  // length must not drive a wild read or allocation.
+  std::vector<char> bytes = pristine_;
+  const uint32_t huge = 0xFFFFFFFFu;
+  std::memcpy(bytes.data() + kCheckpointHeaderBytes, &huge, 4);
+  ResealChecksums(bytes);
+  WriteFile(path_, bytes);
+  ExpectRejected(path_, "forged model-name length");
+
+  // Forge the first relation's num_rows (u64 after model name + relation
+  // name records). Walk the real layout to find it.
+  bytes = pristine_;
+  size_t pos = kCheckpointHeaderBytes;
+  uint32_t name_len = 0;
+  std::memcpy(&name_len, bytes.data() + pos, 4);
+  pos += 4 + name_len;  // model name
+  std::memcpy(&name_len, bytes.data() + pos, 4);
+  pos += 4 + name_len;  // relation 0 name
+  PutU64(bytes, pos, uint64_t{1} << 61);
+  ResealChecksums(bytes);
+  WriteFile(path_, bytes);
+  ExpectRejected(path_, "forged relation row count");
+}
+
+TEST_F(CheckpointCorruptionTest, ZeroLengthAndHeaderOnlyFiles) {
+  WriteFile(path_, {});
+  ExpectRejected(path_, "empty file");
+  std::vector<char> header(pristine_.begin(),
+                           pristine_.begin() + kCheckpointHeaderBytes);
+  WriteFile(path_, header);
+  ExpectRejected(path_, "header-only file");
+}
+
+}  // namespace
+}  // namespace hybridgnn

@@ -1,0 +1,158 @@
+// Concurrency stress test for serve/service.cc: many producer threads
+// hammer a RecommendService with mixed valid and invalid queries while
+// every successful response is checked against a direct (synchronous)
+// TopKRecommender call on the same query. Also exercises shutdown while
+// producers are still submitting. scripts/tsan_check.sh runs this binary
+// under ThreadSanitizer, which turns any batching-queue or metrics race
+// into a hard failure.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "serve/embedding_store.h"
+#include "serve/service.h"
+#include "serve/topk.h"
+#include "tensor/tensor.h"
+
+namespace hybridgnn {
+namespace {
+
+EmbeddingStore MakeStore(size_t num_nodes, size_t dim, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<EmbeddingStore::TableInit> tables(1);
+  tables[0].name = "view";
+  tables[0].row_to_node.resize(num_nodes);
+  tables[0].data = Tensor(num_nodes, dim);
+  for (NodeId v = 0; v < num_nodes; ++v) tables[0].row_to_node[v] = v;
+  for (size_t i = 0; i < tables[0].data.size(); ++i) {
+    tables[0].data.data()[i] = rng.UniformFloat(-1.0f, 1.0f);
+  }
+  auto store =
+      EmbeddingStore::FromTables("stress", num_nodes, std::move(tables));
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  return std::move(store).value();
+}
+
+TEST(ServiceStressTest, ManyProducersMatchDirectRecommender) {
+  constexpr size_t kNodes = 120;
+  constexpr size_t kProducers = 8;
+  constexpr size_t kPerProducer = 100;
+  EmbeddingStore store = MakeStore(kNodes, 16, 31);
+  TopKRecommender rec(&store, nullptr, TopKOptions{});
+  ServiceOptions options;
+  options.num_threads = 3;
+  options.batch_window_ms = 0.2;  // small window: heavy batch churn
+  options.max_batch_size = 5;
+  RecommendService service(&rec, options);
+
+  std::atomic<size_t> mismatches{0};
+  std::atomic<size_t> ok_responses{0};
+  std::atomic<size_t> expected_errors{0};
+  std::vector<std::thread> producers;
+  for (size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      Rng rng(900 + p);
+      for (size_t i = 0; i < kPerProducer; ++i) {
+        TopKQuery q;
+        q.rel = 0;
+        q.k = 1 + static_cast<size_t>(rng.UniformUint64(8));
+        if (rng.Bernoulli(0.1)) {
+          // Invalid node: must come back as a per-request error, and must
+          // not poison the rest of the batch it rides in.
+          q.node = kNodes + 5;
+          RecommendResponse resp = service.Call(q);
+          if (resp.status.ok() || !resp.items.empty()) ++mismatches;
+          ++expected_errors;
+          continue;
+        }
+        q.node = static_cast<NodeId>(rng.UniformUint64(kNodes));
+        RecommendResponse resp = service.Call(q);
+        auto direct = rec.Recommend(q);
+        if (!resp.status.ok() || !direct.ok()) {
+          ++mismatches;
+          continue;
+        }
+        if (resp.items.size() != direct->size()) {
+          ++mismatches;
+          continue;
+        }
+        for (size_t j = 0; j < resp.items.size(); ++j) {
+          if (resp.items[j].node != (*direct)[j].node ||
+              resp.items[j].score != (*direct)[j].score) {
+            ++mismatches;
+          }
+        }
+        ++ok_responses;
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(ok_responses.load() + expected_errors.load(),
+            kProducers * kPerProducer);
+  MetricsSnapshot snap = service.metrics();
+  EXPECT_EQ(snap.requests, kProducers * kPerProducer);
+  EXPECT_EQ(snap.errors, expected_errors.load());
+  EXPECT_GE(snap.batches, 1u);
+  EXPECT_GE(snap.latency_p99_ms, snap.latency_p50_ms);
+}
+
+TEST(ServiceStressTest, ShutdownUnderLoadFulfillsEveryFuture) {
+  EmbeddingStore store = MakeStore(60, 8, 32);
+  TopKRecommender rec(&store, nullptr, TopKOptions{});
+  ServiceOptions options;
+  options.num_threads = 2;
+  options.batch_window_ms = 2.0;
+  options.max_batch_size = 16;
+
+  constexpr size_t kProducers = 6;
+  constexpr size_t kPerProducer = 40;
+  std::mutex mu;
+  std::vector<std::future<RecommendResponse>> futures;
+  std::atomic<size_t> rejected{0};
+  {
+    RecommendService service(&rec, options);
+    std::vector<std::thread> producers;
+    std::atomic<bool> fired{false};
+    for (size_t p = 0; p < kProducers; ++p) {
+      producers.emplace_back([&, p] {
+        Rng rng(700 + p);
+        for (size_t i = 0; i < kPerProducer; ++i) {
+          TopKQuery q;
+          q.node = static_cast<NodeId>(rng.UniformUint64(60));
+          q.rel = 0;
+          q.k = 4;
+          auto f = service.Submit(q);
+          std::lock_guard<std::mutex> lock(mu);
+          futures.push_back(std::move(f));
+        }
+        // One producer pulls the plug while the others are mid-stream.
+        if (p == 0 && !fired.exchange(true)) service.Shutdown();
+      });
+    }
+    for (auto& t : producers) t.join();
+  }
+  // Every submitted future must resolve — either with results (drained
+  // before shutdown) or with the documented shutdown error. A future left
+  // unfulfilled would block forever here.
+  for (auto& f : futures) {
+    RecommendResponse resp = f.get();
+    if (resp.status.ok()) {
+      EXPECT_EQ(resp.items.size(), 4u);
+    } else {
+      EXPECT_EQ(resp.status.code(), StatusCode::kFailedPrecondition)
+          << resp.status.ToString();
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(futures.size(), kProducers * kPerProducer);
+}
+
+}  // namespace
+}  // namespace hybridgnn
