@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # One-shot CI gate: configure + build + full ctest suite, then the
-# ThreadSanitizer and AddressSanitizer sweeps. Exits non-zero on the first
-# failing stage, so `scripts/ci_check.sh && git push` is a safe habit.
+# ThreadSanitizer and AddressSanitizer sweeps, then the micro_autograd
+# allocation gate (steady-state training steps must stay allocation-free).
+# Exits non-zero on the first failing stage, so `scripts/ci_check.sh &&
+# git push` is a safe habit.
 #
 # Usage: scripts/ci_check.sh [build-dir]   (default: build)
 # The sanitizer stages use their own build trees (build-tsan, build-asan);
@@ -23,5 +25,9 @@ scripts/tsan_check.sh
 
 echo "=== ci_check: AddressSanitizer sweep ==="
 scripts/asan_check.sh
+
+echo "=== ci_check: allocation-free training-step gate ==="
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target micro_autograd
+"$BUILD_DIR/bench/micro_autograd" --gate
 
 echo "=== ci_check: all stages passed ==="

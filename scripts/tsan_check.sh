@@ -21,8 +21,10 @@ cmake -B "$BUILD_DIR" -S . \
 # RecommendService (multi-client Submit + dispatcher + scoring pool);
 # service_stress_test hammers the same service with producer threads while
 # cross-checking every response against a direct recommender call.
+# arena_test exercises the tape arena + tensor pool from concurrent workers
+# backpropagating over shared parameters (visit marks, buffer migration).
 TESTS=(threadpool_test sampling_test determinism_test serve_test obs_test
-       service_stress_test)
+       service_stress_test arena_test)
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TESTS[@]}"
 
 status=0

@@ -114,6 +114,9 @@ Status Gatne::Fit(const MultiplexHeteroGraph& g, const FitOptions& options) {
     CorpusOptions pre_corpus = corpus_opts;
     pre_corpus.direct_edge_copies = 2;
     WalkCorpus uniform = BuildUniformCorpus(g, pre_corpus, rng);
+    uniform.pairs.reserve(uniform.pairs.size() +
+                          2 * pre_corpus.direct_edge_copies *
+                              g.edges().size());
     for (size_t copy = 0; copy < pre_corpus.direct_edge_copies; ++copy) {
       for (const auto& e : g.edges()) {
         uniform.pairs.push_back(SkipGramPair{e.src, e.dst, e.rel});
@@ -174,6 +177,7 @@ Status Gatne::Fit(const MultiplexHeteroGraph& g, const FitOptions& options) {
     Rng val_rng(options_.seed ^ 0x7A11);
     double wins = 0.0;
     for (size_t i = 0; i < val_edges.size(); ++i) {
+      ag::TapeScope tape;  // scoring-only graphs, rewound per edge
       const EdgeTriple& e = val_edges[i];
       ag::Var eu = ForwardNode(g, e.src, val_rng);
       ag::Var ev = ForwardNode(g, e.dst, val_rng);
@@ -214,16 +218,19 @@ Status Gatne::Fit(const MultiplexHeteroGraph& g, const FitOptions& options) {
                                       options_.max_pairs_per_epoch);
     for (size_t start = 0; start < use; start += edge_batch) {
       const size_t end = std::min(use, start + edge_batch);
-      std::unordered_map<NodeId, ag::Var> node_vars;
-      auto node_var = [&](NodeId v) {
-        auto it = node_vars.find(v);
-        if (it == node_vars.end()) {
-          it = node_vars.emplace(v, ForwardNode(g, v, rng)).first;
+      // Tape before Vars; thread-local scratch reused across batches (see
+      // HybridGnn::Fit for the pattern).
+      ag::TapeScope tape;
+      static thread_local std::vector<std::pair<NodeId, ag::Var>> node_vars;
+      static thread_local std::vector<ag::Var> lhs, rhs;
+      static thread_local std::vector<float> labels;
+      auto node_var = [&](NodeId v) -> const ag::Var& {
+        for (const auto& [id, var] : node_vars) {
+          if (id == v) return var;
         }
-        return it->second;
+        node_vars.emplace_back(v, ForwardNode(g, v, rng));
+        return node_vars.back().second;
       };
-      std::vector<ag::Var> lhs, rhs;
-      std::vector<float> labels;
       for (size_t i = start; i < end; ++i) {
         const EdgeTriple& e = train_edges[order[i]];
         lhs.push_back(ag::SliceRows(node_var(e.src), e.rel, 1));
@@ -237,10 +244,16 @@ Status Gatne::Fit(const MultiplexHeteroGraph& g, const FitOptions& options) {
           labels.push_back(0.0f);
         }
       }
-      ag::Var logits =
-          ag::RowwiseDot(ag::ConcatRows(lhs), ag::ConcatRows(rhs));
-      ag::Var loss = ag::BceWithLogits(logits, labels);
-      ag::Backward(loss);
+      {
+        ag::Var logits =
+            ag::RowwiseDot(ag::ConcatRows(lhs), ag::ConcatRows(rhs));
+        ag::Var loss = ag::BceWithLogits(logits, labels);
+        ag::Backward(loss);
+      }
+      node_vars.clear();
+      lhs.clear();
+      rhs.clear();
+      labels.clear();
       optimizer.Step();
       optimizer.ZeroGrad();
     }
@@ -258,6 +271,7 @@ Status Gatne::Fit(const MultiplexHeteroGraph& g, const FitOptions& options) {
 
   cache_ = Tensor(g.num_nodes() * num_relations_, options_.base_dim);
   auto cache_node = [&](NodeId v, Rng& node_rng) {
+    ag::TapeScope tape;  // inference-only graph, rewound per node
     ag::Var all = ForwardNode(g, v, node_rng);
     for (RelationId r = 0; r < num_relations_; ++r) {
       const float* src = all->value.RowPtr(r);

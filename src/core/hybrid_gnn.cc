@@ -15,6 +15,7 @@
 #include "sampling/sgns.h"
 #include "sampling/walker.h"
 #include "tensor/init.h"
+#include "tensor/pool.h"
 #include "tensor/tensor_ops.h"
 
 namespace hybridgnn {
@@ -198,6 +199,9 @@ Status HybridGnn::Fit(const MultiplexHeteroGraph& g,
     CorpusOptions pre_corpus = corpus_opts;
     pre_corpus.direct_edge_copies = 2;
     WalkCorpus uniform = BuildUniformCorpus(g, pre_corpus, rng);
+    uniform.pairs.reserve(uniform.pairs.size() +
+                          2 * pre_corpus.direct_edge_copies *
+                              g.edges().size());
     for (size_t copy = 0; copy < pre_corpus.direct_edge_copies; ++copy) {
       for (const auto& e : g.edges()) {
         uniform.pairs.push_back(SkipGramPair{e.src, e.dst, e.rel});
@@ -270,6 +274,9 @@ Status HybridGnn::Fit(const MultiplexHeteroGraph& g,
     Rng val_rng(config_.seed ^ 0x7A11);
     double wins = 0.0;
     for (size_t i = 0; i < val_edges.size(); ++i) {
+      // Per-edge tape: the four forward graphs are scoring-only scaffolding,
+      // rewound before the next edge.
+      ag::TapeScope tape;
       const EdgeTriple& e = val_edges[i];
       ag::Var eu = ForwardNode(g, e.src, val_rng);
       ag::Var ev = ForwardNode(g, e.dst, val_rng);
@@ -303,16 +310,22 @@ Status HybridGnn::Fit(const MultiplexHeteroGraph& g,
   // backpropagated with `brng`. Returns (sum of per-element BCE terms,
   // element count) so shard losses can be reduced exactly.
   auto run_batch = [&](size_t start, size_t end, Rng& brng) {
-    std::unordered_map<NodeId, ag::Var> node_vars;
-    auto node_var = [&](NodeId v) {
-      auto it = node_vars.find(v);
-      if (it == node_vars.end()) {
-        it = node_vars.emplace(v, ForwardNode(g, v, brng)).first;
+    // The tape is declared before every Var below so the Vars die first and
+    // the arena rewind at scope exit frees the whole batch graph at once.
+    ag::TapeScope tape;
+    // Thread-local scratch reused across batches (capacity survives the
+    // clear). A flat vector with linear lookup beats a hash map here: a
+    // batch touches a few hundred nodes and the probe is a scan over ids.
+    static thread_local std::vector<std::pair<NodeId, ag::Var>> node_vars;
+    static thread_local std::vector<ag::Var> lhs, rhs;
+    static thread_local std::vector<float> labels;
+    auto node_var = [&](NodeId v) -> const ag::Var& {
+      for (const auto& [id, var] : node_vars) {
+        if (id == v) return var;
       }
-      return it->second;
+      node_vars.emplace_back(v, ForwardNode(g, v, brng));
+      return node_vars.back().second;
     };
-    std::vector<ag::Var> lhs, rhs;
-    std::vector<float> labels;
     for (size_t i = start; i < end; ++i) {
       const EdgeTriple& e = train_edges[order[i]];
       lhs.push_back(ag::SliceRows(node_var(e.src), e.rel, 1));
@@ -330,8 +343,17 @@ Status HybridGnn::Fit(const MultiplexHeteroGraph& g,
         ag::RowwiseDot(ag::ConcatRows(lhs), ag::ConcatRows(rhs));
     ag::Var loss = ag::BceWithLogits(logits, labels);
     ag::Backward(loss);
-    return std::make_pair(static_cast<double>(loss->value.At(0, 0)),
-                          labels.size());
+    const double batch_loss = loss->value.At(0, 0);
+    const size_t elems = labels.size();
+    // Drop every tape-backed Var held in persistent scratch before the
+    // TapeScope rewinds (the scratch keeps its capacity).
+    logits = nullptr;
+    loss = nullptr;
+    node_vars.clear();
+    lhs.clear();
+    rhs.clear();
+    labels.clear();
+    return std::make_pair(batch_loss, elems);
   };
 
   double best_val = validation_auc();  // epoch 0: the pretrained base
@@ -340,11 +362,22 @@ Status HybridGnn::Fit(const MultiplexHeteroGraph& g,
   const size_t edge_batch = std::max<size_t>(16, config_.batch_size / 2);
   std::unique_ptr<ThreadPool> pool;
   if (train_threads > 1) pool = std::make_unique<ThreadPool>(train_threads);
+  // Per-worker gradient sinks live across the whole run: slot tensors are
+  // zeroed after each reduction instead of destroyed, so steady-state
+  // batches reuse them in place.
+  std::vector<ag::GradSinkScope::Sink> sinks(train_threads);
+  std::vector<double> shard_loss(train_threads, 0.0);
+  std::vector<size_t> shard_elems(train_threads, 0);
   static obs::LatencyHistogram& epoch_stage = obs::Stage("core/epoch");
   static obs::Counter& minibatch_counter =
       obs::GlobalRegistry().GetCounter("core/minibatches");
   static obs::Gauge& loss_gauge =
       obs::GlobalRegistry().GetGauge("core/last_epoch_loss");
+  // Bytes newly fetched from the OS/heap by the last training step (pool
+  // misses + arena block growth). Flatlines at zero once pools and tapes
+  // are warm; the arena_test reuse case asserts exactly that.
+  static obs::Gauge& step_alloc_gauge =
+      obs::GlobalRegistry().GetGauge("core/step_alloc_bytes");
   for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
     obs::ScopedTimer epoch_timer(epoch_stage);
     rng.Shuffle(order);
@@ -356,6 +389,8 @@ Status HybridGnn::Fit(const MultiplexHeteroGraph& g,
     size_t batches = 0;
     for (size_t start = 0; start < use_edges; start += edge_batch) {
       const size_t end = std::min(use_edges, start + edge_batch);
+      const uint64_t alloc_before =
+          pool::MissBytes() + ag::Tape::TotalReservedBytes();
       double batch_loss = 0.0;
       if (pool == nullptr || end - start < 2 * train_threads) {
         batch_loss = run_batch(start, end, rng).first;
@@ -367,9 +402,6 @@ Status HybridGnn::Fit(const MultiplexHeteroGraph& g,
         const size_t count = end - start;
         const size_t shards = std::min<size_t>(train_threads, count);
         Rng bmaster(rng.NextUint64());
-        std::vector<ag::GradSinkScope::Sink> sinks(shards);
-        std::vector<double> shard_loss(shards, 0.0);
-        std::vector<size_t> shard_elems(shards, 0);
         pool->ParallelFor(shards, [&](size_t w) {
           Rng wrng = bmaster.Fork(w);
           ag::GradSinkScope scope(&sinks[w]);
@@ -380,7 +412,7 @@ Status HybridGnn::Fit(const MultiplexHeteroGraph& g,
           shard_elems[w] = n;
         });
         size_t total_elems = 0;
-        for (size_t n : shard_elems) total_elems += n;
+        for (size_t w = 0; w < shards; ++w) total_elems += shard_elems[w];
         for (size_t w = 0; w < shards; ++w) {
           const float weight = static_cast<float>(shard_elems[w]) /
                                static_cast<float>(total_elems);
@@ -389,6 +421,7 @@ Status HybridGnn::Fit(const MultiplexHeteroGraph& g,
               node->grad = Tensor(node->value.rows(), node->value.cols());
             }
             node->grad.Axpy(weight, grad);
+            grad.Zero();  // keep the slot for the next batch
           }
           batch_loss += shard_loss[w] *
                         (static_cast<double>(shard_elems[w]) /
@@ -397,6 +430,8 @@ Status HybridGnn::Fit(const MultiplexHeteroGraph& g,
       }
       optimizer.Step();
       optimizer.ZeroGrad();
+      step_alloc_gauge.Set(static_cast<double>(
+          pool::MissBytes() + ag::Tape::TotalReservedBytes() - alloc_before));
       epoch_loss += batch_loss;
       ++batches;
     }
@@ -428,6 +463,7 @@ Status HybridGnn::Fit(const MultiplexHeteroGraph& g,
   cache_ = Tensor(v_count * num_relations_, config_.base_dim);
   auto cache_node = [&](NodeId v, Rng& node_rng) {
     for (size_t s = 0; s < kCacheSamples; ++s) {
+      ag::TapeScope tape;  // inference-only graph, rewound per sample
       ag::Var all = ForwardNode(g, v, node_rng);
       for (RelationId r = 0; r < num_relations_; ++r) {
         const float* src = all->value.RowPtr(r);
@@ -480,6 +516,7 @@ std::vector<double> HybridGnn::MetapathAttentionScores(NodeId v,
                                                        RelationId r) const {
   HYBRIDGNN_CHECK(fitted_) << "Fit() must succeed first";
   Rng rng(config_.seed ^ (0x9E37ULL * (v + 1)) ^ r);
+  ag::TapeScope tape;
   ag::Var stack = FlowStack(*graph_, v, r, rng);
   const size_t m = stack->value.rows();
   std::vector<double> scores(m, 1.0 / static_cast<double>(m));

@@ -26,16 +26,24 @@ Tensor SpDense(const SparseMatrix& s, const Tensor& x) {
 ag::Var SpMMImpl(const SparseMatrix& fwd, const SparseMatrix& bwd,
                  const ag::Var& x) {
   Tensor out = SpDense(fwd, x->value);
-  // Copy the (small) CSR for backward lifetime safety.
-  SparseMatrix bwd_copy = bwd;
-  auto node = std::make_shared<ag::Node>(std::move(out), x->requires_grad);
-  if (x->requires_grad) {
-    node->parents = {x};
-    node->backward_fn = [x, bwd_copy = std::move(bwd_copy)](ag::Node& n) {
-      x->AccumulateGrad(SpDense(bwd_copy, n.grad));
-    };
+  if (ag::Tape::Current() != nullptr) {
+    // Tape mode: the backward runs before the enclosing TapeScope ends, and
+    // relation operators outlive every training scope, so borrow the CSR
+    // instead of copying it each minibatch.
+    const SparseMatrix* b = &bwd;
+    return ag::MakeOp(std::move(out), {x}, [b](ag::Node& n) {
+      ag::Node* x = n.parent(0);
+      if (x->requires_grad) x->AccumulateGrad(SpDense(*b, n.grad));
+    });
   }
-  return node;
+  // Heap mode: copy the (small) CSR for backward lifetime safety.
+  return ag::MakeOp(std::move(out), {x},
+                    [bwd_copy = bwd](ag::Node& n) {
+                      ag::Node* x = n.parent(0);
+                      if (x->requires_grad) {
+                        x->AccumulateGrad(SpDense(bwd_copy, n.grad));
+                      }
+                    });
 }
 
 }  // namespace

@@ -26,6 +26,13 @@ void CountCorpus(const WalkCorpus& corpus) {
 
 void HarvestPairs(const std::vector<NodeId>& walk, size_t window,
                   RelationId rel, std::vector<SkipGramPair>& out) {
+  // Reserve for the worst case (full window on both sides of every
+  // position), growing geometrically so repeated calls appending to the
+  // same output vector do not reallocate per walk.
+  const size_t bound = out.size() + walk.size() * 2 * window;
+  if (bound > out.capacity()) {
+    out.reserve(std::max(bound, out.capacity() + out.capacity() / 2));
+  }
   for (size_t i = 0; i < walk.size(); ++i) {
     const size_t lo = i >= window ? i - window : 0;
     const size_t hi = std::min(walk.size() - 1, i + window);

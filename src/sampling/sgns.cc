@@ -26,7 +26,10 @@ void SgnsEmbedder::Update(NodeId center, NodeId context,
                           float lr, Rng& rng) {
   const size_t dim = emb_.cols();
   float* e = emb_.RowPtr(center);
-  std::vector<float> e_grad(dim, 0.0f);
+  // Per-thread scratch: Update runs once per skip-gram pair, so a fresh
+  // vector here used to dominate the pretrain allocation profile.
+  static thread_local std::vector<float> e_grad;
+  e_grad.assign(dim, 0.0f);
   kernels::SgnsUpdateStep(e, ctx_.RowPtr(context), e_grad.data(), dim, 1.0f,
                           lr);
   for (size_t n = 0; n < negatives; ++n) {

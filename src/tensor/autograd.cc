@@ -1,17 +1,138 @@
 #include "tensor/autograd.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
-#include <unordered_set>
+#include <cstring>
+#include <new>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 #include "tensor/tensor_ops.h"
 
 namespace hybridgnn::ag {
 
 namespace {
 thread_local GradSinkScope::Sink* g_grad_sink = nullptr;
+thread_local Tape* g_current_tape = nullptr;
+
+// Process-wide bytes reserved by live tape arenas (blocks are only freed
+// when a thread's tape dies with the thread).
+std::atomic<uint64_t> g_tape_reserved_bytes{0};
+
+constexpr size_t kTapeBlockSize = size_t{256} << 10;  // 256 KiB
+
+/// The calling thread's arena, created on first use and reused by every
+/// TapeScope on the thread for its whole lifetime — this is what makes
+/// steady-state epochs allocation-free even though scopes come and go.
+Tape& ThreadLocalTape() {
+  static thread_local Tape tape;
+  return tape;
+}
+
 }  // namespace
+
+// ----- Tape -----
+
+Tape::Tape() : anchor_(std::make_shared<char>(0)) {}
+
+Tape::~Tape() {
+  Rewind(Mark{0, 0, 0, 0});
+  for (const Block& b : blocks_) {
+    ::operator delete(b.ptr, std::align_val_t{64});
+  }
+  g_tape_reserved_bytes.fetch_sub(bytes_reserved_,
+                                  std::memory_order_relaxed);
+}
+
+Tape* Tape::Current() { return g_current_tape; }
+
+void Tape::AddBlock(size_t min_size) {
+  size_t size = blocks_.empty() ? kTapeBlockSize : blocks_.back().size * 2;
+  size = std::min<size_t>(size, size_t{8} << 20);
+  size = std::max(size, min_size);
+  char* ptr = static_cast<char*>(::operator new(size, std::align_val_t{64}));
+  blocks_.push_back(Block{ptr, size});
+  bytes_reserved_ += size;
+  g_tape_reserved_bytes.fetch_add(size, std::memory_order_relaxed);
+  static obs::Counter& arena_bytes =
+      obs::GlobalRegistry().GetCounter("tensor/arena_bytes");
+  arena_bytes.Add(size);
+}
+
+void* Tape::Allocate(size_t bytes, size_t align) {
+  HYBRIDGNN_CHECK(align <= 64 && (align & (align - 1)) == 0)
+      << "unsupported arena alignment " << align;
+  if (bytes == 0) bytes = 1;
+  while (true) {
+    if (cur_block_ < blocks_.size()) {
+      Block& b = blocks_[cur_block_];
+      const size_t off = (cur_off_ + align - 1) & ~(align - 1);
+      if (off + bytes <= b.size) {
+        cur_off_ = off + bytes;
+        return b.ptr + off;
+      }
+      // Current block exhausted: move to the next (possibly pre-existing
+      // from an earlier high-water mark) block.
+      if (cur_block_ + 1 < blocks_.size()) {
+        ++cur_block_;
+        cur_off_ = 0;
+        continue;
+      }
+    }
+    AddBlock(bytes);
+    cur_block_ = blocks_.size() - 1;
+    cur_off_ = 0;
+  }
+}
+
+size_t Tape::bytes_used() const {
+  size_t used = cur_off_;
+  for (size_t i = 0; i < cur_block_ && i < blocks_.size(); ++i) {
+    used += blocks_[i].size;
+  }
+  return used;
+}
+
+uint64_t Tape::TotalReservedBytes() {
+  return g_tape_reserved_bytes.load(std::memory_order_relaxed);
+}
+
+void Tape::Rewind(const Mark& mark) {
+  // Newest-first: objects may reference older ones (a closure reading its
+  // node's parents), so tear down in reverse construction order.
+  for (size_t i = dtors_.size(); i > mark.dtor_count; --i) {
+    const DtorEntry& e = dtors_[i - 1];
+    e.fn(e.obj);
+  }
+  dtors_.resize(mark.dtor_count);
+  retained_.resize(mark.retained_count);
+  cur_block_ = mark.block_idx;
+  cur_off_ = mark.block_off;
+}
+
+// ----- TapeScope -----
+
+TapeScope::TapeScope()
+    : tape_(&ThreadLocalTape()),
+      prev_current_(g_current_tape),
+      mark_(tape_->Position()) {
+  g_current_tape = tape_;
+}
+
+TapeScope::~TapeScope() {
+  tape_->Rewind(mark_);
+  g_current_tape = prev_current_;
+  if (prev_current_ == nullptr) {
+    // Outermost scope: every Var handed out by this tape aliased anchor_;
+    // any survivor would now dangle into rewound arena memory. Fail loudly
+    // instead of corrupting silently.
+    HYBRIDGNN_CHECK(tape_->anchor_.use_count() == 1)
+        << "a tape-allocated ag::Var outlived its TapeScope";
+  }
+}
+
+// ----- GradSinkScope -----
 
 GradSinkScope::GradSinkScope(Sink* sink) : prev_(g_grad_sink) {
   g_grad_sink = sink;
@@ -19,8 +140,10 @@ GradSinkScope::GradSinkScope(Sink* sink) : prev_(g_grad_sink) {
 
 GradSinkScope::~GradSinkScope() { g_grad_sink = prev_; }
 
+// ----- Node -----
+
 void Node::AccumulateGrad(const Tensor& g) {
-  if (g_grad_sink != nullptr && requires_grad && !backward_fn) {
+  if (g_grad_sink != nullptr && requires_grad && !has_backward()) {
     // Shared trainable leaf under a sink scope: divert to the per-thread
     // buffer so concurrent Backward calls never touch the shared `grad`.
     Tensor& slot = (*g_grad_sink)[this];
@@ -32,7 +155,9 @@ void Node::AccumulateGrad(const Tensor& g) {
     return;
   }
   if (grad.empty()) {
-    grad = Tensor(value.rows(), value.cols());
+    // First accumulation: copy instead of zero-fill + add.
+    grad = g;
+    return;
   }
   HYBRIDGNN_CHECK(grad.SameShape(g))
       << "gradient shape mismatch: " << grad.ShapeString() << " vs "
@@ -45,6 +170,11 @@ void Node::ZeroGrad() {
 }
 
 Var Constant(Tensor value) {
+  if (Tape* tape = Tape::Current()) {
+    Node* node = tape->Create<Node>(std::move(value), /*requires_grad=*/false);
+    node->on_tape = true;
+    return tape->MakeVar(node);
+  }
   return std::make_shared<Node>(std::move(value), /*requires_grad=*/false);
 }
 
@@ -52,47 +182,22 @@ Var Param(Tensor value) {
   return std::make_shared<Node>(std::move(value), /*requires_grad=*/true);
 }
 
+// ----- Backward -----
+
 namespace {
 
-bool AnyRequiresGrad(const std::vector<Var>& parents) {
-  for (const auto& p : parents) {
-    if (p->requires_grad) return true;
-  }
-  return false;
-}
+/// Per-thread traversal scratch: reused across Backward calls so the topo
+/// sort performs no allocations once warm. The epoch counter versions the
+/// visit marks stamped on (thread-private) op nodes.
+struct BackwardScratch {
+  std::vector<Node*> order;
+  std::vector<std::pair<Node*, uint32_t>> stack;
+  uint64_t epoch = 0;
+};
 
-/// Builds an op node: value, parents, and backward closure. If no parent
-/// needs gradients the node is a plain constant (backward skipped).
-Var MakeOp(Tensor value, std::vector<Var> parents,
-           std::function<void(Node&)> backward) {
-  bool req = AnyRequiresGrad(parents);
-  auto node = std::make_shared<Node>(std::move(value), req);
-  if (req) {
-    node->parents = std::move(parents);
-    node->backward_fn = std::move(backward);
-  }
-  return node;
-}
-
-void TopoSort(const Var& root, std::vector<Node*>& order) {
-  // Iterative post-order DFS over parents.
-  std::unordered_set<Node*> visited;
-  std::vector<std::pair<Node*, size_t>> stack;
-  stack.emplace_back(root.get(), 0);
-  visited.insert(root.get());
-  while (!stack.empty()) {
-    auto& [node, next_child] = stack.back();
-    if (next_child < node->parents.size()) {
-      Node* child = node->parents[next_child].get();
-      ++next_child;
-      if (child->requires_grad && visited.insert(child).second) {
-        stack.emplace_back(child, 0);
-      }
-    } else {
-      order.push_back(node);
-      stack.pop_back();
-    }
-  }
+BackwardScratch& Scratch() {
+  static thread_local BackwardScratch scratch;
+  return scratch;
 }
 
 }  // namespace
@@ -101,50 +206,95 @@ void Backward(const Var& root) {
   HYBRIDGNN_CHECK(root->value.rows() == 1 && root->value.cols() == 1)
       << "Backward root must be scalar, got " << root->value.ShapeString();
   if (!root->requires_grad) return;
-  std::vector<Node*> order;
-  TopoSort(root, order);
+  BackwardScratch& s = Scratch();
+  s.order.clear();
+  const uint64_t epoch = ++s.epoch;
+  if (root->has_backward()) {
+    // Iterative post-order DFS over parents. Only op nodes enter the order:
+    // leaves have no backward fn to run (their grads are filled by their
+    // consumers), and skipping them keeps the visit marks free of
+    // cross-thread writes on shared parameters.
+    s.stack.clear();
+    s.stack.emplace_back(root.get(), 0);
+    root->visit_mark = epoch;
+    while (!s.stack.empty()) {
+      auto& [node, next_child] = s.stack.back();
+      if (next_child < node->num_parents) {
+        Node* child = node->parent(next_child);
+        ++next_child;
+        if (child->has_backward() && child->visit_mark != epoch) {
+          child->visit_mark = epoch;
+          s.stack.emplace_back(child, 0);
+        }
+      } else {
+        s.order.push_back(node);
+        s.stack.pop_back();
+      }
+    }
+  }
   root->AccumulateGrad(Tensor::Ones(1, 1));
-  // `order` is post-order (leaves first); walk it backwards.
-  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+  // `order` is post-order (inputs first); walk it backwards.
+  for (auto it = s.order.rbegin(); it != s.order.rend(); ++it) {
     Node* node = *it;
-    if (node->backward_fn && !node->grad.empty()) {
-      node->backward_fn(*node);
+    if (!node->grad.empty()) {
+      node->InvokeBackward();
     }
   }
 }
 
+// ----- Ops -----
+//
+// Backward closures read their operands through n.parent(i) instead of
+// capturing Vars: ownership is handled by the node (heap mode) or the tape
+// (arena mode), and captureless or small trivially-destructible closures
+// cost nothing to place in the arena.
+
 Var MatMul(const Var& a, const Var& b) {
   Tensor out = hybridgnn::MatMul(a->value, b->value);
-  return MakeOp(std::move(out), {a, b}, [a, b](Node& n) {
+  return MakeOp(std::move(out), {a, b}, [](Node& n) {
+    Node* a = n.parent(0);
+    Node* b = n.parent(1);
     if (a->requires_grad) a->AccumulateGrad(MatMulTransB(n.grad, b->value));
     if (b->requires_grad) b->AccumulateGrad(MatMulTransA(a->value, n.grad));
   });
 }
 
 Var Add(const Var& a, const Var& b) {
-  return MakeOp(hybridgnn::Add(a->value, b->value), {a, b}, [a, b](Node& n) {
+  return MakeOp(hybridgnn::Add(a->value, b->value), {a, b}, [](Node& n) {
+    Node* a = n.parent(0);
+    Node* b = n.parent(1);
     if (a->requires_grad) a->AccumulateGrad(n.grad);
     if (b->requires_grad) b->AccumulateGrad(n.grad);
   });
 }
 
 Var Sub(const Var& a, const Var& b) {
-  return MakeOp(hybridgnn::Sub(a->value, b->value), {a, b}, [a, b](Node& n) {
+  return MakeOp(hybridgnn::Sub(a->value, b->value), {a, b}, [](Node& n) {
+    Node* a = n.parent(0);
+    Node* b = n.parent(1);
     if (a->requires_grad) a->AccumulateGrad(n.grad);
     if (b->requires_grad) b->AccumulateGrad(hybridgnn::Scale(n.grad, -1.0f));
   });
 }
 
 Var Mul(const Var& a, const Var& b) {
-  return MakeOp(hybridgnn::Mul(a->value, b->value), {a, b}, [a, b](Node& n) {
-    if (a->requires_grad) a->AccumulateGrad(hybridgnn::Mul(n.grad, b->value));
-    if (b->requires_grad) b->AccumulateGrad(hybridgnn::Mul(n.grad, a->value));
+  return MakeOp(hybridgnn::Mul(a->value, b->value), {a, b}, [](Node& n) {
+    Node* a = n.parent(0);
+    Node* b = n.parent(1);
+    if (a->requires_grad) {
+      a->AccumulateGrad(hybridgnn::Mul(n.grad, b->value));
+    }
+    if (b->requires_grad) {
+      b->AccumulateGrad(hybridgnn::Mul(n.grad, a->value));
+    }
   });
 }
 
 Var AddRowBroadcast(const Var& a, const Var& bias) {
   return MakeOp(hybridgnn::AddRowBroadcast(a->value, bias->value), {a, bias},
-                [a, bias](Node& n) {
+                [](Node& n) {
+                  Node* a = n.parent(0);
+                  Node* bias = n.parent(1);
                   if (a->requires_grad) a->AccumulateGrad(n.grad);
                   if (bias->requires_grad) {
                     bias->AccumulateGrad(hybridgnn::SumRows(n.grad));
@@ -153,7 +303,8 @@ Var AddRowBroadcast(const Var& a, const Var& bias) {
 }
 
 Var Scale(const Var& a, float alpha) {
-  return MakeOp(hybridgnn::Scale(a->value, alpha), {a}, [a, alpha](Node& n) {
+  return MakeOp(hybridgnn::Scale(a->value, alpha), {a}, [alpha](Node& n) {
+    Node* a = n.parent(0);
     if (a->requires_grad) a->AccumulateGrad(hybridgnn::Scale(n.grad, alpha));
   });
 }
@@ -161,16 +312,18 @@ Var Scale(const Var& a, float alpha) {
 Var Neg(const Var& a) { return Scale(a, -1.0f); }
 
 Var Transpose(const Var& a) {
-  return MakeOp(hybridgnn::Transpose(a->value), {a}, [a](Node& n) {
+  return MakeOp(hybridgnn::Transpose(a->value), {a}, [](Node& n) {
+    Node* a = n.parent(0);
     if (a->requires_grad) a->AccumulateGrad(hybridgnn::Transpose(n.grad));
   });
 }
 
 Var Sigmoid(const Var& a) {
   Tensor s = hybridgnn::Sigmoid(a->value);
-  return MakeOp(s, {a}, [a](Node& n) {
+  return MakeOp(std::move(s), {a}, [](Node& n) {
+    Node* a = n.parent(0);
     if (!a->requires_grad) return;
-    Tensor da(n.grad.rows(), n.grad.cols());
+    Tensor da = Tensor::Uninit(n.grad.rows(), n.grad.cols());
     const float* g = n.grad.data();
     const float* sv = n.value.data();
     float* d = da.data();
@@ -181,9 +334,10 @@ Var Sigmoid(const Var& a) {
 
 Var Tanh(const Var& a) {
   Tensor t = hybridgnn::Tanh(a->value);
-  return MakeOp(t, {a}, [a](Node& n) {
+  return MakeOp(std::move(t), {a}, [](Node& n) {
+    Node* a = n.parent(0);
     if (!a->requires_grad) return;
-    Tensor da(n.grad.rows(), n.grad.cols());
+    Tensor da = Tensor::Uninit(n.grad.rows(), n.grad.cols());
     const float* g = n.grad.data();
     const float* tv = n.value.data();
     float* d = da.data();
@@ -193,9 +347,10 @@ Var Tanh(const Var& a) {
 }
 
 Var Relu(const Var& a) {
-  return MakeOp(hybridgnn::Relu(a->value), {a}, [a](Node& n) {
+  return MakeOp(hybridgnn::Relu(a->value), {a}, [](Node& n) {
+    Node* a = n.parent(0);
     if (!a->requires_grad) return;
-    Tensor da(n.grad.rows(), n.grad.cols());
+    Tensor da = Tensor::Uninit(n.grad.rows(), n.grad.cols());
     const float* g = n.grad.data();
     const float* x = a->value.data();
     float* d = da.data();
@@ -205,7 +360,7 @@ Var Relu(const Var& a) {
 }
 
 Var LogSigmoid(const Var& a) {
-  Tensor out(a->value.rows(), a->value.cols());
+  Tensor out = Tensor::Uninit(a->value.rows(), a->value.cols());
   const float* x = a->value.data();
   float* o = out.data();
   for (size_t i = 0; i < out.size(); ++i) {
@@ -213,9 +368,10 @@ Var LogSigmoid(const Var& a) {
     const float v = x[i];
     o[i] = std::min(v, 0.0f) - std::log1p(std::exp(-std::abs(v)));
   }
-  return MakeOp(std::move(out), {a}, [a](Node& n) {
+  return MakeOp(std::move(out), {a}, [](Node& n) {
+    Node* a = n.parent(0);
     if (!a->requires_grad) return;
-    Tensor da(n.grad.rows(), n.grad.cols());
+    Tensor da = Tensor::Uninit(n.grad.rows(), n.grad.cols());
     const float* g = n.grad.data();
     const float* x = a->value.data();
     float* d = da.data();
@@ -229,10 +385,11 @@ Var LogSigmoid(const Var& a) {
 
 Var SoftmaxRows(const Var& a) {
   Tensor s = hybridgnn::SoftmaxRows(a->value);
-  return MakeOp(s, {a}, [a](Node& n) {
+  return MakeOp(std::move(s), {a}, [](Node& n) {
+    Node* a = n.parent(0);
     if (!a->requires_grad) return;
     // da_ij = s_ij * (g_ij - sum_k g_ik s_ik)
-    Tensor da(n.grad.rows(), n.grad.cols());
+    Tensor da = Tensor::Uninit(n.grad.rows(), n.grad.cols());
     for (size_t i = 0; i < n.grad.rows(); ++i) {
       const float* g = n.grad.RowPtr(i);
       const float* s = n.value.RowPtr(i);
@@ -247,9 +404,10 @@ Var SoftmaxRows(const Var& a) {
 
 Var RowwiseDot(const Var& a, const Var& b) {
   return MakeOp(hybridgnn::RowwiseDot(a->value, b->value), {a, b},
-                [a, b](Node& n) {
-                  auto scatter = [&n](const Var& dst, const Var& other) {
-                    Tensor d(dst->value.rows(), dst->value.cols());
+                [](Node& n) {
+                  auto scatter = [&n](Node* dst, Node* other) {
+                    Tensor d = Tensor::Uninit(dst->value.rows(),
+                                              dst->value.cols());
                     for (size_t i = 0; i < d.rows(); ++i) {
                       const float gi = n.grad.At(i, 0);
                       const float* o = other->value.RowPtr(i);
@@ -258,16 +416,19 @@ Var RowwiseDot(const Var& a, const Var& b) {
                     }
                     dst->AccumulateGrad(d);
                   };
+                  Node* a = n.parent(0);
+                  Node* b = n.parent(1);
                   if (a->requires_grad) scatter(a, b);
                   if (b->requires_grad) scatter(b, a);
                 });
 }
 
 Var MeanRows(const Var& a) {
-  const float inv = 1.0f / static_cast<float>(a->value.rows());
-  return MakeOp(hybridgnn::MeanRows(a->value), {a}, [a, inv](Node& n) {
+  return MakeOp(hybridgnn::MeanRows(a->value), {a}, [](Node& n) {
+    Node* a = n.parent(0);
     if (!a->requires_grad) return;
-    Tensor da(a->value.rows(), a->value.cols());
+    const float inv = 1.0f / static_cast<float>(a->value.rows());
+    Tensor da = Tensor::Uninit(a->value.rows(), a->value.cols());
     const float* g = n.grad.RowPtr(0);
     for (size_t i = 0; i < da.rows(); ++i) {
       float* d = da.RowPtr(i);
@@ -278,9 +439,10 @@ Var MeanRows(const Var& a) {
 }
 
 Var SumRows(const Var& a) {
-  return MakeOp(hybridgnn::SumRows(a->value), {a}, [a](Node& n) {
+  return MakeOp(hybridgnn::SumRows(a->value), {a}, [](Node& n) {
+    Node* a = n.parent(0);
     if (!a->requires_grad) return;
-    Tensor da(a->value.rows(), a->value.cols());
+    Tensor da = Tensor::Uninit(a->value.rows(), a->value.cols());
     const float* g = n.grad.RowPtr(0);
     for (size_t i = 0; i < da.rows(); ++i) {
       float* d = da.RowPtr(i);
@@ -294,7 +456,8 @@ Var MeanAll(const Var& a) {
   const float inv = 1.0f / static_cast<float>(a->value.size());
   Tensor out(1, 1);
   out.At(0, 0) = static_cast<float>(a->value.Sum()) * inv;
-  return MakeOp(std::move(out), {a}, [a, inv](Node& n) {
+  return MakeOp(std::move(out), {a}, [inv](Node& n) {
+    Node* a = n.parent(0);
     if (!a->requires_grad) return;
     Tensor da = Tensor::Full(a->value.rows(), a->value.cols(),
                              n.grad.At(0, 0) * inv);
@@ -305,7 +468,8 @@ Var MeanAll(const Var& a) {
 Var SumAll(const Var& a) {
   Tensor out(1, 1);
   out.At(0, 0) = static_cast<float>(a->value.Sum());
-  return MakeOp(std::move(out), {a}, [a](Node& n) {
+  return MakeOp(std::move(out), {a}, [](Node& n) {
+    Node* a = n.parent(0);
     if (!a->requires_grad) return;
     Tensor da = Tensor::Full(a->value.rows(), a->value.cols(),
                              n.grad.At(0, 0));
@@ -313,19 +477,28 @@ Var SumAll(const Var& a) {
   });
 }
 
-Var ConcatRows(const std::vector<Var>& parts) {
-  HYBRIDGNN_CHECK(!parts.empty());
-  std::vector<Tensor> values;
-  values.reserve(parts.size());
-  for (const auto& p : parts) values.push_back(p->value);
-  Tensor out = hybridgnn::ConcatRows(values);
-  std::vector<Var> parents(parts.begin(), parts.end());
-  return MakeOp(std::move(out), parents, [parts](Node& n) {
+Var ConcatRows(std::span<const Var> parts) {
+  HYBRIDGNN_CHECK(!parts.empty()) << "ConcatRows of empty list";
+  const size_t cols = parts[0]->value.cols();
+  size_t rows = 0;
+  for (const auto& p : parts) {
+    HYBRIDGNN_CHECK(p->value.cols() == cols) << "ConcatRows column mismatch";
+    rows += p->value.rows();
+  }
+  Tensor out = Tensor::Uninit(rows, cols);
+  size_t at = 0;
+  for (const auto& p : parts) {
+    std::copy(p->value.data(), p->value.data() + p->value.size(),
+              out.RowPtr(at));
+    at += p->value.rows();
+  }
+  return MakeOp(std::move(out), parts, [](Node& n) {
     size_t at = 0;
-    for (const auto& p : parts) {
+    for (size_t i = 0; i < n.num_parents; ++i) {
+      Node* p = n.parent(i);
       const size_t r = p->value.rows();
       if (p->requires_grad) {
-        Tensor slice(r, p->value.cols());
+        Tensor slice = Tensor::Uninit(r, p->value.cols());
         std::copy(n.grad.RowPtr(at), n.grad.RowPtr(at) + slice.size(),
                   slice.data());
         p->AccumulateGrad(slice);
@@ -335,22 +508,33 @@ Var ConcatRows(const std::vector<Var>& parts) {
   });
 }
 
-Var ConcatCols(const std::vector<Var>& parts) {
-  HYBRIDGNN_CHECK(!parts.empty());
-  std::vector<Tensor> values;
-  values.reserve(parts.size());
-  for (const auto& p : parts) values.push_back(p->value);
-  Tensor out = hybridgnn::ConcatCols(values);
-  std::vector<Var> parents(parts.begin(), parts.end());
-  return MakeOp(std::move(out), parents, [parts](Node& n) {
+Var ConcatCols(std::span<const Var> parts) {
+  HYBRIDGNN_CHECK(!parts.empty()) << "ConcatCols of empty list";
+  const size_t rows = parts[0]->value.rows();
+  size_t cols = 0;
+  for (const auto& p : parts) {
+    HYBRIDGNN_CHECK(p->value.rows() == rows) << "ConcatCols row mismatch";
+    cols += p->value.cols();
+  }
+  Tensor out = Tensor::Uninit(rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
     size_t at = 0;
     for (const auto& p : parts) {
+      const float* src = p->value.RowPtr(i);
+      std::copy(src, src + p->value.cols(), out.RowPtr(i) + at);
+      at += p->value.cols();
+    }
+  }
+  return MakeOp(std::move(out), parts, [](Node& n) {
+    size_t at = 0;
+    for (size_t i = 0; i < n.num_parents; ++i) {
+      Node* p = n.parent(i);
       const size_t c = p->value.cols();
       if (p->requires_grad) {
-        Tensor slice(p->value.rows(), c);
-        for (size_t i = 0; i < slice.rows(); ++i) {
-          const float* src = n.grad.RowPtr(i) + at;
-          std::copy(src, src + c, slice.RowPtr(i));
+        Tensor slice = Tensor::Uninit(p->value.rows(), c);
+        for (size_t r = 0; r < slice.rows(); ++r) {
+          const float* src = n.grad.RowPtr(r) + at;
+          std::copy(src, src + c, slice.RowPtr(r));
         }
         p->AccumulateGrad(slice);
       }
@@ -359,14 +543,32 @@ Var ConcatCols(const std::vector<Var>& parts) {
   });
 }
 
+Var ConcatRows(const std::vector<Var>& parts) {
+  return ConcatRows(std::span<const Var>(parts));
+}
+
+Var ConcatRows(std::initializer_list<Var> parts) {
+  return ConcatRows(std::span<const Var>(parts.begin(), parts.size()));
+}
+
+Var ConcatCols(const std::vector<Var>& parts) {
+  return ConcatCols(std::span<const Var>(parts));
+}
+
+Var ConcatCols(std::initializer_list<Var> parts) {
+  return ConcatCols(std::span<const Var>(parts.begin(), parts.size()));
+}
+
 Var SliceRows(const Var& a, size_t start, size_t count) {
   HYBRIDGNN_CHECK(start + count <= a->value.rows())
       << "SliceRows out of range";
-  Tensor out(count, a->value.cols());
+  Tensor out = Tensor::Uninit(count, a->value.cols());
   std::copy(a->value.RowPtr(start), a->value.RowPtr(start) + out.size(),
             out.data());
-  return MakeOp(std::move(out), {a}, [a, start](Node& n) {
+  return MakeOp(std::move(out), {a}, [start](Node& n) {
+    Node* a = n.parent(0);
     if (!a->requires_grad) return;
+    // Zero-initialized: only the sliced rows carry gradient.
     Tensor da(a->value.rows(), a->value.cols());
     std::copy(n.grad.data(), n.grad.data() + n.grad.size(),
               da.RowPtr(start));
@@ -374,19 +576,43 @@ Var SliceRows(const Var& a, size_t start, size_t count) {
   });
 }
 
-Var GatherRows(const Var& table, std::vector<int32_t> indices) {
+namespace {
+
+void ScatterGatherGrad(Node& n, const int32_t* indices, size_t count) {
+  Node* table = n.parent(0);
+  if (!table->requires_grad) return;
+  // Zero-initialized: the scatter accumulates into touched rows only.
+  Tensor dt(table->value.rows(), table->value.cols());
+  for (size_t i = 0; i < count; ++i) {
+    const float* g = n.grad.RowPtr(i);
+    float* d = dt.RowPtr(static_cast<size_t>(indices[i]));
+    for (size_t j = 0; j < dt.cols(); ++j) d[j] += g[j];
+  }
+  table->AccumulateGrad(dt);
+}
+
+}  // namespace
+
+Var GatherRows(const Var& table, std::span<const int32_t> indices) {
   Tensor out = hybridgnn::GatherRows(table->value, indices);
+  if (Tape* tape = Tape::Current()) {
+    // Copy the indices into the arena so the caller can reuse its scratch.
+    int32_t* stable = tape->AllocateArray<int32_t>(indices.size());
+    std::memcpy(stable, indices.data(), indices.size() * sizeof(int32_t));
+    return MakeOp(std::move(out), {table},
+                  [stable, count = indices.size()](Node& n) {
+                    ScatterGatherGrad(n, stable, count);
+                  });
+  }
   return MakeOp(std::move(out), {table},
-                [table, indices = std::move(indices)](Node& n) {
-                  if (!table->requires_grad) return;
-                  Tensor dt(table->value.rows(), table->value.cols());
-                  for (size_t i = 0; i < indices.size(); ++i) {
-                    const float* g = n.grad.RowPtr(i);
-                    float* d = dt.RowPtr(static_cast<size_t>(indices[i]));
-                    for (size_t j = 0; j < dt.cols(); ++j) d[j] += g[j];
-                  }
-                  table->AccumulateGrad(dt);
+                [own = std::vector<int32_t>(indices.begin(),
+                                            indices.end())](Node& n) {
+                  ScatterGatherGrad(n, own.data(), own.size());
                 });
+}
+
+Var GatherRows(const Var& table, std::vector<int32_t> indices) {
+  return GatherRows(table, std::span<const int32_t>(indices));
 }
 
 Var BceWithLogits(const Var& logits, const std::vector<float>& targets) {
@@ -403,17 +629,28 @@ Var BceWithLogits(const Var& logits, const std::vector<float>& targets) {
   }
   Tensor out(1, 1);
   out.At(0, 0) = static_cast<float>(loss / static_cast<double>(m));
-  return MakeOp(std::move(out), {logits}, [logits, targets](Node& n) {
+  auto backward = [](Node& n, const float* tgt, size_t count) {
+    Node* logits = n.parent(0);
     if (!logits->requires_grad) return;
-    const float scale = n.grad.At(0, 0) / static_cast<float>(targets.size());
-    Tensor d(targets.size(), 1);
-    for (size_t i = 0; i < targets.size(); ++i) {
+    const float scale = n.grad.At(0, 0) / static_cast<float>(count);
+    Tensor d = Tensor::Uninit(count, 1);
+    for (size_t i = 0; i < count; ++i) {
       const float x = logits->value.At(i, 0);
       const float s = 1.0f / (1.0f + std::exp(-x));
-      d.At(i, 0) = scale * (s - targets[i]);
+      d.At(i, 0) = scale * (s - tgt[i]);
     }
     logits->AccumulateGrad(d);
-  });
+  };
+  if (Tape* tape = Tape::Current()) {
+    float* stable = tape->AllocateArray<float>(m);
+    std::memcpy(stable, targets.data(), m * sizeof(float));
+    return MakeOp(std::move(out), {logits},
+                  [backward, stable, m](Node& n) { backward(n, stable, m); });
+  }
+  return MakeOp(std::move(out), {logits},
+                [backward, own = targets](Node& n) {
+                  backward(n, own.data(), own.size());
+                });
 }
 
 Var SgnsLoss(const Var& pos, const Var& neg) {

@@ -1,0 +1,161 @@
+#include "tensor/pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "common/env.h"
+#include "obs/metrics.h"
+
+namespace hybridgnn::pool {
+
+namespace {
+
+// Smallest pooled class: 2^3 = 8 floats. Anything smaller rounds up.
+constexpr uint8_t kMinClass = 3;
+constexpr uint8_t kMaxClass = 20;  // 2^20 floats == kMaxPooledElems
+constexpr size_t kNumClasses = kMaxClass + 1;
+
+// Process-wide stats. Relaxed atomics: these are monotone event counts.
+std::atomic<uint64_t> g_hits{0};
+std::atomic<uint64_t> g_misses{0};
+std::atomic<uint64_t> g_miss_bytes{0};
+
+bool GlobalEnabled() {
+  static const bool enabled = GetEnvInt("HYBRIDGNN_TENSOR_POOL", 1) != 0;
+  return enabled;
+}
+
+size_t MaxPooledBytesPerThread() {
+  static const size_t cap = static_cast<size_t>(
+      GetEnvInt("HYBRIDGNN_TENSOR_POOL_MB", 128)) << 20;
+  return cap;
+}
+
+float* HeapAlloc(size_t elems) {
+  // Tensor buffers are allocated through aligned operator new so that the
+  // micro_autograd benchmark's allocation-counting overrides see every
+  // heap-backed tensor, pooled-class or not.
+  return static_cast<float*>(
+      ::operator new(elems * sizeof(float), std::align_val_t{64}));
+}
+
+void HeapFree(float* p) { ::operator delete(p, std::align_val_t{64}); }
+
+uint8_t ClassFor(size_t n) {
+  uint8_t cls = kMinClass;
+  while ((size_t{1} << cls) < n) ++cls;
+  return cls;
+}
+
+struct BufferPool {
+  std::vector<float*> free_lists[kNumClasses];
+  size_t pooled_bytes = 0;
+};
+
+// The raw pointer mirror is trivially destructible, so it can be read after
+// the owning PoolTls has been torn down at thread exit: releases that happen
+// during static destruction (e.g. a global Tensor dying after this thread's
+// pool) see nullptr and fall through to the heap instead of touching a dead
+// free list.
+thread_local BufferPool* t_pool = nullptr;
+
+struct PoolTls {
+  BufferPool pool;
+  PoolTls() { t_pool = &pool; }
+  ~PoolTls() {
+    t_pool = nullptr;
+    for (auto& list : pool.free_lists) {
+      for (float* p : list) HeapFree(p);
+    }
+  }
+};
+
+BufferPool* ThreadPool() {
+  static thread_local PoolTls tls;
+  return t_pool;
+}
+
+// -1 = inherit global, 0 = force off, 1 = force on (per thread).
+thread_local int t_enabled_override = -1;
+
+void CountHit() {
+  static obs::Counter& hits =
+      obs::GlobalRegistry().GetCounter("tensor/pool_hit");
+  hits.Add(1);
+  g_hits.fetch_add(1, std::memory_order_relaxed);
+}
+
+void CountMiss(size_t bytes) {
+  static obs::Counter& misses =
+      obs::GlobalRegistry().GetCounter("tensor/pool_miss");
+  misses.Add(1);
+  g_misses.fetch_add(1, std::memory_order_relaxed);
+  g_miss_bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+bool Enabled() {
+  if (t_enabled_override >= 0) return t_enabled_override != 0;
+  return GlobalEnabled();
+}
+
+PoolScope::PoolScope(bool enabled) : prev_(Enabled()) {
+  t_enabled_override = enabled ? 1 : 0;
+}
+
+PoolScope::~PoolScope() { t_enabled_override = prev_ ? 1 : 0; }
+
+float* Acquire(size_t n, uint8_t* cap_class) {
+  if (n == 0) {
+    *cap_class = kUnpooledClass;
+    return nullptr;
+  }
+  if (n > kMaxPooledElems || !Enabled()) {
+    *cap_class = kUnpooledClass;
+    return HeapAlloc(n);
+  }
+  const uint8_t cls = ClassFor(n);
+  const size_t elems = size_t{1} << cls;
+  BufferPool* pool = ThreadPool();
+  if (pool != nullptr && !pool->free_lists[cls].empty()) {
+    float* p = pool->free_lists[cls].back();
+    pool->free_lists[cls].pop_back();
+    pool->pooled_bytes -= elems * sizeof(float);
+    CountHit();
+    *cap_class = cls;
+    return p;
+  }
+  CountMiss(elems * sizeof(float));
+  *cap_class = cls;
+  return HeapAlloc(elems);
+}
+
+void Release(float* p, uint8_t cap_class) {
+  if (p == nullptr) return;
+  if (cap_class != kUnpooledClass) {
+    const size_t bytes = (size_t{1} << cap_class) * sizeof(float);
+    BufferPool* pool = t_pool;  // no lazy init on the release path
+    if (pool != nullptr &&
+        pool->pooled_bytes + bytes <= MaxPooledBytesPerThread()) {
+      pool->free_lists[cap_class].push_back(p);
+      pool->pooled_bytes += bytes;
+      return;
+    }
+  }
+  HeapFree(p);
+}
+
+PoolStats Stats() {
+  PoolStats s;
+  s.hits = g_hits.load(std::memory_order_relaxed);
+  s.misses = g_misses.load(std::memory_order_relaxed);
+  s.miss_bytes = g_miss_bytes.load(std::memory_order_relaxed);
+  return s;
+}
+
+uint64_t MissBytes() { return g_miss_bytes.load(std::memory_order_relaxed); }
+
+}  // namespace hybridgnn::pool

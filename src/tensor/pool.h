@@ -1,0 +1,78 @@
+#ifndef HYBRIDGNN_TENSOR_POOL_H_
+#define HYBRIDGNN_TENSOR_POOL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hybridgnn::pool {
+
+/// Size-bucketed, thread-local recycling pool for Tensor backing buffers.
+///
+/// Every Tensor allocation below the pooling threshold is rounded up to a
+/// power-of-two capacity class and served from the calling thread's
+/// free list when possible; Tensor destruction pushes the buffer back. The
+/// pool is lock-free by construction (strictly thread-local state), so hot
+/// training loops acquire and release buffers without synchronization, and a
+/// warm pool makes steady-state minibatch steps allocation-free.
+///
+/// Buffers may migrate between threads: a Tensor acquired on a worker and
+/// destroyed on the main thread releases into the main thread's pool. That
+/// is safe (the memory came from the global heap) and self-balancing for the
+/// fork/join batch pattern used in training.
+///
+/// Oversized buffers (> kMaxPooledElems) bypass the pool entirely and are
+/// exact-sized, so large long-lived tables (embeddings, caches) never pay
+/// the power-of-two rounding overhead.
+
+/// Capacity-class sentinel for buffers that did not come from the pool.
+inline constexpr uint8_t kUnpooledClass = 0xFF;
+
+/// Largest element count served from the pool (4 MiB of floats).
+inline constexpr size_t kMaxPooledElems = size_t{1} << 20;
+
+/// Returns a buffer with capacity for at least `n` floats. `*cap_class`
+/// receives the pool class (or kUnpooledClass) and must be passed back to
+/// Release(). The contents are unspecified; callers that need zeros must
+/// clear it. Returns nullptr when n == 0.
+float* Acquire(size_t n, uint8_t* cap_class);
+
+/// Returns a buffer obtained from Acquire(). Pooled buffers go back to the
+/// calling thread's free list (or the heap once the per-thread cache is
+/// full); unpooled buffers are freed directly. Safe during thread/process
+/// teardown: once the thread's pool has been destroyed, buffers fall
+/// through to the heap.
+void Release(float* p, uint8_t cap_class);
+
+/// Whether acquisitions on this thread currently use the pool. On by
+/// default; the HYBRIDGNN_TENSOR_POOL=0 environment variable disables it
+/// process-wide, and PoolScope overrides it per thread.
+bool Enabled();
+
+/// RAII override of Enabled() for the current thread. Used by differential
+/// tests and benchmarks to compare pooled against plain-heap execution.
+class PoolScope {
+ public:
+  explicit PoolScope(bool enabled);
+  ~PoolScope();
+  PoolScope(const PoolScope&) = delete;
+  PoolScope& operator=(const PoolScope&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// Cumulative pool statistics (process-wide, all threads).
+struct PoolStats {
+  uint64_t hits = 0;        // acquisitions served from a free list
+  uint64_t misses = 0;      // pooled-class acquisitions that hit the heap
+  uint64_t miss_bytes = 0;  // bytes fetched from the heap on misses
+};
+PoolStats Stats();
+
+/// Bytes fetched from the heap for pooled-class buffers so far. A flat
+/// curve across training steps means the pool has reached steady state.
+uint64_t MissBytes();
+
+}  // namespace hybridgnn::pool
+
+#endif  // HYBRIDGNN_TENSOR_POOL_H_

@@ -1,6 +1,7 @@
 #include "tensor/tensor.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -8,14 +9,53 @@
 
 namespace hybridgnn {
 
+Tensor::Tensor(size_t rows, size_t cols, UninitTag) : rows_(rows), cols_(cols) {
+  data_ = pool::Acquire(rows * cols, &cap_class_);
+}
+
+Tensor::Tensor(size_t rows, size_t cols) : Tensor(rows, cols, UninitTag{}) {
+  if (data_ != nullptr) std::memset(data_, 0, size() * sizeof(float));
+}
+
 Tensor::Tensor(size_t rows, size_t cols, std::vector<float> data)
-    : rows_(rows), cols_(cols), data_(std::move(data)) {
-  HYBRIDGNN_CHECK(data_.size() == rows * cols)
-      << "Tensor data size " << data_.size() << " != " << rows << "x" << cols;
+    : Tensor(rows, cols, UninitTag{}) {
+  HYBRIDGNN_CHECK(data.size() == rows * cols)
+      << "Tensor data size " << data.size() << " != " << rows << "x" << cols;
+  if (data_ != nullptr) {
+    std::memcpy(data_, data.data(), size() * sizeof(float));
+  }
+}
+
+Tensor::Tensor(const Tensor& other) : Tensor(other.rows_, other.cols_,
+                                             UninitTag{}) {
+  if (data_ != nullptr) {
+    std::memcpy(data_, other.data_, size() * sizeof(float));
+  }
+}
+
+Tensor& Tensor::operator=(const Tensor& other) {
+  if (this == &other) return *this;
+  // Reuse the existing buffer when the element count matches: parameter
+  // restores and cached-row writes then copy in place instead of cycling
+  // buffers through the pool.
+  if (size() == other.size() && data_ != nullptr) {
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    std::memcpy(data_, other.data_, size() * sizeof(float));
+    return *this;
+  }
+  FreeBuffer();
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  data_ = pool::Acquire(size(), &cap_class_);
+  if (data_ != nullptr) {
+    std::memcpy(data_, other.data_, size() * sizeof(float));
+  }
+  return *this;
 }
 
 Tensor Tensor::Full(size_t rows, size_t cols, float value) {
-  Tensor t(rows, cols);
+  Tensor t = Uninit(rows, cols);
   t.Fill(value);
   return t;
 }
@@ -32,46 +72,53 @@ Tensor Tensor::Row(std::vector<float> values) {
 }
 
 void Tensor::Fill(float value) {
-  for (auto& v : data_) v = value;
+  const size_t n = size();
+  for (size_t i = 0; i < n; ++i) data_[i] = value;
+}
+
+void Tensor::Zero() {
+  if (data_ != nullptr) std::memset(data_, 0, size() * sizeof(float));
 }
 
 void Tensor::AddInPlace(const Tensor& other) {
   HYBRIDGNN_CHECK(SameShape(other)) << "AddInPlace shape mismatch";
-  kernels::Axpy(1.0f, other.data_.data(), data_.data(), data_.size());
+  kernels::Axpy(1.0f, other.data_, data_, size());
 }
 
 void Tensor::Axpy(float alpha, const Tensor& other) {
   HYBRIDGNN_CHECK(SameShape(other)) << "Axpy shape mismatch";
-  kernels::Axpy(alpha, other.data_.data(), data_.data(), data_.size());
+  kernels::Axpy(alpha, other.data_, data_, size());
 }
 
 void Tensor::ScaleInPlace(float alpha) {
-  kernels::Scale(alpha, data_.data(), data_.size());
+  kernels::Scale(alpha, data_, size());
 }
 
 Tensor Tensor::CopyRow(size_t r) const {
   HYBRIDGNN_CHECK(r < rows_);
-  Tensor out(1, cols_);
-  for (size_t c = 0; c < cols_; ++c) out.At(0, c) = At(r, c);
+  Tensor out = Uninit(1, cols_);
+  std::memcpy(out.data(), RowPtr(r), cols_ * sizeof(float));
   return out;
 }
 
 double Tensor::Sum() const {
   double s = 0.0;
-  for (float v : data_) s += v;
+  const size_t n = size();
+  for (size_t i = 0; i < n; ++i) s += data_[i];
   return s;
 }
 
 double Tensor::SquaredNorm() const {
-  if (data_.empty()) return 0.0;
+  if (empty()) return 0.0;
   double s = 0.0;
-  kernels::ScoreBlock(data_.data(), data_.data(), 1, data_.size(), &s);
+  kernels::ScoreBlock(data_, data_, 1, size(), &s);
   return s;
 }
 
 float Tensor::AbsMax() const {
   float m = 0.0f;
-  for (float v : data_) m = std::max(m, std::abs(v));
+  const size_t n = size();
+  for (size_t i = 0; i < n; ++i) m = std::max(m, std::abs(data_[i]));
   return m;
 }
 

@@ -2,30 +2,65 @@
 #define HYBRIDGNN_TENSOR_TENSOR_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "tensor/pool.h"
 
 namespace hybridgnn {
 
 /// Dense row-major float32 matrix. Vectors are represented as 1xN or Nx1.
 /// This is the only numeric container in the library; all models (HybridGNN
 /// and baselines) compute on it. Copyable and movable.
+///
+/// Backing storage comes from the thread-local TensorPool (tensor/pool.h):
+/// small and medium buffers are recycled through size-bucketed free lists so
+/// the training hot loop reaches a zero-allocation steady state, while large
+/// buffers (embedding tables, caches) are exact-sized heap allocations.
+/// `Uninit` skips the zero fill for outputs that are fully overwritten.
 class Tensor {
  public:
   /// Empty 0x0 tensor.
-  Tensor() : rows_(0), cols_(0) {}
+  Tensor() noexcept = default;
   /// Zero-initialized rows x cols tensor.
-  Tensor(size_t rows, size_t cols)
-      : rows_(rows), cols_(cols), data_(rows * cols, 0.0f) {}
-  /// Takes ownership of `data`, which must have rows*cols elements.
+  Tensor(size_t rows, size_t cols);
+  /// Copies `data`, which must have rows*cols elements.
   Tensor(size_t rows, size_t cols, std::vector<float> data);
 
-  Tensor(const Tensor&) = default;
-  Tensor& operator=(const Tensor&) = default;
-  Tensor(Tensor&&) = default;
-  Tensor& operator=(Tensor&&) = default;
+  Tensor(const Tensor& other);
+  Tensor& operator=(const Tensor& other);
+  Tensor(Tensor&& other) noexcept
+      : rows_(other.rows_),
+        cols_(other.cols_),
+        data_(other.data_),
+        cap_class_(other.cap_class_) {
+    other.rows_ = other.cols_ = 0;
+    other.data_ = nullptr;
+    other.cap_class_ = pool::kUnpooledClass;
+  }
+  Tensor& operator=(Tensor&& other) noexcept {
+    if (this != &other) {
+      FreeBuffer();
+      rows_ = other.rows_;
+      cols_ = other.cols_;
+      data_ = other.data_;
+      cap_class_ = other.cap_class_;
+      other.rows_ = other.cols_ = 0;
+      other.data_ = nullptr;
+      other.cap_class_ = pool::kUnpooledClass;
+    }
+    return *this;
+  }
+  ~Tensor() { FreeBuffer(); }
 
   static Tensor Zeros(size_t rows, size_t cols) { return Tensor(rows, cols); }
+  /// Allocates without zero-filling. The contents are unspecified; only use
+  /// when every element is written before being read.
+  static Tensor Uninit(size_t rows, size_t cols) {
+    return Tensor(rows, cols, UninitTag{});
+  }
   static Tensor Full(size_t rows, size_t cols, float value);
   static Tensor Ones(size_t rows, size_t cols) {
     return Full(rows, cols, 1.0f);
@@ -37,23 +72,23 @@ class Tensor {
 
   size_t rows() const { return rows_; }
   size_t cols() const { return cols_; }
-  size_t size() const { return data_.size(); }
-  bool empty() const { return data_.empty(); }
+  size_t size() const { return rows_ * cols_; }
+  bool empty() const { return size() == 0; }
 
   float& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
   float At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
   float& operator()(size_t r, size_t c) { return At(r, c); }
   float operator()(size_t r, size_t c) const { return At(r, c); }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
-  float* RowPtr(size_t r) { return data_.data() + r * cols_; }
-  const float* RowPtr(size_t r) const { return data_.data() + r * cols_; }
+  float* data() { return data_; }
+  const float* data() const { return data_; }
+  float* RowPtr(size_t r) { return data_ + r * cols_; }
+  const float* RowPtr(size_t r) const { return data_ + r * cols_; }
 
   /// Sets every element to `value`.
   void Fill(float value);
   /// Sets every element to zero (keeps shape).
-  void Zero() { Fill(0.0f); }
+  void Zero();
 
   /// this += other (shapes must match).
   void AddInPlace(const Tensor& other);
@@ -80,9 +115,20 @@ class Tensor {
   std::string ShapeString() const;
 
  private:
-  size_t rows_;
-  size_t cols_;
-  std::vector<float> data_;
+  struct UninitTag {};
+  Tensor(size_t rows, size_t cols, UninitTag);
+
+  void FreeBuffer() {
+    if (data_ != nullptr) {
+      pool::Release(data_, cap_class_);
+      data_ = nullptr;
+    }
+  }
+
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  float* data_ = nullptr;
+  uint8_t cap_class_ = pool::kUnpooledClass;
 };
 
 }  // namespace hybridgnn

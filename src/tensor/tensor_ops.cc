@@ -49,7 +49,7 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
   HYBRIDGNN_CHECK(a.cols() == b.cols())
       << "MatMulTransB " << a.ShapeString() << " x " << b.ShapeString();
   const size_t m = a.rows(), k = a.cols(), n = b.rows();
-  Tensor c(m, n);
+  Tensor c = Tensor::Uninit(m, n);
   for (size_t i = 0; i < m; ++i) {
     const float* arow = a.RowPtr(i);
     float* crow = c.RowPtr(i);
@@ -67,7 +67,7 @@ Tensor Zip(const Tensor& a, const Tensor& b, F f, const char* what) {
   HYBRIDGNN_CHECK(a.SameShape(b)) << what << " shape mismatch: "
                                   << a.ShapeString() << " vs "
                                   << b.ShapeString();
-  Tensor c(a.rows(), a.cols());
+  Tensor c = Tensor::Uninit(a.rows(), a.cols());
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = c.data();
@@ -77,7 +77,7 @@ Tensor Zip(const Tensor& a, const Tensor& b, F f, const char* what) {
 
 template <typename F>
 Tensor Map(const Tensor& a, F f) {
-  Tensor c(a.rows(), a.cols());
+  Tensor c = Tensor::Uninit(a.rows(), a.cols());
   const float* pa = a.data();
   float* pc = c.data();
   for (size_t i = 0; i < a.size(); ++i) pc[i] = f(pa[i]);
@@ -116,7 +116,7 @@ Tensor Scale(const Tensor& a, float alpha) {
 }
 
 Tensor Transpose(const Tensor& a) {
-  Tensor c(a.cols(), a.rows());
+  Tensor c = Tensor::Uninit(a.cols(), a.rows());
   for (size_t i = 0; i < a.rows(); ++i) {
     for (size_t j = 0; j < a.cols(); ++j) c.At(j, i) = a.At(i, j);
   }
@@ -144,7 +144,7 @@ Tensor Exp(const Tensor& a) {
 }
 
 Tensor SoftmaxRows(const Tensor& a) {
-  Tensor c(a.rows(), a.cols());
+  Tensor c = Tensor::Uninit(a.rows(), a.cols());
   for (size_t i = 0; i < a.rows(); ++i) {
     const float* arow = a.RowPtr(i);
     float* crow = c.RowPtr(i);
@@ -163,7 +163,7 @@ Tensor SoftmaxRows(const Tensor& a) {
 
 Tensor RowwiseDot(const Tensor& a, const Tensor& b) {
   HYBRIDGNN_CHECK(a.SameShape(b)) << "RowwiseDot shape mismatch";
-  Tensor c(a.rows(), 1);
+  Tensor c = Tensor::Uninit(a.rows(), 1);
   for (size_t i = 0; i < a.rows(); ++i) {
     c.At(i, 0) = kernels::Dot(a.RowPtr(i), b.RowPtr(i), a.cols());
   }
@@ -189,8 +189,8 @@ Tensor SumRows(const Tensor& a) {
   return c;
 }
 
-Tensor GatherRows(const Tensor& table, const std::vector<int32_t>& indices) {
-  Tensor c(indices.size(), table.cols());
+Tensor GatherRows(const Tensor& table, std::span<const int32_t> indices) {
+  Tensor c = Tensor::Uninit(indices.size(), table.cols());
   for (size_t i = 0; i < indices.size(); ++i) {
     const int32_t r = indices[i];
     HYBRIDGNN_CHECK(r >= 0 && static_cast<size_t>(r) < table.rows())
@@ -202,6 +202,10 @@ Tensor GatherRows(const Tensor& table, const std::vector<int32_t>& indices) {
   return c;
 }
 
+Tensor GatherRows(const Tensor& table, const std::vector<int32_t>& indices) {
+  return GatherRows(table, std::span<const int32_t>(indices));
+}
+
 Tensor ConcatRows(const std::vector<Tensor>& parts) {
   HYBRIDGNN_CHECK(!parts.empty()) << "ConcatRows of empty list";
   const size_t cols = parts[0].cols();
@@ -210,7 +214,7 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
     HYBRIDGNN_CHECK(p.cols() == cols) << "ConcatRows column mismatch";
     rows += p.rows();
   }
-  Tensor c(rows, cols);
+  Tensor c = Tensor::Uninit(rows, cols);
   size_t at = 0;
   for (const auto& p : parts) {
     std::copy(p.data(), p.data() + p.size(), c.RowPtr(at));
@@ -227,7 +231,7 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
     HYBRIDGNN_CHECK(p.rows() == rows) << "ConcatCols row mismatch";
     cols += p.cols();
   }
-  Tensor c(rows, cols);
+  Tensor c = Tensor::Uninit(rows, cols);
   for (size_t i = 0; i < rows; ++i) {
     size_t at = 0;
     for (const auto& p : parts) {

@@ -2,6 +2,7 @@
 #define HYBRIDGNN_TENSOR_TENSOR_OPS_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "tensor/tensor.h"
@@ -50,7 +51,9 @@ Tensor MeanRows(const Tensor& a);
 /// Sum over rows: [m,n] -> [1,n].
 Tensor SumRows(const Tensor& a);
 
-/// Gathers rows `indices` of `table` into a new [k, n] tensor.
+/// Gathers rows `indices` of `table` into a new [k, n] tensor. The span
+/// overload lets callers reuse index scratch buffers.
+Tensor GatherRows(const Tensor& table, std::span<const int32_t> indices);
 Tensor GatherRows(const Tensor& table, const std::vector<int32_t>& indices);
 
 /// Vertically stacks matrices with equal column counts.

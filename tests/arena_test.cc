@@ -1,0 +1,320 @@
+// Differential tests for the tape arena + tensor pool fast path: every op in
+// autograd.h must produce bit-identical values and gradients whether the
+// graph lives on the heap (pool off, no TapeScope) or on the per-thread
+// arena (pool on, TapeScope active). A reuse test then pins the
+// allocation-free steady state: after warmup, repeated tape-scoped steps
+// stop growing both the pool-miss byte count and the arena footprint.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/autograd.h"
+#include "tensor/init.h"
+#include "tensor/pool.h"
+
+namespace hybridgnn {
+namespace {
+
+using ag::Var;
+
+std::vector<uint32_t> Bits(const Tensor& t) {
+  std::vector<uint32_t> out(t.size());
+  if (!t.empty()) std::memcpy(out.data(), t.data(), t.size() * sizeof(float));
+  return out;
+}
+
+std::vector<Var> MakeParams(uint64_t seed) {
+  Rng rng(seed);
+  auto mk = [&](size_t r, size_t c) {
+    Tensor t(r, c);
+    UniformInit(t, rng, -0.8f, 0.8f);
+    return ag::Param(std::move(t));
+  };
+  // Fixed menu reused by every case: a [3,4] pair, a [4,2] projection, a
+  // [1,4] bias row, and [3,1]/[2,1] score columns.
+  return {mk(3, 4), mk(4, 2), mk(3, 4), mk(1, 4), mk(3, 1), mk(2, 1)};
+}
+
+struct CaseResult {
+  std::vector<uint32_t> loss_bits;
+  std::vector<std::vector<uint32_t>> grad_bits;
+};
+
+using GraphFn = std::function<Var(const std::vector<Var>&)>;
+
+CaseResult RunHeap(const GraphFn& build, uint64_t seed) {
+  pool::PoolScope no_pool(false);
+  std::vector<Var> params = MakeParams(seed);
+  Var loss = build(params);
+  ag::Backward(loss);
+  CaseResult r;
+  r.loss_bits = Bits(loss->value);
+  for (const Var& p : params) r.grad_bits.push_back(Bits(p->grad));
+  return r;
+}
+
+CaseResult RunArena(const GraphFn& build, uint64_t seed) {
+  pool::PoolScope with_pool(true);
+  std::vector<Var> params = MakeParams(seed);
+  CaseResult r;
+  {
+    ag::TapeScope tape;
+    Var loss = build(params);
+    ag::Backward(loss);
+    r.loss_bits = Bits(loss->value);
+  }
+  for (const Var& p : params) r.grad_bits.push_back(Bits(p->grad));
+  return r;
+}
+
+void ExpectBitIdentical(const GraphFn& build, const char* what) {
+  constexpr uint64_t kSeed = 0xA12EA;
+  CaseResult heap = RunHeap(build, kSeed);
+  CaseResult arena = RunArena(build, kSeed);
+  EXPECT_EQ(heap.loss_bits, arena.loss_bits) << what << ": loss differs";
+  ASSERT_EQ(heap.grad_bits.size(), arena.grad_bits.size());
+  for (size_t i = 0; i < heap.grad_bits.size(); ++i) {
+    EXPECT_EQ(heap.grad_bits[i], arena.grad_bits[i])
+        << what << ": grad of param " << i << " differs";
+  }
+}
+
+TEST(ArenaDifferential, EveryOpBitIdentical) {
+  const std::vector<std::pair<const char*, GraphFn>> cases = {
+      {"MatMul",
+       [](const std::vector<Var>& p) {
+         return ag::SumAll(ag::MatMul(p[0], p[1]));
+       }},
+      {"Add",
+       [](const std::vector<Var>& p) {
+         return ag::SumAll(ag::Add(p[0], p[2]));
+       }},
+      {"Sub",
+       [](const std::vector<Var>& p) {
+         return ag::SumAll(ag::Sub(p[0], p[2]));
+       }},
+      {"Mul",
+       [](const std::vector<Var>& p) {
+         return ag::SumAll(ag::Mul(p[0], p[2]));
+       }},
+      {"AddRowBroadcast",
+       [](const std::vector<Var>& p) {
+         return ag::SumAll(ag::AddRowBroadcast(p[0], p[3]));
+       }},
+      {"ScaleNeg",
+       [](const std::vector<Var>& p) {
+         return ag::SumAll(ag::Neg(ag::Scale(p[0], 1.7f)));
+       }},
+      {"Transpose",
+       [](const std::vector<Var>& p) {
+         return ag::SumAll(ag::MatMul(ag::Transpose(p[0]), p[2]));
+       }},
+      {"Sigmoid",
+       [](const std::vector<Var>& p) {
+         return ag::SumAll(ag::Sigmoid(p[0]));
+       }},
+      {"Tanh",
+       [](const std::vector<Var>& p) { return ag::SumAll(ag::Tanh(p[0])); }},
+      {"Relu",
+       [](const std::vector<Var>& p) { return ag::SumAll(ag::Relu(p[0])); }},
+      {"LogSigmoid",
+       [](const std::vector<Var>& p) {
+         return ag::SumAll(ag::LogSigmoid(p[0]));
+       }},
+      {"SoftmaxRows",
+       [](const std::vector<Var>& p) {
+         return ag::SumAll(ag::Mul(ag::SoftmaxRows(p[0]), p[2]));
+       }},
+      {"RowwiseDot",
+       [](const std::vector<Var>& p) {
+         return ag::SumAll(ag::RowwiseDot(p[0], p[2]));
+       }},
+      {"MeanRows",
+       [](const std::vector<Var>& p) {
+         return ag::SumAll(ag::MeanRows(p[0]));
+       }},
+      {"SumRows",
+       [](const std::vector<Var>& p) {
+         return ag::SumAll(ag::SumRows(p[0]));
+       }},
+      {"MeanAll",
+       [](const std::vector<Var>& p) { return ag::MeanAll(p[0]); }},
+      {"ConcatRows",
+       [](const std::vector<Var>& p) {
+         return ag::SumAll(ag::ConcatRows({p[0], p[2]}));
+       }},
+      {"ConcatCols",
+       [](const std::vector<Var>& p) {
+         return ag::SumAll(ag::ConcatCols({p[0], p[2]}));
+       }},
+      {"SliceRows",
+       [](const std::vector<Var>& p) {
+         return ag::SumAll(ag::SliceRows(p[0], 1, 2));
+       }},
+      {"GatherRowsWithDuplicates",
+       [](const std::vector<Var>& p) {
+         return ag::SumAll(
+             ag::GatherRows(p[0], std::vector<int32_t>{2, 0, 2, 1}));
+       }},
+      {"BceWithLogits",
+       [](const std::vector<Var>& p) {
+         return ag::BceWithLogits(p[4], {1.0f, 0.0f, 1.0f});
+       }},
+      {"SgnsLoss",
+       [](const std::vector<Var>& p) { return ag::SgnsLoss(p[4], p[5]); }},
+      {"AttentionShapedComposite",
+       [](const std::vector<Var>& p) {
+         Var h = ag::Tanh(ag::MatMul(p[0], p[1]));          // [3,2]
+         Var w = ag::SoftmaxRows(ag::Transpose(
+             ag::RowwiseDot(h, h)));                        // [1,3]
+         Var mixed = ag::MatMul(w, p[2]);                   // [1,4]
+         return ag::SumAll(ag::AddRowBroadcast(mixed, p[3]));
+       }},
+  };
+  for (const auto& [name, fn] : cases) ExpectBitIdentical(fn, name);
+}
+
+TEST(ArenaDifferential, ConstantUnderTapeMatchesHeap) {
+  GraphFn fn = [](const std::vector<Var>& p) {
+    Var c = ag::Constant(Tensor::Full(3, 4, 0.25f));
+    return ag::SumAll(ag::Mul(c, p[0]));
+  };
+  ExpectBitIdentical(fn, "ConstantUnderTape");
+}
+
+// The heap path must keep parents alive through the node even when the
+// caller drops every other handle before Backward.
+TEST(ArenaTest, HeapModeKeepsParentsAlive) {
+  Var loss;
+  Var param = ag::Param(Tensor::Full(2, 2, 0.5f));
+  {
+    Var tmp = ag::Scale(param, 3.0f);
+    loss = ag::SumAll(tmp);
+  }
+  ag::Backward(loss);
+  EXPECT_FLOAT_EQ(param->grad.At(0, 0), 3.0f);
+}
+
+TEST(ArenaTest, NestedScopesRewindIndependently) {
+  Var param = ag::Param(Tensor::Full(2, 2, 1.0f));
+  ag::TapeScope outer;
+  Var outer_op = ag::Scale(param, 2.0f);
+  {
+    ag::TapeScope inner;
+    Var inner_loss = ag::SumAll(ag::Scale(param, 5.0f));
+    ag::Backward(inner_loss);
+  }
+  // The outer graph must still be usable after the inner rewind.
+  Var loss = ag::SumAll(outer_op);
+  ag::Backward(loss);
+  // 5 (inner) + 2 (outer) accumulated into the shared leaf.
+  EXPECT_FLOAT_EQ(param->grad.At(0, 0), 7.0f);
+}
+
+TEST(ArenaTest, GradSinkScopeRedirectsUnderTape) {
+  Var param = ag::Param(Tensor::Full(2, 2, 1.0f));
+  ag::GradSinkScope::Sink sink;
+  {
+    ag::GradSinkScope sink_scope(&sink);
+    ag::TapeScope tape;
+    Var loss = ag::SumAll(ag::Scale(param, 4.0f));
+    ag::Backward(loss);
+  }
+  EXPECT_TRUE(param->grad.empty()) << "sink should absorb the leaf gradient";
+  ASSERT_EQ(sink.size(), 1u);
+  EXPECT_FLOAT_EQ(sink[param.get()].At(0, 0), 4.0f);
+}
+
+// Steady-state contract: after a short warmup, tape-scoped train-like steps
+// stop allocating — the pool serves every tensor (miss bytes flat) and the
+// arena footprint stops growing (reserved bytes flat).
+TEST(ArenaTest, SteadyStateStopsAllocating) {
+  pool::PoolScope with_pool(true);
+  std::vector<Var> params = MakeParams(0xBEEF);
+  auto step = [&]() {
+    ag::TapeScope tape;
+    Var h = ag::Relu(ag::MatMul(params[0], params[1]));
+    Var loss = ag::SumAll(ag::RowwiseDot(h, h));
+    ag::Backward(loss);
+    for (const Var& p : params) p->ZeroGrad();
+  };
+  for (int i = 0; i < 10; ++i) step();  // warmup: grow pool + arena
+  const uint64_t miss_bytes_before = pool::MissBytes();
+  const uint64_t arena_before = ag::Tape::TotalReservedBytes();
+  for (int i = 0; i < 100; ++i) step();
+  EXPECT_EQ(pool::MissBytes(), miss_bytes_before)
+      << "warm steps should not miss the tensor pool";
+  EXPECT_EQ(ag::Tape::TotalReservedBytes(), arena_before)
+      << "warm steps should not grow any tape arena";
+}
+
+// Data-parallel pattern from HybridGnn::Fit: workers backprop private
+// tape-scoped graphs over shared leaves under per-worker sinks. Run under
+// TSan this is the race check for visit marks and pool migration; the
+// reduced gradient must equal the serial accumulation bit for bit.
+TEST(ArenaTest, ParallelWorkersMatchSerialReduction) {
+  constexpr size_t kWorkers = 4;
+  std::vector<Var> params = MakeParams(0xFEED);
+  auto worker_loss = [&](size_t w) {
+    Var scaled = ag::Scale(params[0], 0.5f + static_cast<float>(w));
+    return ag::SumAll(ag::RowwiseDot(scaled, params[2]));
+  };
+
+  // Serial reference: accumulate all workers' grads in worker order.
+  for (const Var& p : params) p->ZeroGrad();
+  for (size_t w = 0; w < kWorkers; ++w) {
+    ag::TapeScope tape;
+    ag::Backward(worker_loss(w));
+  }
+  const std::vector<uint32_t> serial_bits = Bits(params[0]->grad);
+
+  for (const Var& p : params) {
+    p->ZeroGrad();
+    p->grad = Tensor();  // force the parallel run to start from empty
+  }
+  std::vector<ag::GradSinkScope::Sink> sinks(kWorkers);
+  std::vector<std::thread> threads;
+  for (size_t w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&, w]() {
+      ag::GradSinkScope sink_scope(&sinks[w]);
+      ag::TapeScope tape;
+      ag::Backward(worker_loss(w));
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (size_t w = 0; w < kWorkers; ++w) {
+    for (auto& [node, grad] : sinks[w]) node->AccumulateGrad(grad);
+  }
+  EXPECT_EQ(Bits(params[0]->grad), serial_bits);
+}
+
+TEST(ArenaTest, PoolRoundTripsBuffers) {
+  pool::PoolScope with_pool(true);
+  const pool::PoolStats before = pool::Stats();
+  {
+    Tensor a(8, 8);
+    a.Fill(1.0f);
+  }  // released to this thread's free list
+  Tensor b(8, 8);  // must be served from the free list
+  const pool::PoolStats after = pool::Stats();
+  EXPECT_GE(after.hits, before.hits + 1);
+  EXPECT_EQ(b.At(0, 0), 0.0f) << "pooled zero-init tensor must be cleared";
+}
+
+TEST(ArenaTest, OversizedBuffersBypassPool) {
+  pool::PoolScope with_pool(true);
+  const pool::PoolStats before = pool::Stats();
+  Tensor big(pool::kMaxPooledElems + 1, 1);
+  const pool::PoolStats after = pool::Stats();
+  EXPECT_EQ(after.hits, before.hits);
+  EXPECT_EQ(after.misses, before.misses)
+      << "oversized tensors must not count as pool traffic";
+}
+
+}  // namespace
+}  // namespace hybridgnn
