@@ -1,0 +1,200 @@
+// Micro benchmark for the batched CSR sparse-aggregation engine: one
+// minibatch of sampled neighborhoods aggregated (forward + backward) two
+// ways —
+//
+//   reference: the pre-redesign per-node composition, one GatherRows +
+//              MeanRows autograd op pair per (node, level), concatenated
+//              for a single loss;
+//   frontier:  the redesigned path, one MinibatchFrontier covering the
+//              whole batch, one GatherRowsSegmented + one SegmentMean.
+//
+// Both paths draw identical index streams and, on the scalar backend, are
+// bit-identical in the loss — the startup cross-check enforces that before
+// any timing. Reports ns/batch for each path and the speedup, and writes
+// BENCH_micro_aggregate.json.
+//
+//   micro_aggregate [--steps N] [--gate]
+//
+// --gate exits non-zero unless the frontier path is >= 2x faster than the
+// per-node reference; like micro_kernels, the gate is enforced only when
+// the AVX2 dispatch path is available (ci_check.sh runs it there).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "common/rng.h"
+#include "graph/frontier.h"
+#include "kernels/kernels.h"
+#include "nn/sparse.h"
+#include "tensor/autograd.h"
+#include "tensor/init.h"
+#include "tensor/pool.h"
+
+namespace hybridgnn {
+namespace {
+
+constexpr size_t kTableRows = 2048;
+constexpr size_t kDim = 32;
+constexpr size_t kBatch = 64;
+// Per-node level sizes, deepest first (fanout 8, two hops + the center).
+constexpr size_t kLevelSizes[] = {64, 8, 1};
+constexpr size_t kLevels = 3;
+
+ag::Var MakeTable() {
+  Rng rng(0xC0DE);
+  Tensor t(kTableRows, kDim);
+  UniformInit(t, rng, -0.8f, 0.8f);
+  return ag::Param(std::move(t));
+}
+
+/// Pre-redesign graph: one dense gather + mean per (node, level).
+uint32_t StepReference(const ag::Var& table, uint64_t seed) {
+  Rng rng(seed);
+  static thread_local std::vector<ag::Var> means;
+  static thread_local std::vector<int32_t> ids;
+  for (size_t b = 0; b < kBatch; ++b) {
+    for (size_t l = 0; l < kLevels; ++l) {
+      ids.clear();
+      for (size_t i = 0; i < kLevelSizes[l]; ++i) {
+        ids.push_back(static_cast<int32_t>(rng.UniformUint64(kTableRows)));
+      }
+      means.push_back(ag::MeanRows(
+          ag::GatherRows(table, std::span<const int32_t>(ids))));
+    }
+  }
+  ag::Var loss = ag::SumAll(ag::ConcatRows(means));
+  ag::Backward(loss);
+  means.clear();
+  uint32_t bits;
+  std::memcpy(&bits, &loss->value.At(0, 0), sizeof(bits));
+  return bits;
+}
+
+/// Redesigned graph: the whole batch is one frontier (kBatch * kLevels
+/// segments), aggregated by one fused gather and one segment reduction.
+uint32_t StepFrontier(const ag::Var& table, uint64_t seed) {
+  Rng rng(seed);
+  static thread_local MinibatchFrontier f;
+  f.Clear();
+  for (size_t b = 0; b < kBatch; ++b) {
+    for (size_t l = 0; l < kLevels; ++l) {
+      for (size_t i = 0; i < kLevelSizes[l]; ++i) {
+        f.indices.push_back(
+            static_cast<int32_t>(rng.UniformUint64(kTableRows)));
+      }
+      f.CloseSegment();
+    }
+  }
+  ag::Var loss = ag::SumAll(SegmentMean(GatherRowsSegmented(table, f), f));
+  ag::Backward(loss);
+  uint32_t bits;
+  std::memcpy(&bits, &loss->value.At(0, 0), sizeof(bits));
+  return bits;
+}
+
+double TimeSteps(uint32_t (*step)(const ag::Var&, uint64_t),
+                 const ag::Var& table, size_t steps) {
+  for (size_t s = 0; s < 5; ++s) {  // warmup: pool free lists + tape arena
+    ag::TapeScope tape;
+    step(table, s);
+    table->ZeroGrad();
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (size_t s = 0; s < steps; ++s) {
+    ag::TapeScope tape;
+    step(table, 1000 + s);
+    table->ZeroGrad();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+             .count() /
+         static_cast<double>(steps);
+}
+
+int Main(int argc, char** argv) {
+  size_t steps = 200;
+  bool gate = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--steps" && i + 1 < argc) {
+      steps = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (arg == "--gate") {
+      gate = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--steps N] [--gate]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  pool::PoolScope pool_scope(true);
+  ag::Var table = MakeTable();
+
+  // Correctness first: on the scalar backend both paths are bit-identical
+  // (the segment ops' contract); a mismatch means the engine is broken and
+  // any timing would be meaningless.
+  uint64_t hash = 1469598103934665603ull;  // FNV offset basis
+  {
+    kernels::ScopedBackend scalar(kernels::Backend::kScalar);
+    for (size_t s = 0; s < 8; ++s) {
+      uint32_t ref, fro;
+      {
+        ag::TapeScope tape;
+        ref = StepReference(table, 77 + s);
+        table->ZeroGrad();
+      }
+      {
+        ag::TapeScope tape;
+        fro = StepFrontier(table, 77 + s);
+        table->ZeroGrad();
+      }
+      if (ref != fro) {
+        std::fprintf(stderr,
+                     "FATAL: frontier path diverged from per-node reference "
+                     "(loss bits, step %zu)\n",
+                     s);
+        return 1;
+      }
+      hash = (hash ^ fro) * 1099511628211ull;
+    }
+  }
+
+  const double ref_ns = TimeSteps(StepReference, table, steps);
+  const double frontier_ns = TimeSteps(StepFrontier, table, steps);
+  const double speedup = frontier_ns > 0.0 ? ref_ns / frontier_ns : 0.0;
+
+  std::printf(
+      "micro_aggregate: %zu steps, batch %zu, levels %zu (%zu rows/node), "
+      "dim %zu, avx2 %s\n",
+      steps, kBatch, kLevels, kLevelSizes[0] + kLevelSizes[1] + kLevelSizes[2],
+      kDim, kernels::Avx2Available() ? "yes" : "no");
+  std::printf("  per-node reference: %10.0f ns/batch\n", ref_ns);
+  std::printf("  frontier engine   : %10.0f ns/batch\n", frontier_ns);
+  std::printf("  speedup %.2fx (gate >= 2.0x)\n", speedup);
+
+  bench::BenchReport report("micro_aggregate");
+  report.AddStage("per_node_ns_per_batch", 1, ref_ns * 1e-6, 0.0);
+  report.AddStage("frontier_ns_per_batch", 1, frontier_ns * 1e-6, 0.0);
+  report.AddStage("speedup", 1, 0.0, speedup);
+  report.set_result_hash(hash);
+  report.Write();
+
+  if (gate && kernels::Avx2Available() && speedup < 2.0) {
+    std::fprintf(stderr,
+                 "GATE FAILED: frontier aggregation is %.2fx the per-node "
+                 "path (required >= 2x)\n",
+                 speedup);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace hybridgnn
+
+int main(int argc, char** argv) { return hybridgnn::Main(argc, argv); }

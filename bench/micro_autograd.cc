@@ -126,7 +126,8 @@ uint32_t Step(const Model& m, uint64_t step_seed) {
         ag::GatherRows(m.table.table(), std::span<const int32_t>(center, 1));
     ag::Var neigh = ag::MeanRows(
         ag::GatherRows(m.table.table(), std::span<const int32_t>(nbrs)));
-    reps.push_back(m.agg.Forward(self, neigh));
+    reps.push_back(
+        m.agg.Forward(MinibatchFrontier::IdentityRow(), self, neigh));
     labels.push_back(static_cast<float>(b % 2));
   }
   ag::Var stack = ag::ConcatRows(reps);       // [kBatch, kDim]

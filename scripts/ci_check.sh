@@ -30,4 +30,8 @@ echo "=== ci_check: allocation-free training-step gate ==="
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target micro_autograd
 "$BUILD_DIR/bench/micro_autograd" --gate
 
+echo "=== ci_check: frontier aggregation speedup gate ==="
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target micro_aggregate
+"$BUILD_DIR/bench/micro_aggregate" --gate
+
 echo "=== ci_check: all stages passed ==="

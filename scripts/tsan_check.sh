@@ -22,9 +22,11 @@ cmake -B "$BUILD_DIR" -S . \
 # service_stress_test hammers the same service with producer threads while
 # cross-checking every response against a direct recommender call.
 # arena_test exercises the tape arena + tensor pool from concurrent workers
-# backpropagating over shared parameters (visit marks, buffer migration).
+# backpropagating over shared parameters (visit marks, buffer migration);
+# sparse_aggregate_test adds the frontier gather/segment-reduce backward
+# under the same multi-worker grad-sink pattern.
 TESTS=(threadpool_test sampling_test determinism_test serve_test obs_test
-       service_stress_test arena_test)
+       service_stress_test arena_test sparse_aggregate_test)
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TESTS[@]}"
 
 status=0

@@ -6,7 +6,9 @@
 
 #include "common/logging.h"
 #include "common/parallel.h"
+#include "nn/sparse.h"
 #include "sampling/negative_sampler.h"
+#include "sampling/neighbor_sampler.h"
 #include "sampling/sgns.h"
 #include "tensor/init.h"
 #include "tensor/optimizer.h"
@@ -17,30 +19,21 @@ ag::Var Gatne::ForwardNode(const MultiplexHeteroGraph& g, NodeId v,
                            Rng& rng) const {
   // U_v: per-relation aggregated edge embeddings (mean over sampled direct
   // neighbors' edge embeddings under that relation; own embedding when
-  // isolated).
-  std::vector<ag::Var> u_rows;
-  u_rows.reserve(num_relations_);
+  // isolated). One frontier with a segment per relation replaces the
+  // per-relation gather+mean walk: a single fused gather of the flat index
+  // list, then one segment mean straight to the [R, edge] stack.
+  static thread_local MinibatchFrontier frontier;
+  BuildRelationFrontier(g, v, options_.fanout, rng, &frontier);
+  // The edge table keys rows as node * R + relation; remap each segment's
+  // raw NodeIds in place.
   for (RelationId r = 0; r < num_relations_; ++r) {
-    auto nbrs = g.Neighbors(v, r);
-    std::vector<NodeId> sampled;
-    if (!nbrs.empty()) {
-      sampled.reserve(options_.fanout);
-      for (size_t s = 0; s < options_.fanout; ++s) {
-        sampled.push_back(nbrs[rng.UniformUint64(nbrs.size())]);
-      }
-    } else {
-      sampled.push_back(v);
+    for (size_t i = frontier.indptr[r]; i < frontier.indptr[r + 1]; ++i) {
+      frontier.indices[i] = static_cast<int32_t>(
+          static_cast<size_t>(frontier.indices[i]) * num_relations_ + r);
     }
-    std::vector<int32_t> idx;
-    idx.reserve(sampled.size());
-    for (NodeId u : sampled) {
-      idx.push_back(static_cast<int32_t>(u * num_relations_ + r));
-    }
-    ag::Var rows = edge_embed_->Forward(idx);
-    u_rows.push_back(idx.size() == 1 ? rows : ag::MeanRows(rows));
   }
-  ag::Var u_stack =
-      u_rows.size() == 1 ? u_rows[0] : ag::ConcatRows(u_rows);  // [R, edge]
+  ag::Var block = GatherRowsSegmented(edge_embed_->table(), frontier);
+  ag::Var u_stack = SegmentMean(block, frontier);  // [R, edge]
 
   ag::Var hidden = ag::Tanh(attn_proj_->Forward(u_stack));  // [R, hidden]
   ag::Var base_row = base_->ForwardNodes({v});              // [1, base]

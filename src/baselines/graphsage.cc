@@ -4,6 +4,7 @@
 
 #include "baselines/common.h"
 #include "common/logging.h"
+#include "nn/sparse.h"
 #include "sampling/neighbor_sampler.h"
 #include "tensor/optimizer.h"
 
@@ -13,17 +14,17 @@ ag::Var GraphSage::ForwardNode(const MultiplexHeteroGraph& g, NodeId v,
                                Rng& rng, const EmbeddingTable& features,
                                const MeanAggregator& agg) const {
   auto levels = SampleLayers(g, v, options_.num_layers, options_.fanout, rng);
-  size_t deepest = 0;
-  for (size_t k = 0; k < levels.size(); ++k) {
-    if (!levels[k].empty()) deepest = k;
-  }
-  auto level_mean = [&](size_t k) {
-    ag::Var rows = features.ForwardNodes(levels[k]);
-    return levels[k].size() == 1 ? rows : ag::MeanRows(rows);
-  };
-  ag::Var rep = level_mean(deepest);
-  for (size_t k = deepest; k-- > 0;) {
-    rep = agg.Forward(level_mean(k), rep);
+  // Frontier path: one fused gather over all levels, one segment mean, then
+  // the aggregator fold (means row 0 is the deepest level).
+  static thread_local MinibatchFrontier frontier;
+  BuildLevelFrontier(levels, &frontier);
+  ag::Var block = GatherRowsSegmented(features.table(), frontier);
+  ag::Var means = SegmentMean(block, frontier);
+  const size_t num_levels = frontier.num_segments();
+  ag::Var rep = num_levels == 1 ? means : ag::SliceRows(means, 0, 1);
+  for (size_t i = 1; i < num_levels; ++i) {
+    rep = agg.Forward(MinibatchFrontier::IdentityRow(),
+                      ag::SliceRows(means, i, 1), rep);
   }
   return rep;
 }

@@ -8,6 +8,7 @@
 #include "nn/aggregator.h"
 #include "nn/embedding.h"
 #include "nn/semantic_attention.h"
+#include "nn/sparse.h"
 #include "sampling/walker.h"
 #include "tensor/optimizer.h"
 
@@ -28,10 +29,13 @@ ag::Var MetapathEmbed(const MultiplexHeteroGraph& g,
                           : levels.back();
   ag::Var self = features.ForwardNodes({v});
   if (peers.empty()) return self;
-  ag::Var peer_rows = features.ForwardNodes(peers);
-  ag::Var peer_mean =
-      peers.size() == 1 ? peer_rows : ag::MeanRows(peer_rows);
-  return agg.Forward(self, peer_mean);
+  // Single-segment frontier over the peers: fused gather + segment mean.
+  static thread_local MinibatchFrontier frontier;
+  frontier.Clear();
+  for (NodeId u : peers) frontier.indices.push_back(static_cast<int32_t>(u));
+  frontier.CloseSegment();
+  ag::Var peer_rows = GatherRowsSegmented(features.table(), frontier);
+  return agg.Forward(frontier, self, peer_rows);
 }
 
 }  // namespace

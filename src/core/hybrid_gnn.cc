@@ -9,6 +9,7 @@
 #include "common/parallel.h"
 #include "common/string_util.h"
 #include "common/threadpool.h"
+#include "nn/sparse.h"
 #include "obs/metrics.h"
 #include "sampling/exploration.h"
 #include "sampling/neighbor_sampler.h"
@@ -24,32 +25,41 @@ HybridGnn::HybridGnn(const HybridGnnConfig& config,
                      std::vector<MetapathScheme> schemes)
     : config_(config), schemes_(std::move(schemes)) {}
 
-ag::Var HybridGnn::AggregateLevels(
-    const std::vector<std::vector<NodeId>>& levels,
-    const MeanAggregator& agg) const {
-  // Deepest non-empty level.
-  size_t deepest = 0;
-  for (size_t k = 0; k < levels.size(); ++k) {
-    if (!levels[k].empty()) deepest = k;
+ag::Var HybridGnn::AggregateLevels(const MinibatchFrontier& f,
+                                   const MeanAggregator& agg) const {
+  // Stage timers on the hot path: references are cached after first use, so
+  // past initialization each is two clock reads and relaxed fetch_adds.
+  static obs::LatencyHistogram& gather_stage = obs::Stage("core/gather");
+  static obs::LatencyHistogram& reduce_stage =
+      obs::Stage("core/segment_reduce");
+  // One fused gather of the whole frontier's edge embeddings, then one
+  // segment reduction to per-level means. The frontier orders segments
+  // deepest level first (the BuildLevelFrontier contract), so means row 0
+  // is the farthest level and the fold below walks toward the node itself.
+  ag::Var block;
+  {
+    obs::ScopedTimer gather_timer(gather_stage);
+    block = GatherRowsSegmented(edge_init_->table(), f);  // [m, edge_dim]
   }
-  auto level_mean = [&](size_t k) {
-    ag::Var rows = edge_init_->ForwardNodes(levels[k]);
-    return levels[k].size() == 1 ? rows : ag::MeanRows(rows);
-  };
-  ag::Var rep = level_mean(deepest);
+  ag::Var means;
+  {
+    obs::ScopedTimer reduce_timer(reduce_stage);
+    means = SegmentMean(block, f);  // [levels, edge_dim]
+  }
+  const size_t num_levels = f.num_segments();
   // Eq. 3 recursion: fold from the farthest level toward the node itself.
-  for (size_t k = deepest; k-- > 0;) {
-    rep = agg.Forward(level_mean(k), rep);
+  ag::Var rep = num_levels == 1 ? means : ag::SliceRows(means, 0, 1);
+  for (size_t i = 1; i < num_levels; ++i) {
+    rep = agg.Forward(MinibatchFrontier::IdentityRow(),
+                      ag::SliceRows(means, i, 1), rep);
   }
   return rep;  // [1, edge_dim]
 }
 
 ag::Var HybridGnn::FlowStack(const MultiplexHeteroGraph& g, NodeId v,
                              RelationId r, Rng& rng) const {
-  // Stage timer on the hot path: references are cached after first use, so
-  // past initialization this is two clock reads and relaxed fetch_adds.
-  static obs::LatencyHistogram& agg_stage = obs::Stage("core/aggregate");
-  obs::ScopedTimer agg_timer(agg_stage);
+  // Scratch frontier rebuilt per flow; the sparse ops copy what they keep.
+  static thread_local MinibatchFrontier frontier;
   std::vector<ag::Var> flows;
   if (config_.use_hybrid_aggregation) {
     for (size_t i = 0; i < schemes_.size(); ++i) {
@@ -60,18 +70,21 @@ ag::Var HybridGnn::FlowStack(const MultiplexHeteroGraph& g, NodeId v,
       }
       auto levels = MetapathGuidedNeighbors(g, s, v, config_.fanout, rng);
       const size_t agg_idx = config_.per_scheme_aggregators ? i : 0;
-      flows.push_back(AggregateLevels(levels, *scheme_aggs_[agg_idx]));
+      BuildLevelFrontier(levels, &frontier);
+      flows.push_back(AggregateLevels(frontier, *scheme_aggs_[agg_idx]));
     }
   } else {
     // Ablation "w/o hybrid": one relation-blind random-sampling flow.
     auto levels = SampleLayers(g, v, 2, config_.fanout, rng);
-    flows.push_back(AggregateLevels(levels, *rand_agg_));
+    BuildLevelFrontier(levels, &frontier);
+    flows.push_back(AggregateLevels(frontier, *rand_agg_));
   }
   if (config_.use_randomized_exploration) {
     auto levels =
         ExplorationNeighbors(g, v, config_.exploration_depth, config_.fanout,
                              rng);
-    flows.push_back(AggregateLevels(levels, *rand_agg_));
+    BuildLevelFrontier(levels, &frontier);
+    flows.push_back(AggregateLevels(frontier, *rand_agg_));
   }
   if (flows.empty()) {
     // No matching scheme and exploration disabled: fall back to the node's

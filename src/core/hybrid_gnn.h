@@ -8,6 +8,7 @@
 #include "common/rng.h"
 #include "core/config.h"
 #include "eval/embedding_model.h"
+#include "graph/frontier.h"
 #include "graph/graph.h"
 #include "graph/metapath.h"
 #include "nn/aggregator.h"
@@ -77,8 +78,9 @@ class HybridGnn : public EmbeddingModel, public Module {
   /// Computes e*_{v,r} rows for all relations as one [R, base_dim] Var.
   ag::Var ForwardNode(const MultiplexHeteroGraph& g, NodeId v, Rng& rng) const;
 
-  /// One aggregation flow: level-structured neighbor sets -> [1, edge_dim].
-  ag::Var AggregateLevels(const std::vector<std::vector<NodeId>>& levels,
+  /// One aggregation flow: a level-structured CSR frontier (deepest level
+  /// first, see BuildLevelFrontier) -> [1, edge_dim].
+  ag::Var AggregateLevels(const MinibatchFrontier& f,
                           const MeanAggregator& agg) const;
 
   /// The [m, edge_dim] stack of flow embeddings for (v, r).

@@ -47,6 +47,12 @@ const KernelOps& Active() {
   const KernelOps* ops = g_ops.load(std::memory_order_acquire);
   if (ops == nullptr) {
     const Selected s = Select();
+    // One line naming the resolved backend and every entry point it covers,
+    // so a training log records which dispatch the run actually used.
+    HYBRIDGNN_LOG(Info)
+        << "kernels: dispatching to '" << BackendName(s.backend)
+        << "' backend (dot, axpy, scale, sgns_update_step, score_block, "
+           "segment_sum, segment_mean, segment_max, csr_spmm)";
     g_backend.store(static_cast<int>(s.backend), std::memory_order_relaxed);
     g_ops.store(s.ops, std::memory_order_release);
     ops = s.ops;
@@ -106,6 +112,27 @@ float SgnsUpdateStep(const float* e, float* c, float* e_grad, size_t n,
 void ScoreBlock(const float* query, const float* rows, size_t num_rows,
                 size_t n, double* out) {
   Active().score_block(query, rows, num_rows, n, out);
+}
+
+void SegmentSum(const float* x, size_t dim, const size_t* indptr,
+                size_t num_segments, float* out) {
+  Active().segment_sum(x, dim, indptr, num_segments, out);
+}
+
+void SegmentMean(const float* x, size_t dim, const size_t* indptr,
+                 size_t num_segments, float* out) {
+  Active().segment_mean(x, dim, indptr, num_segments, out);
+}
+
+void SegmentMax(const float* x, size_t dim, const size_t* indptr,
+                size_t num_segments, float* out, uint32_t* argmax) {
+  Active().segment_max(x, dim, indptr, num_segments, out, argmax);
+}
+
+void CsrSpmm(const size_t* indptr, const uint32_t* indices,
+             const float* values, size_t rows, const float* x, size_t dim,
+             float* y) {
+  Active().csr_spmm(indptr, indices, values, rows, x, dim, y);
 }
 
 #if !defined(HYBRIDGNN_KERNELS_HAVE_AVX2)

@@ -2,13 +2,15 @@
 #define HYBRIDGNN_KERNELS_KERNELS_H_
 
 #include <cstddef>
+#include <cstdint>
 
 namespace hybridgnn::kernels {
 
 /// Runtime-dispatched dense float kernels backing the library's hot loops:
 /// the Hogwild skip-gram inner loop (sampling/sgns.cc, baselines/line.cc),
-/// blocked top-K candidate scoring (serve/topk.cc), and the dense
-/// reductions in tensor/tensor_ops.cc.
+/// blocked top-K candidate scoring (serve/topk.cc), the dense reductions in
+/// tensor/tensor_ops.cc, and the frontier segment reductions / CSR SpMM
+/// behind the sparse aggregation ops in nn/sparse.cc.
 ///
 /// Two implementations exist behind one entry point each:
 ///   * kScalar — plain loops, semantically identical to the pre-kernel-layer
@@ -32,6 +34,11 @@ namespace hybridgnn::kernels {
 ///     tests/kernel_test.cc and DESIGN.md §11 for the exact bounds).
 ///   * ScoreBlock: accumulates in double on both paths; backend drift is
 ///     bounded by double rounding of the partial sums (~1e-15 relative).
+///   * SegmentSum / SegmentMean / SegmentMax / CsrSpmm: bit-identical. The
+///     vector bodies accumulate each output element through the same
+///     mul-then-add chain (in the same row order) as the scalar reference —
+///     no FMA, no reassociation — so the frontier aggregation path produces
+///     the same bits under either backend.
 enum class Backend : int {
   kScalar = 0,
   kAvx2 = 1,
@@ -89,6 +96,39 @@ float SgnsUpdateStep(const float* e, float* c, float* e_grad, size_t n,
 /// contiguous row-major rows of length n (an EmbeddingStore table slice).
 void ScoreBlock(const float* query, const float* rows, size_t num_rows,
                 size_t n, double* out);
+
+/// Sentinel argmax value written by SegmentMax for empty segments.
+inline constexpr uint32_t kNoSegmentRow = UINT32_MAX;
+
+/// Segment reductions over a flat row-major block `x` [m, dim]: segment s
+/// covers block rows [indptr[s], indptr[s+1]) and reduces to output row s,
+/// so `out` is [num_segments, dim] and indptr has num_segments+1 entries
+/// with indptr[0] == 0 and indptr[num_segments] == m. Empty segments
+/// produce zero rows. SegmentSum accumulates rows in ascending row order
+/// (the same chain as repeated Axpy(1.0f, row, acc)); SegmentMean applies
+/// one final multiply by 1/len per element, reproducing the
+/// SumRows-then-ScaleInPlace arithmetic of tensor_ops bit for bit.
+void SegmentSum(const float* x, size_t dim, const size_t* indptr,
+                size_t num_segments, float* out);
+void SegmentMean(const float* x, size_t dim, const size_t* indptr,
+                 size_t num_segments, float* out);
+
+/// Per-column segment max with argmax: out[s*dim+j] is the max of column j
+/// over segment s's rows and argmax[s*dim+j] the *block* row index that
+/// attained it (strict `>` comparison, so ties keep the first row; NaN
+/// inputs never displace the running max). Empty segments write 0.0f and
+/// kNoSegmentRow.
+void SegmentMax(const float* x, size_t dim, const size_t* indptr,
+                size_t num_segments, float* out, uint32_t* argmax);
+
+/// CSR sparse-dense matmul: y[r] += sum_e values[e] * x[indices[e]] over
+/// e in [indptr[r], indptr[r+1]), with x and y row-major [*, dim].
+/// Accumulates into y (callers pass a zeroed output); `values == nullptr`
+/// means unit weights. Per-edge arithmetic is the exact Axpy-style
+/// mul-then-add chain of the pre-kernel SpMM loop.
+void CsrSpmm(const size_t* indptr, const uint32_t* indices,
+             const float* values, size_t rows, const float* x, size_t dim,
+             float* y);
 
 }  // namespace hybridgnn::kernels
 

@@ -16,6 +16,7 @@
 #include <cmath>
 
 #include "common/parallel.h"
+#include "kernels/kernels.h"
 #include "kernels/kernels_impl.h"
 
 namespace hybridgnn::kernels::internal {
@@ -127,6 +128,111 @@ void ScoreBlockAvx2(const float* query, const float* rows, size_t num_rows,
   }
 }
 
+// Segment reductions and CSR SpMM stay bit-identical to the scalar backend:
+// each output element is produced by the same add (and trailing multiply)
+// chain in the same row order — the vector loops only batch 8 independent
+// columns per instruction, which never reassociates a chain. No FMA
+// anywhere in these four kernels.
+void SegmentSumAvx2(const float* x, size_t dim, const size_t* indptr,
+                    size_t num_segments, float* out) {
+  for (size_t s = 0; s < num_segments; ++s) {
+    float* o = out + s * dim;
+    const size_t lo = indptr[s];
+    const size_t hi = indptr[s + 1];
+    size_t j = 0;
+    for (; j + 8 <= dim; j += 8) {
+      __m256 acc = _mm256_setzero_ps();
+      for (size_t r = lo; r < hi; ++r) {
+        acc = _mm256_add_ps(acc, _mm256_loadu_ps(x + r * dim + j));
+      }
+      _mm256_storeu_ps(o + j, acc);
+    }
+    for (; j < dim; ++j) {
+      float acc = 0.0f;
+      for (size_t r = lo; r < hi; ++r) acc += x[r * dim + j];
+      o[j] = acc;
+    }
+  }
+}
+
+void SegmentMeanAvx2(const float* x, size_t dim, const size_t* indptr,
+                     size_t num_segments, float* out) {
+  SegmentSumAvx2(x, dim, indptr, num_segments, out);
+  for (size_t s = 0; s < num_segments; ++s) {
+    const size_t len = indptr[s + 1] - indptr[s];
+    if (len == 0) continue;
+    ScaleAvx2(1.0f / static_cast<float>(len), out + s * dim, dim);
+  }
+}
+
+void SegmentMaxAvx2(const float* x, size_t dim, const size_t* indptr,
+                    size_t num_segments, float* out, uint32_t* argmax) {
+  for (size_t s = 0; s < num_segments; ++s) {
+    float* o = out + s * dim;
+    uint32_t* a = argmax + s * dim;
+    const size_t lo = indptr[s];
+    const size_t hi = indptr[s + 1];
+    if (lo == hi) {
+      for (size_t j = 0; j < dim; ++j) {
+        o[j] = 0.0f;
+        a[j] = kNoSegmentRow;
+      }
+      continue;
+    }
+    size_t j = 0;
+    for (; j + 8 <= dim; j += 8) {
+      __m256 vmax = _mm256_loadu_ps(x + lo * dim + j);
+      __m256i vidx = _mm256_set1_epi32(static_cast<int>(lo));
+      for (size_t r = lo + 1; r < hi; ++r) {
+        const __m256 v = _mm256_loadu_ps(x + r * dim + j);
+        // Strict >, ordered: NaN never displaces the running max, matching
+        // the scalar backend's `if (v > max)`.
+        const __m256 gt = _mm256_cmp_ps(v, vmax, _CMP_GT_OQ);
+        vmax = _mm256_blendv_ps(vmax, v, gt);
+        vidx = _mm256_blendv_epi8(vidx,
+                                  _mm256_set1_epi32(static_cast<int>(r)),
+                                  _mm256_castps_si256(gt));
+      }
+      _mm256_storeu_ps(o + j, vmax);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(a + j), vidx);
+    }
+    for (; j < dim; ++j) {
+      float m = x[lo * dim + j];
+      uint32_t arg = static_cast<uint32_t>(lo);
+      for (size_t r = lo + 1; r < hi; ++r) {
+        const float v = x[r * dim + j];
+        if (v > m) {
+          m = v;
+          arg = static_cast<uint32_t>(r);
+        }
+      }
+      o[j] = m;
+      a[j] = arg;
+    }
+  }
+}
+
+void CsrSpmmAvx2(const size_t* indptr, const uint32_t* indices,
+                 const float* values, size_t rows, const float* x, size_t dim,
+                 float* y) {
+  for (size_t r = 0; r < rows; ++r) {
+    float* yr = y + r * dim;
+    for (size_t e = indptr[r]; e < indptr[r + 1]; ++e) {
+      const float w = values != nullptr ? values[e] : 1.0f;
+      const float* xr = x + static_cast<size_t>(indices[e]) * dim;
+      const __m256 vw = _mm256_set1_ps(w);
+      size_t j = 0;
+      // mul + add, not fmadd: one rounding per step, the scalar chain.
+      for (; j + 8 <= dim; j += 8) {
+        const __m256 prod = _mm256_mul_ps(vw, _mm256_loadu_ps(xr + j));
+        _mm256_storeu_ps(yr + j,
+                         _mm256_add_ps(_mm256_loadu_ps(yr + j), prod));
+      }
+      for (; j < dim; ++j) yr[j] += w * xr[j];
+    }
+  }
+}
+
 }  // namespace
 
 const KernelOps* Avx2Ops() {
@@ -137,6 +243,7 @@ const KernelOps* Avx2Ops() {
   if (!supported) return nullptr;
   static const KernelOps ops = {
       DotAvx2, AxpyAvx2, ScaleAvx2, SgnsUpdateStepAvx2, ScoreBlockAvx2,
+      SegmentSumAvx2, SegmentMeanAvx2, SegmentMaxAvx2, CsrSpmmAvx2,
   };
   return &ops;
 }

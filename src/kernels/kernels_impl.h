@@ -2,6 +2,7 @@
 #define HYBRIDGNN_KERNELS_KERNELS_IMPL_H_
 
 #include <cstddef>
+#include <cstdint>
 
 // Internal dispatch table shared by kernels.cc and the per-backend
 // translation units. Not part of the public API; include kernels/kernels.h
@@ -15,6 +16,12 @@ struct KernelOps {
   float (*sgns_update_step)(const float*, float*, float*, size_t, float,
                             float);
   void (*score_block)(const float*, const float*, size_t, size_t, double*);
+  void (*segment_sum)(const float*, size_t, const size_t*, size_t, float*);
+  void (*segment_mean)(const float*, size_t, const size_t*, size_t, float*);
+  void (*segment_max)(const float*, size_t, const size_t*, size_t, float*,
+                      uint32_t*);
+  void (*csr_spmm)(const size_t*, const uint32_t*, const float*, size_t,
+                   const float*, size_t, float*);
 };
 
 /// The scalar reference implementation. Always present.

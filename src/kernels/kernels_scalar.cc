@@ -7,6 +7,7 @@
 #include <cmath>
 
 #include "common/parallel.h"
+#include "kernels/kernels.h"
 #include "kernels/kernels_impl.h"
 
 namespace hybridgnn::kernels::internal {
@@ -59,12 +60,89 @@ void ScoreBlockScalar(const float* query, const float* rows, size_t num_rows,
   }
 }
 
+// Segment reductions. SegmentSum's per-element chain (zero, then += in
+// ascending row order) and SegmentMean's trailing *= 1/len replicate the
+// SumRows-then-ScaleInPlace composition the aggregation path used before
+// the frontier redesign, so determinism_test's goldens still pin it.
+void SegmentSumScalar(const float* x, size_t dim, const size_t* indptr,
+                      size_t num_segments, float* out) {
+  for (size_t s = 0; s < num_segments; ++s) {
+    float* o = out + s * dim;
+    for (size_t j = 0; j < dim; ++j) o[j] = 0.0f;
+    for (size_t r = indptr[s]; r < indptr[s + 1]; ++r) {
+      const float* row = x + r * dim;
+      for (size_t j = 0; j < dim; ++j) o[j] += row[j];
+    }
+  }
+}
+
+void SegmentMeanScalar(const float* x, size_t dim, const size_t* indptr,
+                       size_t num_segments, float* out) {
+  SegmentSumScalar(x, dim, indptr, num_segments, out);
+  for (size_t s = 0; s < num_segments; ++s) {
+    const size_t len = indptr[s + 1] - indptr[s];
+    if (len == 0) continue;
+    const float inv = 1.0f / static_cast<float>(len);
+    float* o = out + s * dim;
+    for (size_t j = 0; j < dim; ++j) o[j] *= inv;
+  }
+}
+
+void SegmentMaxScalar(const float* x, size_t dim, const size_t* indptr,
+                      size_t num_segments, float* out, uint32_t* argmax) {
+  for (size_t s = 0; s < num_segments; ++s) {
+    float* o = out + s * dim;
+    uint32_t* a = argmax + s * dim;
+    const size_t lo = indptr[s];
+    const size_t hi = indptr[s + 1];
+    if (lo == hi) {
+      for (size_t j = 0; j < dim; ++j) {
+        o[j] = 0.0f;
+        a[j] = kNoSegmentRow;
+      }
+      continue;
+    }
+    const float* first = x + lo * dim;
+    for (size_t j = 0; j < dim; ++j) {
+      o[j] = first[j];
+      a[j] = static_cast<uint32_t>(lo);
+    }
+    for (size_t r = lo + 1; r < hi; ++r) {
+      const float* row = x + r * dim;
+      for (size_t j = 0; j < dim; ++j) {
+        // Strict > keeps the first row on ties and never lets NaN displace
+        // the running max.
+        if (row[j] > o[j]) {
+          o[j] = row[j];
+          a[j] = static_cast<uint32_t>(r);
+        }
+      }
+    }
+  }
+}
+
+// The exact per-edge loop SpDense (nn/sparse.cc) ran before the kernel
+// routing: one mul-then-add per element, edges in CSR order.
+void CsrSpmmScalar(const size_t* indptr, const uint32_t* indices,
+                   const float* values, size_t rows, const float* x,
+                   size_t dim, float* y) {
+  for (size_t r = 0; r < rows; ++r) {
+    float* yr = y + r * dim;
+    for (size_t e = indptr[r]; e < indptr[r + 1]; ++e) {
+      const float w = values != nullptr ? values[e] : 1.0f;
+      const float* xr = x + indices[e] * dim;
+      for (size_t j = 0; j < dim; ++j) yr[j] += w * xr[j];
+    }
+  }
+}
+
 }  // namespace
 
 const KernelOps& ScalarOps() {
   static const KernelOps ops = {
       DotScalar, AxpyScalar, ScaleScalar, SgnsUpdateStepScalar,
-      ScoreBlockScalar,
+      ScoreBlockScalar, SegmentSumScalar, SegmentMeanScalar, SegmentMaxScalar,
+      CsrSpmmScalar,
   };
   return ops;
 }

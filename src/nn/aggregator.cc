@@ -1,5 +1,8 @@
 #include "nn/aggregator.h"
 
+#include "common/logging.h"
+#include "nn/sparse.h"
+
 namespace hybridgnn {
 
 MeanAggregator::MeanAggregator(size_t dim, Rng& rng)
@@ -7,9 +10,16 @@ MeanAggregator::MeanAggregator(size_t dim, Rng& rng)
   RegisterSubmodule(combine_);
 }
 
-ag::Var MeanAggregator::Forward(const ag::Var& self,
-                                const ag::Var& neigh_mean) const {
-  ag::Var cat = ag::ConcatCols({self, neigh_mean});
+ag::Var MeanAggregator::Forward(const MinibatchFrontier& f,
+                                const ag::Var& self,
+                                const ag::Var& neighbors) const {
+  HYBRIDGNN_CHECK(f.num_segments() == self->value.rows())
+      << "aggregator frontier: " << f.num_segments() << " segments for "
+      << self->value.rows() << " self rows";
+  const bool identity = f.num_segments() == neighbors->value.rows() &&
+                        f.AllSingleton();
+  ag::Var mean = identity ? neighbors : SegmentMean(neighbors, f);
+  ag::Var cat = ag::ConcatCols({self, mean});
   return ag::Tanh(combine_.Forward(cat));
 }
 
@@ -19,8 +29,13 @@ PoolingAggregator::PoolingAggregator(size_t dim, Rng& rng)
   RegisterSubmodule(combine_);
 }
 
-ag::Var PoolingAggregator::Forward(const ag::Var& self,
-                                   const ag::Var& pooled) const {
+ag::Var PoolingAggregator::Forward(const MinibatchFrontier& f,
+                                   const ag::Var& self,
+                                   const ag::Var& neighbors) const {
+  HYBRIDGNN_CHECK(f.num_segments() == self->value.rows())
+      << "aggregator frontier: " << f.num_segments() << " segments for "
+      << self->value.rows() << " self rows";
+  ag::Var pooled = SegmentMax(TransformNeighbors(neighbors), f);
   ag::Var cat = ag::ConcatCols({self, pooled});
   return ag::Tanh(combine_.Forward(cat));
 }

@@ -2,24 +2,34 @@
 #define HYBRIDGNN_NN_AGGREGATOR_H_
 
 #include "common/rng.h"
+#include "graph/frontier.h"
 #include "nn/linear.h"
 #include "nn/module.h"
 
 namespace hybridgnn {
 
-/// Mean aggregator (the AGG of Eq. 3, GraphSage-style): combines a node's
-/// own embedding with the mean of its sampled neighbors:
+/// Mean aggregator (the AGG of Eq. 3, GraphSage-style): combines each
+/// segment's self embedding with the mean of that segment's neighbor rows:
 ///   AGG(h_v, {h_j}) = tanh(W * concat(h_v, mean_j h_j) + b).
 /// The paper reports no significant difference among mean/LSTM/pooling and
 /// uses mean; we do the same.
+///
+/// The API is frontier-first: callers hand over the flat [m, dim] block of
+/// gathered neighbor embeddings plus the MinibatchFrontier that segments it
+/// (one segment per output row), instead of precomputing per-row means.
 class MeanAggregator : public Module {
  public:
   /// `dim` is both the input and output embedding width (d_h in the paper).
   MeanAggregator(size_t dim, Rng& rng);
 
-  /// self is [n, dim]; neigh_mean is [n, dim] (precomputed per-row means of
-  /// each node's sampled neighbor embeddings). Returns [n, dim].
-  ag::Var Forward(const ag::Var& self, const ag::Var& neigh_mean) const;
+  /// `self` is [n, dim] (one row per segment), `neighbors` the flat
+  /// [m, dim] block reduced per segment by `f` (n segments over m rows).
+  /// Returns [n, dim]. An all-singleton frontier (every segment one row,
+  /// e.g. MinibatchFrontier::IdentityRow() when folding an already-reduced
+  /// representation back in) skips the reduce — the mean of one row is that
+  /// row, bit for bit.
+  ag::Var Forward(const MinibatchFrontier& f, const ag::Var& self,
+                  const ag::Var& neighbors) const;
 
   size_t dim() const { return dim_; }
 
@@ -28,16 +38,17 @@ class MeanAggregator : public Module {
   Linear combine_;
 };
 
-/// Max-pooling aggregator: each neighbor goes through a shared nonlinearity,
-/// then elementwise max; provided for the paper's "aggregator candidates"
-/// discussion and for the ablation bench.
+/// Max-pooling aggregator: each neighbor row goes through a shared
+/// nonlinearity, then a per-segment elementwise max; provided for the
+/// paper's "aggregator candidates" discussion and for the ablation bench.
 class PoolingAggregator : public Module {
  public:
   PoolingAggregator(size_t dim, Rng& rng);
 
-  /// self is [n, dim]; pooled is [n, dim] (elementwise max of transformed
-  /// neighbor embeddings, computed by the caller with TransformNeighbors).
-  ag::Var Forward(const ag::Var& self, const ag::Var& pooled) const;
+  /// `self` is [n, dim], `neighbors` the flat [m, dim] block; `f` segments
+  /// the block (n segments). Pools SegmentMax(TransformNeighbors(block)).
+  ag::Var Forward(const MinibatchFrontier& f, const ag::Var& self,
+                  const ag::Var& neighbors) const;
 
   /// Applies the shared pre-pooling transform to a neighbor batch [m, dim].
   ag::Var TransformNeighbors(const ag::Var& neighbors) const;

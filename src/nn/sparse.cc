@@ -1,8 +1,11 @@
 #include "nn/sparse.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "common/logging.h"
+#include "kernels/kernels.h"
+#include "tensor/tensor_ops.h"
 
 namespace hybridgnn {
 
@@ -12,14 +15,9 @@ Tensor SpDense(const SparseMatrix& s, const Tensor& x) {
   HYBRIDGNN_CHECK(s.cols == x.rows())
       << "SpMM dims: " << s.cols << " vs " << x.rows();
   Tensor y(s.rows, x.cols());
-  for (size_t i = 0; i < s.rows; ++i) {
-    float* yrow = y.RowPtr(i);
-    for (size_t e = s.offsets[i]; e < s.offsets[i + 1]; ++e) {
-      const float w = s.values[e];
-      const float* xrow = x.RowPtr(s.col_idx[e]);
-      for (size_t j = 0; j < x.cols(); ++j) yrow[j] += w * xrow[j];
-    }
-  }
+  if (s.rows == 0 || x.rows() == 0) return y;
+  kernels::CsrSpmm(s.offsets.data(), s.col_idx.data(), s.values.data(),
+                   s.rows, x.RowPtr(0), x.cols(), y.RowPtr(0));
   return y;
 }
 
@@ -46,7 +44,201 @@ ag::Var SpMMImpl(const SparseMatrix& fwd, const SparseMatrix& bwd,
                     });
 }
 
+// ---- Frontier segment ops --------------------------------------------------
+
+// Shared CHECK for the segment ops: the frontier must tile the block's rows.
+void CheckFrontierCoversBlock(const MinibatchFrontier& f, const Tensor& x) {
+  HYBRIDGNN_CHECK(!f.indptr.empty() && f.indptr.front() == 0 &&
+                  f.indptr.back() == x.rows())
+      << "frontier indptr [0.." << (f.indptr.empty() ? 0 : f.indptr.back())
+      << ") does not tile a " << x.rows() << "-row block";
+}
+
+// Copies a frontier's indptr where the backward closure can reach it: the
+// tape arena in tape mode (callers reuse thread_local scratch frontiers, so
+// the op must not alias them), the closure's own vector in heap mode.
+const size_t* StableIndptr(const MinibatchFrontier& f, ag::Tape* tape) {
+  size_t* p = tape->AllocateArray<size_t>(f.indptr.size());
+  std::memcpy(p, f.indptr.data(), f.indptr.size() * sizeof(size_t));
+  return p;
+}
+
+void SegmentSumGrad(ag::Node& n, const size_t* indptr, size_t segs) {
+  ag::Node* x = n.parent(0);
+  if (!x->requires_grad) return;
+  const size_t dim = x->value.cols();
+  Tensor dx = Tensor::Uninit(x->value.rows(), dim);
+  for (size_t s = 0; s < segs; ++s) {
+    const float* g = n.grad.RowPtr(s);
+    for (size_t i = indptr[s]; i < indptr[s + 1]; ++i) {
+      std::memcpy(dx.RowPtr(i), g, dim * sizeof(float));
+    }
+  }
+  x->AccumulateGrad(dx);
+}
+
+// The exact expression MeanRows' backward used per element: d = g * (1/len).
+void SegmentMeanGrad(ag::Node& n, const size_t* indptr, size_t segs) {
+  ag::Node* x = n.parent(0);
+  if (!x->requires_grad) return;
+  const size_t dim = x->value.cols();
+  Tensor dx = Tensor::Uninit(x->value.rows(), dim);
+  for (size_t s = 0; s < segs; ++s) {
+    const size_t lo = indptr[s];
+    const size_t hi = indptr[s + 1];
+    if (lo == hi) continue;
+    const float inv = 1.0f / static_cast<float>(hi - lo);
+    const float* g = n.grad.RowPtr(s);
+    for (size_t i = lo; i < hi; ++i) {
+      float* d = dx.RowPtr(i);
+      for (size_t j = 0; j < dim; ++j) d[j] = g[j] * inv;
+    }
+  }
+  x->AccumulateGrad(dx);
+}
+
+void SegmentMaxGrad(ag::Node& n, const uint32_t* argmax, size_t segs) {
+  ag::Node* x = n.parent(0);
+  if (!x->requires_grad) return;
+  const size_t dim = x->value.cols();
+  Tensor dx(x->value.rows(), dim);  // zero: only argmax rows receive grad
+  for (size_t s = 0; s < segs; ++s) {
+    const float* g = n.grad.RowPtr(s);
+    const uint32_t* a = argmax + s * dim;
+    for (size_t j = 0; j < dim; ++j) {
+      if (a[j] == kernels::kNoSegmentRow) continue;
+      dx.RowPtr(a[j])[j] += g[j];
+    }
+  }
+  x->AccumulateGrad(dx);
+}
+
+ag::Var SegmentReduceOp(const ag::Var& x, const MinibatchFrontier& f,
+                        void (*kernel)(const float*, size_t, const size_t*,
+                                       size_t, float*),
+                        void (*grad)(ag::Node&, const size_t*, size_t)) {
+  CheckFrontierCoversBlock(f, x->value);
+  const size_t segs = f.num_segments();
+  const size_t dim = x->value.cols();
+  Tensor out = Tensor::Uninit(segs, dim);
+  if (segs > 0) {
+    kernel(x->value.rows() > 0 ? x->value.RowPtr(0) : nullptr, dim,
+           f.indptr.data(), segs, out.RowPtr(0));
+  }
+  if (ag::Tape* tape = ag::Tape::Current()) {
+    const size_t* indptr = StableIndptr(f, tape);
+    return ag::MakeOp(std::move(out), {x}, [indptr, segs, grad](ag::Node& n) {
+      grad(n, indptr, segs);
+    });
+  }
+  return ag::MakeOp(std::move(out), {x},
+                    [own = f.indptr, grad](ag::Node& n) {
+                      grad(n, own.data(), own.size() - 1);
+                    });
+}
+
 }  // namespace
+
+ag::Var SegmentSum(const ag::Var& x, const MinibatchFrontier& f) {
+  return SegmentReduceOp(x, f, kernels::SegmentSum, SegmentSumGrad);
+}
+
+ag::Var SegmentMean(const ag::Var& x, const MinibatchFrontier& f) {
+  return SegmentReduceOp(x, f, kernels::SegmentMean, SegmentMeanGrad);
+}
+
+ag::Var SegmentMax(const ag::Var& x, const MinibatchFrontier& f) {
+  CheckFrontierCoversBlock(f, x->value);
+  const size_t segs = f.num_segments();
+  const size_t dim = x->value.cols();
+  Tensor out = Tensor::Uninit(segs, dim);
+  if (ag::Tape* tape = ag::Tape::Current()) {
+    uint32_t* argmax = tape->AllocateArray<uint32_t>(segs * dim);
+    if (segs > 0) {
+      kernels::SegmentMax(x->value.rows() > 0 ? x->value.RowPtr(0) : nullptr,
+                          dim, f.indptr.data(), segs, out.RowPtr(0), argmax);
+    }
+    return ag::MakeOp(std::move(out), {x}, [argmax, segs](ag::Node& n) {
+      SegmentMaxGrad(n, argmax, segs);
+    });
+  }
+  std::vector<uint32_t> argmax(segs * dim);
+  if (segs > 0) {
+    kernels::SegmentMax(x->value.rows() > 0 ? x->value.RowPtr(0) : nullptr,
+                        dim, f.indptr.data(), segs, out.RowPtr(0),
+                        argmax.data());
+  }
+  return ag::MakeOp(std::move(out), {x},
+                    [own = std::move(argmax)](ag::Node& n) {
+                      SegmentMaxGrad(n, own.data(),
+                                     own.size() / n.value.cols());
+                    });
+}
+
+namespace {
+
+// Segment-grouped scatter into the table gradient. Per segment (in segment
+// order), duplicate rows' contributions are chained into `acc` first, then
+// added to the destination with one add per element — the same elementary
+// accumulation order as the per-level ScatterGatherGrad sequence the fused
+// gather replaced, without materializing one dense gradient per level.
+void SegmentedScatterGrad(ag::Node& n, const int32_t* idx,
+                          const size_t* indptr, size_t segs) {
+  ag::Node* table = n.parent(0);
+  if (!table->requires_grad) return;
+  Tensor& dest = table->GradAccumulator();
+  const size_t dim = dest.cols();
+  static thread_local std::vector<float> acc;
+  acc.resize(dim);
+  for (size_t s = 0; s < segs; ++s) {
+    const size_t lo = indptr[s];
+    const size_t hi = indptr[s + 1];
+    for (size_t i = lo; i < hi; ++i) {
+      const int32_t row = idx[i];
+      bool first = true;
+      for (size_t p = lo; p < i; ++p) {
+        if (idx[p] == row) {
+          first = false;
+          break;
+        }
+      }
+      if (!first) continue;  // folded into the first occurrence's chain
+      const float* g = n.grad.RowPtr(i);
+      std::memcpy(acc.data(), g, dim * sizeof(float));
+      for (size_t p = i + 1; p < hi; ++p) {
+        if (idx[p] != row) continue;
+        const float* gp = n.grad.RowPtr(p);
+        for (size_t j = 0; j < dim; ++j) acc[j] += gp[j];
+      }
+      float* d = dest.RowPtr(static_cast<size_t>(row));
+      for (size_t j = 0; j < dim; ++j) d[j] += acc[j];
+    }
+  }
+}
+
+}  // namespace
+
+ag::Var GatherRowsSegmented(const ag::Var& table, const MinibatchFrontier& f) {
+  HYBRIDGNN_CHECK(f.indptr.back() == f.indices.size())
+      << "frontier indptr/indices mismatch: " << f.indptr.back() << " vs "
+      << f.indices.size();
+  Tensor out = hybridgnn::GatherRows(table->value, f.indices);
+  const size_t segs = f.num_segments();
+  if (ag::Tape* tape = ag::Tape::Current()) {
+    const size_t* indptr = StableIndptr(f, tape);
+    int32_t* idx = tape->AllocateArray<int32_t>(f.indices.size());
+    std::memcpy(idx, f.indices.data(), f.indices.size() * sizeof(int32_t));
+    return ag::MakeOp(std::move(out), {table},
+                      [idx, indptr, segs](ag::Node& n) {
+                        SegmentedScatterGrad(n, idx, indptr, segs);
+                      });
+  }
+  return ag::MakeOp(std::move(out), {table},
+                    [own_idx = f.indices, own_ptr = f.indptr](ag::Node& n) {
+                      SegmentedScatterGrad(n, own_idx.data(), own_ptr.data(),
+                                           own_ptr.size() - 1);
+                    });
+}
 
 ag::Var SpMM(const SparseMatrix& s, const ag::Var& x) {
   HYBRIDGNN_CHECK(s.symmetric)

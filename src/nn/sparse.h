@@ -3,11 +3,42 @@
 
 #include <vector>
 
+#include "graph/frontier.h"
 #include "graph/graph.h"
 #include "nn/module.h"
 #include "tensor/autograd.h"
 
 namespace hybridgnn {
+
+/// ---- Frontier segment ops ------------------------------------------------
+/// Differentiable reductions over a flat [m, dim] block whose rows are
+/// grouped into contiguous segments by `f.indptr` (f.indices is not
+/// consulted — only the fused gather reads it). All return
+/// [f.num_segments(), dim]; empty segments reduce to zero rows. The forward
+/// loops run through the kernels layer (scalar / AVX2 behind
+/// HYBRIDGNN_KERNELS) and are bit-identical across backends.
+
+/// Per-segment row sum. Backward: dx[i] = g[segment(i)].
+ag::Var SegmentSum(const ag::Var& x, const MinibatchFrontier& f);
+
+/// Per-segment row mean — bit-identical to the per-level
+/// GatherRows+MeanRows composition it replaced (a singleton segment
+/// multiplies by 1.0f, which is exact). Backward: dx[i] = g[segment(i)] / len.
+ag::Var SegmentMean(const ag::Var& x, const MinibatchFrontier& f);
+
+/// Per-column segment max. Backward routes each output element's gradient
+/// to the argmax row recorded during forward (first row wins ties).
+ag::Var SegmentMax(const ag::Var& x, const MinibatchFrontier& f);
+
+/// Gathers `f.indices` rows of `table` into a flat [m, dim] block — the
+/// frontier counterpart of ag::GatherRows. The backward scatter is
+/// segment-grouped: within each segment, duplicate rows' contributions are
+/// pre-summed and each segment's partials are added to the table gradient
+/// in segment order, reproducing the accumulation order of the per-level
+/// gathers this op replaced (segment 0 first — frontier builders order
+/// segments deepest level first). Contributions go through
+/// Node::GradAccumulator, so no dense scratch gradient is allocated.
+ag::Var GatherRowsSegmented(const ag::Var& table, const MinibatchFrontier& f);
 
 /// CSR float sparse matrix for propagation operators (normalized adjacency).
 struct SparseMatrix {

@@ -58,7 +58,7 @@ struct RegistrySnapshot {
 
 /// Process-wide table of named counters, gauges, and stage-latency
 /// histograms. Names follow the `subsystem/stage` scheme (e.g.
-/// "sampling/walk_corpus", "core/aggregate", "serve/requests").
+/// "sampling/walk_corpus", "core/gather", "serve/requests").
 ///
 /// Get*() registers on first use and returns a reference that stays valid
 /// for the registry's lifetime — entries are never removed, so hot paths can

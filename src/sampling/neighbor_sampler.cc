@@ -1,5 +1,7 @@
 #include "sampling/neighbor_sampler.h"
 
+#include "common/logging.h"
+
 namespace hybridgnn {
 
 namespace {
@@ -53,6 +55,42 @@ std::vector<std::vector<NodeId>> SamplePerRelationNeighbors(
     }
   }
   return out;
+}
+
+void BuildLevelFrontier(const std::vector<std::vector<NodeId>>& levels,
+                        MinibatchFrontier* out) {
+  out->Clear();
+  HYBRIDGNN_CHECK(!levels.empty() && !levels[0].empty())
+      << "BuildLevelFrontier: empty level structure";
+  size_t deepest = 0;
+  for (size_t k = 0; k < levels.size(); ++k) {
+    if (!levels[k].empty()) deepest = k;
+  }
+  for (size_t k = deepest + 1; k-- > 0;) {
+    const auto& level = levels[k];
+    HYBRIDGNN_CHECK(!level.empty())
+        << "BuildLevelFrontier: empty level " << k << " below deepest "
+        << deepest;
+    for (NodeId u : level) out->indices.push_back(static_cast<int32_t>(u));
+    out->CloseSegment();
+  }
+}
+
+void BuildRelationFrontier(const MultiplexHeteroGraph& g, NodeId v,
+                           size_t fanout, Rng& rng, MinibatchFrontier* out) {
+  out->Clear();
+  for (RelationId r = 0; r < g.num_relations(); ++r) {
+    auto nbrs = g.Neighbors(v, r);
+    if (!nbrs.empty()) {
+      for (size_t s = 0; s < fanout; ++s) {
+        out->indices.push_back(
+            static_cast<int32_t>(nbrs[rng.UniformUint64(nbrs.size())]));
+      }
+    } else {
+      out->indices.push_back(static_cast<int32_t>(v));
+    }
+    out->CloseSegment();
+  }
 }
 
 }  // namespace hybridgnn

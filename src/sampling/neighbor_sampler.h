@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "graph/frontier.h"
 #include "graph/graph.h"
 
 namespace hybridgnn {
@@ -21,6 +22,27 @@ std::vector<std::vector<NodeId>> SampleLayers(const MultiplexHeteroGraph& g,
 /// relations where v is isolated).
 std::vector<std::vector<NodeId>> SamplePerRelationNeighbors(
     const MultiplexHeteroGraph& g, NodeId v, size_t fanout, Rng& rng);
+
+/// Flattens level-structured neighbor samples (SampleLayers /
+/// MetapathGuidedNeighbors / ExplorationNeighbors output) into a CSR
+/// frontier: one segment per level, ordered deepest non-empty level FIRST.
+/// That order is a contract — it is the Eq. 3 fold order, and the
+/// segment-grouped backward scatter relies on it to reproduce the
+/// pre-frontier per-level gradient accumulation bit for bit. Levels past
+/// the deepest non-empty one are dropped; every level up to it must be
+/// non-empty (samplers guarantee this: a level is only empty when its
+/// parent level already was). Reuses `out`'s buffers.
+void BuildLevelFrontier(const std::vector<std::vector<NodeId>>& levels,
+                        MinibatchFrontier* out);
+
+/// GATNE-style per-relation frontier over `v`'s direct neighbors: one
+/// segment per relation (ascending), holding `fanout` neighbors sampled
+/// with replacement — or `v` itself where `v` is isolated under that
+/// relation. Draws exactly one RNG value per sampled neighbor, in relation
+/// order, matching the per-node loop it replaced. Indices are raw NodeIds;
+/// callers owning per-(node, relation) tables remap them per segment.
+void BuildRelationFrontier(const MultiplexHeteroGraph& g, NodeId v,
+                           size_t fanout, Rng& rng, MinibatchFrontier* out);
 
 }  // namespace hybridgnn
 

@@ -169,6 +169,16 @@ void Node::ZeroGrad() {
   if (!grad.empty()) grad.Zero();
 }
 
+Tensor& Node::GradAccumulator() {
+  if (g_grad_sink != nullptr && requires_grad && !has_backward()) {
+    Tensor& slot = (*g_grad_sink)[this];
+    if (slot.empty()) slot = Tensor(value.rows(), value.cols());
+    return slot;
+  }
+  if (grad.empty()) grad = Tensor(value.rows(), value.cols());
+  return grad;
+}
+
 Var Constant(Tensor value) {
   if (Tape* tape = Tape::Current()) {
     Node* node = tape->Create<Node>(std::move(value), /*requires_grad=*/false);

@@ -76,6 +76,13 @@ class Node {
 
   /// grad += g, allocating grad on first use.
   void AccumulateGrad(const Tensor& g);
+  /// The dense tensor gradient contributions for this node land in: the
+  /// per-thread sink slot when a GradSinkScope is active and this is a
+  /// trainable leaf (same diversion rule as AccumulateGrad), otherwise the
+  /// node's own grad — zero-materialized to value's shape on first use.
+  /// For sparse backward ops (segmented scatters) that accumulate touched
+  /// rows in place instead of building a dense per-call scratch gradient.
+  Tensor& GradAccumulator();
   /// Clears the gradient (keeps allocation if shape already set).
   void ZeroGrad();
 

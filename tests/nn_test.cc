@@ -131,9 +131,13 @@ TEST(SelfAttentionTest, GradientsFlowToAllProjections) {
 TEST(MeanAggregatorTest, CombinesSelfAndNeighbors) {
   Rng rng(8);
   MeanAggregator agg(4, rng);
+  // Two segments over a flat 5-row neighbor block: sizes 3 and 2.
+  MinibatchFrontier f;
+  f.indices = {0, 1, 2, 3, 4};
+  f.indptr = {0, 3, 5};
   ag::Var self = ag::Constant(Tensor::Ones(2, 4));
-  ag::Var neigh = ag::Constant(Tensor::Full(2, 4, -1.0f));
-  ag::Var out = agg.Forward(self, neigh);
+  ag::Var neigh = ag::Constant(Tensor::Full(5, 4, -1.0f));
+  ag::Var out = agg.Forward(f, self, neigh);
   EXPECT_EQ(out->value.rows(), 2u);
   EXPECT_EQ(out->value.cols(), 4u);
   // tanh output bounded.
@@ -143,10 +147,11 @@ TEST(MeanAggregatorTest, CombinesSelfAndNeighbors) {
 TEST(MeanAggregatorTest, SensitiveToNeighborInput) {
   Rng rng(9);
   MeanAggregator agg(4, rng);
+  const MinibatchFrontier& f = MinibatchFrontier::IdentityRow();
   ag::Var self = ag::Constant(Tensor::Ones(1, 4));
-  Tensor a = agg.Forward(self, ag::Constant(Tensor::Ones(1, 4)))->value;
+  Tensor a = agg.Forward(f, self, ag::Constant(Tensor::Ones(1, 4)))->value;
   Tensor b =
-      agg.Forward(self, ag::Constant(Tensor::Full(1, 4, -1.0f)))->value;
+      agg.Forward(f, self, ag::Constant(Tensor::Full(1, 4, -1.0f)))->value;
   EXPECT_GT(Sub(a, b).SquaredNorm(), 1e-8);
 }
 
@@ -156,8 +161,12 @@ TEST(PoolingAggregatorTest, ForwardShapes) {
   ag::Var nbrs = ag::Constant(Tensor::Ones(3, 4));
   ag::Var transformed = agg.TransformNeighbors(nbrs);
   EXPECT_EQ(transformed->value.rows(), 3u);
-  ag::Var out = agg.Forward(ag::Constant(Tensor::Ones(1, 4)),
-                            ag::MeanRows(transformed));
+  // One segment pooling the whole 3-row block.
+  MinibatchFrontier f;
+  f.indices = {0, 1, 2};
+  f.indptr = {0, 3};
+  ag::Var out = agg.Forward(f, ag::Constant(Tensor::Ones(1, 4)), nbrs);
+  EXPECT_EQ(out->value.rows(), 1u);
   EXPECT_EQ(out->value.cols(), 4u);
 }
 
