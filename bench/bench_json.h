@@ -1,17 +1,19 @@
 // Machine-readable baselines for the hand-rolled micro benches: collects
-// per-stage timings/throughput and writes BENCH_<name>.json next to the
-// binary's working directory, so successive runs can be diffed by tooling
-// (see README "Bench baselines"). The google-benchmark micro benches emit
-// the same file name through benchmark's own JSONReporter instead
-// (gbench_json_main.h).
+// per-stage timings/throughput and writes bench-out/BENCH_<name>.json
+// under the binary's working directory, so successive runs can be diffed
+// by tooling (see README "Bench baselines") without the files littering
+// the repo root. The google-benchmark micro benches emit the same path
+// through benchmark's own JSONReporter instead (gbench_json_main.h).
 #ifndef HYBRIDGNN_BENCH_BENCH_JSON_H_
 #define HYBRIDGNN_BENCH_BENCH_JSON_H_
 
 #include <cinttypes>
 #include <cstdint>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
+#include <system_error>
 #include <thread>
 #include <vector>
 
@@ -37,10 +39,13 @@ class BenchReport {
     has_hash_ = true;
   }
 
-  /// Writes BENCH_<name>.json in the current directory. Best-effort: bench
-  /// binaries must not fail their run over an unwritable baseline file.
+  /// Writes bench-out/BENCH_<name>.json (creating the directory).
+  /// Best-effort: bench binaries must not fail their run over an
+  /// unwritable baseline file.
   void Write() const {
-    const std::string path = "BENCH_" + name_ + ".json";
+    std::error_code ec;
+    std::filesystem::create_directories("bench-out", ec);
+    const std::string path = "bench-out/BENCH_" + name_ + ".json";
     std::ofstream out(path, std::ios::trunc);
     if (!out) {
       std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());

@@ -1,7 +1,8 @@
 // Drop-in main() for the google-benchmark micro benches that, besides the
 // usual console output, always writes the full JSON report to
-// BENCH_<name>.json (benchmark's own schema: context + per-benchmark
-// real/cpu time and counters). Define HYBRIDGNN_BENCH_NAME before including.
+// bench-out/BENCH_<name>.json (benchmark's own schema: context +
+// per-benchmark real/cpu time and counters). Define HYBRIDGNN_BENCH_NAME
+// before including.
 //
 // Replaces benchmark::benchmark_main so the baseline file is produced on
 // every run without remembering --benchmark_out flags. Implemented by
@@ -12,7 +13,9 @@
 
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <string>
+#include <system_error>
 #include <vector>
 
 #include <benchmark/benchmark.h>
@@ -26,11 +29,13 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) has_out = true;
   }
-  std::string out_flag = std::string("--benchmark_out=BENCH_") +
+  std::string out_flag = std::string("--benchmark_out=bench-out/BENCH_") +
                          HYBRIDGNN_BENCH_NAME + ".json";
   std::string fmt_flag = "--benchmark_out_format=json";
   std::vector<char*> args(argv, argv + argc);
   if (!has_out) {
+    std::error_code ec;
+    std::filesystem::create_directories("bench-out", ec);
     args.push_back(out_flag.data());
     args.push_back(fmt_flag.data());
   }
@@ -41,7 +46,7 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   if (!has_out) {
-    std::printf("wrote BENCH_%s.json\n", HYBRIDGNN_BENCH_NAME);
+    std::printf("wrote bench-out/BENCH_%s.json\n", HYBRIDGNN_BENCH_NAME);
   }
   benchmark::Shutdown();
   return 0;

@@ -6,6 +6,8 @@
 //                   [--load ckpt.hgc] [--save ckpt.hgc] [--copy 1]
 //                   [--k 10] [--cosine 1] [--threads N]
 //                   [--window-ms 1.0] [--max-batch 64]
+//                   [--stream deltas.hgd] [--stream-batch 64]
+//                   [--stream-khops 1] [--stream-lr 0.05]
 //                   [--metrics-out metrics.json]
 //
 // --metrics-out dumps the process-wide observability registry (counters,
@@ -16,8 +18,16 @@
 // Otherwise the model trains on the full graph and, with --save, freezes
 // its tables to the given path for the next run.
 //
+// --stream turns on the online path: the file (binary .hgd or the text
+// format, see stream/delta_log.h) is loaded as a queue of timestamped graph
+// deltas, serving goes through a LiveEmbeddingStore, and the `ingest`
+// command applies the next batch — incremental refresh + atomic store swap,
+// so the very next query scores against the updated embeddings with the
+// streamed edges excluded from results.
+//
 // Query loop (stdin, one query per line):
 //   <node-id> <relation-name-or-id> [k]   top-k recommendations
+//   ingest [n]                            apply next n deltas (--stream)
 //   metrics                               print serving counters/latency
 //   quit                                  exit (EOF works too)
 
@@ -37,6 +47,7 @@
 #include "serve/checkpoint.h"
 #include "serve/service.h"
 #include "serve/store_model.h"
+#include "stream/refresher.h"
 
 using namespace hybridgnn;
 
@@ -79,7 +90,8 @@ int main(int argc, char** argv) {
                  "usage: %s --graph <file> [--model NAME] [--load ckpt.hgc] "
                  "[--save ckpt.hgc] [--copy 1] [--k N] [--cosine 1] "
                  "[--threads N] [--window-ms F] [--max-batch N] [--seed N] "
-                 "[--metrics-out FILE]\n",
+                 "[--stream deltas.hgd] [--stream-batch N] "
+                 "[--stream-khops N] [--stream-lr F] [--metrics-out FILE]\n",
                  argv[0]);
     return 2;
   }
@@ -140,7 +152,51 @@ int main(int argc, char** argv) {
     service_options.max_batch_size =
         static_cast<size_t>(ParseInt64(flags["max-batch"]).value_or(64));
   }
-  RecommendService service(&recommender, service_options);
+
+  // --- optional streaming path: delta queue + live store + refresher ---
+  std::vector<GraphDelta> delta_queue;
+  size_t delta_cursor = 0;
+  size_t stream_batch = 64;
+  std::unique_ptr<DynamicGraphOverlay> overlay;
+  std::unique_ptr<LiveEmbeddingStore> live;
+  std::unique_ptr<IncrementalRefresher> refresher;
+  if (flags.count("stream")) {
+    auto deltas = LoadDeltaLog(flags["stream"], *graph);
+    if (!deltas.ok()) return Fail(deltas.status());
+    delta_queue = std::move(deltas).value();
+    if (flags.count("stream-batch")) {
+      stream_batch =
+          static_cast<size_t>(ParseInt64(flags["stream-batch"]).value_or(64));
+    }
+    overlay = std::make_unique<DynamicGraphOverlay>(&*graph);
+    auto created = LiveEmbeddingStore::Create(*store, &*graph, topk);
+    if (!created.ok()) return Fail(created.status());
+    live = std::move(created).value();
+    RefreshOptions refresh;
+    if (flags.count("stream-khops")) {
+      refresh.k_hops =
+          static_cast<size_t>(ParseInt64(flags["stream-khops"]).value_or(1));
+    }
+    if (flags.count("stream-lr")) {
+      refresh.learning_rate = static_cast<float>(
+          ParseDouble(flags["stream-lr"]).value_or(0.05));
+    }
+    refresher =
+        std::make_unique<IncrementalRefresher>(overlay.get(), live.get(),
+                                               refresh);
+    std::printf("streaming: %zu deltas queued from %s (batch %zu)\n",
+                delta_queue.size(), flags["stream"].c_str(), stream_batch);
+  }
+
+  // Live mode serves through the swap-on-publish store; static mode keeps
+  // the frozen recommender.
+  std::unique_ptr<RecommendService> service;
+  if (live != nullptr) {
+    service = std::make_unique<RecommendService>(live.get(), service_options);
+  } else {
+    service =
+        std::make_unique<RecommendService>(&recommender, service_options);
+  }
   const size_t default_k =
       flags.count("k")
           ? static_cast<size_t>(ParseInt64(flags["k"]).value_or(10))
@@ -152,7 +208,39 @@ int main(int argc, char** argv) {
     if (line.empty() || line[0] == '#') continue;
     if (line == "quit" || line == "exit") break;
     if (line == "metrics") {
-      std::printf("%s\n", service.metrics().ToString().c_str());
+      std::printf("%s\n", service->metrics().ToString().c_str());
+      continue;
+    }
+    if (line.rfind("ingest", 0) == 0) {
+      if (refresher == nullptr) {
+        std::printf("? no --stream file loaded\n");
+        continue;
+      }
+      std::istringstream in(line);
+      std::string cmd;
+      size_t n = stream_batch;
+      in >> cmd >> n;
+      n = std::min(n, delta_queue.size() - delta_cursor);
+      if (n == 0) {
+        std::printf("stream drained (%zu deltas applied)\n", delta_cursor);
+        continue;
+      }
+      auto stats = refresher->IngestBatch(
+          std::span<const GraphDelta>(delta_queue.data() + delta_cursor, n));
+      if (!stats.ok()) {
+        std::printf("! %s\n", stats.status().ToString().c_str());
+        continue;
+      }
+      delta_cursor += n;
+      std::printf(
+          "ingested %zu deltas (+%zu edges, +%zu nodes, %zu dupes) in "
+          "%.2f ms: %zu dirty nodes, %zu pairs trained, store v%llu "
+          "(%zu queued)\n",
+          n, stats->edges_added, stats->nodes_added,
+          stats->duplicates_ignored, stats->elapsed_ms, stats->dirty_nodes,
+          stats->pairs_trained,
+          static_cast<unsigned long long>(stats->published_version),
+          delta_queue.size() - delta_cursor);
       continue;
     }
     std::istringstream in(line);
@@ -180,7 +268,7 @@ int main(int argc, char** argv) {
     q.rel = rel;
     q.k = k;
     q.candidate_type = InferCandidateType(*graph, q.node, rel);
-    RecommendResponse resp = service.Call(q);
+    RecommendResponse resp = service->Call(q);
     if (!resp.status.ok()) {
       std::printf("! %s\n", resp.status.ToString().c_str());
       continue;
@@ -194,7 +282,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("final %s\n", service.metrics().ToString().c_str());
+  std::printf("final %s\n", service->metrics().ToString().c_str());
   if (flags.count("metrics-out")) {
     Status st = obs::WriteJsonFile(obs::GlobalRegistry(), flags["metrics-out"]);
     if (!st.ok()) return Fail(st);

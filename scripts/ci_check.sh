@@ -34,4 +34,8 @@ echo "=== ci_check: frontier aggregation speedup gate ==="
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target micro_aggregate
 "$BUILD_DIR/bench/micro_aggregate" --gate
 
+echo "=== ci_check: streaming refresh gate (speedup + freshness) ==="
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target micro_stream
+"$BUILD_DIR/bench/micro_stream" --gate
+
 echo "=== ci_check: all stages passed ==="

@@ -24,9 +24,13 @@ cmake -B "$BUILD_DIR" -S . \
 # arena_test exercises the tape arena + tensor pool from concurrent workers
 # backpropagating over shared parameters (visit marks, buffer migration);
 # sparse_aggregate_test adds the frontier gather/segment-reduce backward
-# under the same multi-worker grad-sink pattern.
+# under the same multi-worker grad-sink pattern. live_store_test drives
+# concurrent ingest-publish against reader threads pinning snapshots
+# (the RCU-style swap in LiveEmbeddingStore); stream_test rides along for
+# the refresher's single-writer contract.
 TESTS=(threadpool_test sampling_test determinism_test serve_test obs_test
-       service_stress_test arena_test sparse_aggregate_test)
+       service_stress_test arena_test sparse_aggregate_test
+       stream_test live_store_test)
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TESTS[@]}"
 
 status=0

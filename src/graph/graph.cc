@@ -54,6 +54,20 @@ StatusOr<NodeId> GraphBuilder::AddNodes(NodeTypeId type, size_t count) {
   return first;
 }
 
+GraphBuilder& GraphBuilder::set_reject_duplicates(bool enabled) {
+  if (enabled && !reject_duplicates_) {
+    // Index whatever was added before strict mode was switched on.
+    edge_keys_.reserve(edges_.size());
+    for (const EdgeTriple& e : edges_) {
+      edge_keys_.insert(EdgeKey{
+          (static_cast<uint64_t>(e.src) << 32) | e.dst, e.rel});
+    }
+  }
+  if (!enabled) edge_keys_.clear();
+  reject_duplicates_ = enabled;
+  return *this;
+}
+
 Status GraphBuilder::AddEdge(NodeId src, NodeId dst, RelationId rel) {
   if (src >= node_types_.size() || dst >= node_types_.size()) {
     return Status::InvalidArgument(
@@ -68,6 +82,14 @@ Status GraphBuilder::AddEdge(NodeId src, NodeId dst, RelationId rel) {
     return Status::InvalidArgument(StrFormat("self-loop on node %u", src));
   }
   if (src > dst) std::swap(src, dst);
+  if (reject_duplicates_) {
+    const EdgeKey key{(static_cast<uint64_t>(src) << 32) | dst, rel};
+    if (!edge_keys_.insert(key).second) {
+      return Status::AlreadyExists(
+          StrFormat("duplicate edge %u-%u under relation '%s'", src, dst,
+                    relation_names_[rel].c_str()));
+    }
+  }
   edges_.push_back(EdgeTriple{src, dst, rel});
   return Status::OK();
 }

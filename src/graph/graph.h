@@ -1,8 +1,10 @@
 #ifndef HYBRIDGNN_GRAPH_GRAPH_H_
 #define HYBRIDGNN_GRAPH_GRAPH_H_
 
+#include <cstdint>
 #include <span>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/statusor.h"
@@ -30,10 +32,21 @@ class GraphBuilder {
   /// Adds `count` nodes of `type`; returns the first id (ids are contiguous).
   StatusOr<NodeId> AddNodes(NodeTypeId type, size_t count);
 
-  /// Adds an undirected edge (src, dst) under `rel`. Self-loops and exact
-  /// duplicates are rejected; parallel edges under *different* relations are
-  /// the whole point of multiplexity and are allowed.
+  /// Adds an undirected edge (src, dst) under `rel`. Self-loops are always
+  /// rejected; parallel edges under *different* relations are the whole
+  /// point of multiplexity and are allowed. Exact duplicate triples are
+  /// silently collapsed by Build() unless set_reject_duplicates(true) made
+  /// them an AlreadyExists error here.
   Status AddEdge(NodeId src, NodeId dst, RelationId rel);
+
+  /// Strict-ingest mode: when enabled, AddEdge returns AlreadyExists for an
+  /// exact (src, dst, rel) duplicate instead of deferring to Build()'s
+  /// silent dedup. Turn on for loaders that must detect corrupt or doubled
+  /// input (see LoadGraph's strict option); leave off for generators that
+  /// legitimately emit repeats. Enabling mid-build indexes the edges added
+  /// so far.
+  GraphBuilder& set_reject_duplicates(bool enabled);
+  bool reject_duplicates() const { return reject_duplicates_; }
 
   size_t num_nodes() const { return node_types_.size(); }
   size_t num_edges() const { return edges_.size(); }
@@ -43,10 +56,31 @@ class GraphBuilder {
   StatusOr<MultiplexHeteroGraph> Build() const;
 
  private:
+  /// Exact-match key for the duplicate index: canonical endpoints packed
+  /// into 64 bits plus the relation, so lookups never false-positive.
+  struct EdgeKey {
+    uint64_t endpoints;  // src << 32 | dst, src <= dst
+    RelationId rel;
+    bool operator==(const EdgeKey& o) const {
+      return endpoints == o.endpoints && rel == o.rel;
+    }
+  };
+  struct EdgeKeyHash {
+    size_t operator()(const EdgeKey& k) const {
+      uint64_t h = k.endpoints ^ (static_cast<uint64_t>(k.rel) << 1);
+      h ^= h >> 33;
+      h *= 0xFF51AFD7ED558CCDULL;
+      h ^= h >> 33;
+      return static_cast<size_t>(h);
+    }
+  };
+
   std::vector<std::string> type_names_;
   std::vector<std::string> relation_names_;
   std::vector<NodeTypeId> node_types_;  // node id -> type
   std::vector<EdgeTriple> edges_;       // canonical src <= dst
+  bool reject_duplicates_ = false;
+  std::unordered_set<EdgeKey, EdgeKeyHash> edge_keys_;  // strict mode only
 };
 
 /// Immutable multiplex heterogeneous network (Definition 2 in the paper):

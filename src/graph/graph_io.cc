@@ -32,10 +32,12 @@ Status SaveGraph(const MultiplexHeteroGraph& g, const std::string& path) {
   return Status::OK();
 }
 
-StatusOr<MultiplexHeteroGraph> LoadGraph(const std::string& path) {
+StatusOr<MultiplexHeteroGraph> LoadGraph(const std::string& path,
+                                         LoadStrictness strictness) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open for read: " + path);
   GraphBuilder builder;
+  builder.set_reject_duplicates(strictness == LoadStrictness::kStrict);
   std::unordered_map<std::string, NodeTypeId> type_by_name;
   std::unordered_map<std::string, RelationId> rel_by_name;
   NodeId expected_node = 0;
@@ -87,9 +89,15 @@ StatusOr<MultiplexHeteroGraph> LoadGraph(const std::string& path) {
       if (it == rel_by_name.end()) {
         return fail("unknown relation: " + fields[3]);
       }
-      HYBRIDGNN_RETURN_IF_ERROR(builder.AddEdge(static_cast<NodeId>(src),
-                                                static_cast<NodeId>(dst),
-                                                it->second));
+      Status added_edge = builder.AddEdge(
+          static_cast<NodeId>(src), static_cast<NodeId>(dst), it->second);
+      if (!added_edge.ok()) {
+        // Keep the builder's code (AlreadyExists for strict-mode dupes),
+        // prefix the file position.
+        return Status(added_edge.code(),
+                      StrFormat("%s:%zu: %s", path.c_str(), lineno,
+                                added_edge.message().c_str()));
+      }
     } else {
       return fail("unknown record kind: " + kind);
     }

@@ -17,8 +17,17 @@ namespace hybridgnn {
 ///   edge <src> <dst> <relation_name>
 Status SaveGraph(const MultiplexHeteroGraph& g, const std::string& path);
 
+/// Load-time strictness. kLenient (the historical behavior) lets Build()
+/// silently collapse exact duplicate edge lines; kStrict rejects them with
+/// AlreadyExists, pinpointing the offending line — use it for inputs that
+/// are supposed to be exact exports (a doubled line there means the file
+/// was corrupted or concatenated).
+enum class LoadStrictness { kLenient, kStrict };
+
 /// Loads a graph saved by SaveGraph.
-StatusOr<MultiplexHeteroGraph> LoadGraph(const std::string& path);
+StatusOr<MultiplexHeteroGraph> LoadGraph(
+    const std::string& path,
+    LoadStrictness strictness = LoadStrictness::kLenient);
 
 }  // namespace hybridgnn
 

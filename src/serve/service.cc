@@ -18,6 +18,14 @@ RecommendService::RecommendService(const TopKRecommender* recommender,
   dispatcher_ = std::thread([this] { DispatchLoop(); });
 }
 
+RecommendService::RecommendService(const RecommenderSource* source,
+                                   ServiceOptions options)
+    : recommender_(nullptr), source_(source), options_(options) {
+  if (options_.max_batch_size == 0) options_.max_batch_size = 1;
+  pool_ = std::make_unique<ThreadPool>(ResolveNumThreads(options_.num_threads));
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
 RecommendService::~RecommendService() { Shutdown(); }
 
 std::future<RecommendResponse> RecommendService::Submit(
@@ -90,8 +98,17 @@ void RecommendService::ProcessBatch(std::vector<Pending> batch) {
   std::vector<TopKQuery> queries;
   queries.reserve(batch.size());
   for (const Pending& p : batch) queries.push_back(p.query);
+  // Live mode pins one store version per micro-batch: the pin keeps the
+  // version's tables alive through the scoring pass even if the ingest
+  // thread publishes (and thereby retires) newer versions meanwhile.
+  RecommenderSource::Pinned pinned;
+  const TopKRecommender* recommender = recommender_;
+  if (source_ != nullptr) {
+    pinned = source_->AcquireRecommender();
+    recommender = pinned.recommender;
+  }
   std::vector<StatusOr<std::vector<Recommendation>>> results =
-      recommender_->RecommendBatch(queries, pool_.get());
+      recommender->RecommendBatch(queries, pool_.get());
 
   // Per-service counters plus their process-wide mirrors in the obs
   // registry (references are stable, so only relaxed atomics past init).

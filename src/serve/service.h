@@ -50,6 +50,11 @@ class RecommendService {
   /// `recommender` must outlive the service.
   RecommendService(const TopKRecommender* recommender,
                    ServiceOptions options);
+  /// Live mode: every micro-batch pins the source's current recommender for
+  /// the duration of its scoring pass, so one batch sees one consistent
+  /// embedding-store version even while an ingest thread keeps publishing
+  /// new ones. `source` must outlive the service.
+  RecommendService(const RecommenderSource* source, ServiceOptions options);
   ~RecommendService();
 
   RecommendService(const RecommendService&) = delete;
@@ -81,7 +86,8 @@ class RecommendService {
   void DispatchLoop();
   void ProcessBatch(std::vector<Pending> batch);
 
-  const TopKRecommender* recommender_;
+  const TopKRecommender* recommender_;      // static mode; null in live mode
+  const RecommenderSource* source_ = nullptr;  // live mode; null otherwise
   ServiceOptions options_;
   std::unique_ptr<ThreadPool> pool_;  // scoring workers, owned
 

@@ -33,10 +33,36 @@ double DotDouble(const float* a, const float* b, size_t dim) {
 
 }  // namespace
 
+void DeltaEdgeFilter::AddEdge(NodeId src, NodeId dst, RelationId rel) {
+  if (rel >= extra_.size()) return;
+  auto insert_sorted = [](std::vector<NodeId>& nbrs, NodeId u) {
+    auto at = std::lower_bound(nbrs.begin(), nbrs.end(), u);
+    if (at != nbrs.end() && *at == u) return false;
+    nbrs.insert(at, u);
+    return true;
+  };
+  auto& adj = extra_[rel];
+  const bool fresh = insert_sorted(adj[src], dst);
+  insert_sorted(adj[dst], src);
+  if (fresh) ++num_edges_;
+}
+
+std::span<const NodeId> DeltaEdgeFilter::Excluded(NodeId v,
+                                                  RelationId r) const {
+  if (r >= extra_.size()) return {};
+  auto it = extra_[r].find(v);
+  if (it == extra_[r].end()) return {};
+  return {it->second.data(), it->second.size()};
+}
+
 TopKRecommender::TopKRecommender(const EmbeddingStore* store,
                                  const MultiplexHeteroGraph* graph,
-                                 TopKOptions options)
-    : store_(store), graph_(graph), options_(options) {
+                                 TopKOptions options,
+                                 const DeltaEdgeFilter* extra_filter)
+    : store_(store),
+      graph_(graph),
+      options_(options),
+      extra_filter_(extra_filter) {
   if (!options_.cosine) return;
   row_norms_.resize(store_->num_relations());
   for (RelationId r = 0; r < store_->num_relations(); ++r) {
@@ -72,9 +98,15 @@ StatusOr<std::vector<Recommendation>> TopKRecommender::Recommend(
     if (query_norm == 0.0) query_norm = 1.0;
   }
   std::span<const NodeId> train_nbrs;
-  if (graph_ != nullptr && q.exclude_train_neighbors &&
-      q.rel < graph_->num_relations() && q.node < graph_->num_nodes()) {
-    train_nbrs = graph_->Neighbors(q.node, q.rel);  // sorted (CSR)
+  std::span<const NodeId> extra_excluded;
+  if (q.exclude_train_neighbors) {
+    if (graph_ != nullptr && q.rel < graph_->num_relations() &&
+        q.node < graph_->num_nodes()) {
+      train_nbrs = graph_->Neighbors(q.node, q.rel);  // sorted (CSR)
+    }
+    if (extra_filter_ != nullptr) {
+      extra_excluded = extra_filter_->Excluded(q.node, q.rel);  // sorted
+    }
   }
   const float* table = store_->Table(q.rel).data();
 
@@ -90,6 +122,11 @@ StatusOr<std::vector<Recommendation>> TopKRecommender::Recommend(
     if (cand == q.node) return;
     if (!train_nbrs.empty() &&
         std::binary_search(train_nbrs.begin(), train_nbrs.end(), cand)) {
+      return;
+    }
+    if (!extra_excluded.empty() &&
+        std::binary_search(extra_excluded.begin(), extra_excluded.end(),
+                           cand)) {
       return;
     }
     double s = raw;

@@ -1,7 +1,9 @@
 #ifndef HYBRIDGNN_SERVE_TOPK_H_
 #define HYBRIDGNN_SERVE_TOPK_H_
 
+#include <memory>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "common/statusor.h"
@@ -45,6 +47,33 @@ struct Recommendation {
   float score = 0.0f;
 };
 
+/// Extra per-relation exclusion adjacency layered on top of the training
+/// graph's neighbor filter — the serving-side view of streamed delta edges.
+/// The streaming path rebuilds one of these on every embedding-store swap
+/// (see stream/live_store.h) so "don't recommend what the user already has"
+/// keeps holding for interactions that arrived after the checkpoint froze.
+/// Immutable once built; lookups are lock-free and safe from any thread.
+class DeltaEdgeFilter {
+ public:
+  DeltaEdgeFilter() = default;
+  explicit DeltaEdgeFilter(size_t num_relations) : extra_(num_relations) {}
+
+  /// Registers an undirected (src, dst) exclusion under `rel`; both
+  /// directions become invisible to Recommend. Out-of-range relations are
+  /// ignored (the store may know fewer relations than the stream).
+  void AddEdge(NodeId src, NodeId dst, RelationId rel);
+
+  /// Sorted extra exclusions of (v, r); empty when none.
+  std::span<const NodeId> Excluded(NodeId v, RelationId r) const;
+
+  bool empty() const { return num_edges_ == 0; }
+  size_t num_edges() const { return num_edges_; }
+
+ private:
+  std::vector<std::unordered_map<NodeId, std::vector<NodeId>>> extra_;
+  size_t num_edges_ = 0;
+};
+
 /// Brute-force dot-product top-K over a frozen EmbeddingStore: for each
 /// query, scans the relation's table once, keeping the best k in a bounded
 /// min-heap (O(rows * dim + rows * log k), no full sort, no per-candidate
@@ -57,8 +86,11 @@ class TopKRecommender {
  public:
   /// `graph` (optional) enables candidate typing and training-neighbor
   /// exclusion; it must outlive the recommender, as must `store`.
+  /// `extra_filter` (optional) adds post-checkpoint exclusions (streamed
+  /// delta edges) on top of the graph filter; same lifetime contract.
   TopKRecommender(const EmbeddingStore* store,
-                  const MultiplexHeteroGraph* graph, TopKOptions options);
+                  const MultiplexHeteroGraph* graph, TopKOptions options,
+                  const DeltaEdgeFilter* extra_filter = nullptr);
 
   /// Answers one query.
   StatusOr<std::vector<Recommendation>> Recommend(const TopKQuery& q) const;
@@ -75,8 +107,28 @@ class TopKRecommender {
   const EmbeddingStore* store_;
   const MultiplexHeteroGraph* graph_;
   TopKOptions options_;
+  const DeltaEdgeFilter* extra_filter_;
   /// Per-relation, per-row L2 norms; only filled in cosine mode.
   std::vector<std::vector<float>> row_norms_;
+};
+
+/// Indirection for serving tiers whose recommender is swapped at runtime
+/// (the streaming path): AcquireRecommender() returns the current
+/// recommender together with an opaque pin that keeps it (and the tables it
+/// scores against) alive until the caller drops the pin. A static
+/// deployment returns the same recommender with an empty pin.
+/// Implementations must make AcquireRecommender() safe from any thread.
+class RecommenderSource {
+ public:
+  virtual ~RecommenderSource() = default;
+
+  struct Pinned {
+    /// Lifetime anchor for `recommender`; may be null for static sources.
+    std::shared_ptr<const void> pin;
+    const TopKRecommender* recommender = nullptr;
+  };
+
+  virtual Pinned AcquireRecommender() const = 0;
 };
 
 }  // namespace hybridgnn

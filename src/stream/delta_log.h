@@ -1,0 +1,148 @@
+#ifndef HYBRIDGNN_STREAM_DELTA_LOG_H_
+#define HYBRIDGNN_STREAM_DELTA_LOG_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace hybridgnn {
+
+/// One timestamped mutation of a multiplex heterogeneous graph. The stream
+/// subsystem's unit of ingest: production interaction logs arrive as an
+/// append-only sequence of these, ordered by timestamp.
+enum class DeltaKind : uint8_t {
+  /// A new node of `node_type`. Its id is assigned densely after the
+  /// current node-id space; `src` optionally carries the expected id
+  /// (kInvalidNode = unchecked) so replays can detect drift.
+  kAddNode = 1,
+  /// A new undirected edge (src, dst) under relation `rel`.
+  kAddEdge = 2,
+};
+
+struct GraphDelta {
+  DeltaKind kind = DeltaKind::kAddEdge;
+  /// Event time in arbitrary monotone units (the ingest pipeline only
+  /// compares them; benches use microseconds).
+  uint64_t timestamp = 0;
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  RelationId rel = kInvalidRelation;
+  NodeTypeId node_type = kInvalidNodeType;
+
+  static GraphDelta AddEdge(NodeId src, NodeId dst, RelationId rel,
+                            uint64_t ts = 0) {
+    GraphDelta d;
+    d.kind = DeltaKind::kAddEdge;
+    d.timestamp = ts;
+    d.src = src;
+    d.dst = dst;
+    d.rel = rel;
+    return d;
+  }
+  static GraphDelta AddNode(NodeTypeId type, uint64_t ts = 0,
+                            NodeId expected_id = kInvalidNode) {
+    GraphDelta d;
+    d.kind = DeltaKind::kAddNode;
+    d.timestamp = ts;
+    d.src = expected_id;
+    d.node_type = type;
+    return d;
+  }
+
+  bool operator==(const GraphDelta& o) const {
+    return kind == o.kind && timestamp == o.timestamp && src == o.src &&
+           dst == o.dst && rel == o.rel && node_type == o.node_type;
+  }
+};
+
+/// The `.hgd` (HybridGnn Delta) binary append log, version 1.
+///
+/// Layout (native byte order, tagged so a foreign-endian reader rejects the
+/// file cleanly — the same scheme as the `.hgc` checkpoint):
+///
+///   [ 8-byte header ]
+///     0  u8[4]  magic "HGD1"
+///     4  u16    endian tag 0xFEFF
+///     6  u16    format version (kDeltaLogVersion)
+///   [ records, 20 bytes each, appended in arrival order ]
+///     0  u8     kind (DeltaKind)
+///     1  u8     reserved (0)
+///     2  u16    relation id (kAddEdge) or node type id (kAddNode)
+///     4  u32    src (kAddEdge) or expected node id (kAddNode)
+///     8  u32    dst (kAddEdge) or 0xFFFFFFFF (kAddNode)
+///     12 u32    timestamp low 32 bits   (split keeps the record 4-byte
+///     16 u32    timestamp high 32 bits   aligned and exactly 20 bytes)
+///
+/// Fixed-size records make truncation detectable without checksums: a file
+/// whose record region is not a multiple of 20 bytes was cut mid-append.
+inline constexpr char kDeltaLogMagic[4] = {'H', 'G', 'D', '1'};
+inline constexpr uint16_t kDeltaLogEndianTag = 0xFEFF;
+inline constexpr uint16_t kDeltaLogVersion = 1;
+inline constexpr size_t kDeltaLogHeaderBytes = 8;
+inline constexpr size_t kDeltaLogRecordBytes = 20;
+
+/// Appending binary writer. Open() creates the file with a fresh header, or
+/// validates the header of an existing log and positions at its end.
+/// Single-writer; not thread-safe.
+class DeltaLogWriter {
+ public:
+  DeltaLogWriter() = default;
+  ~DeltaLogWriter();
+  DeltaLogWriter(const DeltaLogWriter&) = delete;
+  DeltaLogWriter& operator=(const DeltaLogWriter&) = delete;
+
+  Status Open(const std::string& path);
+  Status Append(const GraphDelta& delta);
+  Status Flush();
+  void Close();
+  bool is_open() const { return file_ != nullptr; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  std::string path_;
+};
+
+/// Loads a binary `.hgd` log. Every integrity violation — short header, bad
+/// magic, foreign endianness, version skew, truncated trailing record,
+/// unknown record kind — comes back as a non-OK Status.
+StatusOr<std::vector<GraphDelta>> LoadDeltaLogBinary(const std::string& path);
+
+/// Writes all `deltas` as a fresh binary log (truncating `path`).
+Status SaveDeltaLogBinary(std::span<const GraphDelta> deltas,
+                          const std::string& path);
+
+/// Text form of the same stream, for hand-written fixtures and demo inputs.
+/// Line-oriented, '#' comments allowed; names resolve against `base`:
+///   add-node <timestamp> <type-name>
+///   add-edge <timestamp> <src> <dst> <relation-name>
+StatusOr<std::vector<GraphDelta>> LoadDeltaLogText(
+    const std::string& path, const MultiplexHeteroGraph& base);
+
+/// Writes `deltas` in the text format (relation/type ids rendered as names
+/// from `base`). Fails on ids outside `base`'s schema.
+Status SaveDeltaLogText(std::span<const GraphDelta> deltas,
+                        const MultiplexHeteroGraph& base,
+                        const std::string& path);
+
+/// Loads either format: binary when the file starts with the `.hgd` magic,
+/// text otherwise.
+StatusOr<std::vector<GraphDelta>> LoadDeltaLog(
+    const std::string& path, const MultiplexHeteroGraph& base);
+
+/// Structural validation of a delta sequence against a graph's id spaces:
+/// relations/types must exist, edge endpoints must be in range (counting
+/// nodes added by earlier kAddNode deltas in the same sequence), self-loops
+/// are rejected, and kAddNode expected ids must match when present. The
+/// first violation is returned with its record index.
+Status ValidateDeltas(std::span<const GraphDelta> deltas, size_t num_nodes,
+                      size_t num_relations, size_t num_node_types);
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_STREAM_DELTA_LOG_H_

@@ -1,0 +1,146 @@
+#include "stream/live_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace hybridgnn {
+
+StatusOr<std::unique_ptr<LiveEmbeddingStore>> LiveEmbeddingStore::Create(
+    const EmbeddingStore& initial, const MultiplexHeteroGraph* graph,
+    TopKOptions options) {
+  if (initial.num_relations() == 0 || initial.dim() == 0) {
+    return Status::InvalidArgument(
+        "live store needs a non-empty embedding store to seed from");
+  }
+  std::unique_ptr<LiveEmbeddingStore> live(new LiveEmbeddingStore());
+  live->model_name_ = initial.model_name();
+  live->dim_ = initial.dim();
+  live->num_nodes_ = initial.num_nodes();
+  live->graph_ = graph;
+  live->options_ = options;
+  live->staging_.resize(initial.num_relations());
+  for (RelationId r = 0; r < initial.num_relations(); ++r) {
+    StagingTable& t = live->staging_[r];
+    t.name = initial.relation_name(r);
+    auto rows = initial.RowNodes(r);
+    t.row_to_node.assign(rows.begin(), rows.end());
+    t.node_to_row.assign(live->num_nodes_, EmbeddingStore::kNoRow);
+    for (size_t i = 0; i < t.row_to_node.size(); ++i) {
+      t.node_to_row[t.row_to_node[i]] = static_cast<uint32_t>(i);
+    }
+    auto data = initial.Table(r);
+    t.data.assign(data.begin(), data.end());
+  }
+  HYBRIDGNN_RETURN_IF_ERROR(live->Publish(nullptr));
+  return live;
+}
+
+float* LiveEmbeddingStore::MutableRow(RelationId r, NodeId v) {
+  if (r >= staging_.size()) return nullptr;
+  const uint32_t row = RowOf(r, v);
+  if (row == EmbeddingStore::kNoRow) return nullptr;
+  return staging_[r].data.data() + static_cast<size_t>(row) * dim_;
+}
+
+const float* LiveEmbeddingStore::Row(RelationId r, NodeId v) const {
+  if (r >= staging_.size()) return nullptr;
+  const uint32_t row = RowOf(r, v);
+  if (row == EmbeddingStore::kNoRow) return nullptr;
+  return staging_[r].data.data() + static_cast<size_t>(row) * dim_;
+}
+
+StatusOr<uint32_t> LiveEmbeddingStore::EnsureRow(RelationId r, NodeId v) {
+  if (r >= staging_.size()) {
+    return Status::InvalidArgument("unknown relation id " + std::to_string(r));
+  }
+  if (v >= num_nodes_) num_nodes_ = static_cast<size_t>(v) + 1;
+  StagingTable& t = staging_[r];
+  if (v >= t.node_to_row.size()) {
+    t.node_to_row.resize(num_nodes_, EmbeddingStore::kNoRow);
+  }
+  if (t.node_to_row[v] != EmbeddingStore::kNoRow) return t.node_to_row[v];
+  const uint32_t row = static_cast<uint32_t>(t.row_to_node.size());
+  t.row_to_node.push_back(v);
+  t.node_to_row[v] = row;
+  t.data.resize(t.data.size() + dim_, 0.0f);
+  return row;
+}
+
+Status LiveEmbeddingStore::Publish(const DynamicGraphOverlay* overlay) {
+  // Freeze staging into table copies. A fresh Version is always built from
+  // scratch — reusing a retired back buffer gated on use_count() would need
+  // the writer to observe the readers' release ordering, which a relaxed
+  // refcount read does not give us; one memcpy per publish buys a swap that
+  // is provably race-free (and TSan-clean) instead.
+  std::vector<EmbeddingStore::TableInit> tables;
+  tables.reserve(staging_.size());
+  for (const StagingTable& t : staging_) {
+    EmbeddingStore::TableInit init;
+    init.name = t.name;
+    init.row_to_node = t.row_to_node;
+    Tensor data(t.row_to_node.size(), dim_);
+    std::memcpy(data.data(), t.data.data(), t.data.size() * sizeof(float));
+    init.data = std::move(data);
+    tables.push_back(std::move(init));
+  }
+  HYBRIDGNN_ASSIGN_OR_RETURN(
+      EmbeddingStore store,
+      EmbeddingStore::FromTables(model_name_, num_nodes_, std::move(tables)));
+  auto version = std::make_shared<Version>(next_sequence_, std::move(store));
+  version->filter = std::make_unique<DeltaEdgeFilter>(staging_.size());
+  if (overlay != nullptr) {
+    for (const EdgeTriple& e : overlay->delta_edges()) {
+      version->filter->AddEdge(e.src, e.dst, e.rel);
+    }
+  }
+  version->recommender = std::make_unique<TopKRecommender>(
+      &version->store, graph_, options_, version->filter.get());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    front_ = std::move(version);  // old snapshot retires with its last reader
+  }
+  ++next_sequence_;
+  obs::GlobalRegistry().GetCounter("stream/publishes").Add(1);
+  obs::GlobalRegistry()
+      .GetGauge("stream/store_version")
+      .Set(static_cast<double>(next_sequence_ - 1));
+  return Status::OK();
+}
+
+std::shared_ptr<const LiveEmbeddingStore::Version> LiveEmbeddingStore::Acquire()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return front_;
+}
+
+RecommenderSource::Pinned LiveEmbeddingStore::AcquireRecommender() const {
+  auto version = Acquire();
+  Pinned pinned;
+  pinned.recommender = version->recommender.get();
+  pinned.pin = std::move(version);
+  return pinned;
+}
+
+std::vector<StatusOr<std::vector<Recommendation>>>
+LiveEmbeddingStore::RecommendBatch(std::span<const TopKQuery> queries,
+                                   ThreadPool* pool) const {
+  auto version = Acquire();
+  return version->recommender->RecommendBatch(queries, pool);
+}
+
+uint64_t LiveEmbeddingStore::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return front_ == nullptr ? 0 : front_->sequence;
+}
+
+RelationId LiveEmbeddingStore::FindRelation(const std::string& name) const {
+  for (RelationId r = 0; r < staging_.size(); ++r) {
+    if (staging_[r].name == name) return r;
+  }
+  return kInvalidRelation;
+}
+
+}  // namespace hybridgnn

@@ -1,0 +1,145 @@
+#include "stream/overlay.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+#include "obs/metrics.h"
+
+namespace hybridgnn {
+
+DynamicGraphOverlay::DynamicGraphOverlay(const MultiplexHeteroGraph* base)
+    : base_(base), delta_adj_(base->num_relations()) {}
+
+StatusOr<DynamicGraphOverlay::ApplyResult> DynamicGraphOverlay::Apply(
+    std::span<const GraphDelta> batch) {
+  HYBRIDGNN_RETURN_IF_ERROR(ValidateDeltas(batch, num_nodes(),
+                                           num_relations(),
+                                           num_node_types()));
+  ApplyResult result;
+  for (const GraphDelta& d : batch) {
+    if (d.kind == DeltaKind::kAddNode) {
+      const NodeId id = static_cast<NodeId>(num_nodes());
+      added_types_.push_back(d.node_type);
+      ++result.nodes_added;
+      result.touched.push_back(id);
+      continue;
+    }
+    NodeId src = d.src;
+    NodeId dst = d.dst;
+    if (src > dst) std::swap(src, dst);
+    if (HasEdge(src, dst, d.rel)) {
+      ++result.duplicates_ignored;
+      continue;
+    }
+    auto& adj = delta_adj_[d.rel];
+    auto insert_sorted = [](std::vector<NodeId>& nbrs, NodeId u) {
+      nbrs.insert(std::upper_bound(nbrs.begin(), nbrs.end(), u), u);
+    };
+    insert_sorted(adj[src], dst);
+    insert_sorted(adj[dst], src);
+    delta_edges_.push_back(EdgeTriple{src, dst, d.rel});
+    result.new_edges.push_back(EdgeTriple{src, dst, d.rel});
+    ++result.edges_added;
+    result.touched.push_back(src);
+    result.touched.push_back(dst);
+  }
+  std::sort(result.touched.begin(), result.touched.end());
+  result.touched.erase(
+      std::unique(result.touched.begin(), result.touched.end()),
+      result.touched.end());
+  obs::GlobalRegistry()
+      .GetCounter("stream/deltas_applied")
+      .Add(result.edges_added + result.nodes_added);
+  obs::GlobalRegistry()
+      .GetCounter("stream/duplicates_ignored")
+      .Add(result.duplicates_ignored);
+  return result;
+}
+
+std::span<const NodeId> DynamicGraphOverlay::DeltaNeighbors(
+    NodeId v, RelationId r) const {
+  const auto& adj = delta_adj_[r];
+  auto it = adj.find(v);
+  if (it == adj.end()) return {};
+  return {it->second.data(), it->second.size()};
+}
+
+DynamicGraphOverlay::NeighborView DynamicGraphOverlay::Neighbors(
+    NodeId v, RelationId r) const {
+  NeighborView view;
+  if (v < base_->num_nodes()) view.base = base_->Neighbors(v, r);
+  view.delta = DeltaNeighbors(v, r);
+  return view;
+}
+
+size_t DynamicGraphOverlay::Degree(NodeId v, RelationId r) const {
+  size_t d = DeltaNeighbors(v, r).size();
+  if (v < base_->num_nodes()) d += base_->Degree(v, r);
+  return d;
+}
+
+size_t DynamicGraphOverlay::TotalDegree(NodeId v) const {
+  size_t d = 0;
+  for (RelationId r = 0; r < num_relations(); ++r) d += Degree(v, r);
+  return d;
+}
+
+std::span<const RelationId> DynamicGraphOverlay::ActiveRelations(
+    NodeId v, std::vector<RelationId>& scratch) const {
+  scratch.clear();
+  if (v < base_->num_nodes()) {
+    // Base actives are already computed; extend with delta-only relations.
+    auto actives = base_->ActiveRelations(v);
+    scratch.assign(actives.begin(), actives.end());
+    for (RelationId r = 0; r < num_relations(); ++r) {
+      if (!DeltaNeighbors(v, r).empty() &&
+          !std::binary_search(scratch.begin(), scratch.end(), r)) {
+        scratch.insert(
+            std::upper_bound(scratch.begin(), scratch.end(), r), r);
+      }
+    }
+  } else {
+    for (RelationId r = 0; r < num_relations(); ++r) {
+      if (!DeltaNeighbors(v, r).empty()) scratch.push_back(r);
+    }
+  }
+  return {scratch.data(), scratch.size()};
+}
+
+bool DynamicGraphOverlay::HasEdge(NodeId src, NodeId dst,
+                                  RelationId rel) const {
+  if (rel >= num_relations() || src >= num_nodes() || dst >= num_nodes()) {
+    return false;
+  }
+  if (base_->HasEdge(src, dst, rel)) return true;
+  auto delta = DeltaNeighbors(src, rel);
+  return std::binary_search(delta.begin(), delta.end(), dst);
+}
+
+StatusOr<MultiplexHeteroGraph> DynamicGraphOverlay::Compact() const {
+  GraphBuilder builder;
+  for (NodeTypeId t = 0; t < base_->num_node_types(); ++t) {
+    HYBRIDGNN_ASSIGN_OR_RETURN(NodeTypeId unused,
+                               builder.AddNodeType(base_->node_type_name(t)));
+    (void)unused;
+  }
+  for (RelationId r = 0; r < base_->num_relations(); ++r) {
+    HYBRIDGNN_ASSIGN_OR_RETURN(RelationId unused,
+                               builder.AddRelation(base_->relation_name(r)));
+    (void)unused;
+  }
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    HYBRIDGNN_ASSIGN_OR_RETURN(NodeId unused, builder.AddNode(node_type(v)));
+    (void)unused;
+  }
+  for (const EdgeTriple& e : base_->edges()) {
+    HYBRIDGNN_RETURN_IF_ERROR(builder.AddEdge(e.src, e.dst, e.rel));
+  }
+  for (const EdgeTriple& e : delta_edges_) {
+    HYBRIDGNN_RETURN_IF_ERROR(builder.AddEdge(e.src, e.dst, e.rel));
+  }
+  return builder.Build();
+}
+
+}  // namespace hybridgnn

@@ -1,0 +1,129 @@
+#ifndef HYBRIDGNN_STREAM_OVERLAY_H_
+#define HYBRIDGNN_STREAM_OVERLAY_H_
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/statusor.h"
+#include "graph/graph.h"
+#include "stream/delta_log.h"
+
+namespace hybridgnn {
+
+/// Mutable delta layer over an immutable MultiplexHeteroGraph: the base CSR
+/// stays frozen (every offline consumer keeps reading it untouched) while
+/// streamed edges and nodes accumulate in per-relation delta adjacency
+/// maps. Reads mirror the graph's API — Neighbors() / Degree() /
+/// ActiveRelations() / HasEdge() — with the one structural difference that
+/// Neighbors() returns a two-span view (base CSR run + sorted delta run)
+/// instead of a single span, since the union cannot be contiguous.
+///
+/// The overlay is the ingest side of the streaming bridge: a single writer
+/// thread Apply()s delta batches; readers (the IncrementalRefresher, walk
+/// regeneration) run on the same thread or after synchronization. It is NOT
+/// internally synchronized — concurrent serving reads go through the
+/// immutable snapshots published by LiveEmbeddingStore, never through the
+/// overlay.
+///
+/// Periodic Compact() folds base + deltas into a fresh CSR so delta maps
+/// never grow unboundedly; callers re-anchor the overlay on the compacted
+/// graph via the constructor.
+class DynamicGraphOverlay {
+ public:
+  /// `base` must outlive the overlay.
+  explicit DynamicGraphOverlay(const MultiplexHeteroGraph* base);
+
+  /// Outcome of applying one delta batch.
+  struct ApplyResult {
+    size_t edges_added = 0;
+    size_t nodes_added = 0;
+    /// Edges already present in base or overlay: ignored, counted. Streams
+    /// routinely replay interactions; duplicates are not errors here (use
+    /// GraphBuilder's strict mode for offline loads that must be exact).
+    size_t duplicates_ignored = 0;
+    /// Deduplicated endpoints of newly added edges plus new node ids — the
+    /// seed set for the dirty-frontier computation.
+    std::vector<NodeId> touched;
+    /// The applied (non-duplicate) edges, canonical src <= dst.
+    std::vector<EdgeTriple> new_edges;
+  };
+
+  /// Validates and applies a batch. On error nothing is applied (the batch
+  /// is validated up front against the overlay's current id spaces).
+  StatusOr<ApplyResult> Apply(std::span<const GraphDelta> batch);
+
+  // --- read API (mirrors MultiplexHeteroGraph) ---
+
+  size_t num_nodes() const { return base_->num_nodes() + added_types_.size(); }
+  size_t num_base_nodes() const { return base_->num_nodes(); }
+  size_t num_relations() const { return base_->num_relations(); }
+  size_t num_node_types() const { return base_->num_node_types(); }
+  /// Unique undirected edges: base plus applied deltas.
+  size_t num_edges() const { return base_->num_edges() + delta_edges_.size(); }
+  size_t num_delta_edges() const { return delta_edges_.size(); }
+
+  NodeTypeId node_type(NodeId v) const {
+    return v < base_->num_nodes() ? base_->node_type(v)
+                                  : added_types_[v - base_->num_nodes()];
+  }
+
+  /// Concatenated neighbor view: the base CSR run followed by the sorted
+  /// delta run. Both runs are individually sorted, so membership tests can
+  /// binary-search each side.
+  struct NeighborView {
+    std::span<const NodeId> base;
+    std::span<const NodeId> delta;
+
+    size_t size() const { return base.size() + delta.size(); }
+    bool empty() const { return base.empty() && delta.empty(); }
+    NodeId operator[](size_t i) const {
+      return i < base.size() ? base[i] : delta[i - base.size()];
+    }
+    template <typename Fn>
+    void ForEach(Fn&& fn) const {
+      for (NodeId u : base) fn(u);
+      for (NodeId u : delta) fn(u);
+    }
+  };
+
+  NeighborView Neighbors(NodeId v, RelationId r) const;
+  size_t Degree(NodeId v, RelationId r) const;
+  size_t TotalDegree(NodeId v) const;
+
+  /// Relations under which `v` has at least one (base or delta) neighbor.
+  /// `scratch` backs the returned span and is clobbered.
+  std::span<const RelationId> ActiveRelations(
+      NodeId v, std::vector<RelationId>& scratch) const;
+
+  bool HasEdge(NodeId src, NodeId dst, RelationId rel) const;
+
+  /// All applied delta edges in application order (canonical src <= dst).
+  const std::vector<EdgeTriple>& delta_edges() const { return delta_edges_; }
+  /// Node types of nodes added on top of the base graph (id = base nodes +
+  /// index).
+  const std::vector<NodeTypeId>& added_node_types() const {
+    return added_types_;
+  }
+
+  const MultiplexHeteroGraph& base() const { return *base_; }
+
+  /// Rebuilds base + deltas into a fresh immutable CSR graph. The overlay
+  /// itself is unchanged; the caller owns the result and typically
+  /// constructs a new overlay on it, dropping this one.
+  StatusOr<MultiplexHeteroGraph> Compact() const;
+
+ private:
+  /// Sorted delta neighbor list of (v, r), or empty.
+  std::span<const NodeId> DeltaNeighbors(NodeId v, RelationId r) const;
+
+  const MultiplexHeteroGraph* base_;
+  /// Per relation: node -> sorted extra neighbors (both directions stored).
+  std::vector<std::unordered_map<NodeId, std::vector<NodeId>>> delta_adj_;
+  std::vector<NodeTypeId> added_types_;
+  std::vector<EdgeTriple> delta_edges_;
+};
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_STREAM_OVERLAY_H_

@@ -1,0 +1,130 @@
+#ifndef HYBRIDGNN_STREAM_REFRESHER_H_
+#define HYBRIDGNN_STREAM_REFRESHER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/statusor.h"
+#include "sampling/corpus.h"
+#include "stream/delta_log.h"
+#include "stream/live_store.h"
+#include "stream/overlay.h"
+
+namespace hybridgnn {
+
+/// Knobs for one incremental refresh. Defaults are tuned for freshness over
+/// polish: a few short walks per dirty node, a couple of SGD rounds — enough
+/// to pull the endpoints of streamed edges together without re-touching the
+/// rest of the table.
+struct RefreshOptions {
+  /// Dirty-frontier depth: touched nodes plus their <= k_hops-hop
+  /// neighborhoods get their walks regenerated. 0 refreshes only the
+  /// touched nodes themselves.
+  size_t k_hops = 1;
+  /// Walk regeneration budget per dirty root (per active relation).
+  size_t walks_per_dirty_node = 4;
+  size_t walk_length = 6;
+  size_t window = 2;
+  /// Copies of each newly streamed edge injected as direct (src, dst)
+  /// skip-gram pairs — the first-order signal that makes a refreshed store
+  /// score the new interactions above noise.
+  size_t direct_edge_copies = 4;
+  /// Negatives per pair, drawn from (and updated within) the dirty set.
+  /// Defaults to 0 — attraction-only refresh. The live table is seeded from
+  /// a checkpoint of *final* embeddings, so center and context share one
+  /// table; tied-weight SGNS repulsion pushes served vectors around the
+  /// geometry directly (word2vec avoids this with a separate output table)
+  /// and in a bounded few-round refresh it reliably costs more ranking
+  /// quality on the streamed edges than it buys in contrast. Collapse —
+  /// the failure negatives exist to prevent — needs epochs this refresh
+  /// never runs.
+  size_t num_negatives = 0;
+  /// Epochs over the regenerated pair set.
+  size_t sgd_rounds = 2;
+  /// Pairs per tape-backed SGNS minibatch.
+  size_t minibatch = 256;
+  float learning_rate = 0.05f;
+  /// Optional post-SGNS smoothing: each dirty row is blended toward the
+  /// mean of its (embedded) neighbors, new_row = (1-a)*row + a*mean. 0
+  /// disables the pass.
+  float smoothing_alpha = 0.0f;
+  uint64_t seed = 1;
+};
+
+/// Outcome of one IngestBatch.
+struct IngestStats {
+  size_t edges_added = 0;
+  size_t nodes_added = 0;
+  size_t duplicates_ignored = 0;
+  size_t dirty_nodes = 0;
+  size_t pairs_trained = 0;
+  uint64_t published_version = 0;
+  double elapsed_ms = 0.0;
+};
+
+/// The online bridge's compute stage: applies delta batches to a
+/// DynamicGraphOverlay, localizes the damage (dirty frontier = touched
+/// nodes + K-hop neighborhoods), regenerates short walks from dirty roots
+/// only, replays bounded SGNS updates against the LiveEmbeddingStore's
+/// staging tables on the arena tape, and publishes a fresh snapshot.
+/// Everything outside the dirty region keeps its bits; cost scales with the
+/// delta, not the graph.
+///
+/// Single-threaded by contract (one ingest thread owns the overlay, the
+/// refresher, and the live store's writer side); serving reads go through
+/// the live store's published snapshots and never touch this class.
+class IncrementalRefresher {
+ public:
+  /// `overlay` and `live` must outlive the refresher; the refresher is the
+  /// sole writer of both.
+  IncrementalRefresher(DynamicGraphOverlay* overlay, LiveEmbeddingStore* live,
+                       RefreshOptions options);
+
+  /// Applies `batch` to the overlay, refreshes the dirty region, and
+  /// publishes a new store version. Errors leave the overlay unchanged
+  /// (batch validation happens before any mutation).
+  StatusOr<IngestStats> IngestBatch(std::span<const GraphDelta> batch);
+
+  /// The dirty frontier of a touched set: `touched` plus every node within
+  /// `k_hops` hops (over all relations, base + delta edges). Sorted,
+  /// deduplicated. Exposed for tests and for callers that want to refresh
+  /// without applying (e.g. after Compact()).
+  std::vector<NodeId> DirtyFrontier(std::span<const NodeId> touched,
+                                    size_t k_hops) const;
+
+  /// Re-anchors the refresher after the caller swapped the overlay (the
+  /// Compact() dance builds a new graph + overlay and re-points here).
+  void Reanchor(DynamicGraphOverlay* overlay) { overlay_ = overlay; }
+
+  const RefreshOptions& options() const { return options_; }
+
+ private:
+  /// Regenerates walk pairs from the dirty roots and the new edges.
+  std::vector<SkipGramPair> HarvestDirtyPairs(
+      std::span<const NodeId> dirty, std::span<const EdgeTriple> new_edges);
+
+  /// Runs `sgd_rounds` of minibatched SGNS over `pairs` against staging
+  /// rows; negatives are drawn from (and updated within) the dirty set so
+  /// the write set stays bounded. Returns pairs actually trained (pairs
+  /// whose endpoints have rows).
+  size_t TrainPairs(std::vector<SkipGramPair>& pairs,
+                    std::span<const NodeId> dirty);
+
+  /// Blends each dirty row toward its neighborhood mean (smoothing_alpha).
+  void SmoothDirtyRows(std::span<const NodeId> dirty);
+
+  /// Zero rows from EnsureRow get a small deterministic random init so
+  /// their context gradients are non-degenerate.
+  void InitRowIfFresh(RelationId r, NodeId v);
+
+  DynamicGraphOverlay* overlay_;
+  LiveEmbeddingStore* live_;
+  RefreshOptions options_;
+  Rng rng_;
+};
+
+}  // namespace hybridgnn
+
+#endif  // HYBRIDGNN_STREAM_REFRESHER_H_

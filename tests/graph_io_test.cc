@@ -79,6 +79,25 @@ TEST_F(GraphIoTest, SkipsCommentsAndBlankLines) {
   EXPECT_EQ(loaded->num_edges(), 1u);
 }
 
+TEST_F(GraphIoTest, StrictLoadPinpointsDoubledEdgeLine) {
+  std::ofstream out(path_);
+  out << "node_types user\nrelations r\n"
+      << "node 0 user\nnode 1 user\n"
+      << "edge 0 1 r\nedge 1 0 r\n";  // line 6 repeats the undirected edge
+  out.close();
+  // Lenient (the default) collapses the repeat, as it always has.
+  auto lenient = LoadGraph(path_);
+  ASSERT_TRUE(lenient.ok()) << lenient.status().ToString();
+  EXPECT_EQ(lenient->num_edges(), 1u);
+  // Strict rejects it with AlreadyExists and the offending line number.
+  auto strict = LoadGraph(path_, LoadStrictness::kStrict);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.status().code(), StatusCode::kAlreadyExists)
+      << strict.status().ToString();
+  EXPECT_NE(strict.status().message().find(":6:"), std::string::npos)
+      << strict.status().ToString();
+}
+
 TEST_F(GraphIoTest, SaveToUnwritablePathFails) {
   MultiplexHeteroGraph g = SmallBipartite();
   EXPECT_FALSE(SaveGraph(g, "/nonexistent/dir/out.txt").ok());

@@ -175,6 +175,42 @@ TEST(GraphStatsTest, ComputesCorrectValues) {
   EXPECT_NE(text.find("|V| = 7"), std::string::npos);
 }
 
+TEST(GraphBuilderTest, StrictModeRejectsDuplicateEdges) {
+  GraphBuilder b;
+  NodeTypeId t = b.AddNodeType("n").value();
+  RelationId view = b.AddRelation("view").value();
+  RelationId buy = b.AddRelation("buy").value();
+  ASSERT_TRUE(b.AddNodes(t, 3).ok());
+  b.set_reject_duplicates(true);
+  ASSERT_TRUE(b.AddEdge(0, 1, view).ok());
+  // Exact repeat and the flipped orientation are the same undirected edge.
+  Status dup = b.AddEdge(0, 1, view);
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists) << dup.ToString();
+  EXPECT_NE(dup.message().find("duplicate edge"), std::string::npos);
+  EXPECT_EQ(b.AddEdge(1, 0, view).code(), StatusCode::kAlreadyExists);
+  // Same pair under another relation is multiplex, not a duplicate.
+  EXPECT_TRUE(b.AddEdge(0, 1, buy).ok());
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 2u);
+}
+
+TEST(GraphBuilderTest, StrictModeIndexesEdgesAddedBeforeEnable) {
+  GraphBuilder b;
+  NodeTypeId t = b.AddNodeType("n").value();
+  RelationId r = b.AddRelation("r").value();
+  ASSERT_TRUE(b.AddNodes(t, 3).ok());
+  ASSERT_TRUE(b.AddEdge(0, 1, r).ok());  // added while lenient
+  b.set_reject_duplicates(true);
+  EXPECT_EQ(b.AddEdge(1, 0, r).code(), StatusCode::kAlreadyExists);
+  // Lenient mode restores the historical collapse-silently behavior.
+  b.set_reject_duplicates(false);
+  EXPECT_TRUE(b.AddEdge(0, 1, r).ok());
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_edges(), 1u);
+}
+
 TEST(GraphStatsTest, IsolatedNodesCounted) {
   GraphBuilder b;
   NodeTypeId t = b.AddNodeType("n").value();

@@ -1,0 +1,485 @@
+// Streaming-ingest subsystem tests: delta-log round-trips in both formats,
+// corruption rejection (mirroring checkpoint_corruption_test.cc's contract
+// that every bad file comes back as a clean Status), overlay equivalence
+// against a rebuilt CSR graph, dirty-frontier expansion, and the
+// incremental refresher's two core guarantees — streamed edges score higher
+// after a refresh, and rows outside the dirty region keep their exact bits.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "eval/metrics.h"
+#include "serve/embedding_store.h"
+#include "stream/delta_log.h"
+#include "stream/live_store.h"
+#include "stream/overlay.h"
+#include "stream/refresher.h"
+#include "tensor/tensor.h"
+
+namespace hybridgnn {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string TempPath(const std::string& name) {
+  return (fs::path(::testing::TempDir()) / name).string();
+}
+
+std::vector<char> ReadFile(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  EXPECT_TRUE(f.is_open()) << path;
+  return std::vector<char>(std::istreambuf_iterator<char>(f),
+                           std::istreambuf_iterator<char>());
+}
+
+void WriteFile(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  ASSERT_TRUE(f.is_open()) << path;
+  f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Base fixture graph: users 0..5 and items 6..11 under relations
+/// view / buy. Nodes 4, 5, 10, 11 form a component disconnected from the
+/// rest — the refresher must never touch their rows when deltas land on
+/// the main component.
+MultiplexHeteroGraph MakeBaseGraph() {
+  GraphBuilder b;
+  EXPECT_TRUE(b.AddNodeType("user").ok());
+  EXPECT_TRUE(b.AddNodeType("item").ok());
+  EXPECT_TRUE(b.AddRelation("view").ok());
+  EXPECT_TRUE(b.AddRelation("buy").ok());
+  EXPECT_TRUE(b.AddNodes(0, 6).ok());
+  EXPECT_TRUE(b.AddNodes(1, 6).ok());
+  // Main component: users 0-3, items 6-9.
+  const NodeId view_edges[][2] = {{0, 6}, {0, 7}, {1, 6}, {1, 8},
+                                  {2, 7}, {2, 9}, {3, 8}, {3, 9}};
+  for (const auto& e : view_edges) EXPECT_TRUE(b.AddEdge(e[0], e[1], 0).ok());
+  const NodeId buy_edges[][2] = {{0, 6}, {1, 8}, {2, 9}};
+  for (const auto& e : buy_edges) EXPECT_TRUE(b.AddEdge(e[0], e[1], 1).ok());
+  // Island: users 4-5, items 10-11.
+  EXPECT_TRUE(b.AddEdge(4, 10, 0).ok());
+  EXPECT_TRUE(b.AddEdge(5, 11, 0).ok());
+  auto g = b.Build();
+  EXPECT_TRUE(g.ok()) << g.status().ToString();
+  return std::move(g).value();
+}
+
+EmbeddingStore MakeStore(const MultiplexHeteroGraph& g, size_t dim,
+                         uint64_t seed) {
+  Rng rng(seed);
+  std::vector<EmbeddingStore::TableInit> tables;
+  std::vector<NodeId> identity(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) identity[v] = v;
+  for (RelationId r = 0; r < g.num_relations(); ++r) {
+    EmbeddingStore::TableInit t;
+    t.name = g.relation_name(r);
+    t.row_to_node = identity;
+    t.data = Tensor(g.num_nodes(), dim);
+    for (size_t i = 0; i < t.data.size(); ++i) {
+      t.data.data()[i] = rng.UniformFloat(-0.5f, 0.5f);
+    }
+    tables.push_back(std::move(t));
+  }
+  auto store = EmbeddingStore::FromTables("test", g.num_nodes(),
+                                          std::move(tables));
+  EXPECT_TRUE(store.ok()) << store.status().ToString();
+  return std::move(store).value();
+}
+
+std::vector<GraphDelta> SampleDeltas() {
+  return {
+      GraphDelta::AddEdge(0, 9, 0, 100),
+      GraphDelta::AddNode(1, 150),
+      GraphDelta::AddEdge(2, 12, 0, 200),  // edge to the streamed-in node
+      GraphDelta::AddEdge(1, 7, 1, 250),
+  };
+}
+
+// ---------------------------------------------------------------- delta log
+
+TEST(DeltaLogTest, BinaryRoundTrip) {
+  const std::string path = TempPath("roundtrip.hgd");
+  const std::vector<GraphDelta> deltas = SampleDeltas();
+  ASSERT_TRUE(SaveDeltaLogBinary(deltas, path).ok());
+  auto loaded = LoadDeltaLogBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, deltas);
+}
+
+TEST(DeltaLogTest, WriterAppendsAcrossReopens) {
+  const std::string path = TempPath("append.hgd");
+  fs::remove(path);
+  const std::vector<GraphDelta> deltas = SampleDeltas();
+  {
+    DeltaLogWriter w;
+    ASSERT_TRUE(w.Open(path).ok());
+    ASSERT_TRUE(w.Append(deltas[0]).ok());
+    ASSERT_TRUE(w.Append(deltas[1]).ok());
+    ASSERT_TRUE(w.Flush().ok());
+  }
+  {
+    // Re-open positions at the end and keeps the existing records.
+    DeltaLogWriter w;
+    ASSERT_TRUE(w.Open(path).ok());
+    ASSERT_TRUE(w.Append(deltas[2]).ok());
+    ASSERT_TRUE(w.Append(deltas[3]).ok());
+  }
+  auto loaded = LoadDeltaLogBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, deltas);
+}
+
+TEST(DeltaLogTest, TextRoundTripAndAutoDetect) {
+  MultiplexHeteroGraph g = MakeBaseGraph();
+  const std::string text_path = TempPath("roundtrip.txt");
+  const std::string bin_path = TempPath("autodetect.hgd");
+  const std::vector<GraphDelta> deltas = SampleDeltas();
+  ASSERT_TRUE(SaveDeltaLogText(deltas, g, text_path).ok());
+  auto from_text = LoadDeltaLogText(text_path, g);
+  ASSERT_TRUE(from_text.ok()) << from_text.status().ToString();
+  EXPECT_EQ(*from_text, deltas);
+
+  ASSERT_TRUE(SaveDeltaLogBinary(deltas, bin_path).ok());
+  auto auto_bin = LoadDeltaLog(bin_path, g);
+  auto auto_text = LoadDeltaLog(text_path, g);
+  ASSERT_TRUE(auto_bin.ok());
+  ASSERT_TRUE(auto_text.ok());
+  EXPECT_EQ(*auto_bin, deltas);
+  EXPECT_EQ(*auto_text, deltas);
+}
+
+TEST(DeltaLogTest, RejectsTruncatedAndCorruptBinary) {
+  const std::string good = TempPath("corrupt_base.hgd");
+  ASSERT_TRUE(SaveDeltaLogBinary(SampleDeltas(), good).ok());
+  const std::vector<char> bytes = ReadFile(good);
+  ASSERT_EQ(bytes.size(), kDeltaLogHeaderBytes + 4 * kDeltaLogRecordBytes);
+
+  const std::string bad = TempPath("corrupt.hgd");
+  // Truncation mid-record: any record-region size not a multiple of 20.
+  for (size_t cut : {1ul, 7ul, kDeltaLogRecordBytes - 1}) {
+    std::vector<char> t(bytes.begin(), bytes.end() - cut);
+    WriteFile(bad, t);
+    auto st = LoadDeltaLogBinary(bad);
+    EXPECT_FALSE(st.ok());
+    EXPECT_NE(st.status().message().find("truncated"), std::string::npos);
+    // The appender refuses such a file too (no silent resync).
+    DeltaLogWriter w;
+    EXPECT_FALSE(w.Open(bad).ok());
+  }
+  // Header shorter than 8 bytes.
+  WriteFile(bad, std::vector<char>(bytes.begin(), bytes.begin() + 3));
+  EXPECT_FALSE(LoadDeltaLogBinary(bad).ok());
+  // Bad magic.
+  {
+    std::vector<char> t = bytes;
+    t[0] = 'X';
+    WriteFile(bad, t);
+    EXPECT_FALSE(LoadDeltaLogBinary(bad).ok());
+  }
+  // Foreign endianness (tag bytes swapped).
+  {
+    std::vector<char> t = bytes;
+    std::swap(t[4], t[5]);
+    WriteFile(bad, t);
+    EXPECT_FALSE(LoadDeltaLogBinary(bad).ok());
+  }
+  // Unsupported version.
+  {
+    std::vector<char> t = bytes;
+    t[6] = 99;
+    WriteFile(bad, t);
+    EXPECT_FALSE(LoadDeltaLogBinary(bad).ok());
+  }
+  // Unknown record kind.
+  {
+    std::vector<char> t = bytes;
+    t[kDeltaLogHeaderBytes] = 77;
+    WriteFile(bad, t);
+    auto st = LoadDeltaLogBinary(bad);
+    EXPECT_FALSE(st.ok());
+    EXPECT_NE(st.status().message().find("unknown kind"), std::string::npos);
+  }
+}
+
+TEST(DeltaLogTest, TextLoaderPinpointsBadLines) {
+  MultiplexHeteroGraph g = MakeBaseGraph();
+  const std::string path = TempPath("bad.txt");
+  struct Case {
+    const char* content;
+    const char* expect;
+  };
+  const Case cases[] = {
+      {"add-edge 5 0 9 teleport\n", "unknown relation"},
+      {"add-node 5 ghost\n", "unknown node type"},
+      {"add-edge 5 0 9\n", "add-edge needs"},
+      {"transmogrify 1 2\n", "unknown record kind"},
+  };
+  for (const Case& c : cases) {
+    std::ofstream(path, std::ios::trunc) << "# comment\n" << c.content;
+    auto st = LoadDeltaLogText(path, g);
+    ASSERT_FALSE(st.ok()) << c.content;
+    EXPECT_NE(st.status().message().find(c.expect), std::string::npos)
+        << st.status().ToString();
+    EXPECT_NE(st.status().message().find(":2:"), std::string::npos)
+        << "expected line number in: " << st.status().ToString();
+  }
+}
+
+TEST(DeltaLogTest, ValidateDeltasCatchesStructuralViolations) {
+  // Valid: an edge may reference a node added earlier in the same batch.
+  {
+    std::vector<GraphDelta> ds = {GraphDelta::AddNode(0),
+                                  GraphDelta::AddEdge(3, 12, 0)};
+    EXPECT_TRUE(ValidateDeltas(ds, 12, 2, 2).ok());
+  }
+  struct Case {
+    GraphDelta delta;
+    const char* expect;
+  };
+  const Case cases[] = {
+      {GraphDelta::AddEdge(0, 1, 9), "relation 9 out of range"},
+      {GraphDelta::AddEdge(0, 99, 0), "endpoint out of range"},
+      {GraphDelta::AddEdge(7, 7, 0), "self-loop"},
+      {GraphDelta::AddNode(9), "node type 9 out of range"},
+      {GraphDelta::AddNode(0, 0, /*expected_id=*/5), "expects id 5"},
+  };
+  for (const Case& c : cases) {
+    std::vector<GraphDelta> ds = {c.delta};
+    auto st = ValidateDeltas(ds, 12, 2, 2);
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.message().find(c.expect), std::string::npos)
+        << st.ToString();
+  }
+}
+
+// ------------------------------------------------------------------ overlay
+
+TEST(OverlayTest, MatchesCompactedGraphOnEveryRead) {
+  MultiplexHeteroGraph base = MakeBaseGraph();
+  DynamicGraphOverlay overlay(&base);
+  auto applied = overlay.Apply(SampleDeltas());
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  EXPECT_EQ(applied->edges_added, 3u);
+  EXPECT_EQ(applied->nodes_added, 1u);
+  EXPECT_EQ(applied->duplicates_ignored, 0u);
+
+  auto compacted = overlay.Compact();
+  ASSERT_TRUE(compacted.ok()) << compacted.status().ToString();
+  ASSERT_EQ(overlay.num_nodes(), compacted->num_nodes());
+  EXPECT_EQ(overlay.num_edges(), compacted->num_edges());
+  EXPECT_EQ(overlay.node_type(12), 1);
+
+  std::vector<RelationId> scratch;
+  for (NodeId v = 0; v < overlay.num_nodes(); ++v) {
+    EXPECT_EQ(overlay.node_type(v), compacted->node_type(v));
+    EXPECT_EQ(overlay.TotalDegree(v), compacted->TotalDegree(v));
+    // ActiveRelations agree as sets (both are sorted).
+    auto overlay_active = overlay.ActiveRelations(v, scratch);
+    auto compact_active = compacted->ActiveRelations(v);
+    ASSERT_EQ(overlay_active.size(), compact_active.size()) << "node " << v;
+    EXPECT_TRUE(std::equal(overlay_active.begin(), overlay_active.end(),
+                           compact_active.begin()));
+    for (RelationId r = 0; r < overlay.num_relations(); ++r) {
+      ASSERT_EQ(overlay.Degree(v, r), compacted->Degree(v, r))
+          << "node " << v << " rel " << r;
+      // The two-span view and the CSR agree as multisets (each side
+      // sorted; overlay concatenates two sorted runs).
+      std::vector<NodeId> from_overlay;
+      overlay.Neighbors(v, r).ForEach(
+          [&](NodeId u) { from_overlay.push_back(u); });
+      std::sort(from_overlay.begin(), from_overlay.end());
+      auto from_compact = compacted->Neighbors(v, r);
+      EXPECT_TRUE(std::equal(from_overlay.begin(), from_overlay.end(),
+                             from_compact.begin(), from_compact.end()));
+      for (NodeId u : from_overlay) {
+        EXPECT_TRUE(overlay.HasEdge(v, u, r));
+      }
+    }
+  }
+  EXPECT_FALSE(overlay.HasEdge(0, 5, 0));
+  EXPECT_FALSE(overlay.HasEdge(0, 9, 1));  // added under view, not buy
+
+  // A second overlay anchored on the compacted graph starts clean.
+  DynamicGraphOverlay next(&*compacted);
+  EXPECT_EQ(next.num_delta_edges(), 0u);
+  EXPECT_EQ(next.num_edges(), overlay.num_edges());
+}
+
+TEST(OverlayTest, DuplicatesCountedNotApplied) {
+  MultiplexHeteroGraph base = MakeBaseGraph();
+  DynamicGraphOverlay overlay(&base);
+  const std::vector<GraphDelta> batch = {
+      GraphDelta::AddEdge(0, 6, 0),   // already in base
+      GraphDelta::AddEdge(0, 9, 0),   // fresh
+      GraphDelta::AddEdge(9, 0, 0),   // duplicate of the fresh one, flipped
+  };
+  auto applied = overlay.Apply(batch);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(applied->edges_added, 1u);
+  EXPECT_EQ(applied->duplicates_ignored, 2u);
+  EXPECT_EQ(applied->touched, (std::vector<NodeId>{0, 9}));
+  EXPECT_EQ(overlay.Degree(0, 0), base.Degree(0, 0) + 1);
+}
+
+TEST(OverlayTest, RejectsInvalidBatchAtomically) {
+  MultiplexHeteroGraph base = MakeBaseGraph();
+  DynamicGraphOverlay overlay(&base);
+  const std::vector<GraphDelta> batch = {
+      GraphDelta::AddEdge(0, 9, 0),    // valid...
+      GraphDelta::AddEdge(0, 99, 0),   // ...but this one is out of range
+  };
+  EXPECT_FALSE(overlay.Apply(batch).ok());
+  // Nothing from the batch landed — validation precedes mutation.
+  EXPECT_EQ(overlay.num_delta_edges(), 0u);
+  EXPECT_FALSE(overlay.HasEdge(0, 9, 0));
+}
+
+// ---------------------------------------------------------------- refresher
+
+std::unique_ptr<LiveEmbeddingStore> MakeLive(const MultiplexHeteroGraph& g,
+                                             const EmbeddingStore& store) {
+  auto live = LiveEmbeddingStore::Create(store, &g, TopKOptions{});
+  EXPECT_TRUE(live.ok()) << live.status().ToString();
+  return std::move(live).value();
+}
+
+TEST(RefresherTest, DirtyFrontierExpandsByHops) {
+  GraphBuilder b;
+  ASSERT_TRUE(b.AddNodeType("n").ok());
+  ASSERT_TRUE(b.AddRelation("r").ok());
+  ASSERT_TRUE(b.AddNodes(0, 6).ok());
+  for (NodeId v = 0; v + 1 < 6; ++v) {
+    ASSERT_TRUE(b.AddEdge(v, v + 1, 0).ok());  // path 0-1-2-3-4-5
+  }
+  auto g = b.Build();
+  ASSERT_TRUE(g.ok());
+  DynamicGraphOverlay overlay(&*g);
+  EmbeddingStore store = MakeStore(*g, 4, 7);
+  auto live = MakeLive(*g, store);
+  IncrementalRefresher refresher(&overlay, live.get(), RefreshOptions{});
+
+  const std::vector<NodeId> touched = {2};
+  EXPECT_EQ(refresher.DirtyFrontier(touched, 0),
+            (std::vector<NodeId>{2}));
+  EXPECT_EQ(refresher.DirtyFrontier(touched, 1),
+            (std::vector<NodeId>{1, 2, 3}));
+  EXPECT_EQ(refresher.DirtyFrontier(touched, 2),
+            (std::vector<NodeId>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(refresher.DirtyFrontier(touched, 9),
+            (std::vector<NodeId>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(RefresherTest, StreamedEdgesScoreHigherAfterRefresh) {
+  MultiplexHeteroGraph g = MakeBaseGraph();
+  EmbeddingStore store = MakeStore(g, 16, 11);
+  DynamicGraphOverlay overlay(&g);
+  auto live = MakeLive(g, store);
+  RefreshOptions opts;
+  opts.sgd_rounds = 6;
+  opts.learning_rate = 0.08f;
+  IncrementalRefresher refresher(&overlay, live.get(), opts);
+
+  // New interactions inside the main component.
+  const std::vector<GraphDelta> batch = {
+      GraphDelta::AddEdge(0, 9, 0, 1),
+      GraphDelta::AddEdge(1, 7, 0, 2),
+      GraphDelta::AddEdge(3, 6, 0, 3),
+  };
+  auto dot = [&](const EmbeddingStore& s, NodeId a, NodeId b) {
+    const float* x = s.Lookup(a, 0);
+    const float* y = s.Lookup(b, 0);
+    EXPECT_NE(x, nullptr);
+    EXPECT_NE(y, nullptr);
+    double acc = 0.0;
+    for (size_t j = 0; j < s.dim(); ++j) acc += x[j] * y[j];
+    return acc;
+  };
+  // Non-edges (under view) used as shared negatives.
+  const NodeId negs[][2] = {{0, 8}, {2, 6}, {3, 7}, {1, 9}};
+  auto auc = [&](const EmbeddingStore& s) {
+    std::vector<double> pos, neg;
+    for (const GraphDelta& d : batch) pos.push_back(dot(s, d.src, d.dst));
+    for (const auto& n : negs) neg.push_back(dot(s, n[0], n[1]));
+    return RocAuc(pos, neg);
+  };
+
+  auto before = live->Acquire();
+  const double stale_auc = auc(before->store);
+  auto stats = refresher.IngestBatch(batch);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->edges_added, 3u);
+  EXPECT_GT(stats->pairs_trained, 0u);
+  auto after = live->Acquire();
+  ASSERT_NE(before->sequence, after->sequence);
+  const double fresh_auc = auc(after->store);
+  EXPECT_GT(fresh_auc, stale_auc)
+      << "refresh must rank streamed edges above non-edges";
+  EXPECT_GT(fresh_auc, 0.95);
+}
+
+TEST(RefresherTest, RowsOutsideDirtyRegionKeepTheirBits) {
+  MultiplexHeteroGraph g = MakeBaseGraph();
+  EmbeddingStore store = MakeStore(g, 8, 13);
+  DynamicGraphOverlay overlay(&g);
+  auto live = MakeLive(g, store);
+  RefreshOptions opts;
+  opts.smoothing_alpha = 0.25f;  // smoothing must also respect the region
+  opts.num_negatives = 3;        // negatives come from the dirty pool only
+  IncrementalRefresher refresher(&overlay, live.get(), opts);
+
+  // Island rows (nodes 4, 5, 10, 11) before a main-component batch.
+  const NodeId island[] = {4, 5, 10, 11};
+  std::vector<std::vector<float>> saved;
+  for (RelationId r = 0; r < g.num_relations(); ++r) {
+    for (NodeId v : island) {
+      const float* row = live->Row(r, v);
+      ASSERT_NE(row, nullptr);
+      saved.emplace_back(row, row + live->dim());
+    }
+  }
+  auto stats = refresher.IngestBatch(std::vector<GraphDelta>{
+      GraphDelta::AddEdge(0, 9, 0), GraphDelta::AddEdge(1, 7, 1)});
+  ASSERT_TRUE(stats.ok());
+  size_t idx = 0;
+  for (RelationId r = 0; r < g.num_relations(); ++r) {
+    for (NodeId v : island) {
+      const float* row = live->Row(r, v);
+      EXPECT_EQ(std::memcmp(row, saved[idx].data(),
+                            live->dim() * sizeof(float)),
+                0)
+          << "island row (" << v << ", rel " << r << ") changed";
+      ++idx;
+    }
+  }
+}
+
+TEST(RefresherTest, StreamedInNodeBecomesServable) {
+  MultiplexHeteroGraph g = MakeBaseGraph();
+  EmbeddingStore store = MakeStore(g, 8, 17);
+  DynamicGraphOverlay overlay(&g);
+  auto live = MakeLive(g, store);
+  IncrementalRefresher refresher(&overlay, live.get(), RefreshOptions{});
+
+  auto stats = refresher.IngestBatch(std::vector<GraphDelta>{
+      GraphDelta::AddNode(1, 1),           // item node 12
+      GraphDelta::AddEdge(0, 12, 0, 2),
+      GraphDelta::AddEdge(1, 12, 0, 3),
+  });
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->nodes_added, 1u);
+  auto version = live->Acquire();
+  const float* row = version->store.Lookup(12, 0);
+  ASSERT_NE(row, nullptr);
+  double norm = 0.0;
+  for (size_t j = 0; j < version->store.dim(); ++j) norm += row[j] * row[j];
+  EXPECT_GT(norm, 0.0) << "new node must be trained, not left at zero";
+}
+
+}  // namespace
+}  // namespace hybridgnn
