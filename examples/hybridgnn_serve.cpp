@@ -218,8 +218,12 @@ int main(int argc, char** argv) {
       }
       std::istringstream in(line);
       std::string cmd;
+      in >> cmd;
+      // Optional count: a failed extraction zeroes the target (C++11), so
+      // parse into a temporary to keep the --stream-batch default on bare
+      // `ingest`.
       size_t n = stream_batch;
-      in >> cmd >> n;
+      if (size_t parsed = 0; in >> parsed) n = parsed;
       n = std::min(n, delta_queue.size() - delta_cursor);
       if (n == 0) {
         std::printf("stream drained (%zu deltas applied)\n", delta_cursor);
@@ -251,7 +255,7 @@ int main(int argc, char** argv) {
       std::printf("? expected: <node-id> <relation-name-or-id> [k]\n");
       continue;
     }
-    in >> k;
+    if (size_t parsed = 0; in >> parsed) k = parsed;
     RelationId rel = store->FindRelation(rel_token);
     if (rel == kInvalidRelation) {
       auto parsed = ParseInt64(rel_token);

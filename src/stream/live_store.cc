@@ -52,7 +52,8 @@ const float* LiveEmbeddingStore::Row(RelationId r, NodeId v) const {
   return staging_[r].data.data() + static_cast<size_t>(row) * dim_;
 }
 
-StatusOr<uint32_t> LiveEmbeddingStore::EnsureRow(RelationId r, NodeId v) {
+StatusOr<LiveEmbeddingStore::EnsureResult> LiveEmbeddingStore::EnsureRow(
+    RelationId r, NodeId v) {
   if (r >= staging_.size()) {
     return Status::InvalidArgument("unknown relation id " + std::to_string(r));
   }
@@ -61,12 +62,14 @@ StatusOr<uint32_t> LiveEmbeddingStore::EnsureRow(RelationId r, NodeId v) {
   if (v >= t.node_to_row.size()) {
     t.node_to_row.resize(num_nodes_, EmbeddingStore::kNoRow);
   }
-  if (t.node_to_row[v] != EmbeddingStore::kNoRow) return t.node_to_row[v];
+  if (t.node_to_row[v] != EmbeddingStore::kNoRow) {
+    return EnsureResult{t.node_to_row[v], false};
+  }
   const uint32_t row = static_cast<uint32_t>(t.row_to_node.size());
   t.row_to_node.push_back(v);
   t.node_to_row[v] = row;
   t.data.resize(t.data.size() + dim_, 0.0f);
-  return row;
+  return EnsureResult{row, true};
 }
 
 Status LiveEmbeddingStore::Publish(const DynamicGraphOverlay* overlay) {

@@ -68,9 +68,17 @@ class LiveEmbeddingStore : public RecommenderSource {
   /// Staging row of (v, r) for reading, or nullptr.
   const float* Row(RelationId r, NodeId v) const;
 
+  /// Outcome of EnsureRow: the row index, and whether the call appended it
+  /// (vs. the node already having one).
+  struct EnsureResult {
+    uint32_t row = 0;
+    bool appended = false;
+  };
+
   /// Row of (v, r), appending a zero row when absent (how streamed-in new
-  /// nodes become servable). Returns the row index.
-  StatusOr<uint32_t> EnsureRow(RelationId r, NodeId v);
+  /// nodes become servable). `appended` lets callers distinguish a fresh
+  /// zero row from a pre-existing (possibly trained) one.
+  StatusOr<EnsureResult> EnsureRow(RelationId r, NodeId v);
 
   /// Freezes staging into a new Version and swaps it in as the front
   /// snapshot. `overlay` (optional) supplies the delta edges for the

@@ -50,13 +50,10 @@ std::vector<NodeId> IncrementalRefresher::DirtyFrontier(
   return dirty;
 }
 
-void IncrementalRefresher::InitRowIfFresh(RelationId r, NodeId v) {
+void IncrementalRefresher::InitFreshRow(RelationId r, NodeId v) {
   float* row = live_->MutableRow(r, v);
   if (row == nullptr) return;
   const size_t dim = live_->dim();
-  for (size_t j = 0; j < dim; ++j) {
-    if (row[j] != 0.0f) return;  // already trained or seeded
-  }
   const float bound = 0.5f / static_cast<float>(dim);
   for (size_t j = 0; j < dim; ++j) {
     row[j] = rng_.UniformFloat(-bound, bound);
@@ -166,8 +163,8 @@ size_t IncrementalRefresher::TrainPairs(std::vector<SkipGramPair>& pairs,
           const float* x_row = live_->Row(rel, contexts[i]);
           std::memcpy(c_val.data() + i * dim, c_row, dim * sizeof(float));
           std::memcpy(x_val.data() + i * dim, x_row, dim * sizeof(float));
-          for (size_t k = 0; k < options_.num_negatives; ++k) {
-            const size_t j = i * options_.num_negatives + k;
+          for (size_t k = 0; k < negs_per_pair; ++k) {
+            const size_t j = i * negs_per_pair + k;
             const float* n_row = live_->Row(rel, negatives[j]);
             std::memcpy(cr_val.data() + j * dim, c_row, dim * sizeof(float));
             std::memcpy(n_val.data() + j * dim, n_row, dim * sizeof(float));
@@ -264,10 +261,12 @@ StatusOr<IngestStats> IncrementalRefresher::IngestBatch(
   // Rows for streamed-in nodes and edge endpoints that the checkpoint never
   // covered, so they become trainable and servable.
   for (const EdgeTriple& e : applied.new_edges) {
-    HYBRIDGNN_RETURN_IF_ERROR(live_->EnsureRow(e.rel, e.src).status());
-    HYBRIDGNN_RETURN_IF_ERROR(live_->EnsureRow(e.rel, e.dst).status());
-    InitRowIfFresh(e.rel, e.src);
-    InitRowIfFresh(e.rel, e.dst);
+    HYBRIDGNN_ASSIGN_OR_RETURN(LiveEmbeddingStore::EnsureResult src_row,
+                               live_->EnsureRow(e.rel, e.src));
+    HYBRIDGNN_ASSIGN_OR_RETURN(LiveEmbeddingStore::EnsureResult dst_row,
+                               live_->EnsureRow(e.rel, e.dst));
+    if (src_row.appended) InitFreshRow(e.rel, e.src);
+    if (dst_row.appended) InitFreshRow(e.rel, e.dst);
   }
 
   std::vector<NodeId> dirty = DirtyFrontier(applied.touched, options_.k_hops);

@@ -115,9 +115,10 @@ class IncrementalRefresher {
   /// Blends each dirty row toward its neighborhood mean (smoothing_alpha).
   void SmoothDirtyRows(std::span<const NodeId> dirty);
 
-  /// Zero rows from EnsureRow get a small deterministic random init so
-  /// their context gradients are non-degenerate.
-  void InitRowIfFresh(RelationId r, NodeId v);
+  /// Rows freshly appended by EnsureRow get a small deterministic random
+  /// init so their context gradients are non-degenerate; pre-existing rows
+  /// (trained or deliberately zeroed) are never touched.
+  void InitFreshRow(RelationId r, NodeId v);
 
   DynamicGraphOverlay* overlay_;
   LiveEmbeddingStore* live_;

@@ -121,13 +121,15 @@ TEST(LiveStoreTest, EnsureRowMakesUnknownNodeServable) {
   EXPECT_EQ(live->Row(0, 99), nullptr);
   auto row = live->EnsureRow(0, 99);
   ASSERT_TRUE(row.ok()) << row.status().ToString();
+  EXPECT_TRUE(row->appended);
   const float* data = live->Row(0, 99);
   ASSERT_NE(data, nullptr);
   for (size_t j = 0; j < live->dim(); ++j) EXPECT_EQ(data[j], 0.0f);
-  // Idempotent: same row on re-ensure.
+  // Idempotent: same row on re-ensure, and not reported as fresh.
   auto again = live->EnsureRow(0, 99);
   ASSERT_TRUE(again.ok());
-  EXPECT_EQ(*again, *row);
+  EXPECT_EQ(again->row, row->row);
+  EXPECT_FALSE(again->appended);
 
   ASSERT_TRUE(live->Publish(nullptr).ok());
   EXPECT_NE(live->Acquire()->store.Lookup(99, 0), nullptr);

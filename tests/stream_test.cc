@@ -459,6 +459,49 @@ TEST(RefresherTest, RowsOutsideDirtyRegionKeepTheirBits) {
   }
 }
 
+// Regression: num_negatives > 0 with a relation group whose dirty set has
+// no rows in that relation's table. Walk pairs between nodes outside the
+// dirty set keep the group non-empty while the negative pool is empty, so
+// the gather loop must honor the pool-derived negs_per_pair (0), not the
+// configured num_negatives — the mismatch used to read past an empty
+// negatives vector and memcpy into 0-row tensors.
+TEST(RefresherTest, EmptyNegativePoolGroupTrainsWithoutNegatives) {
+  MultiplexHeteroGraph g = MakeBaseGraph();
+  // Custom store: the "buy" table excludes the streamed endpoints 0 and 9,
+  // so the dirty set {0, 9} contributes no buy-relation negatives, while
+  // buy walks from those roots still yield trainable pairs between covered
+  // nodes (e.g. the (6, 6) pair of an oscillating 0-6 walk).
+  std::vector<EmbeddingStore::TableInit> tables;
+  Rng rng(23);
+  for (RelationId r = 0; r < g.num_relations(); ++r) {
+    EmbeddingStore::TableInit t;
+    t.name = g.relation_name(r);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (r == 1 && (v == 0 || v == 9)) continue;
+      t.row_to_node.push_back(v);
+    }
+    t.data = Tensor(t.row_to_node.size(), 8);
+    for (size_t i = 0; i < t.data.size(); ++i) {
+      t.data.data()[i] = rng.UniformFloat(-0.5f, 0.5f);
+    }
+    tables.push_back(std::move(t));
+  }
+  auto store =
+      EmbeddingStore::FromTables("test", g.num_nodes(), std::move(tables));
+  ASSERT_TRUE(store.ok()) << store.status().ToString();
+  DynamicGraphOverlay overlay(&g);
+  auto live = MakeLive(g, *store);
+  RefreshOptions opts;
+  opts.k_hops = 0;  // dirty set stays exactly {0, 9}
+  opts.num_negatives = 3;
+  IncrementalRefresher refresher(&overlay, live.get(), opts);
+
+  auto stats = refresher.IngestBatch(
+      std::vector<GraphDelta>{GraphDelta::AddEdge(0, 9, 0, 1)});
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_GT(stats->pairs_trained, 0u);
+}
+
 TEST(RefresherTest, StreamedInNodeBecomesServable) {
   MultiplexHeteroGraph g = MakeBaseGraph();
   EmbeddingStore store = MakeStore(g, 8, 17);
