@@ -4,11 +4,24 @@
 //
 //   hybridgnn_serve --graph g.txt [--model HybridGNN] [--seed N]
 //                   [--load ckpt.hgc] [--save ckpt.hgc] [--copy 1]
+//                   [--quantize fp16|int8]
 //                   [--k 10] [--cosine 1] [--threads N]
 //                   [--window-ms 1.0] [--max-batch 64]
+//                   [--deadline-ms 0] [--max-queue 0] [--cache 0]
 //                   [--stream deltas.hgd] [--stream-batch 64]
 //                   [--stream-khops 1] [--stream-lr 0.05]
 //                   [--metrics-out metrics.json]
+//
+// --quantize converts the (loaded or freshly trained) fp32 store to a
+// compressed serving copy scanned in place by the dequant-and-score
+// kernels: fp16 halves memory traffic, int8 quarters it at a small
+// recall cost (see DESIGN.md section 15). With --save the checkpoint is
+// written after conversion, so the file on disk is a v2 quantized `.hgc`.
+// Incompatible with --stream (the live refresher trains on fp32 rows).
+//
+// --deadline-ms / --max-queue / --cache are the admission controls:
+// default per-request deadline, load-shedding queue cap, and warm
+// result-cache capacity (entries), all off (0) by default.
 //
 // --metrics-out dumps the process-wide observability registry (counters,
 // gauges, serve/request_latency stage histogram) as JSON on exit.
@@ -88,8 +101,10 @@ int main(int argc, char** argv) {
   if (!flags.count("graph")) {
     std::fprintf(stderr,
                  "usage: %s --graph <file> [--model NAME] [--load ckpt.hgc] "
-                 "[--save ckpt.hgc] [--copy 1] [--k N] [--cosine 1] "
-                 "[--threads N] [--window-ms F] [--max-batch N] [--seed N] "
+                 "[--save ckpt.hgc] [--copy 1] [--quantize fp16|int8] "
+                 "[--k N] [--cosine 1] "
+                 "[--threads N] [--window-ms F] [--max-batch N] "
+                 "[--deadline-ms F] [--max-queue N] [--cache N] [--seed N] "
                  "[--stream deltas.hgd] [--stream-batch N] "
                  "[--stream-khops N] [--stream-lr F] [--metrics-out FILE]\n",
                  argv[0]);
@@ -127,11 +142,29 @@ int main(int argc, char** argv) {
     auto built = BuildStore(**model, *graph);
     if (!built.ok()) return Fail(built.status());
     store = std::make_shared<EmbeddingStore>(std::move(built).value());
-    if (flags.count("save")) {
-      Status ws = WriteCheckpoint(*store, flags["save"]);
-      if (!ws.ok()) return Fail(ws);
-      std::printf("froze embeddings to %s\n", flags["save"].c_str());
+  }
+
+  // --- optional quantization of the serving copy ---
+  if (flags.count("quantize") && flags["quantize"] != "fp32") {
+    if (flags.count("stream")) {
+      return Fail(Status::InvalidArgument(
+          "--quantize is incompatible with --stream: the incremental "
+          "refresher trains on fp32 staging rows"));
     }
+    auto dtype = ParseStoreDType(flags["quantize"]);
+    if (!dtype.ok()) return Fail(dtype.status());
+    auto quantized = EmbeddingStore::Quantized(*store, *dtype);
+    if (!quantized.ok()) return Fail(quantized.status());
+    store = std::make_shared<EmbeddingStore>(std::move(quantized).value());
+    std::printf("quantized store to %s (%zux less table memory)\n",
+                StoreDTypeName(*dtype),
+                4 / StoreDTypeBytes(*dtype));
+  }
+  if (flags.count("save")) {
+    Status ws = WriteCheckpoint(*store, flags["save"]);
+    if (!ws.ok()) return Fail(ws);
+    std::printf("froze embeddings (%s) to %s\n",
+                StoreDTypeName(store->dtype()), flags["save"].c_str());
   }
 
   // --- retrieval engine + micro-batching service ---
@@ -151,6 +184,18 @@ int main(int argc, char** argv) {
   if (flags.count("max-batch")) {
     service_options.max_batch_size =
         static_cast<size_t>(ParseInt64(flags["max-batch"]).value_or(64));
+  }
+  if (flags.count("deadline-ms")) {
+    service_options.default_deadline_ms =
+        ParseDouble(flags["deadline-ms"]).value_or(0.0);
+  }
+  if (flags.count("max-queue")) {
+    service_options.max_queue_depth =
+        static_cast<size_t>(ParseInt64(flags["max-queue"]).value_or(0));
+  }
+  if (flags.count("cache")) {
+    service_options.result_cache_capacity =
+        static_cast<size_t>(ParseInt64(flags["cache"]).value_or(0));
   }
 
   // --- optional streaming path: delta queue + live store + refresher ---

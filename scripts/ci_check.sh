@@ -38,4 +38,8 @@ echo "=== ci_check: streaming refresh gate (speedup + freshness) ==="
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target micro_stream
 "$BUILD_DIR/bench/micro_stream" --gate
 
+echo "=== ci_check: quantized serving gate (int8 speedup + recall, overload p99) ==="
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target micro_serve_qps
+"$BUILD_DIR/bench/micro_serve_qps" --gate
+
 echo "=== ci_check: all stages passed ==="

@@ -19,6 +19,8 @@ enum class StatusCode : int {
   kInternal = 6,
   kIoError = 7,
   kUnimplemented = 8,
+  kDeadlineExceeded = 9,
+  kResourceExhausted = 10,
 };
 
 /// Returns a short human-readable name for `code` ("OK", "InvalidArgument"…).
@@ -65,6 +67,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

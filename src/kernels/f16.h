@@ -1,0 +1,73 @@
+#ifndef HYBRIDGNN_KERNELS_F16_H_
+#define HYBRIDGNN_KERNELS_F16_H_
+
+#include <cstdint>
+#include <cstring>
+
+// Portable IEEE-754 binary16 <-> binary32 conversion used by the fp16
+// quantized embedding store (serve/embedding_store.cc) and the scalar
+// ScoreBlockF16 kernel. The float -> half direction rounds to nearest,
+// ties to even — the same rounding the F16C hardware path
+// (_mm256_cvtps_ph with _MM_FROUND_TO_NEAREST_INT) performs, so a store
+// quantized here scores identically under either kernel backend.
+namespace hybridgnn::kernels {
+
+namespace internal {
+
+/// v >> shift with round-to-nearest, ties to even.
+inline uint32_t RoundShiftRne(uint32_t v, uint32_t shift) {
+  const uint32_t half = 1u << (shift - 1);
+  const uint32_t rem = v & ((1u << shift) - 1u);
+  uint32_t q = v >> shift;
+  if (rem > half || (rem == half && (q & 1u))) ++q;
+  return q;
+}
+
+}  // namespace internal
+
+inline uint16_t F32ToF16(float value) {
+  uint32_t x;
+  std::memcpy(&x, &value, sizeof(x));
+  const uint16_t sign = static_cast<uint16_t>((x >> 16) & 0x8000u);
+  const uint32_t abs = x & 0x7FFFFFFFu;
+  if (abs >= 0x7F800000u) {  // Inf / NaN
+    return sign | (abs > 0x7F800000u ? 0x7E00u : 0x7C00u);
+  }
+  if (abs >= 0x47800000u) return sign | 0x7C00u;  // >= 65520 rounds to Inf
+  if (abs < 0x38800000u) {  // subnormal half (or zero)
+    if (abs < 0x33000000u) return sign;  // < 2^-25 rounds to +-0
+    const uint32_t sig = (abs & 0x7FFFFFu) | 0x800000u;
+    const uint32_t shift = 126u - (abs >> 23);  // in [14, 24]
+    return sign | static_cast<uint16_t>(internal::RoundShiftRne(sig, shift));
+  }
+  // Normal half: rebias the exponent and round 23 -> 10 mantissa bits as
+  // one integer shift — a mantissa carry propagates into the exponent
+  // (and, at 65520, correctly on to Inf).
+  return sign |
+         static_cast<uint16_t>(internal::RoundShiftRne(abs - (112u << 23), 13));
+}
+
+inline float F16ToF32(uint16_t h) {
+  const uint32_t sign = static_cast<uint32_t>(h & 0x8000u) << 16;
+  const uint32_t exp = (h >> 10) & 0x1Fu;
+  const uint32_t mant = h & 0x3FFu;
+  uint32_t bits;
+  if (exp == 0x1Fu) {
+    bits = sign | 0x7F800000u | (mant << 13);  // Inf / NaN
+  } else if (exp != 0) {
+    bits = sign | ((exp + 112u) << 23) | (mant << 13);
+  } else if (mant == 0) {
+    bits = sign;  // +-0
+  } else {
+    // Subnormal half: value = mant * 2^-24; normalize into a float.
+    const uint32_t b = 31u - static_cast<uint32_t>(__builtin_clz(mant));
+    bits = sign | ((103u + b) << 23) | ((mant << (23u - b)) & 0x7FFFFFu);
+  }
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+}  // namespace hybridgnn::kernels
+
+#endif  // HYBRIDGNN_KERNELS_F16_H_

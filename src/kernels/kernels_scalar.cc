@@ -7,6 +7,7 @@
 #include <cmath>
 
 #include "common/parallel.h"
+#include "kernels/f16.h"
 #include "kernels/kernels.h"
 #include "kernels/kernels_impl.h"
 
@@ -57,6 +58,34 @@ void ScoreBlockScalar(const float* query, const float* rows, size_t num_rows,
       s += static_cast<double>(query[j]) * row[j];
     }
     out[i] = s;
+  }
+}
+
+void ScoreBlockF16Scalar(const float* query, const uint16_t* rows,
+                         size_t num_rows, size_t n, double* out) {
+  for (size_t i = 0; i < num_rows; ++i) {
+    const uint16_t* row = rows + i * n;
+    double s = 0.0;
+    for (size_t j = 0; j < n; ++j) {
+      s += static_cast<double>(query[j]) *
+           static_cast<double>(F16ToF32(row[j]));
+    }
+    out[i] = s;
+  }
+}
+
+void ScoreBlockI8Scalar(const float* query, const uint8_t* rows,
+                        const float* scales, const float* zeros,
+                        double query_sum, size_t num_rows, size_t n,
+                        double* out) {
+  for (size_t i = 0; i < num_rows; ++i) {
+    const uint8_t* row = rows + i * n;
+    float acc = 0.0f;
+    for (size_t j = 0; j < n; ++j) {
+      acc += query[j] * static_cast<float>(row[j]);
+    }
+    out[i] = static_cast<double>(scales[i]) * static_cast<double>(acc) +
+             static_cast<double>(zeros[i]) * query_sum;
   }
 }
 
@@ -141,7 +170,8 @@ void CsrSpmmScalar(const size_t* indptr, const uint32_t* indices,
 const KernelOps& ScalarOps() {
   static const KernelOps ops = {
       DotScalar, AxpyScalar, ScaleScalar, SgnsUpdateStepScalar,
-      ScoreBlockScalar, SegmentSumScalar, SegmentMeanScalar, SegmentMaxScalar,
+      ScoreBlockScalar, ScoreBlockF16Scalar, ScoreBlockI8Scalar,
+      SegmentSumScalar, SegmentMeanScalar, SegmentMaxScalar,
       CsrSpmmScalar,
   };
   return ops;

@@ -73,6 +73,14 @@ class MetaReader {
     return true;
   }
 
+  bool ReadFloats(size_t count, std::vector<float>* out) {
+    if (count > (size_ - pos_) / sizeof(float)) return false;
+    out->resize(count);
+    std::memcpy(out->data(), data_ + pos_, count * sizeof(float));
+    pos_ += count * sizeof(float);
+    return true;
+  }
+
  private:
   const uint8_t* data_;
   size_t size_;
@@ -82,13 +90,16 @@ class MetaReader {
 struct ParsedRelation {
   std::string name;
   std::vector<NodeId> row_to_node;
-  size_t table_offset = 0;  // absolute file offset of the f32 table
+  std::vector<float> scales;  // v2 int8 only
+  std::vector<float> zeros;   // v2 int8 only
+  size_t table_offset = 0;    // absolute file offset of the element table
 };
 
 struct ParsedCheckpoint {
   std::string model_name;
   uint64_t num_nodes = 0;
   uint64_t dim = 0;
+  StoreDType dtype = StoreDType::kF32;
   std::vector<ParsedRelation> relations;
 };
 
@@ -116,10 +127,13 @@ Status ParseCheckpoint(const uint8_t* data, size_t size,
   }
   uint16_t version = 0;
   std::memcpy(&version, data + 6, sizeof(version));
-  if (version != kCheckpointVersion) {
+  if (version != kCheckpointVersion &&
+      version != kCheckpointVersionQuantized) {
     return Status::FailedPrecondition(
         "checkpoint version skew: file has v" + std::to_string(version) +
-        ", reader understands v" + std::to_string(kCheckpointVersion));
+        ", reader understands v" + std::to_string(kCheckpointVersion) +
+        " (fp32) and v" + std::to_string(kCheckpointVersionQuantized) +
+        " (quantized)");
   }
   uint64_t num_relations = 0, num_nodes = 0, dim = 0, meta_bytes = 0,
            payload_bytes = 0, payload_checksum = 0, header_checksum = 0;
@@ -167,6 +181,21 @@ Status ParseCheckpoint(const uint8_t* data, size_t size,
   }
 
   MetaReader meta(data + kCheckpointHeaderBytes, meta_bytes);
+  out->dtype = StoreDType::kF32;
+  if (version == kCheckpointVersionQuantized) {
+    uint8_t dtype_byte = 0;
+    if (!meta.Read(&dtype_byte)) {
+      return Status::InvalidArgument("corrupt metadata: missing dtype");
+    }
+    // A v2 file carrying fp32 is something the writer never produces, so
+    // treat it (and any unknown code) as corruption.
+    if (dtype_byte != static_cast<uint8_t>(StoreDType::kF16) &&
+        dtype_byte != static_cast<uint8_t>(StoreDType::kI8)) {
+      return Status::InvalidArgument(
+          "corrupt metadata: bad dtype code " + std::to_string(dtype_byte));
+    }
+    out->dtype = static_cast<StoreDType>(dtype_byte);
+  }
   if (!meta.ReadString(&out->model_name)) {
     return Status::InvalidArgument("corrupt metadata: model name");
   }
@@ -181,6 +210,7 @@ Status ParseCheckpoint(const uint8_t* data, size_t size,
         "corrupt header: num_relations inconsistent with metadata size");
   }
   out->relations.resize(num_relations);
+  const size_t elem_bytes = StoreDTypeBytes(out->dtype);
   size_t offset = Align64(kCheckpointHeaderBytes + meta_bytes);
   for (auto& rel : out->relations) {
     uint64_t num_rows = 0;
@@ -188,11 +218,16 @@ Status ParseCheckpoint(const uint8_t* data, size_t size,
         !meta.ReadNodeIds(num_rows, &rel.row_to_node)) {
       return Status::InvalidArgument("corrupt metadata: relation record");
     }
+    if (out->dtype == StoreDType::kI8 &&
+        (!meta.ReadFloats(num_rows, &rel.scales) ||
+         !meta.ReadFloats(num_rows, &rel.zeros))) {
+      return Status::InvalidArgument("corrupt metadata: int8 affine record");
+    }
     rel.table_offset = offset;
-    if (num_rows > size / (dim * sizeof(float))) {
+    if (num_rows > size / (dim * elem_bytes)) {
       return Status::IoError("checkpoint truncated: table out of bounds");
     }
-    const size_t table_bytes = num_rows * dim * sizeof(float);
+    const size_t table_bytes = num_rows * dim * elem_bytes;
     if (rel.table_offset + table_bytes > size) {
       return Status::IoError("checkpoint truncated: table out of bounds");
     }
@@ -221,12 +256,35 @@ uint64_t Fnv1a64(const void* data, size_t length) {
   return FnvMix(kFnvOffset, data, length);
 }
 
+StatusOr<StoreDType> ParseStoreDType(const std::string& name) {
+  if (name == "fp32") return StoreDType::kF32;
+  if (name == "fp16") return StoreDType::kF16;
+  if (name == "int8") return StoreDType::kI8;
+  return Status::InvalidArgument("unknown store dtype '" + name +
+                                 "' (want fp32, fp16, or int8)");
+}
+
 Status WriteCheckpoint(const EmbeddingStore& store, const std::string& path) {
   if (store.num_relations() == 0 || store.dim() == 0) {
     return Status::InvalidArgument("refusing to write an empty store");
   }
-  // Metadata blob.
+  const bool quantized = store.dtype() != StoreDType::kF32;
+  // Raw bytes of relation `r`'s element table, whatever the dtype.
+  auto table_bytes_of = [&store](RelationId r) -> std::span<const uint8_t> {
+    if (store.dtype() == StoreDType::kF32) {
+      const auto t = store.Table(r);
+      return {reinterpret_cast<const uint8_t*>(t.data()), t.size_bytes()};
+    }
+    return store.RawTable(r);
+  };
+
+  // Metadata blob. The fp32 blob is byte-identical to the v1 writer's; the
+  // quantized blob leads with the dtype code and carries the int8 affine
+  // rows inline (checksummed with everything else).
   std::string meta;
+  if (quantized) {
+    AppendScalar<uint8_t>(meta, static_cast<uint8_t>(store.dtype()));
+  }
   AppendString(meta, store.model_name());
   for (RelationId r = 0; r < store.num_relations(); ++r) {
     AppendString(meta, store.relation_name(r));
@@ -234,6 +292,14 @@ Status WriteCheckpoint(const EmbeddingStore& store, const std::string& path) {
     const auto rows = store.RowNodes(r);
     meta.append(reinterpret_cast<const char*>(rows.data()),
                 rows.size() * sizeof(NodeId));
+    if (store.dtype() == StoreDType::kI8) {
+      const auto scales = store.RowScales(r);
+      const auto zeros = store.RowZeros(r);
+      meta.append(reinterpret_cast<const char*>(scales.data()),
+                  scales.size_bytes());
+      meta.append(reinterpret_cast<const char*>(zeros.data()),
+                  zeros.size_bytes());
+    }
   }
 
   // Payload checksum and total size, streamed over meta + pads + tables.
@@ -245,10 +311,10 @@ Status WriteCheckpoint(const EmbeddingStore& store, const std::string& path) {
   for (RelationId r = 0; r < store.num_relations(); ++r) {
     const size_t pad = Align64(offset) - offset;
     checksum = FnvMix(checksum, kZeros, pad);
-    const auto table = store.Table(r);
-    checksum = FnvMix(checksum, table.data(), table.size_bytes());
+    const auto table = table_bytes_of(r);
+    checksum = FnvMix(checksum, table.data(), table.size());
     pads.push_back(pad);
-    offset = Align64(offset) + table.size_bytes();
+    offset = Align64(offset) + table.size();
   }
   const uint64_t payload_bytes = offset - kCheckpointHeaderBytes;
 
@@ -256,7 +322,8 @@ Status WriteCheckpoint(const EmbeddingStore& store, const std::string& path) {
   uint8_t header[kCheckpointHeaderBytes] = {};
   std::memcpy(header, kCheckpointMagic, sizeof(kCheckpointMagic));
   const uint16_t endian_tag = kCheckpointEndianTag;
-  const uint16_t version = kCheckpointVersion;
+  const uint16_t version =
+      quantized ? kCheckpointVersionQuantized : kCheckpointVersion;
   std::memcpy(header + 4, &endian_tag, 2);
   std::memcpy(header + 6, &version, 2);
   const uint64_t num_relations = store.num_relations();
@@ -278,9 +345,9 @@ Status WriteCheckpoint(const EmbeddingStore& store, const std::string& path) {
   out.write(meta.data(), static_cast<std::streamsize>(meta.size()));
   for (RelationId r = 0; r < store.num_relations(); ++r) {
     out.write(kZeros, static_cast<std::streamsize>(pads[r]));
-    const auto table = store.Table(r);
+    const auto table = table_bytes_of(r);
     out.write(reinterpret_cast<const char*>(table.data()),
-              static_cast<std::streamsize>(table.size_bytes()));
+              static_cast<std::streamsize>(table.size()));
   }
   out.flush();
   if (!out) return Status::IoError("write failed on " + path);
@@ -325,21 +392,56 @@ StatusOr<EmbeddingStore> LoadCheckpoint(const std::string& path,
     ParsedCheckpoint parsed;
     HYBRIDGNN_RETURN_IF_ERROR(
         ParseCheckpoint(bytes.data(), bytes.size(), &parsed));
-    std::vector<EmbeddingStore::TableInit> tables;
-    tables.reserve(parsed.relations.size());
-    for (auto& rel : parsed.relations) {
-      EmbeddingStore::TableInit t;
-      t.name = std::move(rel.name);
-      const size_t num_rows = rel.row_to_node.size();
-      t.row_to_node = std::move(rel.row_to_node);
-      Tensor data(num_rows, parsed.dim);
-      std::memcpy(data.data(), bytes.data() + rel.table_offset,
-                  num_rows * parsed.dim * sizeof(float));
-      t.data = std::move(data);
-      tables.push_back(std::move(t));
+    if (parsed.dtype == StoreDType::kF32) {
+      std::vector<EmbeddingStore::TableInit> tables;
+      tables.reserve(parsed.relations.size());
+      for (auto& rel : parsed.relations) {
+        EmbeddingStore::TableInit t;
+        t.name = std::move(rel.name);
+        const size_t num_rows = rel.row_to_node.size();
+        t.row_to_node = std::move(rel.row_to_node);
+        Tensor data(num_rows, parsed.dim);
+        std::memcpy(data.data(), bytes.data() + rel.table_offset,
+                    num_rows * parsed.dim * sizeof(float));
+        t.data = std::move(data);
+        tables.push_back(std::move(t));
+      }
+      return EmbeddingStore::FromTables(std::move(parsed.model_name),
+                                        parsed.num_nodes, std::move(tables));
     }
-    return EmbeddingStore::FromTables(std::move(parsed.model_name),
-                                      parsed.num_nodes, std::move(tables));
+    // Quantized: copy each raw payload into owned bytes; the parser already
+    // pulled the int8 affine rows out of the metadata blob.
+    EmbeddingStore store;
+    store.model_name_ = std::move(parsed.model_name);
+    store.num_nodes_ = parsed.num_nodes;
+    store.dim_ = parsed.dim;
+    store.dtype_ = parsed.dtype;
+    const size_t elem_bytes = StoreDTypeBytes(parsed.dtype);
+    store.tables_.reserve(parsed.relations.size());
+    for (auto& rel : parsed.relations) {
+      EmbeddingStore::RelationTable rt;
+      rt.name = std::move(rel.name);
+      rt.row_to_node = std::move(rel.row_to_node);
+      const size_t rows = rt.row_to_node.size();
+      const size_t table_bytes = rows * parsed.dim * elem_bytes;
+      std::vector<uint8_t> payload(table_bytes);
+      std::memcpy(payload.data(), bytes.data() + rel.table_offset,
+                  table_bytes);
+      store.owned_bytes_.push_back(std::move(payload));
+      rt.qdata = std::span<const uint8_t>(store.owned_bytes_.back());
+      if (parsed.dtype == StoreDType::kI8) {
+        std::vector<float> affine(std::move(rel.scales));
+        affine.insert(affine.end(), rel.zeros.begin(), rel.zeros.end());
+        store.owned_.push_back(std::move(affine));
+        const float* a = store.owned_.back().data();
+        rt.scales = std::span<const float>(a, rows);
+        rt.zeros = std::span<const float>(a + rows, rows);
+      }
+      HYBRIDGNN_RETURN_IF_ERROR(
+          EmbeddingStore::IndexTable(rt, parsed.num_nodes));
+      store.tables_.push_back(std::move(rt));
+    }
+    return store;
   }
 
   // LoadMode::kMmap — zero-copy.
@@ -366,14 +468,33 @@ StatusOr<EmbeddingStore> LoadCheckpoint(const std::string& path,
   store.model_name_ = std::move(parsed.model_name);
   store.num_nodes_ = parsed.num_nodes;
   store.dim_ = parsed.dim;
+  store.dtype_ = parsed.dtype;
   store.tables_.reserve(parsed.relations.size());
   for (auto& rel : parsed.relations) {
     EmbeddingStore::RelationTable rt;
     rt.name = std::move(rel.name);
     rt.row_to_node = std::move(rel.row_to_node);
-    rt.data = std::span<const float>(
-        reinterpret_cast<const float*>(data + rel.table_offset),
-        rt.row_to_node.size() * parsed.dim);
+    const size_t rows = rt.row_to_node.size();
+    if (parsed.dtype == StoreDType::kF32) {
+      rt.data = std::span<const float>(
+          reinterpret_cast<const float*>(data + rel.table_offset),
+          rows * parsed.dim);
+    } else {
+      // Quantized payloads are scanned straight off the map; the int8
+      // affine rows live at unaligned metadata offsets, so those are the
+      // one thing the zero-copy path still owns.
+      rt.qdata = std::span<const uint8_t>(
+          data + rel.table_offset,
+          rows * parsed.dim * StoreDTypeBytes(parsed.dtype));
+      if (parsed.dtype == StoreDType::kI8) {
+        std::vector<float> affine(std::move(rel.scales));
+        affine.insert(affine.end(), rel.zeros.begin(), rel.zeros.end());
+        store.owned_.push_back(std::move(affine));
+        const float* a = store.owned_.back().data();
+        rt.scales = std::span<const float>(a, rows);
+        rt.zeros = std::span<const float>(a + rows, rows);
+      }
+    }
     HYBRIDGNN_RETURN_IF_ERROR(
         EmbeddingStore::IndexTable(rt, parsed.num_nodes));
     store.tables_.push_back(std::move(rt));

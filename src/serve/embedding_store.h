@@ -21,6 +21,27 @@ enum class LoadMode : int;
 StatusOr<EmbeddingStore> LoadCheckpoint(const std::string& path,
                                         LoadMode mode);
 
+/// Element type of an EmbeddingStore's table payload. Training always
+/// produces kF32; the quantized variants exist for the serving tier, where
+/// candidate tables are scanned by the dequant-and-score kernels
+/// (kernels::ScoreBlockF16 / ScoreBlockI8) at 2x / 4x less memory traffic
+/// than fp32.
+enum class StoreDType : uint8_t {
+  kF32 = 0,
+  /// IEEE-754 binary16, elementwise (no per-row metadata). Rounding is
+  /// nearest-even, identical between the software converter and F16C.
+  kF16 = 1,
+  /// Per-row affine uint8: element q of row i dequantizes as
+  /// zero[i] + scale[i] * q, with scale = (max-min)/255 and zero = min over
+  /// the row (scale 0 for constant rows).
+  kI8 = 2,
+};
+
+/// "fp32" / "fp16" / "int8".
+const char* StoreDTypeName(StoreDType t);
+/// Payload bytes per element: 4 / 2 / 1.
+size_t StoreDTypeBytes(StoreDType t);
+
 /// RAII wrapper around one read-only file mapping. Owned by an
 /// EmbeddingStore loaded in zero-copy mode; unmapped on destruction, so the
 /// store's spans stay valid exactly as long as the store lives.
@@ -58,10 +79,16 @@ class EmbeddingStore {
 
   /// Builds an owning store from materialized tables. All tables must share
   /// one dim; row counts must match the mappings; node ids must be unique
-  /// within a table and < num_nodes.
+  /// within a table and < num_nodes. The result is always kF32.
   static StatusOr<EmbeddingStore> FromTables(std::string model_name,
                                              size_t num_nodes,
                                              std::vector<TableInit> tables);
+
+  /// Builds an owning quantized copy of a kF32 store (`dtype` must be kF16
+  /// or kI8). Quantization is per element (fp16) or per row (int8, affine
+  /// min/max), deterministic, and independent of thread count.
+  static StatusOr<EmbeddingStore> Quantized(const EmbeddingStore& src,
+                                            StoreDType dtype);
 
   EmbeddingStore(const EmbeddingStore&) = delete;
   EmbeddingStore& operator=(const EmbeddingStore&) = delete;
@@ -72,6 +99,8 @@ class EmbeddingStore {
   size_t num_nodes() const { return num_nodes_; }
   size_t num_relations() const { return tables_.size(); }
   size_t dim() const { return dim_; }
+  /// Element type of every table payload in this store.
+  StoreDType dtype() const { return dtype_; }
   /// True when backed by a file mapping instead of owned memory.
   bool mmapped() const { return mapping_ != nullptr; }
 
@@ -93,16 +122,40 @@ class EmbeddingStore {
   }
 
   /// Pointer to node `v`'s dim-length embedding under `r`, or nullptr when
-  /// `r` is out of range or the table does not cover `v`.
+  /// `r` is out of range, the table does not cover `v`, or the store is
+  /// quantized (use DequantizeRow then).
   const float* Lookup(NodeId v, RelationId r) const {
-    if (r >= tables_.size()) return nullptr;
+    if (dtype_ != StoreDType::kF32 || r >= tables_.size()) return nullptr;
     const uint32_t row = RowOf(v, r);
     if (row == kNoRow) return nullptr;
     return tables_[r].data.data() + static_cast<size_t>(row) * dim_;
   }
 
-  /// The whole num_rows x dim table of relation `r`, row-major.
+  /// The whole num_rows x dim table of relation `r`, row-major. Only
+  /// populated for kF32 stores (empty span when quantized).
   std::span<const float> Table(RelationId r) const { return tables_[r].data; }
+  /// Raw quantized payload of relation `r`: num_rows * dim elements of
+  /// StoreDTypeBytes(dtype()) each (u16 halves for kF16, u8 codes for kI8).
+  /// Empty for kF32 stores.
+  std::span<const uint8_t> RawTable(RelationId r) const {
+    return tables_[r].qdata;
+  }
+  /// Per-row dequantization scales / zero points of relation `r` (kI8
+  /// only; empty otherwise).
+  std::span<const float> RowScales(RelationId r) const {
+    return tables_[r].scales;
+  }
+  std::span<const float> RowZeros(RelationId r) const {
+    return tables_[r].zeros;
+  }
+
+  /// Materializes table row `row` of relation `r` (NOT a node id — see
+  /// RowOf) as dim() floats into `out`, whatever the dtype. For kF32 this
+  /// is a copy; for kF16/kI8 it applies the dequantization the scoring
+  /// kernels use, so a dequantized row scores identically to the in-place
+  /// quantized scan.
+  void DequantizeRow(RelationId r, uint32_t row, float* out) const;
+
   /// Row -> node mapping of relation `r`.
   std::span<const NodeId> RowNodes(RelationId r) const {
     return tables_[r].row_to_node;
@@ -114,7 +167,10 @@ class EmbeddingStore {
 
   struct RelationTable {
     std::string name;
-    std::span<const float> data;       // num_rows * dim floats
+    std::span<const float> data;       // kF32: num_rows * dim floats
+    std::span<const uint8_t> qdata;    // kF16/kI8: raw quantized payload
+    std::span<const float> scales;     // kI8: per-row scale
+    std::span<const float> zeros;      // kI8: per-row zero point
     std::vector<NodeId> row_to_node;   // row -> node id
     std::vector<uint32_t> node_to_row; // node id -> row or kNoRow
   };
@@ -128,8 +184,10 @@ class EmbeddingStore {
   std::string model_name_;
   size_t num_nodes_ = 0;
   size_t dim_ = 0;
+  StoreDType dtype_ = StoreDType::kF32;
   std::vector<RelationTable> tables_;
-  std::vector<std::vector<float>> owned_;  // backing storage in copy mode
+  std::vector<std::vector<float>> owned_;  // f32 tables + i8 scales/zeros
+  std::vector<std::vector<uint8_t>> owned_bytes_;  // quantized payloads
   std::unique_ptr<MmapRegion> mapping_;    // backing storage in mmap mode
 };
 

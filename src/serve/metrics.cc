@@ -10,25 +10,40 @@ MetricsSnapshot ServeMetrics::Snapshot() const {
   s.errors = errors.load(std::memory_order_relaxed);
   s.batches = batches.load(std::memory_order_relaxed);
   s.items_returned = items_returned.load(std::memory_order_relaxed);
+  s.shed = shed.load(std::memory_order_relaxed);
+  s.deadline_exceeded = deadline_exceeded.load(std::memory_order_relaxed);
+  s.cache_hits = cache_hits.load(std::memory_order_relaxed);
+  s.cache_misses = cache_misses.load(std::memory_order_relaxed);
   s.mean_batch_size =
       s.batches > 0 ? static_cast<double>(s.requests) / s.batches : 0.0;
   s.latency_p50_ms = latency.PercentileMs(50.0);
   s.latency_p99_ms = latency.PercentileMs(99.0);
   s.latency_mean_ms = latency.MeanMs();
+  s.queue_wait_p50_ms = queue_wait.PercentileMs(50.0);
+  s.queue_wait_p99_ms = queue_wait.PercentileMs(99.0);
+  s.batch_service_p50_ms = batch_service.PercentileMs(50.0);
+  s.batch_service_p99_ms = batch_service.PercentileMs(99.0);
   return s;
 }
 
 std::string MetricsSnapshot::ToString() const {
-  char buf[256];
-  std::snprintf(buf, sizeof(buf),
-                "requests=%llu errors=%llu batches=%llu items=%llu "
-                "batch_size=%.2f latency_ms{p50=%.3f p99=%.3f mean=%.3f}",
-                static_cast<unsigned long long>(requests),
-                static_cast<unsigned long long>(errors),
-                static_cast<unsigned long long>(batches),
-                static_cast<unsigned long long>(items_returned),
-                mean_batch_size, latency_p50_ms, latency_p99_ms,
-                latency_mean_ms);
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "requests=%llu errors=%llu batches=%llu items=%llu shed=%llu "
+      "deadline_exceeded=%llu cache{hit=%llu miss=%llu} batch_size=%.2f "
+      "latency_ms{p50=%.3f p99=%.3f mean=%.3f} "
+      "queue_wait_ms{p50=%.3f p99=%.3f} batch_service_ms{p50=%.3f p99=%.3f}",
+      static_cast<unsigned long long>(requests),
+      static_cast<unsigned long long>(errors),
+      static_cast<unsigned long long>(batches),
+      static_cast<unsigned long long>(items_returned),
+      static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(deadline_exceeded),
+      static_cast<unsigned long long>(cache_hits),
+      static_cast<unsigned long long>(cache_misses), mean_batch_size,
+      latency_p50_ms, latency_p99_ms, latency_mean_ms, queue_wait_p50_ms,
+      queue_wait_p99_ms, batch_service_p50_ms, batch_service_p99_ms);
   return buf;
 }
 

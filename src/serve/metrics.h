@@ -17,14 +17,22 @@ using LatencyHistogram = obs::LatencyHistogram;
 /// Point-in-time copy of the serving counters, safe to read after the
 /// service is gone.
 struct MetricsSnapshot {
-  uint64_t requests = 0;       // queries answered (ok or error)
+  uint64_t requests = 0;       // queries answered by a batch (ok or error)
   uint64_t errors = 0;         // queries answered with a non-OK status
   uint64_t batches = 0;        // micro-batches dispatched
   uint64_t items_returned = 0; // total recommendations across responses
+  uint64_t shed = 0;           // rejected at Submit (queue full)
+  uint64_t deadline_exceeded = 0;  // expired before scoring started
+  uint64_t cache_hits = 0;     // answered from the warm result cache
+  uint64_t cache_misses = 0;   // cache enabled but had to score
   double mean_batch_size = 0.0;
   double latency_p50_ms = 0.0;
   double latency_p99_ms = 0.0;
   double latency_mean_ms = 0.0;
+  double queue_wait_p50_ms = 0.0;
+  double queue_wait_p99_ms = 0.0;
+  double batch_service_p50_ms = 0.0;
+  double batch_service_p99_ms = 0.0;
 
   /// One-line human-readable summary for CLI / bench output.
   std::string ToString() const;
@@ -39,7 +47,21 @@ struct ServeMetrics {
   std::atomic<uint64_t> errors{0};
   std::atomic<uint64_t> batches{0};
   std::atomic<uint64_t> items_returned{0};
+  std::atomic<uint64_t> shed{0};
+  std::atomic<uint64_t> deadline_exceeded{0};
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> cache_misses{0};
+  /// End-to-end Submit -> resolve latency of batch-answered requests. Shed
+  /// requests never enter it: a load-shed rejection resolving in
+  /// microseconds would otherwise drag p50/p99 down exactly when the
+  /// service is at its slowest.
   LatencyHistogram latency;
+  /// Submit -> batch-pickup wait, per request. Under load this is where
+  /// latency hides; the old single histogram stamped every request with
+  /// whole-batch end-to-end time and could not show it.
+  LatencyHistogram queue_wait;
+  /// Batch pickup -> all-responses-resolved, per micro-batch.
+  LatencyHistogram batch_service;
 
   MetricsSnapshot Snapshot() const;
 };

@@ -5,9 +5,11 @@
 #include <condition_variable>
 #include <deque>
 #include <future>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/threadpool.h"
@@ -25,6 +27,20 @@ struct ServiceOptions {
   /// ...or once this much time has passed since its first request arrived,
   /// whichever comes first. 0 flushes immediately (no batching delay).
   double batch_window_ms = 1.0;
+  /// Load shedding: Submit resolves immediately with ResourceExhausted once
+  /// this many requests are already queued, instead of letting the queue
+  /// (and every queued request's latency) grow without bound. 0 = never
+  /// shed.
+  size_t max_queue_depth = 0;
+  /// Deadline applied by Submit(query) when the caller does not pass an
+  /// explicit one: a request still unscored this many ms after Submit
+  /// resolves DeadlineExceeded without being scored. 0 = no deadline.
+  double default_deadline_ms = 0.0;
+  /// Warm result cache for repeat (hub-user) queries: entries keyed on
+  /// (node, rel, k, candidate type, exclusion flag, store version), so
+  /// every LiveEmbeddingStore::Publish implicitly invalidates — a new
+  /// version never sees stale items. 0 = cache disabled.
+  size_t result_cache_capacity = 0;
 };
 
 /// One answered request: the recommendations (empty on error) plus the
@@ -62,8 +78,18 @@ class RecommendService {
 
   /// Enqueues a query; the future resolves when its micro-batch completes.
   /// After Shutdown() the future resolves immediately with
-  /// FailedPrecondition.
+  /// FailedPrecondition; with the queue at max_queue_depth it resolves
+  /// immediately with ResourceExhausted (load shed). Applies
+  /// options.default_deadline_ms.
   std::future<RecommendResponse> Submit(const TopKQuery& query);
+
+  /// Same, with an explicit per-request deadline: if the request has not
+  /// started scoring within `deadline_ms` of Submit, it resolves
+  /// DeadlineExceeded without ever being scored — the classic "the caller
+  /// already timed out, don't burn the scan" guard. 0 = no deadline
+  /// (overrides any default).
+  std::future<RecommendResponse> Submit(const TopKQuery& query,
+                                        double deadline_ms);
 
   /// Synchronous convenience wrapper: Submit + wait.
   RecommendResponse Call(const TopKQuery& query) {
@@ -81,10 +107,37 @@ class RecommendService {
     TopKQuery query;
     std::promise<RecommendResponse> promise;
     std::chrono::steady_clock::time_point enqueued;
+    /// Scoring must start before this instant; max() = no deadline.
+    std::chrono::steady_clock::time_point deadline =
+        std::chrono::steady_clock::time_point::max();
+  };
+
+  /// Warm result cache: LRU over completed OK responses, keyed on the full
+  /// query identity plus the pinned store version. Touched only by the
+  /// dispatcher thread (ProcessBatch), so it needs no lock.
+  struct CacheKey {
+    NodeId node = 0;
+    RelationId rel = 0;
+    size_t k = 0;
+    NodeTypeId candidate_type = 0;
+    bool exclude_train_neighbors = false;
+    uint64_t version = 0;
+
+    bool operator==(const CacheKey&) const = default;
+  };
+  struct CacheKeyHash {
+    size_t operator()(const CacheKey& key) const;
+  };
+  struct CacheEntry {
+    CacheKey key;
+    std::vector<Recommendation> items;
   };
 
   void DispatchLoop();
   void ProcessBatch(std::vector<Pending> batch);
+  /// Cache lookup with LRU touch; null on miss (or cache disabled).
+  const std::vector<Recommendation>* CacheLookup(const CacheKey& key);
+  void CacheInsert(CacheKey key, std::vector<Recommendation> items);
 
   const TopKRecommender* recommender_;      // static mode; null in live mode
   const RecommenderSource* source_ = nullptr;  // live mode; null otherwise
@@ -96,6 +149,15 @@ class RecommendService {
   std::deque<Pending> pending_;
   bool shutdown_ = false;
   std::thread dispatcher_;
+  // Serializes the dispatcher join: Shutdown() may be called from several
+  // threads at once (and again by the destructor), but only one caller may
+  // reach dispatcher_.join() — concurrent joins of one std::thread are UB.
+  std::mutex join_mu_;
+
+  // Dispatcher-thread-only LRU (front of cache_lru_ = most recent).
+  std::list<CacheEntry> cache_lru_;
+  std::unordered_map<CacheKey, std::list<CacheEntry>::iterator, CacheKeyHash>
+      cache_index_;
 
   ServeMetrics metrics_;
 };

@@ -33,8 +33,11 @@ double DotDouble(const float* a, const float* b, size_t dim) {
 
 }  // namespace
 
-void DeltaEdgeFilter::AddEdge(NodeId src, NodeId dst, RelationId rel) {
-  if (rel >= extra_.size()) return;
+bool DeltaEdgeFilter::AddEdge(NodeId src, NodeId dst, RelationId rel) {
+  if (rel >= extra_.size()) {
+    ++num_dropped_;
+    return false;
+  }
   auto insert_sorted = [](std::vector<NodeId>& nbrs, NodeId u) {
     auto at = std::lower_bound(nbrs.begin(), nbrs.end(), u);
     if (at != nbrs.end() && *at == u) return false;
@@ -42,9 +45,10 @@ void DeltaEdgeFilter::AddEdge(NodeId src, NodeId dst, RelationId rel) {
     return true;
   };
   auto& adj = extra_[rel];
-  const bool fresh = insert_sorted(adj[src], dst);
-  insert_sorted(adj[dst], src);
-  if (fresh) ++num_edges_;
+  const bool fresh_fwd = insert_sorted(adj[src], dst);
+  const bool fresh_rev = insert_sorted(adj[dst], src);
+  if (fresh_fwd || fresh_rev) ++num_edges_;
+  return true;
 }
 
 std::span<const NodeId> DeltaEdgeFilter::Excluded(NodeId v,
@@ -58,22 +62,57 @@ std::span<const NodeId> DeltaEdgeFilter::Excluded(NodeId v,
 TopKRecommender::TopKRecommender(const EmbeddingStore* store,
                                  const MultiplexHeteroGraph* graph,
                                  TopKOptions options,
-                                 const DeltaEdgeFilter* extra_filter)
+                                 const DeltaEdgeFilter* extra_filter,
+                                 const NormCarryover* carryover)
     : store_(store),
       graph_(graph),
       options_(options),
       extra_filter_(extra_filter) {
   if (!options_.cosine) return;
+  const size_t dim = store_->dim();
   row_norms_.resize(store_->num_relations());
+  std::vector<float> dequant(dim);
   for (RelationId r = 0; r < store_->num_relations(); ++r) {
     const size_t rows = store_->NumRows(r);
-    const size_t dim = store_->dim();
-    row_norms_[r].resize(rows);
-    const float* data = store_->Table(r).data();
+    auto& norms = row_norms_[r];
+    norms.resize(rows);
+    // Carried-forward norms for this relation, when the caller vouches for
+    // them. A row is reused iff the previous norms cover it and it is not
+    // on the dirty list; everything else (new rows, changed rows, missing
+    // carryover) is recomputed.
+    const std::vector<float>* prev = nullptr;
+    const std::vector<uint32_t>* dirty = nullptr;
+    if (carryover != nullptr && carryover->prev_norms != nullptr &&
+        r < carryover->prev_norms->size()) {
+      prev = &(*carryover->prev_norms)[r];
+      if (carryover->dirty_rows != nullptr &&
+          r < carryover->dirty_rows->size()) {
+        dirty = &(*carryover->dirty_rows)[r];
+      }
+    }
+    const float* data =
+        store_->dtype() == StoreDType::kF32 ? store_->Table(r).data() : nullptr;
+    size_t dirty_pos = 0;  // cursor into the ascending dirty list
     for (size_t i = 0; i < rows; ++i) {
-      const float* row = data + i * dim;
-      row_norms_[r][i] =
-          static_cast<float>(std::sqrt(DotDouble(row, row, dim)));
+      bool is_dirty = false;
+      if (dirty != nullptr) {
+        while (dirty_pos < dirty->size() && (*dirty)[dirty_pos] < i) {
+          ++dirty_pos;
+        }
+        is_dirty = dirty_pos < dirty->size() && (*dirty)[dirty_pos] == i;
+      }
+      if (prev != nullptr && i < prev->size() && !is_dirty) {
+        norms[i] = (*prev)[i];
+        continue;
+      }
+      const float* row;
+      if (data != nullptr) {
+        row = data + i * dim;
+      } else {
+        store_->DequantizeRow(r, static_cast<uint32_t>(i), dequant.data());
+        row = dequant.data();
+      }
+      norms[i] = static_cast<float>(std::sqrt(DotDouble(row, row, dim)));
     }
   }
 }
@@ -85,13 +124,33 @@ StatusOr<std::vector<Recommendation>> TopKRecommender::Recommend(
                                    std::to_string(q.rel));
   }
   if (q.k == 0) return Status::InvalidArgument("k must be > 0");
-  const float* query_row = store_->Lookup(q.node, q.rel);
-  if (query_row == nullptr) {
+  const size_t dim = store_->dim();
+  const StoreDType dtype = store_->dtype();
+  const uint32_t query_table_row = store_->RowOf(q.node, q.rel);
+  if (query_table_row == EmbeddingStore::kNoRow) {
     return Status::NotFound("node " + std::to_string(q.node) +
                             " has no embedding under relation '" +
                             store_->relation_name(q.rel) + "'");
   }
-  const size_t dim = store_->dim();
+  // The query side always scores as fp32: for quantized stores the row is
+  // dequantized once up front (the kernels only quantize the candidate
+  // side).
+  std::vector<float> query_buf;
+  const float* query_row;
+  if (dtype == StoreDType::kF32) {
+    query_row = store_->Table(q.rel).data() +
+                static_cast<size_t>(query_table_row) * dim;
+  } else {
+    query_buf.resize(dim);
+    store_->DequantizeRow(q.rel, query_table_row, query_buf.data());
+    query_row = query_buf.data();
+  }
+  // ScoreBlockI8 folds the per-row affine into the dot with one
+  // query-element sum, computed once per query.
+  double query_sum = 0.0;
+  if (dtype == StoreDType::kI8) {
+    for (size_t j = 0; j < dim; ++j) query_sum += query_row[j];
+  }
   double query_norm = 1.0;
   if (options_.cosine) {
     query_norm = std::sqrt(DotDouble(query_row, query_row, dim));
@@ -108,7 +167,28 @@ StatusOr<std::vector<Recommendation>> TopKRecommender::Recommend(
       extra_excluded = extra_filter_->Excluded(q.node, q.rel);  // sorted
     }
   }
-  const float* table = store_->Table(q.rel).data();
+  const float* table = store_->Table(q.rel).data();  // null when quantized
+  const uint8_t* qtable = store_->RawTable(q.rel).data();
+  const uint16_t* f16_table = reinterpret_cast<const uint16_t*>(qtable);
+  const float* scales = store_->RowScales(q.rel).data();
+  const float* zeros = store_->RowZeros(q.rel).data();
+  // Scores `count` consecutive table rows starting at `base` into `out`,
+  // through whichever kernel matches the store's dtype.
+  auto score_rows = [&](size_t base, size_t count, double* out) {
+    switch (dtype) {
+      case StoreDType::kF32:
+        kernels::ScoreBlock(query_row, table + base * dim, count, dim, out);
+        return;
+      case StoreDType::kF16:
+        kernels::ScoreBlockF16(query_row, f16_table + base * dim, count, dim,
+                               out);
+        return;
+      case StoreDType::kI8:
+        kernels::ScoreBlockI8(query_row, qtable + base * dim, scales + base,
+                              zeros + base, query_sum, count, dim, out);
+        return;
+    }
+  };
 
   // Bounded min-heap over the candidate scan. `heap` is kept as a vector
   // with std::push/pop_heap so the final extraction can sort in place.
@@ -159,9 +239,9 @@ StatusOr<std::vector<Recommendation>> TopKRecommender::Recommend(
     for (NodeId cand : graph_->NodesOfType(q.candidate_type)) {
       const uint32_t row = store_->RowOf(cand, q.rel);
       if (row == EmbeddingStore::kNoRow) continue;
-      consider(cand, row,
-               DotDouble(query_row, table + static_cast<size_t>(row) * dim,
-                         dim));
+      double s = 0.0;
+      score_rows(row, 1, &s);
+      consider(cand, row, s);
     }
   } else {
     // Dense scan: score contiguous blocks straight off the (64B-aligned,
@@ -172,7 +252,7 @@ StatusOr<std::vector<Recommendation>> TopKRecommender::Recommend(
     double scores[kScoreBlockRows];
     for (size_t base = 0; base < rows; base += kScoreBlockRows) {
       const size_t count = std::min(kScoreBlockRows, rows - base);
-      kernels::ScoreBlock(query_row, table + base * dim, count, dim, scores);
+      score_rows(base, count, scores);
       for (size_t i = 0; i < count; ++i) {
         const uint32_t row = static_cast<uint32_t>(base + i);
         consider(store_->RowNode(q.rel, row), row, scores[i]);

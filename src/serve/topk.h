@@ -59,19 +59,44 @@ class DeltaEdgeFilter {
   explicit DeltaEdgeFilter(size_t num_relations) : extra_(num_relations) {}
 
   /// Registers an undirected (src, dst) exclusion under `rel`; both
-  /// directions become invisible to Recommend. Out-of-range relations are
-  /// ignored (the store may know fewer relations than the stream).
-  void AddEdge(NodeId src, NodeId dst, RelationId rel);
+  /// directions become invisible to Recommend. Returns true when the edge
+  /// was recorded. A `rel` beyond the filter's relation space cannot be
+  /// honored — the edge is counted in num_dropped() and false comes back,
+  /// so callers can surface the mismatch instead of silently losing the
+  /// exclusion. An edge is new if either direction was absent (the two
+  /// directions can disagree after a self-loop or a partial earlier
+  /// insert), so counting keys off both inserts.
+  bool AddEdge(NodeId src, NodeId dst, RelationId rel);
 
   /// Sorted extra exclusions of (v, r); empty when none.
   std::span<const NodeId> Excluded(NodeId v, RelationId r) const;
 
   bool empty() const { return num_edges_ == 0; }
   size_t num_edges() const { return num_edges_; }
+  /// Edges rejected by AddEdge because their relation id was out of range.
+  size_t num_dropped() const { return num_dropped_; }
 
  private:
   std::vector<std::unordered_map<NodeId, std::vector<NodeId>>> extra_;
   size_t num_edges_ = 0;
+  size_t num_dropped_ = 0;
+};
+
+/// Cosine-norm carry-forward across store republishes. Recomputing every
+/// row norm on a LiveEmbeddingStore::Publish is O(rows * dim) even when a
+/// refresh touched a handful of rows; this hands the previous recommender's
+/// norms plus the set of rows that actually changed to the next
+/// recommender, which then recomputes only the changed rows. Both spans
+/// borrow from the previous Version, which the publisher keeps alive for
+/// the duration of construction.
+struct NormCarryover {
+  /// Per-relation norms of the previous recommender (its row_norms()).
+  const std::vector<std::vector<float>>* prev_norms = nullptr;
+  /// Per-relation ascending-sorted row indices whose embeddings changed
+  /// since prev_norms was computed. Rows beyond a relation's previous norm
+  /// count are always recomputed (they are new), so append-only growth
+  /// needs no dirty entries. A null pointer means "no rows changed".
+  const std::vector<std::vector<uint32_t>>* dirty_rows = nullptr;
 };
 
 /// Brute-force dot-product top-K over a frozen EmbeddingStore: for each
@@ -79,6 +104,11 @@ class DeltaEdgeFilter {
 /// min-heap (O(rows * dim + rows * log k), no full sort, no per-candidate
 /// allocation). Query batches fan out across a thread pool. Stateless apart
 /// from precomputed norms, so one instance serves any number of threads.
+///
+/// Quantized stores (fp16/int8) are scanned in place by the
+/// dequant-and-score kernels; queries, cosine norms, and the scattered
+/// type-filtered path all go through the same dequantization the kernels
+/// apply, so scores are consistent however a row is reached.
 ///
 /// Ordering is deterministic: descending score, ties broken by ascending
 /// node id — the same rule the offline evaluator uses.
@@ -88,9 +118,13 @@ class TopKRecommender {
   /// exclusion; it must outlive the recommender, as must `store`.
   /// `extra_filter` (optional) adds post-checkpoint exclusions (streamed
   /// delta edges) on top of the graph filter; same lifetime contract.
+  /// `carryover` (optional, cosine mode only) reuses the previous
+  /// recommender's row norms for rows it declares untouched; it only needs
+  /// to live through the constructor.
   TopKRecommender(const EmbeddingStore* store,
                   const MultiplexHeteroGraph* graph, TopKOptions options,
-                  const DeltaEdgeFilter* extra_filter = nullptr);
+                  const DeltaEdgeFilter* extra_filter = nullptr,
+                  const NormCarryover* carryover = nullptr);
 
   /// Answers one query.
   StatusOr<std::vector<Recommendation>> Recommend(const TopKQuery& q) const;
@@ -102,6 +136,13 @@ class TopKRecommender {
       std::span<const TopKQuery> queries, ThreadPool* pool = nullptr) const;
 
   const EmbeddingStore& store() const { return *store_; }
+
+  /// Per-relation, per-row candidate L2 norms (empty unless cosine mode).
+  /// Feed these back through NormCarryover when rebuilding against a
+  /// republished store.
+  const std::vector<std::vector<float>>& row_norms() const {
+    return row_norms_;
+  }
 
  private:
   const EmbeddingStore* store_;
@@ -126,6 +167,11 @@ class RecommenderSource {
     /// Lifetime anchor for `recommender`; may be null for static sources.
     std::shared_ptr<const void> pin;
     const TopKRecommender* recommender = nullptr;
+    /// Monotonic identity of the pinned snapshot (a publish sequence for
+    /// live sources, 0 for static ones). Two acquires with equal versions
+    /// from one source see identical tables and filters — the serving
+    /// tier's cache-invalidation key.
+    uint64_t version = 0;
   };
 
   virtual Pinned AcquireRecommender() const = 0;

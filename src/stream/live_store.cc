@@ -42,6 +42,9 @@ float* LiveEmbeddingStore::MutableRow(RelationId r, NodeId v) {
   if (r >= staging_.size()) return nullptr;
   const uint32_t row = RowOf(r, v);
   if (row == EmbeddingStore::kNoRow) return nullptr;
+  // Handing out a mutable pointer taints the row for the next publish's
+  // norm carry-forward, whether or not the caller ends up writing.
+  staging_[r].touched_rows.push_back(row);
   return staging_[r].data.data() + static_cast<size_t>(row) * dim_;
 }
 
@@ -69,6 +72,7 @@ StatusOr<LiveEmbeddingStore::EnsureResult> LiveEmbeddingStore::EnsureRow(
   t.row_to_node.push_back(v);
   t.node_to_row[v] = row;
   t.data.resize(t.data.size() + dim_, 0.0f);
+  t.touched_rows.push_back(row);
   return EnsureResult{row, true};
 }
 
@@ -95,12 +99,42 @@ Status LiveEmbeddingStore::Publish(const DynamicGraphOverlay* overlay) {
   auto version = std::make_shared<Version>(next_sequence_, std::move(store));
   version->filter = std::make_unique<DeltaEdgeFilter>(staging_.size());
   if (overlay != nullptr) {
+    size_t dropped = 0;
     for (const EdgeTriple& e : overlay->delta_edges()) {
-      version->filter->AddEdge(e.src, e.dst, e.rel);
+      if (!version->filter->AddEdge(e.src, e.dst, e.rel)) ++dropped;
+    }
+    if (dropped > 0) {
+      obs::GlobalRegistry()
+          .GetCounter("stream/filter_edges_dropped")
+          .Add(static_cast<double>(dropped));
     }
   }
+  // Carry the outgoing snapshot's cosine norms into the new recommender,
+  // recomputing only the rows the writer touched since the last publish.
+  // Holding `prev` (the shared_ptr) keeps the borrowed norms alive through
+  // construction; the first publish has nothing to carry.
+  std::shared_ptr<const Version> prev = Acquire();
+  std::vector<std::vector<uint32_t>> dirty;
+  NormCarryover carryover;
+  const NormCarryover* carry_arg = nullptr;
+  if (options_.cosine && prev != nullptr && prev->recommender != nullptr) {
+    dirty.reserve(staging_.size());
+    for (StagingTable& t : staging_) {
+      std::sort(t.touched_rows.begin(), t.touched_rows.end());
+      t.touched_rows.erase(
+          std::unique(t.touched_rows.begin(), t.touched_rows.end()),
+          t.touched_rows.end());
+      dirty.push_back(std::move(t.touched_rows));
+      t.touched_rows.clear();
+    }
+    carryover.prev_norms = &prev->recommender->row_norms();
+    carryover.dirty_rows = &dirty;
+    carry_arg = &carryover;
+  } else {
+    for (StagingTable& t : staging_) t.touched_rows.clear();
+  }
   version->recommender = std::make_unique<TopKRecommender>(
-      &version->store, graph_, options_, version->filter.get());
+      &version->store, graph_, options_, version->filter.get(), carry_arg);
   {
     std::lock_guard<std::mutex> lock(mu_);
     front_ = std::move(version);  // old snapshot retires with its last reader
@@ -123,6 +157,7 @@ RecommenderSource::Pinned LiveEmbeddingStore::AcquireRecommender() const {
   auto version = Acquire();
   Pinned pinned;
   pinned.recommender = version->recommender.get();
+  pinned.version = version->sequence;
   pinned.pin = std::move(version);
   return pinned;
 }

@@ -85,6 +85,11 @@ class LiveEmbeddingStore : public RecommenderSource {
   /// exclusion-filter rebuild. Cost is one copy of the staging tables; the
   /// swap itself is a pointer exchange, so in-flight readers are never
   /// stalled and keep their acquired snapshot until they drop it.
+  ///
+  /// In cosine mode the new recommender's row norms are carried forward
+  /// from the outgoing snapshot for every row the writer did not touch
+  /// since the last publish (MutableRow / EnsureRow track the touched set),
+  /// so norm maintenance costs O(touched * dim) instead of O(rows * dim).
   Status Publish(const DynamicGraphOverlay* overlay);
 
   // --- reader side (any thread) ---
@@ -128,6 +133,10 @@ class LiveEmbeddingStore : public RecommenderSource {
     std::vector<NodeId> row_to_node;
     std::vector<uint32_t> node_to_row;  // node -> row or kNoRow
     std::vector<float> data;            // rows * dim
+    /// Rows handed out via MutableRow (or appended) since the last
+    /// publish: unsorted, possibly with duplicates; sorted + deduped into
+    /// the NormCarryover dirty list at Publish, then cleared.
+    std::vector<uint32_t> touched_rows;
   };
 
   LiveEmbeddingStore() = default;

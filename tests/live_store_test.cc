@@ -197,6 +197,64 @@ TEST(LiveStoreTest, ServiceOnLiveSourceSeesPublishes) {
   EXPECT_FALSE(contains(7));
 }
 
+TEST(LiveStoreTest, CosineNormCarryForwardMatchesFullRecompute) {
+  // The O(touched * dim) norm maintenance on Publish must be invisible:
+  // every published recommender's row_norms() has to equal (exactly, float
+  // for float) what a from-scratch recommender computes over the same
+  // published tables. Exercises all three carry paths — touched rows
+  // (recomputed), untouched rows (carried), appended rows (beyond the
+  // previous norm vector, always recomputed).
+  MultiplexHeteroGraph g = MakeGraph();
+  EmbeddingStore store = MakeStore(g, 12, 77);
+  TopKOptions options;
+  options.num_threads = 1;
+  options.cosine = true;
+  auto live = LiveEmbeddingStore::Create(store, &g, options);
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
+
+  auto expect_norms_match_recompute = [&](const char* round) {
+    auto version = (*live)->Acquire();
+    ASSERT_NE(version->recommender, nullptr) << round;
+    TopKRecommender fresh(&version->store, &g, options);
+    const auto& carried = version->recommender->row_norms();
+    const auto& computed = fresh.row_norms();
+    ASSERT_EQ(carried.size(), computed.size()) << round;
+    for (size_t r = 0; r < carried.size(); ++r) {
+      ASSERT_EQ(carried[r].size(), computed[r].size())
+          << round << " relation " << r;
+      for (size_t i = 0; i < carried[r].size(); ++i) {
+        EXPECT_EQ(carried[r][i], computed[r][i])
+            << round << " relation " << r << " row " << i;
+      }
+    }
+  };
+
+  // Round 1: rescale one row, append and fill a row for a streamed-in node.
+  float* touched = (*live)->MutableRow(0, 2);
+  ASSERT_NE(touched, nullptr);
+  for (size_t j = 0; j < (*live)->dim(); ++j) touched[j] *= 3.0f;
+  auto ensured = (*live)->EnsureRow(0, 42);
+  ASSERT_TRUE(ensured.ok()) << ensured.status().ToString();
+  float* appended = (*live)->MutableRow(0, 42);
+  ASSERT_NE(appended, nullptr);
+  for (size_t j = 0; j < (*live)->dim(); ++j) {
+    appended[j] = 0.25f * static_cast<float>(j + 1);
+  }
+  ASSERT_TRUE((*live)->Publish(nullptr).ok());
+  expect_norms_match_recompute("round 1 (touch + append)");
+
+  // Round 2: publish with nothing touched — every norm is carried.
+  ASSERT_TRUE((*live)->Publish(nullptr).ok());
+  expect_norms_match_recompute("round 2 (no-op publish)");
+
+  // Round 3: dirty a row under the *other* relation only.
+  float* buy_row = (*live)->MutableRow(1, 5);
+  ASSERT_NE(buy_row, nullptr);
+  for (size_t j = 0; j < (*live)->dim(); ++j) buy_row[j] = -buy_row[j];
+  ASSERT_TRUE((*live)->Publish(nullptr).ok());
+  expect_norms_match_recompute("round 3 (second relation)");
+}
+
 TEST(LiveStoreTest, ConcurrentIngestAndServingAgree) {
   MultiplexHeteroGraph g = MakeGraph();
   EmbeddingStore store = MakeStore(g, 16, 11);

@@ -17,6 +17,7 @@
 #include "serve/embedding_store.h"
 #include "serve/service.h"
 #include "serve/topk.h"
+#include "stream/live_store.h"
 #include "tensor/tensor.h"
 
 namespace hybridgnn {
@@ -152,6 +153,223 @@ TEST(ServiceStressTest, ShutdownUnderLoadFulfillsEveryFuture) {
     }
   }
   EXPECT_EQ(futures.size(), kProducers * kPerProducer);
+}
+
+TEST(ServiceAdmissionTest, ShedsAtQueueCapWithResourceExhausted) {
+  EmbeddingStore store = MakeStore(80, 8, 41);
+  TopKRecommender rec(&store, nullptr, TopKOptions{});
+  ServiceOptions options;
+  options.num_threads = 1;
+  options.batch_window_ms = 50.0;  // hold the window open: queue builds up
+  options.max_batch_size = 64;
+  options.max_queue_depth = 4;
+  RecommendService service(&rec, options);
+
+  constexpr size_t kSubmits = 30;
+  std::vector<std::future<RecommendResponse>> futures;
+  futures.reserve(kSubmits);
+  for (size_t i = 0; i < kSubmits; ++i) {
+    TopKQuery q;
+    q.node = static_cast<NodeId>(i % 80);
+    q.rel = 0;
+    q.k = 3;
+    futures.push_back(service.Submit(q));
+  }
+  size_t shed = 0, answered = 0;
+  for (auto& f : futures) {
+    RecommendResponse resp = f.get();
+    if (resp.status.code() == StatusCode::kResourceExhausted) {
+      ++shed;
+      EXPECT_TRUE(resp.items.empty());
+    } else {
+      EXPECT_TRUE(resp.status.ok()) << resp.status.ToString();
+      ++answered;
+    }
+  }
+  // 30 rapid submits against a 4-deep queue and a 50ms window must shed.
+  EXPECT_GT(shed, 0u);
+  EXPECT_EQ(shed + answered, kSubmits);
+  MetricsSnapshot snap = service.metrics();
+  EXPECT_EQ(snap.shed, shed);
+  // Sheds never enter the request count or the latency histogram.
+  EXPECT_EQ(snap.requests, answered);
+}
+
+TEST(ServiceAdmissionTest, ExpiredDeadlinesResolveWithoutScoring) {
+  EmbeddingStore store = MakeStore(50, 8, 42);
+  TopKRecommender rec(&store, nullptr, TopKOptions{});
+  ServiceOptions options;
+  options.num_threads = 1;
+  options.batch_window_ms = 60.0;  // every deadline below expires in-queue
+  options.max_batch_size = 64;
+  RecommendService service(&rec, options);
+
+  TopKQuery q;
+  q.node = 7;
+  q.rel = 0;
+  q.k = 5;
+  std::vector<std::future<RecommendResponse>> doomed;
+  for (int i = 0; i < 4; ++i) {
+    doomed.push_back(service.Submit(q, /*deadline_ms=*/5.0));
+  }
+  auto alive = service.Submit(q);  // no deadline: must be answered
+  for (auto& f : doomed) {
+    RecommendResponse resp = f.get();
+    EXPECT_EQ(resp.status.code(), StatusCode::kDeadlineExceeded)
+        << resp.status.ToString();
+    EXPECT_TRUE(resp.items.empty());
+  }
+  RecommendResponse ok = alive.get();
+  EXPECT_TRUE(ok.status.ok()) << ok.status.ToString();
+  EXPECT_EQ(ok.items.size(), 5u);
+  MetricsSnapshot snap = service.metrics();
+  EXPECT_EQ(snap.deadline_exceeded, 4u);
+  EXPECT_EQ(snap.errors, 4u);
+  // The latency split satellites: both histograms saw traffic.
+  EXPECT_GT(snap.queue_wait_p99_ms, 0.0);
+  EXPECT_GT(snap.batch_service_p99_ms, 0.0);
+}
+
+TEST(ServiceAdmissionTest, WarmCacheServesRepeatsAndCountsHits) {
+  EmbeddingStore store = MakeStore(90, 8, 43);
+  TopKRecommender rec(&store, nullptr, TopKOptions{});
+  ServiceOptions options;
+  options.num_threads = 1;
+  options.batch_window_ms = 0.0;
+  options.result_cache_capacity = 8;
+  RecommendService service(&rec, options);
+
+  TopKQuery q;
+  q.node = 11;
+  q.rel = 0;
+  q.k = 6;
+  auto direct = rec.Recommend(q);
+  ASSERT_TRUE(direct.ok());
+  for (int round = 0; round < 3; ++round) {
+    RecommendResponse resp = service.Call(q);
+    ASSERT_TRUE(resp.status.ok()) << resp.status.ToString();
+    ASSERT_EQ(resp.items.size(), direct->size());
+    for (size_t j = 0; j < resp.items.size(); ++j) {
+      EXPECT_EQ(resp.items[j].node, (*direct)[j].node);
+      EXPECT_EQ(resp.items[j].score, (*direct)[j].score);
+    }
+  }
+  MetricsSnapshot snap = service.metrics();
+  EXPECT_EQ(snap.cache_misses, 1u);
+  EXPECT_EQ(snap.cache_hits, 2u);
+  // A different k is a different cache entry.
+  q.k = 3;
+  EXPECT_TRUE(service.Call(q).status.ok());
+  snap = service.metrics();
+  EXPECT_EQ(snap.cache_misses, 2u);
+}
+
+TEST(ServiceAdmissionTest, CacheInvalidatesOnLivePublish) {
+  EmbeddingStore seed = MakeStore(70, 8, 44);
+  auto live = LiveEmbeddingStore::Create(seed, nullptr, TopKOptions{});
+  ASSERT_TRUE(live.ok());
+  ServiceOptions options;
+  options.num_threads = 1;
+  options.batch_window_ms = 0.0;
+  options.result_cache_capacity = 8;
+  RecommendService service(live->get(), options);
+
+  TopKQuery q;
+  q.node = 5;
+  q.rel = 0;
+  q.k = 4;
+  EXPECT_TRUE(service.Call(q).status.ok());  // miss, fills cache
+  EXPECT_TRUE(service.Call(q).status.ok());  // hit
+  MetricsSnapshot snap = service.metrics();
+  EXPECT_EQ(snap.cache_hits, 1u);
+  EXPECT_EQ(snap.cache_misses, 1u);
+  // Mutate an embedding and publish: the version key changes, so the old
+  // entry is unreachable and the fresh result reflects the new tables.
+  float* row = (*live)->MutableRow(0, 5);
+  ASSERT_NE(row, nullptr);
+  for (size_t j = 0; j < (*live)->dim(); ++j) row[j] = -row[j];
+  ASSERT_TRUE((*live)->Publish(nullptr).ok());
+  EXPECT_TRUE(service.Call(q).status.ok());
+  snap = service.metrics();
+  EXPECT_EQ(snap.cache_hits, 1u);
+  EXPECT_EQ(snap.cache_misses, 2u);
+}
+
+TEST(ServiceShutdownRaceTest, ShutdownRacesOpenBatchWindow) {
+  // A request sitting in a long batch window must be drained — not
+  // abandoned, not stuck for the full window — when Shutdown lands
+  // mid-window.
+  EmbeddingStore store = MakeStore(40, 8, 45);
+  TopKRecommender rec(&store, nullptr, TopKOptions{});
+  ServiceOptions options;
+  options.num_threads = 1;
+  options.batch_window_ms = 5000.0;  // way past test patience: must not wait
+  options.max_batch_size = 64;
+  RecommendService service(&rec, options);
+  TopKQuery q;
+  q.node = 3;
+  q.rel = 0;
+  q.k = 2;
+  auto f = service.Submit(q);
+  service.Shutdown();
+  RecommendResponse resp = f.get();
+  EXPECT_TRUE(resp.status.ok()) << resp.status.ToString();
+  EXPECT_EQ(resp.items.size(), 2u);
+}
+
+TEST(ServiceShutdownRaceTest, ConcurrentSubmitAndShutdown) {
+  // Submits racing Shutdown (with shedding enabled and Shutdown called from
+  // two threads at once) must leave every future resolved with one of the
+  // three documented statuses. TSan runs this too (scripts/tsan_check.sh).
+  EmbeddingStore store = MakeStore(60, 8, 46);
+  TopKRecommender rec(&store, nullptr, TopKOptions{});
+  ServiceOptions options;
+  options.num_threads = 2;
+  options.batch_window_ms = 0.5;
+  options.max_batch_size = 8;
+  options.max_queue_depth = 16;
+  RecommendService service(&rec, options);
+
+  constexpr size_t kProducers = 6;
+  constexpr size_t kPerProducer = 50;
+  std::mutex mu;
+  std::vector<std::future<RecommendResponse>> futures;
+  std::vector<std::thread> threads;
+  for (size_t p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      Rng rng(600 + p);
+      for (size_t i = 0; i < kPerProducer; ++i) {
+        TopKQuery q;
+        q.node = static_cast<NodeId>(rng.UniformUint64(60));
+        q.rel = 0;
+        q.k = 3;
+        auto f = service.Submit(q);
+        std::lock_guard<std::mutex> lock(mu);
+        futures.push_back(std::move(f));
+      }
+    });
+  }
+  // Two shutdown threads, both mid-submit-storm: Shutdown is idempotent
+  // and must be safe to race with itself.
+  threads.emplace_back([&] { service.Shutdown(); });
+  threads.emplace_back([&] { service.Shutdown(); });
+  for (auto& t : threads) t.join();
+
+  size_t ok = 0, rejected = 0, shed = 0;
+  for (auto& f : futures) {
+    RecommendResponse resp = f.get();
+    if (resp.status.ok()) {
+      EXPECT_EQ(resp.items.size(), 3u);
+      ++ok;
+    } else if (resp.status.code() == StatusCode::kResourceExhausted) {
+      ++shed;
+    } else {
+      EXPECT_EQ(resp.status.code(), StatusCode::kFailedPrecondition)
+          << resp.status.ToString();
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(ok + rejected + shed, kProducers * kPerProducer);
 }
 
 }  // namespace

@@ -16,6 +16,7 @@
 #include "common/rng.h"
 #include "eval/metrics.h"
 #include "serve/embedding_store.h"
+#include "serve/topk.h"
 #include "stream/delta_log.h"
 #include "stream/live_store.h"
 #include "stream/overlay.h"
@@ -256,6 +257,48 @@ TEST(DeltaLogTest, ValidateDeltasCatchesStructuralViolations) {
     EXPECT_NE(st.message().find(c.expect), std::string::npos)
         << st.ToString();
   }
+}
+
+// -------------------------------------------------------------- edge filter
+
+TEST(DeltaEdgeFilterTest, OutOfRangeRelationIsDroppedAndReported) {
+  DeltaEdgeFilter filter(2);
+  EXPECT_TRUE(filter.AddEdge(0, 6, 0));
+  EXPECT_EQ(filter.num_edges(), 1u);
+
+  // A relation id at or past the filter's relation space cannot be honored.
+  // Regression: this used to index past extra_ instead of refusing; now the
+  // edge is rejected, counted, and the filter state is left untouched.
+  EXPECT_FALSE(filter.AddEdge(0, 7, 2));
+  EXPECT_FALSE(filter.AddEdge(1, 8, 99));
+  EXPECT_EQ(filter.num_dropped(), 2u);
+  EXPECT_EQ(filter.num_edges(), 1u);
+  EXPECT_TRUE(filter.Excluded(0, 1).empty());
+  EXPECT_TRUE(filter.Excluded(1, 1).empty());
+
+  // The accepted edge is visible from both endpoints.
+  ASSERT_EQ(filter.Excluded(0, 0).size(), 1u);
+  EXPECT_EQ(filter.Excluded(0, 0)[0], 6u);
+  ASSERT_EQ(filter.Excluded(6, 0).size(), 1u);
+  EXPECT_EQ(filter.Excluded(6, 0)[0], 0u);
+}
+
+TEST(DeltaEdgeFilterTest, CountsEdgesSymmetrically) {
+  DeltaEdgeFilter filter(1);
+  // A duplicate insert is still a success (the exclusion holds) but must
+  // not inflate num_edges.
+  EXPECT_TRUE(filter.AddEdge(0, 6, 0));
+  EXPECT_TRUE(filter.AddEdge(0, 6, 0));
+  EXPECT_EQ(filter.num_edges(), 1u);
+  // The reverse direction of an existing edge is the same edge.
+  EXPECT_TRUE(filter.AddEdge(6, 0, 0));
+  EXPECT_EQ(filter.num_edges(), 1u);
+  // A self-loop inserts one adjacency entry yet counts as one edge.
+  EXPECT_TRUE(filter.AddEdge(3, 3, 0));
+  EXPECT_EQ(filter.num_edges(), 2u);
+  ASSERT_EQ(filter.Excluded(3, 0).size(), 1u);
+  EXPECT_EQ(filter.Excluded(3, 0)[0], 3u);
+  EXPECT_EQ(filter.num_dropped(), 0u);
 }
 
 // ------------------------------------------------------------------ overlay
