@@ -7,6 +7,7 @@
 #include "common/logging.h"
 #include "common/parallel.h"
 #include "nn/sparse.h"
+#include "plan/plan.h"
 #include "sampling/negative_sampler.h"
 #include "sampling/neighbor_sampler.h"
 #include "sampling/sgns.h"
@@ -15,23 +16,26 @@
 
 namespace hybridgnn {
 
-ag::Var Gatne::ForwardNode(const MultiplexHeteroGraph& g, NodeId v,
-                           Rng& rng) const {
+void Gatne::SampleNode(const MultiplexHeteroGraph& g, NodeId v, Rng& rng,
+                       MinibatchFrontier* out) const {
+  BuildRelationFrontier(g, v, options_.fanout, rng, out);
+  // The edge table keys rows as node * R + relation; remap each segment's
+  // raw NodeIds in place.
+  for (RelationId r = 0; r < num_relations_; ++r) {
+    for (size_t i = out->indptr[r]; i < out->indptr[r + 1]; ++i) {
+      out->indices[i] = static_cast<int32_t>(
+          static_cast<size_t>(out->indices[i]) * num_relations_ + r);
+    }
+  }
+}
+
+ag::Var Gatne::ForwardNodeFrontier(NodeId v,
+                                   const MinibatchFrontier& frontier) const {
   // U_v: per-relation aggregated edge embeddings (mean over sampled direct
   // neighbors' edge embeddings under that relation; own embedding when
   // isolated). One frontier with a segment per relation replaces the
   // per-relation gather+mean walk: a single fused gather of the flat index
   // list, then one segment mean straight to the [R, edge] stack.
-  static thread_local MinibatchFrontier frontier;
-  BuildRelationFrontier(g, v, options_.fanout, rng, &frontier);
-  // The edge table keys rows as node * R + relation; remap each segment's
-  // raw NodeIds in place.
-  for (RelationId r = 0; r < num_relations_; ++r) {
-    for (size_t i = frontier.indptr[r]; i < frontier.indptr[r + 1]; ++i) {
-      frontier.indices[i] = static_cast<int32_t>(
-          static_cast<size_t>(frontier.indices[i]) * num_relations_ + r);
-    }
-  }
   ag::Var block = GatherRowsSegmented(edge_embed_->table(), frontier);
   ag::Var u_stack = SegmentMean(block, frontier);  // [R, edge]
 
@@ -53,6 +57,13 @@ ag::Var Gatne::ForwardNode(const MultiplexHeteroGraph& g, NodeId v,
     local = ag::Scale(local, options_.local_scale);
   }
   return ag::AddRowBroadcast(local, base_row);  // [R, base]
+}
+
+ag::Var Gatne::ForwardNode(const MultiplexHeteroGraph& g, NodeId v,
+                           Rng& rng) const {
+  static thread_local MinibatchFrontier frontier;
+  SampleNode(g, v, rng, &frontier);
+  return ForwardNodeFrontier(v, frontier);
 }
 
 Status Gatne::Fit(const MultiplexHeteroGraph& g, const FitOptions& options) {
@@ -203,6 +214,22 @@ Status Gatne::Fit(const MultiplexHeteroGraph& g, const FitOptions& options) {
   std::vector<Tensor> best_snapshot = snapshot();
   size_t bad_epochs = 0;
   const size_t edge_batch = std::max<size_t>(16, options_.batch_size / 2);
+
+  // Compiled execution plans (src/plan): each distinct node-frontier
+  // structure is traced once (the recording build runs eagerly), and every
+  // later node with the same segment layout replays the plan with zero
+  // graph construction. BuildRelationFrontier always emits exactly-fanout
+  // segments, so in practice one plan serves every node after the first.
+  // Replays are bitwise identical to eager, so the flag never changes
+  // results.
+  const bool use_plan = plan::Enabled(options.compile_plan);
+  plan::PlanCache plan_cache;
+  plan::PassOptions plan_pass_opts;
+  if (freeze_tables) {
+    plan_pass_opts.frozen.insert(base_->table().get());
+    plan_pass_opts.frozen.insert(context_->table().get());
+  }
+
   for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
     rng.Shuffle(order);
     const size_t use = options_.max_pairs_per_epoch == 0
@@ -212,41 +239,113 @@ Status Gatne::Fit(const MultiplexHeteroGraph& g, const FitOptions& options) {
     for (size_t start = 0; start < use; start += edge_batch) {
       const size_t end = std::min(use, start + edge_batch);
       // Tape before Vars; thread-local scratch reused across batches (see
-      // HybridGnn::Fit for the pattern).
+      // HybridGnn::Fit for the pattern, including the sample/build split).
       ag::TapeScope tape;
-      static thread_local std::vector<std::pair<NodeId, ag::Var>> node_vars;
-      static thread_local std::vector<ag::Var> lhs, rhs;
+      struct BatchRow {
+        int lhs;
+        int rhs;
+        RelationId rel;
+        float label;
+      };
+      static thread_local std::vector<NodeId> node_ids;
+      static thread_local std::vector<MinibatchFrontier> sketches;
+      static thread_local std::vector<BatchRow> brows;
       static thread_local std::vector<float> labels;
-      auto node_var = [&](NodeId v) -> const ag::Var& {
-        for (const auto& [id, var] : node_vars) {
-          if (id == v) return var;
+      node_ids.clear();
+      brows.clear();
+      labels.clear();
+      // Phase 1 — sample, consuming the RNG stream in exactly the order the
+      // fused sample+build loop consumed it. Frontier slots beyond the
+      // current batch's node count keep their buffers for reuse.
+      auto node_ord = [&](NodeId v) -> int {
+        for (size_t i = 0; i < node_ids.size(); ++i) {
+          if (node_ids[i] == v) return static_cast<int>(i);
         }
-        node_vars.emplace_back(v, ForwardNode(g, v, rng));
-        return node_vars.back().second;
+        node_ids.push_back(v);
+        if (sketches.size() < node_ids.size()) sketches.emplace_back();
+        SampleNode(g, v, rng, &sketches[node_ids.size() - 1]);
+        return static_cast<int>(node_ids.size()) - 1;
       };
       for (size_t i = start; i < end; ++i) {
         const EdgeTriple& e = train_edges[order[i]];
-        lhs.push_back(ag::SliceRows(node_var(e.src), e.rel, 1));
-        rhs.push_back(ag::SliceRows(node_var(e.dst), e.rel, 1));
-        labels.push_back(1.0f);
+        const int src_ord = node_ord(e.src);
+        const int dst_ord = node_ord(e.dst);
+        brows.push_back(BatchRow{src_ord, dst_ord, e.rel, 1.0f});
         for (size_t n = 0; n < options_.num_negatives; ++n) {
           NodeId x = neg_sampler.SampleRelationAware(
               e.src, e.dst, e.rel, options_.cross_negative_fraction, rng);
-          lhs.push_back(ag::SliceRows(node_var(e.src), e.rel, 1));
-          rhs.push_back(ag::SliceRows(node_var(x), e.rel, 1));
-          labels.push_back(0.0f);
+          brows.push_back(BatchRow{src_ord, node_ord(x), e.rel, 0.0f});
         }
       }
-      {
+      for (const BatchRow& row : brows) labels.push_back(row.label);
+
+      // Phase 2 — build the step graph. Node frontier graphs are built
+      // lazily at first use; with plans on, each distinct segment layout is
+      // traced once and replayed thereafter (per node: gather indices,
+      // indptr twice, base row id bound per replay). The cheap per-row loss
+      // assembly stays eager.
+      auto node_key = [](const MinibatchFrontier& f) {
+        uint64_t key = 0xcbf29ce484222325ull;
+        for (size_t p : f.indptr) plan::HashCombine(&key, p);
+        return key;
+      };
+      auto replay_node = [&](int ord, plan::CompiledStep& step) -> ag::Var {
+        static thread_local std::vector<int32_t> base_id;
+        const MinibatchFrontier& f = sketches[ord];
+        plan::StepInputs in;
+        in.i32.push_back(f.indices);  // GatherRowsSegmented indices
+        in.szs.push_back(f.indptr);   // ... and its indptr
+        in.szs.push_back(f.indptr);   // SegmentMean indptr
+        base_id.assign(1, static_cast<int32_t>(node_ids[ord]));
+        in.i32.push_back(base_id);  // base-table gather
+        return step.ReplayTrain(in);
+      };
+      auto build_loss = [&]() -> ag::Var {
+        static thread_local std::vector<ag::Var> built;
+        static thread_local std::vector<ag::Var> lhs, rhs;
+        built.assign(node_ids.size(), nullptr);
+        auto node_var = [&](int ord) -> const ag::Var& {
+          ag::Var& slot = built[ord];
+          if (slot == nullptr) {
+            if (!use_plan) {
+              slot = ForwardNodeFrontier(node_ids[ord], sketches[ord]);
+            } else {
+              plan::PlanCache::Entry& ent =
+                  plan_cache.Slot(node_key(sketches[ord]));
+              if (ent.step != nullptr) {
+                slot = replay_node(ord, *ent.step);
+              } else if (ent.poisoned) {
+                slot = ForwardNodeFrontier(node_ids[ord], sketches[ord]);
+              } else {
+                // First sighting of this segment layout: record the eager
+                // build, which then participates in the batch graph as-is.
+                plan::Recorder rec;
+                ag::Var v = ForwardNodeFrontier(node_ids[ord], sketches[ord]);
+                ent.step = rec.Finalize(v, plan_pass_opts);
+                ent.poisoned = (ent.step == nullptr);
+                slot = std::move(v);
+              }
+            }
+          }
+          return slot;
+        };
+        for (const BatchRow& row : brows) {
+          lhs.push_back(ag::SliceRows(node_var(row.lhs), row.rel, 1));
+          rhs.push_back(ag::SliceRows(node_var(row.rhs), row.rel, 1));
+        }
         ag::Var logits =
             ag::RowwiseDot(ag::ConcatRows(lhs), ag::ConcatRows(rhs));
         ag::Var loss = ag::BceWithLogits(logits, labels);
+        built.clear();
+        lhs.clear();
+        rhs.clear();
+        return loss;
+      };
+
+      {
+        ag::Var loss = build_loss();
         ag::Backward(loss);
       }
-      node_vars.clear();
-      lhs.clear();
-      rhs.clear();
-      labels.clear();
       optimizer.Step();
       optimizer.ZeroGrad();
     }

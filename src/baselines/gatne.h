@@ -7,6 +7,7 @@
 
 #include "common/rng.h"
 #include "eval/embedding_model.h"
+#include "graph/frontier.h"
 #include "graph/metapath.h"
 #include "nn/embedding.h"
 #include "nn/linear.h"
@@ -67,6 +68,18 @@ class Gatne : public EmbeddingModel {
       const override;
 
  private:
+  /// Samples v's per-relation neighbor frontier (all the randomness
+  /// ForwardNode consumes) and remaps its indices into edge-table rows.
+  /// Split from graph construction so the compiled-plan path
+  /// (FitOptions{compile_plan}) can hash the sampled structure and replay a
+  /// recorded step instead of rebuilding the graph.
+  void SampleNode(const MultiplexHeteroGraph& g, NodeId v, Rng& rng,
+                  MinibatchFrontier* out) const;
+
+  /// Builds the e_{v,r} graph from a sampled frontier: [R, base_dim].
+  /// Consumes no randomness; ForwardNode == SampleNode + this.
+  ag::Var ForwardNodeFrontier(NodeId v, const MinibatchFrontier& f) const;
+
   /// e_{v,r} rows for all relations at once: [R, base_dim].
   ag::Var ForwardNode(const MultiplexHeteroGraph& g, NodeId v, Rng& rng) const;
 

@@ -11,6 +11,7 @@
 #include "common/threadpool.h"
 #include "nn/sparse.h"
 #include "obs/metrics.h"
+#include "plan/plan.h"
 #include "sampling/exploration.h"
 #include "sampling/neighbor_sampler.h"
 #include "sampling/sgns.h"
@@ -104,12 +105,59 @@ ag::Var HybridGnn::FuseFlows(const ag::Var& stack) const {
   return stack->value.rows() == 1 ? stack : ag::MeanRows(stack);
 }
 
-ag::Var HybridGnn::ForwardNode(const MultiplexHeteroGraph& g, NodeId v,
-                               Rng& rng) const {
+void HybridGnn::SampleNode(const MultiplexHeteroGraph& g, NodeId v, Rng& rng,
+                           NodeSketch* out) const {
+  // Mirrors FlowStack's sampling control flow exactly — same sampler calls
+  // in the same relation/scheme order — so ForwardNode(v) consumes the RNG
+  // stream identically whether or not the sample/build split is in play.
+  out->v = v;
+  out->per_rel.assign(num_relations_, {});
+  for (RelationId r = 0; r < num_relations_; ++r) {
+    std::vector<FlowSketch>& flows = out->per_rel[r];
+    if (config_.use_hybrid_aggregation) {
+      for (size_t i = 0; i < schemes_.size(); ++i) {
+        const MetapathScheme& s = schemes_[i];
+        if (!s.IsIntraRelationship() || s.relation() != r ||
+            s.source_type() != g.node_type(v)) {
+          continue;
+        }
+        const size_t agg_idx = config_.per_scheme_aggregators ? i : 0;
+        flows.push_back(
+            FlowSketch{MetapathGuidedNeighbors(g, s, v, config_.fanout, rng),
+                       scheme_aggs_[agg_idx].get(),
+                       static_cast<int>(agg_idx)});
+      }
+    } else {
+      flows.push_back(FlowSketch{SampleLayers(g, v, 2, config_.fanout, rng),
+                                 rand_agg_.get(), -1});
+    }
+    if (config_.use_randomized_exploration) {
+      flows.push_back(
+          FlowSketch{ExplorationNeighbors(g, v, config_.exploration_depth,
+                                          config_.fanout, rng),
+                     rand_agg_.get(), -1});
+    }
+  }
+}
+
+ag::Var HybridGnn::ForwardNodeSketch(const NodeSketch& sk) const {
+  static thread_local MinibatchFrontier frontier;
   std::vector<ag::Var> per_rel;
   per_rel.reserve(num_relations_);
   for (RelationId r = 0; r < num_relations_; ++r) {
-    per_rel.push_back(FuseFlows(FlowStack(g, v, r, rng)));
+    std::vector<ag::Var> flows;
+    flows.reserve(sk.per_rel[r].size());
+    for (const FlowSketch& f : sk.per_rel[r]) {
+      BuildLevelFrontier(f.levels, &frontier);
+      flows.push_back(AggregateLevels(frontier, *f.agg));
+    }
+    if (flows.empty()) {
+      // No matching scheme and exploration disabled: the node's own initial
+      // edge embedding (see FlowStack).
+      flows.push_back(edge_init_->ForwardNodes({sk.v}));
+    }
+    ag::Var stack = flows.size() == 1 ? flows[0] : ag::ConcatRows(flows);
+    per_rel.push_back(FuseFlows(stack));
   }
   ag::Var u = per_rel.size() == 1 ? per_rel[0] : ag::ConcatRows(per_rel);
   // Relationship-level attention (Eqs. 8-9); identity under the ablation.
@@ -129,8 +177,15 @@ ag::Var HybridGnn::ForwardNode(const MultiplexHeteroGraph& g, NodeId v,
   if (config_.local_scale != 1.0f) {
     local = ag::Scale(local, config_.local_scale);
   }
-  ag::Var base_row = base_->ForwardNodes({v});
+  ag::Var base_row = base_->ForwardNodes({sk.v});
   return ag::AddRowBroadcast(local, base_row);  // [R, base_dim]
+}
+
+ag::Var HybridGnn::ForwardNode(const MultiplexHeteroGraph& g, NodeId v,
+                               Rng& rng) const {
+  static thread_local NodeSketch sketch;
+  SampleNode(g, v, rng, &sketch);
+  return ForwardNodeSketch(sketch);
 }
 
 Status HybridGnn::Fit(const MultiplexHeteroGraph& g,
@@ -319,53 +374,184 @@ Status HybridGnn::Fit(const MultiplexHeteroGraph& g,
   std::vector<size_t> order(train_edges.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
 
+  // Compiled execution plans (src/plan): when enabled, each distinct node
+  // aggregation-tower structure (per-relation flow counts, aggregator
+  // identities, level sizes) is traced once — the recording build runs
+  // eagerly — and every later node with the same structure replays the
+  // optimized plan with zero graph construction. Towers dominate per-step
+  // graph construction and their structures recur heavily across nodes and
+  // batches, while the cheap per-row loss assembly stays eager. Replays are
+  // bitwise identical to eager (the replayed Var's fat backward op sits at
+  // the tower's tape position, so gradient accumulation order is
+  // unchanged), so the flag never changes results — the serial determinism
+  // goldens hold with it on or off.
+  const bool use_plan = plan::Enabled(options.compile_plan);
+  std::vector<plan::PlanCache> plan_caches(train_threads);
+  plan::PassOptions plan_pass_opts;
+  if (freeze_tables) {
+    plan_pass_opts.frozen.insert(base_->table().get());
+    plan_pass_opts.frozen.insert(context_->table().get());
+  }
+
   // One minibatch over edges [start, end) of the shuffled order, built and
   // backpropagated with `brng`. Returns (sum of per-element BCE terms,
   // element count) so shard losses can be reduced exactly.
-  auto run_batch = [&](size_t start, size_t end, Rng& brng) {
+  auto run_batch = [&](size_t start, size_t end, Rng& brng,
+                       plan::PlanCache& pcache) {
     // The tape is declared before every Var below so the Vars die first and
     // the arena rewind at scope exit frees the whole batch graph at once.
     ag::TapeScope tape;
-    // Thread-local scratch reused across batches (capacity survives the
-    // clear). A flat vector with linear lookup beats a hash map here: a
-    // batch touches a few hundred nodes and the probe is a scan over ids.
-    static thread_local std::vector<std::pair<NodeId, ag::Var>> node_vars;
-    static thread_local std::vector<ag::Var> lhs, rhs;
+    // Phase 1 — sample. All randomness the batch consumes (neighbor
+    // sampling at each node's first reference, negative draws in between)
+    // is drawn here in exactly the order the fused sample+build loop drew
+    // it, so the split is invisible to the RNG stream. Thread-local scratch
+    // is reused across batches (capacity survives the clear); a flat vector
+    // with linear node lookup beats a hash map here — a batch touches a few
+    // hundred nodes and the probe is a scan over ids.
+    struct BatchRow {
+      int lhs;
+      int rhs;
+      RelationId rel;
+      float label;
+    };
+    static thread_local std::vector<NodeSketch> sketches;
+    static thread_local std::vector<BatchRow> brows;
     static thread_local std::vector<float> labels;
-    auto node_var = [&](NodeId v) -> const ag::Var& {
-      for (const auto& [id, var] : node_vars) {
-        if (id == v) return var;
+    sketches.clear();
+    brows.clear();
+    labels.clear();
+    auto node_ord = [&](NodeId v) -> int {
+      for (size_t i = 0; i < sketches.size(); ++i) {
+        if (sketches[i].v == v) return static_cast<int>(i);
       }
-      node_vars.emplace_back(v, ForwardNode(g, v, brng));
-      return node_vars.back().second;
+      sketches.emplace_back();
+      SampleNode(g, v, brng, &sketches.back());
+      return static_cast<int>(sketches.size()) - 1;
     };
     for (size_t i = start; i < end; ++i) {
       const EdgeTriple& e = train_edges[order[i]];
-      lhs.push_back(ag::SliceRows(node_var(e.src), e.rel, 1));
-      rhs.push_back(ag::SliceRows(node_var(e.dst), e.rel, 1));
-      labels.push_back(1.0f);
+      const int src_ord = node_ord(e.src);
+      const int dst_ord = node_ord(e.dst);
+      brows.push_back(BatchRow{src_ord, dst_ord, e.rel, 1.0f});
       for (size_t n = 0; n < config_.num_negatives; ++n) {
         NodeId x = neg_sampler.SampleRelationAware(
             e.src, e.dst, e.rel, config_.cross_negative_fraction, brng);
-        lhs.push_back(ag::SliceRows(node_var(e.src), e.rel, 1));
-        rhs.push_back(ag::SliceRows(node_var(x), e.rel, 1));
-        labels.push_back(0.0f);
+        brows.push_back(BatchRow{src_ord, node_ord(x), e.rel, 0.0f});
       }
     }
-    ag::Var logits =
-        ag::RowwiseDot(ag::ConcatRows(lhs), ag::ConcatRows(rhs));
-    ag::Var loss = ag::BceWithLogits(logits, labels);
+    for (const BatchRow& row : brows) labels.push_back(row.label);
+
+    // Phase 2 — build the step graph from the sketches. Node towers are
+    // built lazily at first use, so op creation order matches the old fused
+    // loop. With plans on, a tower is traced at its structure's first
+    // sighting and replayed on every later one; either way the resulting
+    // Var slots into the eager loss assembly below unchanged.
+    auto node_key = [](const NodeSketch& sk) {
+      // Everything that shapes the tower graph: per-relation flow counts,
+      // aggregator identities, level sizes. Bound data — the node id and
+      // its sampled neighbor indices — stays out of the key; the executor's
+      // Bind length CHECKs catch any collision loudly.
+      uint64_t key = 0xcbf29ce484222325ull;
+      auto mix = [&key](uint64_t x) { plan::HashCombine(&key, x); };
+      for (const std::vector<FlowSketch>& flows : sk.per_rel) {
+        mix(flows.size());
+        for (const FlowSketch& f : flows) {
+          mix(static_cast<uint64_t>(f.agg_id + 2));
+          mix(f.levels.size());
+          for (const auto& lvl : f.levels) mix(lvl.size());
+        }
+      }
+      return key;
+    };
+    // Binds a sketch's per-replay arrays in recorded slot order — the order
+    // ForwardNodeSketch creates its gather/segment ops.
+    auto replay_node = [&](const NodeSketch& sk,
+                           plan::CompiledStep& step) -> ag::Var {
+      static thread_local MinibatchFrontier bf;
+      static thread_local std::vector<std::vector<int32_t>> ivecs;
+      static thread_local std::vector<std::vector<size_t>> svecs;
+      size_t iused = 0, sused = 0;
+      auto next_i = [&]() -> std::vector<int32_t>& {
+        if (iused == ivecs.size()) ivecs.emplace_back();
+        return ivecs[iused++];
+      };
+      auto next_s = [&]() -> std::vector<size_t>& {
+        if (sused == svecs.size()) svecs.emplace_back();
+        return svecs[sused++];
+      };
+      plan::StepInputs in;
+      for (const std::vector<FlowSketch>& flows : sk.per_rel) {
+        for (const FlowSketch& f : flows) {
+          BuildLevelFrontier(f.levels, &bf);
+          std::vector<int32_t>& iv = next_i();
+          iv.assign(bf.indices.begin(), bf.indices.end());
+          std::vector<size_t>& sv = next_s();
+          sv.assign(bf.indptr.begin(), bf.indptr.end());
+          in.i32.push_back(iv);  // GatherRowsSegmented indices
+          in.szs.push_back(sv);  // ... and its indptr
+          in.szs.push_back(sv);  // SegmentMean indptr
+        }
+        if (flows.empty()) {
+          std::vector<int32_t>& iv = next_i();
+          iv.assign(1, static_cast<int32_t>(sk.v));
+          in.i32.push_back(iv);  // edge_init_ fallback gather
+        }
+      }
+      std::vector<int32_t>& bv = next_i();
+      bv.assign(1, static_cast<int32_t>(sk.v));
+      in.i32.push_back(bv);  // base-table gather
+      return step.ReplayTrain(in);
+    };
+    auto build_loss = [&]() -> ag::Var {
+      static thread_local std::vector<ag::Var> built;
+      static thread_local std::vector<ag::Var> lhs, rhs;
+      built.assign(sketches.size(), nullptr);
+      auto node_var = [&](int ord) -> const ag::Var& {
+        ag::Var& slot = built[ord];
+        if (slot == nullptr) {
+          const NodeSketch& sk = sketches[ord];
+          if (!use_plan) {
+            slot = ForwardNodeSketch(sk);
+          } else {
+            plan::PlanCache::Entry& ent = pcache.Slot(node_key(sk));
+            if (ent.step != nullptr) {
+              slot = replay_node(sk, *ent.step);
+            } else if (ent.poisoned) {
+              slot = ForwardNodeSketch(sk);
+            } else {
+              // First sighting of this tower structure: record the eager
+              // build, which then participates in the batch graph as-is.
+              plan::Recorder rec;
+              ag::Var v = ForwardNodeSketch(sk);
+              ent.step = rec.Finalize(v, plan_pass_opts);
+              ent.poisoned = (ent.step == nullptr);
+              slot = std::move(v);
+            }
+          }
+        }
+        return slot;
+      };
+      for (const BatchRow& row : brows) {
+        lhs.push_back(ag::SliceRows(node_var(row.lhs), row.rel, 1));
+        rhs.push_back(ag::SliceRows(node_var(row.rhs), row.rel, 1));
+      }
+      ag::Var logits =
+          ag::RowwiseDot(ag::ConcatRows(lhs), ag::ConcatRows(rhs));
+      ag::Var loss = ag::BceWithLogits(logits, labels);
+      // Drop every tape-backed Var held in persistent scratch so per-node
+      // recordings see a clean handle baseline on the next batch.
+      built.clear();
+      lhs.clear();
+      rhs.clear();
+      return loss;
+    };
+
+    ag::Var loss = build_loss();
     ag::Backward(loss);
     const double batch_loss = loss->value.At(0, 0);
     const size_t elems = labels.size();
-    // Drop every tape-backed Var held in persistent scratch before the
-    // TapeScope rewinds (the scratch keeps its capacity).
-    logits = nullptr;
+    // Drop the loss Var before the TapeScope rewinds.
     loss = nullptr;
-    node_vars.clear();
-    lhs.clear();
-    rhs.clear();
-    labels.clear();
     return std::make_pair(batch_loss, elems);
   };
 
@@ -406,7 +592,7 @@ Status HybridGnn::Fit(const MultiplexHeteroGraph& g,
           pool::MissBytes() + ag::Tape::TotalReservedBytes();
       double batch_loss = 0.0;
       if (pool == nullptr || end - start < 2 * train_threads) {
-        batch_loss = run_batch(start, end, rng).first;
+        batch_loss = run_batch(start, end, rng, plan_caches[0]).first;
       } else {
         // Data-parallel shards: each worker backprops its slice of the
         // batch under a private gradient sink; the main thread reduces
@@ -420,7 +606,7 @@ Status HybridGnn::Fit(const MultiplexHeteroGraph& g,
           ag::GradSinkScope scope(&sinks[w]);
           const size_t lo = start + count * w / shards;
           const size_t hi = start + count * (w + 1) / shards;
-          auto [l, n] = run_batch(lo, hi, wrng);
+          auto [l, n] = run_batch(lo, hi, wrng, plan_caches[w]);
           shard_loss[w] = l;
           shard_elems[w] = n;
         });

@@ -75,6 +75,32 @@ class HybridGnn : public EmbeddingModel, public Module {
   const HybridGnnConfig& config() const { return config_; }
 
  private:
+  /// One sampled aggregation flow for a (node, relation) pair: the
+  /// level-structured neighbor lists plus the aggregator that folds them.
+  /// Sampling is split from graph construction so the compiled-plan path
+  /// (FitOptions{compile_plan}) can hash the sampled structure and decide
+  /// whether to build the graph eagerly (record) or replay a compiled step.
+  struct FlowSketch {
+    std::vector<std::vector<NodeId>> levels;
+    const MeanAggregator* agg = nullptr;
+    int agg_id = 0;  // stable id for structure hashing
+  };
+  /// All sampled flows for one node: per_rel[r] lists the flows FlowStack
+  /// would build for relation r (empty -> the self-embedding fallback).
+  struct NodeSketch {
+    NodeId v = 0;
+    std::vector<std::vector<FlowSketch>> per_rel;
+  };
+
+  /// Draws every random sample ForwardNode(v) would draw, in the same RNG
+  /// order, without building any graph.
+  void SampleNode(const MultiplexHeteroGraph& g, NodeId v, Rng& rng,
+                  NodeSketch* out) const;
+
+  /// Builds the e*_{v,r} graph from a sketch: [R, base_dim]. Consumes no
+  /// randomness; ForwardNode == SampleNode + ForwardNodeSketch.
+  ag::Var ForwardNodeSketch(const NodeSketch& sk) const;
+
   /// Computes e*_{v,r} rows for all relations as one [R, base_dim] Var.
   ag::Var ForwardNode(const MultiplexHeteroGraph& g, NodeId v, Rng& rng) const;
 

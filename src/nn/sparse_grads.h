@@ -1,0 +1,43 @@
+#ifndef HYBRIDGNN_NN_SPARSE_GRADS_H_
+#define HYBRIDGNN_NN_SPARSE_GRADS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "tensor/autograd.h"
+#include "tensor/tensor.h"
+
+namespace hybridgnn::sparse_detail {
+
+/// Backward bodies of the frontier segment ops (nn/sparse.cc), exported so
+/// the plan executor (src/plan) can replay a compiled step's backward with
+/// the exact same elementary operations — and therefore the exact same bits
+/// — as the eager closures. The *Into forms take the incoming gradient `g`
+/// and the stabilized structure arrays the closures would have captured;
+/// the Node-level wrappers below are what the eager closures call.
+
+/// dx (pre-shaped rows(x) x cols(g)) <- broadcast of g rows over segments.
+/// Writes every row (the frontier tiles the block), so dx may be Uninit.
+void SegmentSumGradInto(const Tensor& g, const size_t* indptr, size_t segs,
+                        Tensor* dx);
+/// Same, scaled by 1/len per segment (exact MeanRows-backward expression).
+void SegmentMeanGradInto(const Tensor& g, const size_t* indptr, size_t segs,
+                         Tensor* dx);
+/// Zeroes dx, then routes each g element to its argmax row.
+void SegmentMaxGradInto(const Tensor& g, const uint32_t* argmax, size_t segs,
+                        Tensor* dx);
+/// Accumulates the segment-grouped scatter of g into `dest` (the table's
+/// gradient accumulator); duplicate rows within a segment chain into a
+/// scratch first, matching the eager per-level accumulation order.
+void SegmentedScatterGradInto(const Tensor& g, const int32_t* idx,
+                              const size_t* indptr, size_t segs, Tensor* dest);
+
+void SegmentSumGrad(ag::Node& n, const size_t* indptr, size_t segs);
+void SegmentMeanGrad(ag::Node& n, const size_t* indptr, size_t segs);
+void SegmentMaxGrad(ag::Node& n, const uint32_t* argmax, size_t segs);
+void SegmentedScatterGrad(ag::Node& n, const int32_t* idx,
+                          const size_t* indptr, size_t segs);
+
+}  // namespace hybridgnn::sparse_detail
+
+#endif  // HYBRIDGNN_NN_SPARSE_GRADS_H_

@@ -1,0 +1,45 @@
+#include <string>
+
+#include "common/env.h"
+#include "obs/metrics.h"
+#include "plan/plan.h"
+
+namespace hybridgnn::plan {
+
+bool Enabled(bool requested) {
+  // Resolved per call (cheap: one getenv) so tests can flip the override.
+  const std::string v = GetEnvString("HYBRIDGNN_PLAN", "");
+  if (v == "off" || v == "0") return false;
+  if (v == "on" || v == "1") return true;
+  return requested;
+}
+
+void PlanCache::BeginGeneration(uint64_t gen) {
+  if (gen == gen_) return;
+  gen_ = gen;
+  traced_this_gen_ = false;
+  map_.clear();
+}
+
+PlanCache::Entry* PlanCache::Find(uint64_t key) {
+  auto it = map_.find(key);
+  return it == map_.end() ? nullptr : &it->second;
+}
+
+PlanCache::Entry& PlanCache::Slot(uint64_t key) {
+  auto [it, inserted] = map_.try_emplace(key);
+  if (inserted) {
+    // The first trace of a generation is expected (record-once); every later
+    // structure signature within the same generation is a retrace forced by
+    // a shape change (e.g. a different sampled frontier size).
+    if (traced_this_gen_) {
+      static obs::Counter& retraces =
+          obs::GlobalRegistry().GetCounter("plan/retraces");
+      retraces.Add(1);
+    }
+    traced_this_gen_ = true;
+  }
+  return it->second;
+}
+
+}  // namespace hybridgnn::plan

@@ -1,0 +1,25 @@
+#ifndef HYBRIDGNN_PLAN_EVAL_H_
+#define HYBRIDGNN_PLAN_EVAL_H_
+
+#include <span>
+
+#include "plan/plan.h"
+#include "tensor/tensor.h"
+
+// Internal to src/plan: shared between the constant-folding pass and the
+// step executor so a folded op and a replayed op compute the same bits.
+namespace hybridgnn::plan::detail {
+
+/// True for op kinds whose forward reads only its tensor args (no bound
+/// index/segment/target slots); exactly the set EvalValueOp handles.
+bool IsSlotlessValueOp(OpKind kind);
+
+/// Evaluates a slotless op into `out` (pre-shaped to the op's result shape),
+/// replicating the eager op's arithmetic bit for bit. For elementwise kinds
+/// `out` may alias args[0] (the inplacing pass relies on this).
+void EvalValueOp(const OpNode& op, std::span<const Tensor* const> args,
+                 Tensor* out);
+
+}  // namespace hybridgnn::plan::detail
+
+#endif  // HYBRIDGNN_PLAN_EVAL_H_

@@ -1,0 +1,101 @@
+// Deterministic textual dump of the step IR. Pinned by the golden tests in
+// tests/plan_ir_test.cc — change the format only together with the goldens.
+#include <sstream>
+
+#include "kernels/kernels.h"
+#include "plan/plan.h"
+
+namespace hybridgnn::plan {
+
+namespace {
+
+const char* StageName(kernels::EwStageOp op) {
+  switch (op) {
+    case kernels::EwStageOp::kScale:
+      return "scale";
+    case kernels::EwStageOp::kSigmoid:
+      return "sigmoid";
+    case kernels::EwStageOp::kTanh:
+      return "tanh";
+    case kernels::EwStageOp::kRelu:
+      return "relu";
+    case kernels::EwStageOp::kLogSigmoid:
+      return "logsigmoid";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string StepPlan::Dump() const {
+  std::ostringstream os;
+  os << "plan root=v" << root << " train=" << (train ? 1 : 0)
+     << " values=" << values.size() << " ops=" << ops.size()
+     << " schedule=" << schedule.size() << " buffers=" << num_buffers
+     << " islots=" << num_islots << " sslots=" << num_sslots
+     << " fslots=" << num_fslots << "\n";
+  os << "stats folded=" << stats.folded << " fused_chains=" << stats.fused_chains
+     << " fused_ops=" << stats.fused_ops
+     << " dead_grad_elided=" << stats.dead_grad_elided
+     << " inplaced=" << stats.inplaced
+     << " passes_applied=" << stats.passes_applied << "\n";
+  for (size_t i = 0; i < values.size(); ++i) {
+    const ValueInfo& v = values[i];
+    os << "v" << i << ": ";
+    switch (v.origin) {
+      case ValueInfo::Origin::kParam:
+        os << "param";
+        break;
+      case ValueInfo::Origin::kConst:
+        os << "const";
+        break;
+      case ValueInfo::Origin::kOp:
+        os << "op" << v.def;
+        break;
+    }
+    os << " [" << v.rows << "x" << v.cols << "]";
+    if (v.requires_grad) os << " grad";
+    if (v.pinned) os << " pin";
+    if (v.dead) {
+      os << " dead";
+    } else if (v.buffer >= 0) {
+      os << " buf" << v.buffer;
+    }
+    os << "\n";
+  }
+  for (size_t oi = 0; oi < ops.size(); ++oi) {
+    const OpNode& op = ops[oi];
+    os << "op" << oi << ": " << ag::OpKindName(op.kind) << "(";
+    for (size_t a = 0; a < op.args.size(); ++a) {
+      if (a) os << ", ";
+      os << "v" << op.args[a];
+    }
+    os << ") -> v" << op.out;
+    if (op.kind == OpKind::kScale) os << " alpha=" << op.alpha;
+    if (op.kind == OpKind::kSliceRows) os << " start=" << op.start;
+    if (op.islot >= 0) os << " i" << op.islot << "[" << op.islot_len << "]";
+    if (op.sslot >= 0) os << " s" << op.sslot << "[" << op.sslot_len << "]";
+    if (op.fslot >= 0) os << " f" << op.fslot << "[" << op.fslot_len << "]";
+    if (!op.stages.empty()) {
+      os << " stages={";
+      for (size_t s = 0; s < op.stages.size(); ++s) {
+        if (s) os << ",";
+        os << StageName(op.stages[s].op);
+        if (op.stages[s].op == kernels::EwStageOp::kScale) {
+          os << "(" << op.stages[s].alpha << ")";
+        }
+      }
+      os << "}";
+    }
+    if (op.donor >= 0) os << " inplace(arg" << op.donor << ")";
+    if (!op.live) os << " [dead]";
+    if (op.in_backward) os << " [bwd]";
+    os << "\n";
+  }
+  os << "backward:";
+  for (int oi : backward_order) os << " op" << oi;
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace hybridgnn::plan

@@ -1,0 +1,308 @@
+// Rewrite passes over the step IR plus ahead-of-time buffer planning.
+//
+// Every pass preserves bitwise equivalence with the eager step for the loss
+// and for every non-frozen parameter gradient:
+//  * Constant folding evaluates const-arg ops once with the exact executor
+//    arithmetic (plan/eval.h), which is itself the exact eager arithmetic.
+//  * Dead-grad elimination mirrors an eager run in which the frozen params
+//    had requires_grad=false: dropped backward work reaches only frozen
+//    leaves, so trainable gradients are untouched.
+//  * Elementwise fusion contracts single-consumer unary chains; the fused
+//    kernel applies the same per-element expressions in the same order, and
+//    in eager Backward the chain's closures run consecutively (each interior
+//    has exactly one consumer), so contraction cannot reorder any gradient
+//    accumulation elsewhere.
+//  * Inplacing only reuses a donor buffer at the donor value's last forward
+//    use when no scheduled backward op (and not the root) reads it, and the
+//    executor's elementwise loops read index i before writing index i.
+#include <algorithm>
+
+#include "common/logging.h"
+#include "plan/eval.h"
+#include "plan/plan.h"
+
+namespace hybridgnn::plan {
+
+namespace {
+
+bool IsEwStageOp(OpKind k) {
+  switch (k) {
+    case OpKind::kScale:
+    case OpKind::kSigmoid:
+    case OpKind::kTanh:
+    case OpKind::kRelu:
+    case OpKind::kLogSigmoid:
+      return true;
+    default:
+      return false;
+  }
+}
+
+kernels::EwStage StageFor(const OpNode& op) {
+  switch (op.kind) {
+    case OpKind::kScale:
+      return {kernels::EwStageOp::kScale, op.alpha};
+    case OpKind::kSigmoid:
+      return {kernels::EwStageOp::kSigmoid, 0.0f};
+    case OpKind::kTanh:
+      return {kernels::EwStageOp::kTanh, 0.0f};
+    case OpKind::kRelu:
+      return {kernels::EwStageOp::kRelu, 0.0f};
+    case OpKind::kLogSigmoid:
+      return {kernels::EwStageOp::kLogSigmoid, 0.0f};
+    default:
+      HYBRIDGNN_CHECK(false) << "not an elementwise stage op";
+  }
+  return {kernels::EwStageOp::kScale, 1.0f};
+}
+
+void FoldConstants(StepPlan* p) {
+  std::vector<const Tensor*> argv;
+  for (OpNode& op : p->ops) {
+    if (!op.live || op.islot >= 0 || op.sslot >= 0 || op.fslot >= 0) continue;
+    bool all_const = !op.args.empty();
+    for (int a : op.args) {
+      all_const &= p->values[a].origin == ValueInfo::Origin::kConst;
+    }
+    if (!all_const) continue;
+    ValueInfo& out = p->values[op.out];
+    HYBRIDGNN_CHECK(!out.requires_grad) << "const-arg op requires grad";
+    argv.clear();
+    for (int a : op.args) argv.push_back(&p->values[a].const_value);
+    Tensor result = Tensor::Uninit(out.rows, out.cols);
+    detail::EvalValueOp(op, argv, &result);
+    out.origin = ValueInfo::Origin::kConst;
+    out.const_value = std::move(result);
+    out.def = -1;
+    op.live = false;
+    ++p->stats.folded;
+  }
+}
+
+void EliminateDeadGrads(StepPlan* p, const PassOptions& opts) {
+  if (opts.frozen.empty()) return;
+  for (ValueInfo& v : p->values) {
+    if (v.origin == ValueInfo::Origin::kParam &&
+        opts.frozen.count(v.leaf.get()) > 0) {
+      v.requires_grad = false;
+    }
+  }
+  // Creation order is topological: recompute effective trainability exactly
+  // as eager MakeOp would have with the frozen leaves non-trainable.
+  for (const OpNode& op : p->ops) {
+    if (!op.live) continue;
+    bool req = false;
+    for (int a : op.args) req |= p->values[a].requires_grad;
+    ValueInfo& out = p->values[op.out];
+    if (out.requires_grad && !req) ++p->stats.dead_grad_elided;
+    out.requires_grad = req;
+  }
+}
+
+void FuseElementwise(StepPlan* p) {
+  // Forward-use counts (+1 for the root, which is read after the step).
+  std::vector<int> uses(p->values.size(), 0);
+  std::vector<int> consumer(p->values.size(), -1);
+  for (size_t oi = 0; oi < p->ops.size(); ++oi) {
+    if (!p->ops[oi].live) continue;
+    for (int a : p->ops[oi].args) {
+      ++uses[a];
+      consumer[a] = static_cast<int>(oi);
+    }
+  }
+  ++uses[p->root];
+
+  std::vector<uint8_t> absorbed(p->ops.size(), 0);
+  for (size_t oi = 0; oi < p->ops.size(); ++oi) {
+    OpNode& head = p->ops[oi];
+    if (!head.live || absorbed[oi] || !IsEwStageOp(head.kind)) continue;
+    // Only start at a true chain head: if head's input is itself a fusable
+    // single-consumer op result, head will be absorbed from that head.
+    const ValueInfo& in = p->values[head.args[0]];
+    if (in.def >= 0 && p->ops[in.def].live && IsEwStageOp(p->ops[in.def].kind) &&
+        uses[head.args[0]] == 1) {
+      continue;
+    }
+    std::vector<int> chain{static_cast<int>(oi)};
+    int cur = static_cast<int>(oi);
+    while (chain.size() < kernels::kMaxEwStages) {
+      const int out = p->ops[cur].out;
+      if (uses[out] != 1 || out == p->root) break;
+      const int next = consumer[out];
+      if (next < 0 || !p->ops[next].live || !IsEwStageOp(p->ops[next].kind)) {
+        break;
+      }
+      chain.push_back(next);
+      cur = next;
+    }
+    if (chain.size() < 2) continue;
+    // The last op becomes the fused kernel call (keeping its creation-order
+    // slot in the schedule); everything before it is absorbed.
+    OpNode& last = p->ops[chain.back()];
+    std::vector<kernels::EwStage> stages;
+    stages.reserve(chain.size());
+    for (int ci : chain) stages.push_back(StageFor(p->ops[ci]));
+    last.kind = OpKind::kEwChain;
+    last.stages = std::move(stages);
+    last.alpha = 0.0f;
+    last.args = {head.args[0]};
+    for (size_t k = 0; k + 1 < chain.size(); ++k) {
+      OpNode& dead = p->ops[chain[k]];
+      dead.live = false;
+      absorbed[chain[k]] = 1;
+      ValueInfo& dv = p->values[dead.out];
+      dv.dead = true;
+      dv.requires_grad = false;
+      dv.def = -1;
+    }
+    ++p->stats.fused_chains;
+    p->stats.fused_ops += chain.size();
+  }
+}
+
+void BuildBackwardOrder(StepPlan* p) {
+  p->backward_order.clear();
+  for (OpNode& op : p->ops) op.in_backward = false;
+  p->train = p->values[p->root].requires_grad;
+  if (!p->train) return;
+  // Mirror eager Backward's iterative post-order DFS exactly: children
+  // (args) visited in order, only grad-tracked op values enter the order,
+  // then the order is walked in reverse. This is what keeps multi-consumer
+  // gradient accumulation in the same sequence as eager — and therefore
+  // bit-identical.
+  const int root_op = p->values[p->root].def;
+  std::vector<uint8_t> mark(p->ops.size(), 0);
+  std::vector<int> order;
+  std::vector<std::pair<int, uint32_t>> stack;
+  stack.emplace_back(root_op, 0);
+  mark[root_op] = 1;
+  while (!stack.empty()) {
+    auto& [oi, next] = stack.back();
+    const OpNode& op = p->ops[oi];
+    if (next < op.args.size()) {
+      const int vid = op.args[next];
+      ++next;
+      const ValueInfo& v = p->values[vid];
+      if (v.def >= 0 && v.requires_grad && !mark[v.def]) {
+        mark[v.def] = 1;
+        stack.emplace_back(v.def, 0);
+      }
+    } else {
+      order.push_back(oi);
+      stack.pop_back();
+    }
+  }
+  p->backward_order.assign(order.rbegin(), order.rend());
+  for (int oi : p->backward_order) p->ops[oi].in_backward = true;
+}
+
+void ComputePins(StepPlan* p) {
+  for (ValueInfo& v : p->values) v.pinned = false;
+  p->values[p->root].pinned = true;
+  for (int oi : p->backward_order) {
+    const OpNode& op = p->ops[oi];
+    switch (op.kind) {
+      // Backward reads the argument values.
+      case OpKind::kMatMul:
+      case OpKind::kMul:
+      case OpKind::kRowwiseDot:
+        for (int a : op.args) p->values[a].pinned = true;
+        break;
+      case OpKind::kRelu:
+      case OpKind::kLogSigmoid:
+      case OpKind::kBceWithLogits:
+      case OpKind::kEwChain:
+        p->values[op.args[0]].pinned = true;
+        break;
+      // Backward reads the op's own output.
+      case OpKind::kSigmoid:
+      case OpKind::kTanh:
+      case OpKind::kSoftmaxRows:
+        p->values[op.out].pinned = true;
+        break;
+      // Everything else reads only gradients, shapes, or bound arrays.
+      default:
+        break;
+    }
+  }
+}
+
+bool InplaceEligibleKind(OpKind k) {
+  switch (k) {
+    case OpKind::kAdd:
+    case OpKind::kSub:
+    case OpKind::kMul:
+    case OpKind::kAddRowBroadcast:
+    case OpKind::kScale:
+    case OpKind::kSigmoid:
+    case OpKind::kTanh:
+    case OpKind::kRelu:
+    case OpKind::kLogSigmoid:
+    case OpKind::kEwChain:
+      return true;
+    default:
+      return false;
+  }
+}
+
+void PlanBuffers(StepPlan* p, bool inplace) {
+  for (ValueInfo& v : p->values) v.last_use = -1;
+  for (int oi : p->schedule) {
+    for (int a : p->ops[oi].args) p->values[a].last_use = oi;
+  }
+  p->num_buffers = 0;
+  p->buffer_shapes.clear();
+  for (int oi : p->schedule) {
+    OpNode& op = p->ops[oi];
+    ValueInfo& out = p->values[op.out];
+    op.donor = -1;
+    if (inplace && InplaceEligibleKind(op.kind)) {
+      // AddRowBroadcast's bias (arg1) has a different shape; for the
+      // two-input elementwise ops either arg can donate.
+      const size_t cand = (op.kind == OpKind::kAdd || op.kind == OpKind::kSub ||
+                           op.kind == OpKind::kMul)
+                              ? op.args.size()
+                              : 1;
+      for (size_t pos = 0; pos < cand; ++pos) {
+        const ValueInfo& av = p->values[op.args[pos]];
+        if (av.origin == ValueInfo::Origin::kOp && !av.pinned && !av.dead &&
+            av.buffer >= 0 && av.rows == out.rows && av.cols == out.cols &&
+            av.last_use == oi) {
+          op.donor = static_cast<int>(pos);
+          break;
+        }
+      }
+    }
+    if (op.donor >= 0) {
+      out.buffer = p->values[op.args[op.donor]].buffer;
+      ++p->stats.inplaced;
+    } else {
+      out.buffer = static_cast<int>(p->num_buffers++);
+      p->buffer_shapes.emplace_back(out.rows, out.cols);
+    }
+  }
+}
+
+}  // namespace
+
+void RunPasses(StepPlan* p, const PassOptions& opts) {
+  HYBRIDGNN_CHECK(p->root >= 0 && p->values[p->root].def >= 0)
+      << "RunPasses: plan has no traced root";
+  if (opts.fold_constants) FoldConstants(p);
+  if (opts.dead_grad_elim) EliminateDeadGrads(p, opts);
+  if (opts.fuse_elementwise) FuseElementwise(p);
+  p->schedule.clear();
+  for (size_t oi = 0; oi < p->ops.size(); ++oi) {
+    if (p->ops[oi].live) p->schedule.push_back(static_cast<int>(oi));
+  }
+  BuildBackwardOrder(p);
+  ComputePins(p);
+  PlanBuffers(p, opts.inplace);
+  PassStats& st = p->stats;
+  st.passes_applied = static_cast<size_t>(st.folded > 0) +
+                      static_cast<size_t>(st.fused_chains > 0) +
+                      static_cast<size_t>(st.dead_grad_elided > 0) +
+                      static_cast<size_t>(st.inplaced > 0);
+}
+
+}  // namespace hybridgnn::plan

@@ -1,0 +1,277 @@
+#ifndef HYBRIDGNN_PLAN_PLAN_H_
+#define HYBRIDGNN_PLAN_PLAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "kernels/kernels.h"
+#include "tensor/autograd.h"
+#include "tensor/tensor.h"
+
+namespace hybridgnn::plan {
+
+/// Compiled execution plans: a one-step trace of the autograd tape into an
+/// explicit step IR, a rewrite-pass pipeline over it, and an executor that
+/// replays the optimized schedule with zero per-step graph construction.
+///
+/// Lifecycle (one minibatch shape signature):
+///
+///   ag::TapeScope scope;
+///   plan::Recorder rec;                     // installs the trace sink
+///   ag::Var loss = BuildStepEager(batch);   // ops annotate themselves
+///   auto step = rec.Finalize(loss, opts);   // IR + passes + buffer plan
+///   ag::Backward(loss);                     // the recording step stays eager
+///   ...
+///   // every later step with the same structure signature:
+///   ag::TapeScope scope;
+///   plan::StepInputs in = BindStep(batch);  // index/segment/target arrays
+///   ag::Var loss = step->ReplayTrain(in);   // no graph construction
+///   ag::Backward(loss);                     // runs the compiled backward
+///
+/// Equivalence contract: a replayed step produces bit-identical loss values
+/// and parameter gradients to the eager step it was traced from (enforced by
+/// tests/plan_test.cc across both models, both kernel backends, and 1/4
+/// workers). Every executor loop replicates the corresponding eager op /
+/// backward-closure arithmetic exactly; the rewrite passes only perform
+/// transformations proven bit-safe (see DESIGN.md §16).
+///
+/// Un-annotated ops (raw ag::MakeOp, SpMM) poison a recording: Finalize
+/// returns nullptr and the caller stays on the eager path for that graph.
+///
+/// Env override: HYBRIDGNN_PLAN=off disables compiled plans regardless of
+/// FitOptions{compile_plan}; =on force-enables them (see Enabled()).
+
+using ag::OpKind;
+
+/// Pass pipeline toggles. Defaults enable everything; tests pin per-pass IR
+/// goldens by enabling one pass at a time.
+struct PassOptions {
+  bool fold_constants = true;
+  bool fuse_elementwise = true;
+  bool dead_grad_elim = true;  // acts only when `frozen` is non-empty
+  bool inplace = true;
+  /// Parameter nodes to treat as non-trainable during backward planning
+  /// (e.g. frozen pretrained tables). Gradient work reaching only these
+  /// leaves is elided; their grads are simply not produced by replay.
+  std::unordered_set<const ag::Node*> frozen;
+};
+
+struct PassStats {
+  size_t folded = 0;            // ops constant-folded away
+  size_t fused_chains = 0;      // elementwise chains formed
+  size_t fused_ops = 0;         // ops absorbed into chains
+  size_t dead_grad_elided = 0;  // backward entries dropped by freezing
+  size_t inplaced = 0;          // outputs sharing a last-use donor buffer
+  size_t passes_applied = 0;    // passes that changed the IR
+};
+
+/// One SSA-ish value: the result of an op, a trainable parameter leaf, or a
+/// constant (traced ag::Constant or a folded op result, snapshotted).
+struct ValueInfo {
+  enum class Origin : uint8_t { kOp, kParam, kConst };
+  Origin origin = Origin::kOp;
+  size_t rows = 0;
+  size_t cols = 0;
+  /// Effective trainability after dead-grad elimination; mirrors the eager
+  /// requires_grad flag that decides which backward closures run.
+  bool requires_grad = false;
+  bool pinned = false;   // value read by a scheduled backward op (or root)
+  bool dead = false;     // producer folded or fused away; no storage
+  int def = -1;          // producing op index, -1 for leaves
+  int last_use = -1;     // last live op reading this value (forward)
+  int buffer = -1;       // frame buffer id (kOp values only)
+  ag::Var leaf;          // kParam: the parameter node (kept alive)
+  Tensor const_value;    // kConst: snapshot
+};
+
+/// One traced op. `args` are value ids; slot fields index into the
+/// StepInputs arrays bound at each replay (index/segment/target data that
+/// changes per minibatch while the structure signature stays fixed).
+struct OpNode {
+  OpKind kind = OpKind::kOpaque;
+  int out = -1;
+  std::vector<int> args;
+  float alpha = 0.0f;  // kScale
+  size_t start = 0;    // kSliceRows
+  int islot = -1;      // i32 indices slot (gathers)
+  int sslot = -1;      // size_t indptr slot (segment ops)
+  int fslot = -1;      // float slot (BCE targets)
+  size_t islot_len = 0;
+  size_t sslot_len = 0;
+  size_t fslot_len = 0;
+  int amax = -1;  // frame argmax scratch id (kSegmentMax)
+  std::vector<kernels::EwStage> stages;  // kEwChain
+  int donor = -1;  // arg position whose buffer `out` reuses (inplacing)
+  bool live = true;          // false: folded or fused away
+  bool in_backward = false;  // scheduled in the backward order
+};
+
+/// The step IR: values + ops in creation order, the optimized forward
+/// schedule, and the backward order mirroring eager Backward's reverse
+/// post-order DFS (which is what makes replayed gradient accumulation
+/// bit-identical to eager).
+struct StepPlan {
+  std::vector<ValueInfo> values;
+  std::vector<OpNode> ops;
+  std::vector<int> schedule;        // live op indices, forward order
+  std::vector<int> backward_order;  // op indices, eager-DFS-mirror order
+  int root = -1;                    // root value id
+  bool train = false;               // root requires grad
+  size_t num_islots = 0;
+  size_t num_sslots = 0;
+  size_t num_fslots = 0;
+  size_t num_amax = 0;
+  size_t num_buffers = 0;
+  std::vector<std::pair<size_t, size_t>> buffer_shapes;
+  PassStats stats;
+
+  /// Deterministic textual dump (value table, op schedule, backward order);
+  /// pinned by tests/plan_ir_test.cc goldens.
+  std::string Dump() const;
+};
+
+/// Per-replay bound inputs, in recorded slot order. Spans must stay valid
+/// for the duration of the Replay* call; contents are copied into the
+/// executor frame (backward runs after the caller's scratch is reused).
+struct StepInputs {
+  std::vector<std::span<const int32_t>> i32;
+  std::vector<std::span<const size_t>> szs;
+  std::vector<std::span<const float>> f32;
+};
+
+/// A finalized plan plus persistent execution frames. Replay performs zero
+/// graph construction and — once frames are warm — zero heap allocation.
+/// NOT thread-safe: each worker thread records and replays its own steps
+/// (models keep one PlanCache per worker).
+class CompiledStep {
+ public:
+  explicit CompiledStep(StepPlan plan, std::vector<ag::Var> params);
+  ~CompiledStep();
+  CompiledStep(const CompiledStep&) = delete;
+  CompiledStep& operator=(const CompiledStep&) = delete;
+
+  /// Replays the forward schedule and returns a Var carrying the root value
+  /// whose backward replays the compiled backward order (leaf gradients land
+  /// exactly where eager Backward would put them, GradSinkScope included).
+  /// Must be called under a TapeScope; call ag::Backward on the result
+  /// within the same scope.
+  ag::Var ReplayTrain(const StepInputs& in);
+
+  /// Forward-only replay; returns a copy of the root value.
+  Tensor ReplayInfer(const StepInputs& in);
+
+  const StepPlan& plan() const { return plan_; }
+
+ private:
+  struct Frame;
+
+  Frame* AcquireFrame();
+  void ReleaseFrame(Frame* f);
+  void Bind(const StepInputs& in, Frame* f);
+  void RunForward(Frame& f);
+  void RunBackward(Frame& f, const Tensor& root_grad);
+  const Tensor& Val(Frame& f, int vid) const;
+  void Accum(Frame& f, int vid, const Tensor& contrib);
+
+  friend struct FatOpCtx;
+
+  StepPlan plan_;
+  std::vector<ag::Var> params_;
+  std::vector<std::unique_ptr<Frame>> all_frames_;
+  std::vector<Frame*> free_frames_;
+  std::vector<const Tensor*> argv_;  // RunForward arg-pointer scratch
+  uint64_t fwd_alloc_bytes_ = 0;  // last replay's forward heap/arena growth
+};
+
+/// Records one eager step into a StepPlan. Construct under the TapeScope
+/// that covers the step build, build the graph eagerly, then Finalize with
+/// the root. Destroying the recorder without finalizing abandons the trace.
+class Recorder final : public ag::TraceSink {
+ public:
+  Recorder();
+  ~Recorder() override;
+
+  void OnNodeCreated(ag::Node* node) override;
+  void OnOp(OpKind kind, const ag::Var& result,
+            std::span<const ag::Var> parents,
+            const ag::OpAttrs& attrs) override;
+  const ag::Tape* tape() const override { return tape_; }
+
+  /// Finalizes the trace: uninstalls the sink, CHECK-fails if any traced
+  /// tape Var beyond `root` is still alive (a traced Var escaping past plan
+  /// finalization would dangle into the executor's raw-pointer world), then
+  /// runs the pass pipeline and plans buffers. Returns nullptr when the
+  /// trace was poisoned (un-annotated op, untraced root, ...); the caller
+  /// then stays on the eager path.
+  std::unique_ptr<CompiledStep> Finalize(const ag::Var& root,
+                                         const PassOptions& opts = {});
+
+  bool poisoned() const { return !poison_reason_.empty(); }
+  const std::string& poison_reason() const { return poison_reason_; }
+
+ private:
+  int RegisterParent(const ag::Var& p);
+  void Poison(const std::string& why);
+
+  ag::Tape* tape_;
+  ag::TraceSink* prev_ = nullptr;
+  bool installed_ = false;
+  size_t baseline_handles_ = 0;
+  int64_t start_ns_ = 0;
+  ag::Node* unclaimed_ = nullptr;
+  std::unordered_map<const ag::Node*, int> ids_;
+  std::vector<ag::Node*> nodes_;  // parallel to plan_.values; trace-time only
+  StepPlan plan_;
+  std::string poison_reason_;
+};
+
+/// Rewrite-pass pipeline + ahead-of-time buffer planning. Called by
+/// Recorder::Finalize; exposed for the IR golden tests.
+void RunPasses(StepPlan* plan, const PassOptions& opts);
+
+/// Resolves whether compiled plans are active: HYBRIDGNN_PLAN=off|0 forces
+/// them off, =on|1 forces them on, anything else defers to `requested`
+/// (FitOptions{compile_plan}).
+bool Enabled(bool requested);
+
+/// Structure-signature cache: maps a caller-computed shape/structure hash to
+/// a compiled step (or a poison marker meaning "this graph cannot compile,
+/// stay eager"). Generation-scoped: bumping the generation (each Fit)
+/// drops every entry. Not thread-safe — one per worker.
+class PlanCache {
+ public:
+  struct Entry {
+    std::unique_ptr<CompiledStep> step;
+    bool poisoned = false;
+  };
+
+  /// Clears the cache when `gen` differs from the current generation.
+  void BeginGeneration(uint64_t gen);
+  /// nullptr when the key has never been seen this generation.
+  Entry* Find(uint64_t key);
+  /// Creates (or returns) the entry for `key`. A second or later insertion
+  /// within a generation counts as a retrace (obs: plan/retraces).
+  Entry& Slot(uint64_t key);
+
+  size_t size() const { return map_.size(); }
+
+ private:
+  uint64_t gen_ = 0;
+  bool traced_this_gen_ = false;
+  std::unordered_map<uint64_t, Entry> map_;
+};
+
+/// FNV-1a style accumulator for building structure signatures.
+inline void HashCombine(uint64_t* h, uint64_t v) {
+  *h ^= v + 0x9e3779b97f4a7c15ull + (*h << 6) + (*h >> 2);
+}
+
+}  // namespace hybridgnn::plan
+
+#endif  // HYBRIDGNN_PLAN_PLAN_H_

@@ -1,0 +1,224 @@
+#include <chrono>
+#include <utility>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+#include "plan/plan.h"
+
+namespace hybridgnn::plan {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Recorder::Recorder() : tape_(ag::Tape::Current()), start_ns_(NowNs()) {
+  HYBRIDGNN_CHECK(tape_ != nullptr)
+      << "plan::Recorder requires an active ag::TapeScope";
+  HYBRIDGNN_CHECK(ag::CurrentTraceSink() == nullptr)
+      << "plan::Recorder: a trace sink is already installed on this thread";
+  baseline_handles_ = tape_->live_handles();
+  prev_ = ag::SetTraceSink(this);
+  installed_ = true;
+}
+
+Recorder::~Recorder() {
+  if (installed_) {
+    ag::SetTraceSink(prev_);
+    installed_ = false;
+  }
+}
+
+void Recorder::Poison(const std::string& why) {
+  if (poison_reason_.empty()) poison_reason_ = why;
+}
+
+void Recorder::OnNodeCreated(ag::Node* node) {
+  if (poisoned()) return;
+  if (unclaimed_ != nullptr) {
+    // The previous node was never annotated by a typed wrapper: a raw
+    // ag::MakeOp (e.g. SpMM) whose semantics the plan cannot replay.
+    Poison("un-annotated op (raw MakeOp) in traced step");
+    return;
+  }
+  unclaimed_ = node;
+}
+
+int Recorder::RegisterParent(const ag::Var& p) {
+  auto it = ids_.find(p.get());
+  if (it != ids_.end()) return it->second;
+  ag::Node* n = p.get();
+  const int id = static_cast<int>(plan_.values.size());
+  ValueInfo v;
+  v.rows = n->value.rows();
+  v.cols = n->value.cols();
+  if (n->requires_grad && !n->has_backward()) {
+    // Trainable leaf (Param): replay reads/accumulates through the node.
+    v.origin = ValueInfo::Origin::kParam;
+    v.requires_grad = true;
+    v.leaf = p;
+  } else if (!n->requires_grad) {
+    // Constant built outside the recording: snapshot its value at finalize.
+    v.origin = ValueInfo::Origin::kConst;
+  } else {
+    Poison("traced op consumes a gradient-tracked value built outside the "
+           "recording");
+    return -1;
+  }
+  plan_.values.push_back(std::move(v));
+  nodes_.push_back(n);
+  ids_.emplace(n, id);
+  return id;
+}
+
+void Recorder::OnOp(OpKind kind, const ag::Var& result,
+                    std::span<const ag::Var> parents,
+                    const ag::OpAttrs& attrs) {
+  if (poisoned()) {
+    unclaimed_ = nullptr;
+    return;
+  }
+  if (result.get() != unclaimed_) {
+    Poison("op annotation does not match the last created node");
+    return;
+  }
+  unclaimed_ = nullptr;
+
+  OpNode op;
+  op.kind = kind;
+  op.args.reserve(parents.size());
+  for (const ag::Var& p : parents) {
+    const int vid = RegisterParent(p);
+    if (vid < 0) return;  // poisoned
+    op.args.push_back(vid);
+  }
+
+  const int out = static_cast<int>(plan_.values.size());
+  ValueInfo v;
+  v.rows = result->value.rows();
+  v.cols = result->value.cols();
+  v.requires_grad = result->requires_grad;
+  plan_.values.push_back(std::move(v));
+  nodes_.push_back(result.get());
+  ids_.emplace(result.get(), out);
+
+  if (kind == OpKind::kConstant) {
+    // A constant built inside the step: a leaf to the plan, snapshotted at
+    // finalize. No OpNode — nothing to schedule.
+    plan_.values[out].origin = ValueInfo::Origin::kConst;
+    return;
+  }
+
+  plan_.values[out].def = static_cast<int>(plan_.ops.size());
+  op.out = out;
+  op.alpha = attrs.alpha;
+  op.start = attrs.start;
+  switch (kind) {
+    case OpKind::kGatherRows:
+    case OpKind::kGatherRowsSegmented:
+      // Replay gathers straight from the parameter table; an interior
+      // source would need its buffer pinned across the scatter backward,
+      // which the executor does not model.
+      if (plan_.values[op.args[0]].origin != ValueInfo::Origin::kParam) {
+        Poison("gather source is not a parameter table");
+        return;
+      }
+      op.islot = static_cast<int>(plan_.num_islots++);
+      op.islot_len = attrs.indices.size();
+      if (kind == OpKind::kGatherRowsSegmented) {
+        op.sslot = static_cast<int>(plan_.num_sslots++);
+        op.sslot_len = attrs.indptr.size();
+      }
+      break;
+    case OpKind::kSegmentSum:
+    case OpKind::kSegmentMean:
+      op.sslot = static_cast<int>(plan_.num_sslots++);
+      op.sslot_len = attrs.indptr.size();
+      break;
+    case OpKind::kSegmentMax:
+      op.sslot = static_cast<int>(plan_.num_sslots++);
+      op.sslot_len = attrs.indptr.size();
+      op.amax = static_cast<int>(plan_.num_amax++);
+      break;
+    case OpKind::kBceWithLogits:
+      op.fslot = static_cast<int>(plan_.num_fslots++);
+      op.fslot_len = attrs.floats.size();
+      break;
+    default:
+      break;
+  }
+  plan_.ops.push_back(std::move(op));
+}
+
+std::unique_ptr<CompiledStep> Recorder::Finalize(const ag::Var& root,
+                                                 const PassOptions& opts) {
+  HYBRIDGNN_CHECK(installed_ && ag::CurrentTraceSink() == this)
+      << "plan::Recorder::Finalize called with a different sink installed";
+  ag::SetTraceSink(prev_);
+  installed_ = false;
+
+  if (unclaimed_ != nullptr) {
+    Poison("un-annotated op (raw MakeOp) in traced step");
+    unclaimed_ = nullptr;
+  }
+
+  // Every tape Var handed out during the trace must be dead by now except
+  // the root the caller passes in: the plan's executor replaces the graph,
+  // and a surviving traced handle would dangle into rewound arena memory on
+  // the very next step.
+  HYBRIDGNN_CHECK(tape_->live_handles() == baseline_handles_ + 1)
+      << "a traced ag::Var escaped past plan finalization (live tape handles "
+      << tape_->live_handles() << ", expected " << (baseline_handles_ + 1)
+      << "); drop every Var except the root before Finalize";
+
+  auto& reg = obs::GlobalRegistry();
+  if (!poisoned()) {
+    auto it = ids_.find(root.get());
+    if (it == ids_.end()) {
+      Poison("root was not produced by the recording");
+    } else if (plan_.values[it->second].def < 0) {
+      Poison("root is a leaf, not a traced op");
+    } else {
+      plan_.root = it->second;
+    }
+  }
+  if (poisoned()) {
+    nodes_.clear();
+    reg.GetCounter("plan/trace_poisoned").Add(1);
+    return nullptr;
+  }
+
+  // Snapshot constants while the traced graph is still alive; after this,
+  // the plan holds no pointers into the tape.
+  std::vector<ag::Var> params;
+  for (size_t i = 0; i < plan_.values.size(); ++i) {
+    ValueInfo& v = plan_.values[i];
+    if (v.origin == ValueInfo::Origin::kConst && v.const_value.empty()) {
+      v.const_value = nodes_[i]->value;
+    } else if (v.origin == ValueInfo::Origin::kParam) {
+      params.push_back(v.leaf);
+    }
+  }
+  nodes_.clear();
+
+  RunPasses(&plan_, opts);
+
+  const PassStats& st = plan_.stats;
+  reg.GetCounter("plan/traces").Add(1);
+  reg.GetCounter("plan/folded").Add(st.folded);
+  reg.GetCounter("plan/fused_ops").Add(st.fused_ops);
+  reg.GetCounter("plan/dead_grad_elided").Add(st.dead_grad_elided);
+  reg.GetCounter("plan/inplaced").Add(st.inplaced);
+  reg.GetCounter("plan/passes_applied").Add(st.passes_applied);
+  reg.GetGauge("plan/trace_ms")
+      .Set(static_cast<double>(NowNs() - start_ns_) / 1e6);
+
+  return std::make_unique<CompiledStep>(std::move(plan_), std::move(params));
+}
+
+}  // namespace hybridgnn::plan

@@ -30,7 +30,67 @@ Tape& ThreadLocalTape() {
   return tape;
 }
 
+/// Bridges the typed op wrappers below to TraceOp: builds the parent span
+/// only when a sink is installed (callers guard with detail::Tracing()).
+inline void TraceOpIl(OpKind kind, const Var& result,
+                      std::initializer_list<Var> parents,
+                      const OpAttrs& attrs = {}) {
+  detail::TraceOp(kind, result,
+                  std::span<const Var>(parents.begin(), parents.size()),
+                  attrs);
+}
+
 }  // namespace
+
+// ----- Trace sink plumbing -----
+
+namespace detail {
+thread_local TraceSink* t_trace_sink = nullptr;
+}  // namespace detail
+
+TraceSink* SetTraceSink(TraceSink* sink) {
+  TraceSink* prev = detail::t_trace_sink;
+  detail::t_trace_sink = sink;
+  return prev;
+}
+
+TraceSink* CurrentTraceSink() { return detail::t_trace_sink; }
+
+const char* OpKindName(OpKind kind) {
+  switch (kind) {
+    case OpKind::kConstant: return "Constant";
+    case OpKind::kParam: return "Param";
+    case OpKind::kMatMul: return "MatMul";
+    case OpKind::kAdd: return "Add";
+    case OpKind::kSub: return "Sub";
+    case OpKind::kMul: return "Mul";
+    case OpKind::kAddRowBroadcast: return "AddRowBroadcast";
+    case OpKind::kScale: return "Scale";
+    case OpKind::kTranspose: return "Transpose";
+    case OpKind::kSigmoid: return "Sigmoid";
+    case OpKind::kTanh: return "Tanh";
+    case OpKind::kRelu: return "Relu";
+    case OpKind::kLogSigmoid: return "LogSigmoid";
+    case OpKind::kSoftmaxRows: return "SoftmaxRows";
+    case OpKind::kRowwiseDot: return "RowwiseDot";
+    case OpKind::kMeanRows: return "MeanRows";
+    case OpKind::kSumRows: return "SumRows";
+    case OpKind::kMeanAll: return "MeanAll";
+    case OpKind::kSumAll: return "SumAll";
+    case OpKind::kConcatRows: return "ConcatRows";
+    case OpKind::kConcatCols: return "ConcatCols";
+    case OpKind::kSliceRows: return "SliceRows";
+    case OpKind::kGatherRows: return "GatherRows";
+    case OpKind::kBceWithLogits: return "BceWithLogits";
+    case OpKind::kSegmentSum: return "SegmentSum";
+    case OpKind::kSegmentMean: return "SegmentMean";
+    case OpKind::kSegmentMax: return "SegmentMax";
+    case OpKind::kGatherRowsSegmented: return "GatherRowsSegmented";
+    case OpKind::kEwChain: return "EwChain";
+    case OpKind::kOpaque: return "Opaque";
+  }
+  return "?";
+}
 
 // ----- Tape -----
 
@@ -121,6 +181,13 @@ TapeScope::TapeScope()
 }
 
 TapeScope::~TapeScope() {
+  // A plan recording holds raw Node* into this tape; rewinding underneath
+  // it would leave the recorder tracing freed memory. The recorder must
+  // Finalize (or abandon) before the scope that covers the trace exits.
+  HYBRIDGNN_CHECK(detail::t_trace_sink == nullptr ||
+                  detail::t_trace_sink->tape() != tape_)
+      << "TapeScope destroyed while a plan recording is active on its tape; "
+         "finalize or abandon the recording first";
   tape_->Rewind(mark_);
   g_current_tape = prev_current_;
   if (prev_current_ == nullptr) {
@@ -180,12 +247,18 @@ Tensor& Node::GradAccumulator() {
 }
 
 Var Constant(Tensor value) {
+  Var out;
   if (Tape* tape = Tape::Current()) {
     Node* node = tape->Create<Node>(std::move(value), /*requires_grad=*/false);
     node->on_tape = true;
-    return tape->MakeVar(node);
+    detail::TraceNodeCreated(node);
+    out = tape->MakeVar(node);
+  } else {
+    out = std::make_shared<Node>(std::move(value), /*requires_grad=*/false);
+    detail::TraceNodeCreated(out.get());
   }
-  return std::make_shared<Node>(std::move(value), /*requires_grad=*/false);
+  if (detail::Tracing()) TraceOpIl(OpKind::kConstant, out, {});
+  return out;
 }
 
 Var Param(Tensor value) {
@@ -261,34 +334,40 @@ void Backward(const Var& root) {
 
 Var MatMul(const Var& a, const Var& b) {
   Tensor out = hybridgnn::MatMul(a->value, b->value);
-  return MakeOp(std::move(out), {a, b}, [](Node& n) {
+  Var r = MakeOp(std::move(out), {a, b}, [](Node& n) {
     Node* a = n.parent(0);
     Node* b = n.parent(1);
     if (a->requires_grad) a->AccumulateGrad(MatMulTransB(n.grad, b->value));
     if (b->requires_grad) b->AccumulateGrad(MatMulTransA(a->value, n.grad));
   });
+  if (detail::Tracing()) TraceOpIl(OpKind::kMatMul, r, {a, b});
+  return r;
 }
 
 Var Add(const Var& a, const Var& b) {
-  return MakeOp(hybridgnn::Add(a->value, b->value), {a, b}, [](Node& n) {
+  Var r = MakeOp(hybridgnn::Add(a->value, b->value), {a, b}, [](Node& n) {
     Node* a = n.parent(0);
     Node* b = n.parent(1);
     if (a->requires_grad) a->AccumulateGrad(n.grad);
     if (b->requires_grad) b->AccumulateGrad(n.grad);
   });
+  if (detail::Tracing()) TraceOpIl(OpKind::kAdd, r, {a, b});
+  return r;
 }
 
 Var Sub(const Var& a, const Var& b) {
-  return MakeOp(hybridgnn::Sub(a->value, b->value), {a, b}, [](Node& n) {
+  Var r = MakeOp(hybridgnn::Sub(a->value, b->value), {a, b}, [](Node& n) {
     Node* a = n.parent(0);
     Node* b = n.parent(1);
     if (a->requires_grad) a->AccumulateGrad(n.grad);
     if (b->requires_grad) b->AccumulateGrad(hybridgnn::Scale(n.grad, -1.0f));
   });
+  if (detail::Tracing()) TraceOpIl(OpKind::kSub, r, {a, b});
+  return r;
 }
 
 Var Mul(const Var& a, const Var& b) {
-  return MakeOp(hybridgnn::Mul(a->value, b->value), {a, b}, [](Node& n) {
+  Var r = MakeOp(hybridgnn::Mul(a->value, b->value), {a, b}, [](Node& n) {
     Node* a = n.parent(0);
     Node* b = n.parent(1);
     if (a->requires_grad) {
@@ -298,39 +377,51 @@ Var Mul(const Var& a, const Var& b) {
       b->AccumulateGrad(hybridgnn::Mul(n.grad, a->value));
     }
   });
+  if (detail::Tracing()) TraceOpIl(OpKind::kMul, r, {a, b});
+  return r;
 }
 
 Var AddRowBroadcast(const Var& a, const Var& bias) {
-  return MakeOp(hybridgnn::AddRowBroadcast(a->value, bias->value), {a, bias},
-                [](Node& n) {
-                  Node* a = n.parent(0);
-                  Node* bias = n.parent(1);
-                  if (a->requires_grad) a->AccumulateGrad(n.grad);
-                  if (bias->requires_grad) {
-                    bias->AccumulateGrad(hybridgnn::SumRows(n.grad));
-                  }
-                });
+  Var r = MakeOp(hybridgnn::AddRowBroadcast(a->value, bias->value), {a, bias},
+                 [](Node& n) {
+                   Node* a = n.parent(0);
+                   Node* bias = n.parent(1);
+                   if (a->requires_grad) a->AccumulateGrad(n.grad);
+                   if (bias->requires_grad) {
+                     bias->AccumulateGrad(hybridgnn::SumRows(n.grad));
+                   }
+                 });
+  if (detail::Tracing()) TraceOpIl(OpKind::kAddRowBroadcast, r, {a, bias});
+  return r;
 }
 
 Var Scale(const Var& a, float alpha) {
-  return MakeOp(hybridgnn::Scale(a->value, alpha), {a}, [alpha](Node& n) {
+  Var r = MakeOp(hybridgnn::Scale(a->value, alpha), {a}, [alpha](Node& n) {
     Node* a = n.parent(0);
     if (a->requires_grad) a->AccumulateGrad(hybridgnn::Scale(n.grad, alpha));
   });
+  if (detail::Tracing()) {
+    OpAttrs attrs;
+    attrs.alpha = alpha;
+    TraceOpIl(OpKind::kScale, r, {a}, attrs);
+  }
+  return r;
 }
 
 Var Neg(const Var& a) { return Scale(a, -1.0f); }
 
 Var Transpose(const Var& a) {
-  return MakeOp(hybridgnn::Transpose(a->value), {a}, [](Node& n) {
+  Var r = MakeOp(hybridgnn::Transpose(a->value), {a}, [](Node& n) {
     Node* a = n.parent(0);
     if (a->requires_grad) a->AccumulateGrad(hybridgnn::Transpose(n.grad));
   });
+  if (detail::Tracing()) TraceOpIl(OpKind::kTranspose, r, {a});
+  return r;
 }
 
 Var Sigmoid(const Var& a) {
   Tensor s = hybridgnn::Sigmoid(a->value);
-  return MakeOp(std::move(s), {a}, [](Node& n) {
+  Var r = MakeOp(std::move(s), {a}, [](Node& n) {
     Node* a = n.parent(0);
     if (!a->requires_grad) return;
     Tensor da = Tensor::Uninit(n.grad.rows(), n.grad.cols());
@@ -340,11 +431,13 @@ Var Sigmoid(const Var& a) {
     for (size_t i = 0; i < da.size(); ++i) d[i] = g[i] * sv[i] * (1.0f - sv[i]);
     a->AccumulateGrad(da);
   });
+  if (detail::Tracing()) TraceOpIl(OpKind::kSigmoid, r, {a});
+  return r;
 }
 
 Var Tanh(const Var& a) {
   Tensor t = hybridgnn::Tanh(a->value);
-  return MakeOp(std::move(t), {a}, [](Node& n) {
+  Var r = MakeOp(std::move(t), {a}, [](Node& n) {
     Node* a = n.parent(0);
     if (!a->requires_grad) return;
     Tensor da = Tensor::Uninit(n.grad.rows(), n.grad.cols());
@@ -354,10 +447,12 @@ Var Tanh(const Var& a) {
     for (size_t i = 0; i < da.size(); ++i) d[i] = g[i] * (1.0f - tv[i] * tv[i]);
     a->AccumulateGrad(da);
   });
+  if (detail::Tracing()) TraceOpIl(OpKind::kTanh, r, {a});
+  return r;
 }
 
 Var Relu(const Var& a) {
-  return MakeOp(hybridgnn::Relu(a->value), {a}, [](Node& n) {
+  Var r = MakeOp(hybridgnn::Relu(a->value), {a}, [](Node& n) {
     Node* a = n.parent(0);
     if (!a->requires_grad) return;
     Tensor da = Tensor::Uninit(n.grad.rows(), n.grad.cols());
@@ -367,18 +462,13 @@ Var Relu(const Var& a) {
     for (size_t i = 0; i < da.size(); ++i) d[i] = x[i] > 0.0f ? g[i] : 0.0f;
     a->AccumulateGrad(da);
   });
+  if (detail::Tracing()) TraceOpIl(OpKind::kRelu, r, {a});
+  return r;
 }
 
 Var LogSigmoid(const Var& a) {
-  Tensor out = Tensor::Uninit(a->value.rows(), a->value.cols());
-  const float* x = a->value.data();
-  float* o = out.data();
-  for (size_t i = 0; i < out.size(); ++i) {
-    // log sigmoid(x) = min(x,0) - log1p(exp(-|x|))
-    const float v = x[i];
-    o[i] = std::min(v, 0.0f) - std::log1p(std::exp(-std::abs(v)));
-  }
-  return MakeOp(std::move(out), {a}, [](Node& n) {
+  Tensor out = hybridgnn::LogSigmoid(a->value);
+  Var r = MakeOp(std::move(out), {a}, [](Node& n) {
     Node* a = n.parent(0);
     if (!a->requires_grad) return;
     Tensor da = Tensor::Uninit(n.grad.rows(), n.grad.cols());
@@ -391,11 +481,13 @@ Var LogSigmoid(const Var& a) {
     }
     a->AccumulateGrad(da);
   });
+  if (detail::Tracing()) TraceOpIl(OpKind::kLogSigmoid, r, {a});
+  return r;
 }
 
 Var SoftmaxRows(const Var& a) {
   Tensor s = hybridgnn::SoftmaxRows(a->value);
-  return MakeOp(std::move(s), {a}, [](Node& n) {
+  Var r = MakeOp(std::move(s), {a}, [](Node& n) {
     Node* a = n.parent(0);
     if (!a->requires_grad) return;
     // da_ij = s_ij * (g_ij - sum_k g_ik s_ik)
@@ -410,11 +502,13 @@ Var SoftmaxRows(const Var& a) {
     }
     a->AccumulateGrad(da);
   });
+  if (detail::Tracing()) TraceOpIl(OpKind::kSoftmaxRows, r, {a});
+  return r;
 }
 
 Var RowwiseDot(const Var& a, const Var& b) {
-  return MakeOp(hybridgnn::RowwiseDot(a->value, b->value), {a, b},
-                [](Node& n) {
+  Var r = MakeOp(hybridgnn::RowwiseDot(a->value, b->value), {a, b},
+                 [](Node& n) {
                   auto scatter = [&n](Node* dst, Node* other) {
                     Tensor d = Tensor::Uninit(dst->value.rows(),
                                               dst->value.cols());
@@ -430,11 +524,13 @@ Var RowwiseDot(const Var& a, const Var& b) {
                   Node* b = n.parent(1);
                   if (a->requires_grad) scatter(a, b);
                   if (b->requires_grad) scatter(b, a);
-                });
+                 });
+  if (detail::Tracing()) TraceOpIl(OpKind::kRowwiseDot, r, {a, b});
+  return r;
 }
 
 Var MeanRows(const Var& a) {
-  return MakeOp(hybridgnn::MeanRows(a->value), {a}, [](Node& n) {
+  Var r = MakeOp(hybridgnn::MeanRows(a->value), {a}, [](Node& n) {
     Node* a = n.parent(0);
     if (!a->requires_grad) return;
     const float inv = 1.0f / static_cast<float>(a->value.rows());
@@ -446,10 +542,12 @@ Var MeanRows(const Var& a) {
     }
     a->AccumulateGrad(da);
   });
+  if (detail::Tracing()) TraceOpIl(OpKind::kMeanRows, r, {a});
+  return r;
 }
 
 Var SumRows(const Var& a) {
-  return MakeOp(hybridgnn::SumRows(a->value), {a}, [](Node& n) {
+  Var r = MakeOp(hybridgnn::SumRows(a->value), {a}, [](Node& n) {
     Node* a = n.parent(0);
     if (!a->requires_grad) return;
     Tensor da = Tensor::Uninit(a->value.rows(), a->value.cols());
@@ -460,31 +558,37 @@ Var SumRows(const Var& a) {
     }
     a->AccumulateGrad(da);
   });
+  if (detail::Tracing()) TraceOpIl(OpKind::kSumRows, r, {a});
+  return r;
 }
 
 Var MeanAll(const Var& a) {
   const float inv = 1.0f / static_cast<float>(a->value.size());
   Tensor out(1, 1);
   out.At(0, 0) = static_cast<float>(a->value.Sum()) * inv;
-  return MakeOp(std::move(out), {a}, [inv](Node& n) {
+  Var r = MakeOp(std::move(out), {a}, [inv](Node& n) {
     Node* a = n.parent(0);
     if (!a->requires_grad) return;
     Tensor da = Tensor::Full(a->value.rows(), a->value.cols(),
                              n.grad.At(0, 0) * inv);
     a->AccumulateGrad(da);
   });
+  if (detail::Tracing()) TraceOpIl(OpKind::kMeanAll, r, {a});
+  return r;
 }
 
 Var SumAll(const Var& a) {
   Tensor out(1, 1);
   out.At(0, 0) = static_cast<float>(a->value.Sum());
-  return MakeOp(std::move(out), {a}, [](Node& n) {
+  Var r = MakeOp(std::move(out), {a}, [](Node& n) {
     Node* a = n.parent(0);
     if (!a->requires_grad) return;
     Tensor da = Tensor::Full(a->value.rows(), a->value.cols(),
                              n.grad.At(0, 0));
     a->AccumulateGrad(da);
   });
+  if (detail::Tracing()) TraceOpIl(OpKind::kSumAll, r, {a});
+  return r;
 }
 
 Var ConcatRows(std::span<const Var> parts) {
@@ -502,7 +606,7 @@ Var ConcatRows(std::span<const Var> parts) {
               out.RowPtr(at));
     at += p->value.rows();
   }
-  return MakeOp(std::move(out), parts, [](Node& n) {
+  Var res = MakeOp(std::move(out), parts, [](Node& n) {
     size_t at = 0;
     for (size_t i = 0; i < n.num_parents; ++i) {
       Node* p = n.parent(i);
@@ -516,6 +620,8 @@ Var ConcatRows(std::span<const Var> parts) {
       at += r;
     }
   });
+  if (detail::Tracing()) detail::TraceOp(OpKind::kConcatRows, res, parts);
+  return res;
 }
 
 Var ConcatCols(std::span<const Var> parts) {
@@ -535,7 +641,7 @@ Var ConcatCols(std::span<const Var> parts) {
       at += p->value.cols();
     }
   }
-  return MakeOp(std::move(out), parts, [](Node& n) {
+  Var res = MakeOp(std::move(out), parts, [](Node& n) {
     size_t at = 0;
     for (size_t i = 0; i < n.num_parents; ++i) {
       Node* p = n.parent(i);
@@ -551,6 +657,8 @@ Var ConcatCols(std::span<const Var> parts) {
       at += c;
     }
   });
+  if (detail::Tracing()) detail::TraceOp(OpKind::kConcatCols, res, parts);
+  return res;
 }
 
 Var ConcatRows(const std::vector<Var>& parts) {
@@ -575,7 +683,7 @@ Var SliceRows(const Var& a, size_t start, size_t count) {
   Tensor out = Tensor::Uninit(count, a->value.cols());
   std::copy(a->value.RowPtr(start), a->value.RowPtr(start) + out.size(),
             out.data());
-  return MakeOp(std::move(out), {a}, [start](Node& n) {
+  Var r = MakeOp(std::move(out), {a}, [start](Node& n) {
     Node* a = n.parent(0);
     if (!a->requires_grad) return;
     // Zero-initialized: only the sliced rows carry gradient.
@@ -584,6 +692,12 @@ Var SliceRows(const Var& a, size_t start, size_t count) {
               da.RowPtr(start));
     a->AccumulateGrad(da);
   });
+  if (detail::Tracing()) {
+    OpAttrs attrs;
+    attrs.start = start;
+    TraceOpIl(OpKind::kSliceRows, r, {a}, attrs);
+  }
+  return r;
 }
 
 namespace {
@@ -605,20 +719,28 @@ void ScatterGatherGrad(Node& n, const int32_t* indices, size_t count) {
 
 Var GatherRows(const Var& table, std::span<const int32_t> indices) {
   Tensor out = hybridgnn::GatherRows(table->value, indices);
+  Var r;
   if (Tape* tape = Tape::Current()) {
     // Copy the indices into the arena so the caller can reuse its scratch.
     int32_t* stable = tape->AllocateArray<int32_t>(indices.size());
     std::memcpy(stable, indices.data(), indices.size() * sizeof(int32_t));
-    return MakeOp(std::move(out), {table},
-                  [stable, count = indices.size()](Node& n) {
-                    ScatterGatherGrad(n, stable, count);
-                  });
+    r = MakeOp(std::move(out), {table},
+               [stable, count = indices.size()](Node& n) {
+                 ScatterGatherGrad(n, stable, count);
+               });
+  } else {
+    r = MakeOp(std::move(out), {table},
+               [own = std::vector<int32_t>(indices.begin(),
+                                           indices.end())](Node& n) {
+                 ScatterGatherGrad(n, own.data(), own.size());
+               });
   }
-  return MakeOp(std::move(out), {table},
-                [own = std::vector<int32_t>(indices.begin(),
-                                            indices.end())](Node& n) {
-                  ScatterGatherGrad(n, own.data(), own.size());
-                });
+  if (detail::Tracing()) {
+    OpAttrs attrs;
+    attrs.indices = indices;
+    TraceOpIl(OpKind::kGatherRows, r, {table}, attrs);
+  }
+  return r;
 }
 
 Var GatherRows(const Var& table, std::vector<int32_t> indices) {
@@ -651,16 +773,24 @@ Var BceWithLogits(const Var& logits, const std::vector<float>& targets) {
     }
     logits->AccumulateGrad(d);
   };
+  Var r;
   if (Tape* tape = Tape::Current()) {
     float* stable = tape->AllocateArray<float>(m);
     std::memcpy(stable, targets.data(), m * sizeof(float));
-    return MakeOp(std::move(out), {logits},
-                  [backward, stable, m](Node& n) { backward(n, stable, m); });
+    r = MakeOp(std::move(out), {logits},
+               [backward, stable, m](Node& n) { backward(n, stable, m); });
+  } else {
+    r = MakeOp(std::move(out), {logits},
+               [backward, own = targets](Node& n) {
+                 backward(n, own.data(), own.size());
+               });
   }
-  return MakeOp(std::move(out), {logits},
-                [backward, own = targets](Node& n) {
-                  backward(n, own.data(), own.size());
-                });
+  if (detail::Tracing()) {
+    OpAttrs attrs;
+    attrs.floats = targets;
+    TraceOpIl(OpKind::kBceWithLogits, r, {logits}, attrs);
+  }
+  return r;
 }
 
 Var SgnsLoss(const Var& pos, const Var& neg) {

@@ -8,14 +8,13 @@
 
 namespace hybridgnn {
 
-Tensor MatMul(const Tensor& a, const Tensor& b) {
-  HYBRIDGNN_CHECK(a.cols() == b.rows())
-      << "MatMul " << a.ShapeString() << " x " << b.ShapeString();
+namespace {
+
+// Accumulates A*B into a pre-zeroed `c`. ikj loop order: unit-stride axpy
+// over both B and C rows. The zero skip both saves work on sparse-ish
+// activations and keeps results bit-stable when a row is untouched.
+void MatMulAccum(const Tensor& a, const Tensor& b, Tensor& c) {
   const size_t m = a.rows(), k = a.cols(), n = b.cols();
-  Tensor c(m, n);
-  // ikj loop order: unit-stride axpy over both B and C rows. The zero skip
-  // both saves work on sparse-ish activations and keeps results bit-stable
-  // when a row is untouched.
   for (size_t i = 0; i < m; ++i) {
     float* crow = c.RowPtr(i);
     const float* arow = a.RowPtr(i);
@@ -25,7 +24,25 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
       kernels::Axpy(av, b.RowPtr(p), crow, n);
     }
   }
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  HYBRIDGNN_CHECK(a.cols() == b.rows())
+      << "MatMul " << a.ShapeString() << " x " << b.ShapeString();
+  Tensor c(a.rows(), b.cols());
+  MatMulAccum(a, b, c);
   return c;
+}
+
+void MatMulInto(const Tensor& a, const Tensor& b, Tensor* dst) {
+  HYBRIDGNN_CHECK(a.cols() == b.rows())
+      << "MatMul " << a.ShapeString() << " x " << b.ShapeString();
+  HYBRIDGNN_CHECK(dst->rows() == a.rows() && dst->cols() == b.cols())
+      << "MatMulInto dst " << dst->ShapeString();
+  dst->Zero();
+  MatMulAccum(a, b, *dst);
 }
 
 Tensor MatMulTransA(const Tensor& a, const Tensor& b) {
@@ -62,6 +79,21 @@ Tensor MatMulTransB(const Tensor& a, const Tensor& b) {
 
 namespace {
 
+// The Into flavors tolerate dst aliasing an input: every loop reads its
+// operands at index i strictly before writing dst at i.
+template <typename F>
+void ZipInto(const Tensor& a, const Tensor& b, Tensor* dst, F f,
+             const char* what) {
+  HYBRIDGNN_CHECK(a.SameShape(b)) << what << " shape mismatch: "
+                                  << a.ShapeString() << " vs "
+                                  << b.ShapeString();
+  HYBRIDGNN_CHECK(dst->SameShape(a)) << what << "Into dst shape";
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = dst->data();
+  for (size_t i = 0; i < a.size(); ++i) pc[i] = f(pa[i], pb[i]);
+}
+
 template <typename F>
 Tensor Zip(const Tensor& a, const Tensor& b, F f, const char* what) {
   HYBRIDGNN_CHECK(a.SameShape(b)) << what << " shape mismatch: "
@@ -73,6 +105,14 @@ Tensor Zip(const Tensor& a, const Tensor& b, F f, const char* what) {
   float* pc = c.data();
   for (size_t i = 0; i < a.size(); ++i) pc[i] = f(pa[i], pb[i]);
   return c;
+}
+
+template <typename F>
+void MapInto(const Tensor& a, Tensor* dst, F f) {
+  HYBRIDGNN_CHECK(dst->SameShape(a)) << "MapInto dst shape";
+  const float* pa = a.data();
+  float* pc = dst->data();
+  for (size_t i = 0; i < a.size(); ++i) pc[i] = f(pa[i]);
 }
 
 template <typename F>
@@ -98,6 +138,18 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   return Zip(a, b, [](float x, float y) { return x * y; }, "Mul");
 }
 
+void AddInto(const Tensor& a, const Tensor& b, Tensor* dst) {
+  ZipInto(a, b, dst, [](float x, float y) { return x + y; }, "Add");
+}
+
+void SubInto(const Tensor& a, const Tensor& b, Tensor* dst) {
+  ZipInto(a, b, dst, [](float x, float y) { return x - y; }, "Sub");
+}
+
+void MulInto(const Tensor& a, const Tensor& b, Tensor* dst) {
+  ZipInto(a, b, dst, [](float x, float y) { return x * y; }, "Mul");
+}
+
 Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
   HYBRIDGNN_CHECK(bias.rows() == 1 && bias.cols() == a.cols())
       << "AddRowBroadcast bias " << bias.ShapeString() << " vs "
@@ -109,18 +161,45 @@ Tensor AddRowBroadcast(const Tensor& a, const Tensor& bias) {
   return c;
 }
 
+void AddRowBroadcastInto(const Tensor& a, const Tensor& bias, Tensor* dst) {
+  HYBRIDGNN_CHECK(bias.rows() == 1 && bias.cols() == a.cols())
+      << "AddRowBroadcast bias " << bias.ShapeString() << " vs "
+      << a.ShapeString();
+  HYBRIDGNN_CHECK(dst->SameShape(a)) << "AddRowBroadcastInto dst shape";
+  if (dst->data() != a.data()) {
+    std::copy(a.data(), a.data() + a.size(), dst->data());
+  }
+  for (size_t i = 0; i < a.rows(); ++i) {
+    kernels::Axpy(1.0f, bias.RowPtr(0), dst->RowPtr(i), a.cols());
+  }
+}
+
 Tensor Scale(const Tensor& a, float alpha) {
   Tensor c = a;
   kernels::Scale(alpha, c.data(), c.size());
   return c;
 }
 
+void ScaleInto(const Tensor& a, float alpha, Tensor* dst) {
+  HYBRIDGNN_CHECK(dst->SameShape(a)) << "ScaleInto dst shape";
+  if (dst->data() != a.data()) {
+    std::copy(a.data(), a.data() + a.size(), dst->data());
+  }
+  kernels::Scale(alpha, dst->data(), dst->size());
+}
+
 Tensor Transpose(const Tensor& a) {
   Tensor c = Tensor::Uninit(a.cols(), a.rows());
-  for (size_t i = 0; i < a.rows(); ++i) {
-    for (size_t j = 0; j < a.cols(); ++j) c.At(j, i) = a.At(i, j);
-  }
+  TransposeInto(a, &c);
   return c;
+}
+
+void TransposeInto(const Tensor& a, Tensor* dst) {
+  HYBRIDGNN_CHECK(dst->rows() == a.cols() && dst->cols() == a.rows())
+      << "TransposeInto dst " << dst->ShapeString();
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < a.cols(); ++j) dst->At(j, i) = a.At(i, j);
+  }
 }
 
 Tensor Sigmoid(const Tensor& a) {
@@ -135,6 +214,30 @@ Tensor Relu(const Tensor& a) {
   return Map(a, [](float x) { return x > 0.0f ? x : 0.0f; });
 }
 
+void SigmoidInto(const Tensor& a, Tensor* dst) {
+  MapInto(a, dst, [](float x) { return 1.0f / (1.0f + std::exp(-x)); });
+}
+
+void TanhInto(const Tensor& a, Tensor* dst) {
+  MapInto(a, dst, [](float x) { return std::tanh(x); });
+}
+
+void ReluInto(const Tensor& a, Tensor* dst) {
+  MapInto(a, dst, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Tensor LogSigmoid(const Tensor& a) {
+  return Map(a, [](float x) {
+    return std::min(x, 0.0f) - std::log1p(std::exp(-std::abs(x)));
+  });
+}
+
+void LogSigmoidInto(const Tensor& a, Tensor* dst) {
+  MapInto(a, dst, [](float x) {
+    return std::min(x, 0.0f) - std::log1p(std::exp(-std::abs(x)));
+  });
+}
+
 Tensor Log(const Tensor& a) {
   return Map(a, [](float x) { return std::log(std::max(x, 1e-12f)); });
 }
@@ -145,9 +248,15 @@ Tensor Exp(const Tensor& a) {
 
 Tensor SoftmaxRows(const Tensor& a) {
   Tensor c = Tensor::Uninit(a.rows(), a.cols());
+  SoftmaxRowsInto(a, &c);
+  return c;
+}
+
+void SoftmaxRowsInto(const Tensor& a, Tensor* dst) {
+  HYBRIDGNN_CHECK(dst->SameShape(a)) << "SoftmaxRowsInto dst shape";
   for (size_t i = 0; i < a.rows(); ++i) {
     const float* arow = a.RowPtr(i);
-    float* crow = c.RowPtr(i);
+    float* crow = dst->RowPtr(i);
     float mx = arow[0];
     for (size_t j = 1; j < a.cols(); ++j) mx = std::max(mx, arow[j]);
     float sum = 0.0f;
@@ -158,16 +267,22 @@ Tensor SoftmaxRows(const Tensor& a) {
     const float inv = 1.0f / sum;
     for (size_t j = 0; j < a.cols(); ++j) crow[j] *= inv;
   }
-  return c;
 }
 
 Tensor RowwiseDot(const Tensor& a, const Tensor& b) {
   HYBRIDGNN_CHECK(a.SameShape(b)) << "RowwiseDot shape mismatch";
   Tensor c = Tensor::Uninit(a.rows(), 1);
-  for (size_t i = 0; i < a.rows(); ++i) {
-    c.At(i, 0) = kernels::Dot(a.RowPtr(i), b.RowPtr(i), a.cols());
-  }
+  RowwiseDotInto(a, b, &c);
   return c;
+}
+
+void RowwiseDotInto(const Tensor& a, const Tensor& b, Tensor* dst) {
+  HYBRIDGNN_CHECK(a.SameShape(b)) << "RowwiseDot shape mismatch";
+  HYBRIDGNN_CHECK(dst->rows() == a.rows() && dst->cols() == 1)
+      << "RowwiseDotInto dst " << dst->ShapeString();
+  for (size_t i = 0; i < a.rows(); ++i) {
+    dst->At(i, 0) = kernels::Dot(a.RowPtr(i), b.RowPtr(i), a.cols());
+  }
 }
 
 Tensor MeanRows(const Tensor& a) {
@@ -175,6 +290,12 @@ Tensor MeanRows(const Tensor& a) {
   Tensor c = SumRows(a);
   c.ScaleInPlace(1.0f / static_cast<float>(a.rows()));
   return c;
+}
+
+void MeanRowsInto(const Tensor& a, Tensor* dst) {
+  HYBRIDGNN_CHECK(a.rows() > 0) << "MeanRows of empty tensor";
+  SumRowsInto(a, dst);
+  dst->ScaleInPlace(1.0f / static_cast<float>(a.rows()));
 }
 
 Tensor SumRows(const Tensor& a) {
@@ -189,17 +310,35 @@ Tensor SumRows(const Tensor& a) {
   return c;
 }
 
+void SumRowsInto(const Tensor& a, Tensor* dst) {
+  HYBRIDGNN_CHECK(dst->rows() == 1 && dst->cols() == a.cols())
+      << "SumRowsInto dst " << dst->ShapeString();
+  dst->Zero();
+  float* crow = dst->RowPtr(0);
+  for (size_t i = 0; i < a.rows(); ++i) {
+    kernels::Axpy(1.0f, a.RowPtr(i), crow, a.cols());
+  }
+}
+
 Tensor GatherRows(const Tensor& table, std::span<const int32_t> indices) {
   Tensor c = Tensor::Uninit(indices.size(), table.cols());
+  GatherRowsInto(table, indices, &c);
+  return c;
+}
+
+void GatherRowsInto(const Tensor& table, std::span<const int32_t> indices,
+                    Tensor* dst) {
+  HYBRIDGNN_CHECK(dst->rows() == indices.size() &&
+                  dst->cols() == table.cols())
+      << "GatherRowsInto dst " << dst->ShapeString();
   for (size_t i = 0; i < indices.size(); ++i) {
     const int32_t r = indices[i];
     HYBRIDGNN_CHECK(r >= 0 && static_cast<size_t>(r) < table.rows())
         << "GatherRows index " << r << " out of range " << table.rows();
     const float* src = table.RowPtr(static_cast<size_t>(r));
-    float* dst = c.RowPtr(i);
-    std::copy(src, src + table.cols(), dst);
+    float* d = dst->RowPtr(i);
+    std::copy(src, src + table.cols(), d);
   }
-  return c;
 }
 
 Tensor GatherRows(const Tensor& table, const std::vector<int32_t>& indices) {

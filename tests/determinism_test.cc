@@ -23,6 +23,7 @@
 #include "core/hybrid_gnn.h"
 #include "graph/metapath.h"
 #include "kernels/kernels.h"
+#include "obs/metrics.h"
 #include "sampling/corpus.h"
 #include "sampling/negative_sampler.h"
 #include "sampling/sgns.h"
@@ -89,6 +90,32 @@ TEST(DeterminismTest, SerialFitMatchesPreParallelGolden) {
     EXPECT_FLOAT_EQ(e00.At(0, j), kGoldenV0R0[j]) << "v0 r0 col " << j;
     EXPECT_FLOAT_EQ(e51.At(0, j), kGoldenV5R1[j]) << "v5 r1 col " << j;
   }
+}
+
+TEST(DeterminismTest, SerialFitWithCompiledPlanMatchesGolden) {
+  // Compiled-plan replay (FitOptions{compile_plan}) must be bit-identical to
+  // the eager tape on the serial scalar path — same goldens, no tolerance.
+  // We also assert plan/replays advanced, so a silently-poisoned recorder
+  // (which would fall back to eager and pass vacuously) fails the test.
+  kernels::ScopedBackend scalar(kernels::Backend::kScalar);
+  const uint64_t replays_before =
+      obs::GlobalRegistry().GetCounter("plan/replays").value();
+  MultiplexHeteroGraph g = testing::SmallBipartite();
+  HybridGnn model(TinyConfig(), TinySchemes(g));
+  FitOptions opts;
+  opts.num_threads = 1;
+  opts.compile_plan = true;
+  ASSERT_TRUE(model.Fit(g, opts).ok());
+  Tensor e00 = model.Embedding(0, 0);
+  Tensor e51 = model.Embedding(5, 1);
+  ASSERT_EQ(e00.cols(), 16u);
+  for (size_t j = 0; j < 16; ++j) {
+    EXPECT_FLOAT_EQ(e00.At(0, j), kGoldenV0R0[j]) << "v0 r0 col " << j;
+    EXPECT_FLOAT_EQ(e51.At(0, j), kGoldenV5R1[j]) << "v5 r1 col " << j;
+  }
+  EXPECT_GT(obs::GlobalRegistry().GetCounter("plan/replays").value(),
+            replays_before)
+      << "compile_plan was on but no step replayed a compiled plan";
 }
 
 TEST(DeterminismTest, DefaultFitOverloadIsTheSerialPath) {

@@ -1,0 +1,413 @@
+// Golden tests for the step IR's textual dump, one rewrite pass at a time
+// (before/after for inplacing, elementwise fusion, constant folding, and
+// dead-gradient elimination), plus a randomized op-DAG fuzzer asserting
+// that every generated graph compiles, replays bit-identically to eager,
+// and re-records cleanly after a shape change (the model-level retrace).
+//
+// The goldens pin StepPlan::Dump() exactly — change src/plan/ir.cc or the
+// pass pipeline only together with these strings.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "plan/plan.h"
+#include "tensor/autograd.h"
+#include "tensor/init.h"
+#include "tensor/pool.h"
+
+namespace hybridgnn {
+namespace {
+
+using ag::Var;
+
+constexpr uint64_t kSeed = 0xA12EA;
+
+std::vector<uint32_t> Bits(const Tensor& t) {
+  std::vector<uint32_t> out(t.size());
+  if (!t.empty()) std::memcpy(out.data(), t.data(), t.size() * sizeof(float));
+  return out;
+}
+
+std::vector<Var> MakeParams(uint64_t seed) {
+  Rng rng(seed);
+  auto mk = [&](size_t r, size_t c) {
+    Tensor t(r, c);
+    UniformInit(t, rng, -0.8f, 0.8f);
+    return ag::Param(std::move(t));
+  };
+  return {mk(3, 4), mk(4, 2), mk(3, 4), mk(1, 4), mk(3, 1), mk(2, 1)};
+}
+
+using GraphFn = std::function<Var(const std::vector<Var>&)>;
+using OptsFn = std::function<plan::PassOptions(const std::vector<Var>&)>;
+
+plan::PassOptions NoPasses() {
+  plan::PassOptions o;
+  o.fold_constants = false;
+  o.fuse_elementwise = false;
+  o.dead_grad_elim = false;
+  o.inplace = false;
+  return o;
+}
+
+std::string DumpFor(const GraphFn& build, const OptsFn& opts_fn) {
+  pool::PoolScope with_pool(true);
+  std::vector<Var> params = MakeParams(kSeed);
+  const plan::PassOptions opts = opts_fn(params);
+  std::unique_ptr<plan::CompiledStep> step;
+  {
+    ag::TapeScope tape;
+    plan::Recorder rec;
+    Var loss = build(params);
+    step = rec.Finalize(loss, opts);
+    EXPECT_NE(step, nullptr) << "trace poisoned: " << rec.poison_reason();
+  }
+  return step ? step->plan().Dump() : "";
+}
+
+void ExpectDump(const GraphFn& build, const OptsFn& opts_fn,
+                const char* golden, const char* what) {
+  const std::string got = DumpFor(build, opts_fn);
+  EXPECT_EQ(got, std::string(golden)) << what << " actual dump:\n" << got;
+}
+
+// ---- Elementwise-chain fusion --------------------------------------------
+
+Var ChainGraph(const std::vector<Var>& p) {
+  return ag::SumAll(ag::Tanh(ag::Relu(ag::Scale(p[0], 0.5f))));
+}
+
+constexpr char kChainBefore[] =
+    R"(plan root=v4 train=1 values=5 ops=4 schedule=4 buffers=4 islots=0 sslots=0 fslots=0
+stats folded=0 fused_chains=0 fused_ops=0 dead_grad_elided=0 inplaced=0 passes_applied=0
+v0: param [3x4] grad
+v1: op0 [3x4] grad pin buf0
+v2: op1 [3x4] grad buf1
+v3: op2 [3x4] grad pin buf2
+v4: op3 [1x1] grad pin buf3
+op0: Scale(v0) -> v1 alpha=0.5 [bwd]
+op1: Relu(v1) -> v2 [bwd]
+op2: Tanh(v2) -> v3 [bwd]
+op3: SumAll(v3) -> v4 [bwd]
+backward: op3 op2 op1 op0
+)";
+constexpr char kChainAfter[] =
+    R"(plan root=v4 train=1 values=5 ops=4 schedule=2 buffers=2 islots=0 sslots=0 fslots=0
+stats folded=0 fused_chains=1 fused_ops=3 dead_grad_elided=0 inplaced=0 passes_applied=1
+v0: param [3x4] grad pin
+v1: op-1 [3x4] dead
+v2: op-1 [3x4] dead
+v3: op2 [3x4] grad buf0
+v4: op3 [1x1] grad pin buf1
+op0: Scale(v0) -> v1 alpha=0.5 [dead]
+op1: Relu(v1) -> v2 [dead]
+op2: EwChain(v0) -> v3 stages={scale(0.5),relu,tanh} [bwd]
+op3: SumAll(v3) -> v4 [bwd]
+backward: op3 op2
+)";
+
+TEST(PlanIrGolden, ElementwiseFusionBeforeAfter) {
+  ExpectDump(ChainGraph, [](const std::vector<Var>&) { return NoPasses(); },
+             kChainBefore, "chain/before");
+  ExpectDump(ChainGraph,
+             [](const std::vector<Var>&) {
+               plan::PassOptions o = NoPasses();
+               o.fuse_elementwise = true;
+               return o;
+             },
+             kChainAfter, "chain/fused");
+}
+
+// ---- Constant folding ----------------------------------------------------
+
+Var FoldGraph(const std::vector<Var>& p) {
+  Var c = ag::Constant(Tensor::Full(3, 4, 0.25f));
+  return ag::SumAll(ag::Mul(ag::Scale(c, 2.0f), p[0]));
+}
+
+constexpr char kFoldBefore[] =
+    R"(plan root=v4 train=1 values=5 ops=3 schedule=3 buffers=3 islots=0 sslots=0 fslots=0
+stats folded=0 fused_chains=0 fused_ops=0 dead_grad_elided=0 inplaced=0 passes_applied=0
+v0: const [3x4]
+v1: op0 [3x4] pin buf0
+v2: param [3x4] grad pin
+v3: op1 [3x4] grad buf1
+v4: op2 [1x1] grad pin buf2
+op0: Scale(v0) -> v1 alpha=2
+op1: Mul(v1, v2) -> v3 [bwd]
+op2: SumAll(v3) -> v4 [bwd]
+backward: op2 op1
+)";
+constexpr char kFoldAfter[] =
+    R"(plan root=v4 train=1 values=5 ops=3 schedule=2 buffers=2 islots=0 sslots=0 fslots=0
+stats folded=1 fused_chains=0 fused_ops=0 dead_grad_elided=0 inplaced=0 passes_applied=1
+v0: const [3x4]
+v1: const [3x4] pin
+v2: param [3x4] grad pin
+v3: op1 [3x4] grad buf0
+v4: op2 [1x1] grad pin buf1
+op0: Scale(v0) -> v1 alpha=2 [dead]
+op1: Mul(v1, v2) -> v3 [bwd]
+op2: SumAll(v3) -> v4 [bwd]
+backward: op2 op1
+)";
+
+TEST(PlanIrGolden, ConstantFoldingBeforeAfter) {
+  ExpectDump(FoldGraph, [](const std::vector<Var>&) { return NoPasses(); },
+             kFoldBefore, "fold/before");
+  ExpectDump(FoldGraph,
+             [](const std::vector<Var>&) {
+               plan::PassOptions o = NoPasses();
+               o.fold_constants = true;
+               return o;
+             },
+             kFoldAfter, "fold/folded");
+}
+
+// ---- Dead-gradient elimination (frozen params) ---------------------------
+
+Var FrozenGraph(const std::vector<Var>& p) {
+  // Tanh(p0) feeds nothing trainable once p0 is frozen, so its whole
+  // branch drops out of the backward schedule; Tanh(p2) keeps training.
+  return ag::SumAll(ag::Add(ag::Tanh(p[0]), ag::Tanh(p[2])));
+}
+
+// Note the op numbering: the compiler evaluates Add's arguments
+// right-to-left here, so op0 is Tanh(p[2]) and op1 is Tanh(p[0]).
+constexpr char kFrozenBefore[] =
+    R"(plan root=v5 train=1 values=6 ops=4 schedule=4 buffers=4 islots=0 sslots=0 fslots=0
+stats folded=0 fused_chains=0 fused_ops=0 dead_grad_elided=0 inplaced=0 passes_applied=0
+v0: param [3x4] grad
+v1: op0 [3x4] grad pin buf0
+v2: param [3x4] grad
+v3: op1 [3x4] grad pin buf1
+v4: op2 [3x4] grad buf2
+v5: op3 [1x1] grad pin buf3
+op0: Tanh(v0) -> v1 [bwd]
+op1: Tanh(v2) -> v3 [bwd]
+op2: Add(v3, v1) -> v4 [bwd]
+op3: SumAll(v4) -> v5 [bwd]
+backward: op3 op2 op0 op1
+)";
+constexpr char kFrozenAfter[] =
+    R"(plan root=v5 train=1 values=6 ops=4 schedule=4 buffers=4 islots=0 sslots=0 fslots=0
+stats folded=0 fused_chains=0 fused_ops=0 dead_grad_elided=1 inplaced=0 passes_applied=1
+v0: param [3x4] grad
+v1: op0 [3x4] grad pin buf0
+v2: param [3x4]
+v3: op1 [3x4] buf1
+v4: op2 [3x4] grad buf2
+v5: op3 [1x1] grad pin buf3
+op0: Tanh(v0) -> v1 [bwd]
+op1: Tanh(v2) -> v3
+op2: Add(v3, v1) -> v4 [bwd]
+op3: SumAll(v4) -> v5 [bwd]
+backward: op3 op2 op0
+)";
+
+TEST(PlanIrGolden, DeadGradElimBeforeAfter) {
+  ExpectDump(FrozenGraph, [](const std::vector<Var>&) { return NoPasses(); },
+             kFrozenBefore, "frozen/before");
+  ExpectDump(FrozenGraph,
+             [](const std::vector<Var>& params) {
+               plan::PassOptions o = NoPasses();
+               o.dead_grad_elim = true;
+               o.frozen.insert(params[0].get());
+               return o;
+             },
+             kFrozenAfter, "frozen/elided");
+}
+
+// ---- Inplacing -----------------------------------------------------------
+
+Var InplaceGraph(const std::vector<Var>& p) {
+  // Add's output dies at the Sigmoid that consumes it — an inplacing donor.
+  return ag::SumAll(ag::Sigmoid(ag::Add(p[0], p[2])));
+}
+
+constexpr char kInplaceBefore[] =
+    R"(plan root=v4 train=1 values=5 ops=3 schedule=3 buffers=3 islots=0 sslots=0 fslots=0
+stats folded=0 fused_chains=0 fused_ops=0 dead_grad_elided=0 inplaced=0 passes_applied=0
+v0: param [3x4] grad
+v1: param [3x4] grad
+v2: op0 [3x4] grad buf0
+v3: op1 [3x4] grad pin buf1
+v4: op2 [1x1] grad pin buf2
+op0: Add(v0, v1) -> v2 [bwd]
+op1: Sigmoid(v2) -> v3 [bwd]
+op2: SumAll(v3) -> v4 [bwd]
+backward: op2 op1 op0
+)";
+constexpr char kInplaceAfter[] =
+    R"(plan root=v4 train=1 values=5 ops=3 schedule=3 buffers=2 islots=0 sslots=0 fslots=0
+stats folded=0 fused_chains=0 fused_ops=0 dead_grad_elided=0 inplaced=1 passes_applied=1
+v0: param [3x4] grad
+v1: param [3x4] grad
+v2: op0 [3x4] grad buf0
+v3: op1 [3x4] grad pin buf0
+v4: op2 [1x1] grad pin buf1
+op0: Add(v0, v1) -> v2 [bwd]
+op1: Sigmoid(v2) -> v3 inplace(arg0) [bwd]
+op2: SumAll(v3) -> v4 [bwd]
+backward: op2 op1 op0
+)";
+
+TEST(PlanIrGolden, InplacingBeforeAfter) {
+  ExpectDump(InplaceGraph, [](const std::vector<Var>&) { return NoPasses(); },
+             kInplaceBefore, "inplace/before");
+  ExpectDump(InplaceGraph,
+             [](const std::vector<Var>&) {
+               plan::PassOptions o = NoPasses();
+               o.inplace = true;
+               return o;
+             },
+             kInplaceAfter, "inplace/after");
+}
+
+// ---- Randomized op-DAG fuzzer --------------------------------------------
+
+// A deterministic recipe of shape-preserving ops over a pool of values that
+// starts at the params. Interpreted identically for the eager and compiled
+// runs, so the two graphs are the same DAG by construction.
+struct FuzzStep {
+  int op = 0;  // 0..6 unary, 7..9 binary
+  int a = 0;
+  int b = 0;
+  float alpha = 1.0f;
+};
+
+std::vector<FuzzStep> MakeRecipe(uint64_t seed, int len, int num_params) {
+  Rng rng(0x5EED0000ull + seed);
+  std::vector<FuzzStep> recipe;
+  for (int i = 0; i < len; ++i) {
+    FuzzStep s;
+    s.op = static_cast<int>(rng.UniformUint64(10));
+    const int pool = num_params + i;
+    s.a = static_cast<int>(rng.UniformUint64(pool));
+    s.b = static_cast<int>(rng.UniformUint64(pool));
+    s.alpha = rng.UniformFloat(-1.5f, 1.5f);
+    recipe.push_back(s);
+  }
+  return recipe;
+}
+
+Var BuildFromRecipe(const std::vector<FuzzStep>& recipe,
+                    const std::vector<Var>& params) {
+  std::vector<Var> pool = params;
+  for (const FuzzStep& s : recipe) {
+    const Var& a = pool[s.a];
+    const Var& b = pool[s.b];
+    switch (s.op) {
+      case 0:
+        pool.push_back(ag::Sigmoid(a));
+        break;
+      case 1:
+        pool.push_back(ag::Tanh(a));
+        break;
+      case 2:
+        pool.push_back(ag::Relu(a));
+        break;
+      case 3:
+        pool.push_back(ag::LogSigmoid(a));
+        break;
+      case 4:
+        pool.push_back(ag::Scale(a, s.alpha));
+        break;
+      case 5:
+        pool.push_back(ag::Neg(a));
+        break;
+      case 6:
+        pool.push_back(ag::SoftmaxRows(a));
+        break;
+      case 7:
+        pool.push_back(ag::Add(a, b));
+        break;
+      case 8:
+        pool.push_back(ag::Sub(a, b));
+        break;
+      default:
+        pool.push_back(ag::Mul(a, b));
+        break;
+    }
+  }
+  Var loss = ag::SumAll(pool.back());
+  pool.clear();  // drop every non-root handle before Finalize
+  return loss;
+}
+
+// One fuzz case at one shape: eager bits vs record+replay bits, replayed
+// twice to check replay stability.
+void RunFuzzShape(const std::vector<FuzzStep>& recipe, uint64_t param_seed,
+                  size_t rows, size_t cols, const char* what) {
+  pool::PoolScope with_pool(true);
+  Rng prng(param_seed);
+  std::vector<Var> params;
+  for (int i = 0; i < 3; ++i) {
+    Tensor t(rows, cols);
+    UniformInit(t, prng, -0.8f, 0.8f);
+    params.push_back(ag::Param(std::move(t)));
+  }
+
+  std::vector<uint32_t> eager_loss;
+  std::vector<std::vector<uint32_t>> eager_grads;
+  {
+    ag::TapeScope tape;
+    Var loss = BuildFromRecipe(recipe, params);
+    ag::Backward(loss);
+    eager_loss = Bits(loss->value);
+  }
+  for (const Var& p : params) {
+    eager_grads.push_back(Bits(p->grad));
+    p->grad = Tensor();
+  }
+
+  std::unique_ptr<plan::CompiledStep> step;
+  {
+    ag::TapeScope tape;
+    plan::Recorder rec;
+    Var loss = BuildFromRecipe(recipe, params);
+    step = rec.Finalize(loss);
+    ASSERT_NE(step, nullptr)
+        << what << ": trace poisoned: " << rec.poison_reason();
+  }
+  for (int replay = 0; replay < 2; ++replay) {
+    for (const Var& p : params) p->grad = Tensor();
+    std::vector<uint32_t> loss_bits;
+    {
+      ag::TapeScope tape;
+      Var loss = step->ReplayTrain({});
+      ag::Backward(loss);
+      loss_bits = Bits(loss->value);
+    }
+    EXPECT_EQ(loss_bits, eager_loss) << what << " replay " << replay;
+    for (size_t i = 0; i < params.size(); ++i) {
+      EXPECT_EQ(Bits(params[i]->grad), eager_grads[i])
+          << what << " replay " << replay << " grad " << i;
+    }
+  }
+}
+
+TEST(PlanFuzz, RandomDagsCompileReplayAndRetrace) {
+  for (uint64_t seed = 0; seed < 24; ++seed) {
+    const std::vector<FuzzStep> recipe =
+        MakeRecipe(seed, /*len=*/2 + static_cast<int>(seed % 7),
+                   /*num_params=*/3);
+    char what[64];
+    // Shape A, then a different shape — the model-level "retrace after
+    // shape change" is exactly a fresh record at the new shape.
+    std::snprintf(what, sizeof(what), "dag seed %llu shape A",
+                  static_cast<unsigned long long>(seed));
+    RunFuzzShape(recipe, 0xF00D ^ seed, 3 + seed % 3, 4, what);
+    std::snprintf(what, sizeof(what), "dag seed %llu shape B",
+                  static_cast<unsigned long long>(seed));
+    RunFuzzShape(recipe, 0xF00D ^ seed, 5, 6, what);
+  }
+}
+
+}  // namespace
+}  // namespace hybridgnn
