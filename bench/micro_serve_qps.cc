@@ -3,7 +3,9 @@
 //   scan:     exact top-k QPS over one embedding table, measured per store
 //             dtype (fp32 / fp16 / int8) through TopKRecommender, plus
 //             recall@10 of each quantized store against the fp32 exact
-//             ranking on the same queries;
+//             ranking on the same queries; an int8+ANN column tracks the
+//             quantization x candidate-generation composition (the ANN
+//             gate itself lives in bench/micro_ann);
 //   overload: a RecommendService with a bounded queue driven open-loop at
 //             2x its measured closed-loop capacity — the shed counter must
 //             move and the served p99 must stay bounded by the queue size,
@@ -254,17 +256,28 @@ int Main(int argc, char** argv) {
   TopKRecommender rec_f32(&f32, nullptr, options);
   TopKRecommender rec_f16(&*f16, nullptr, options);
   TopKRecommender rec_i8(&*i8, nullptr, options);
+  // Quantization x ANN composition: the sublinear candidate generator in
+  // front of the int8 re-rank kernels (the full bar is bench/micro_ann;
+  // this column tracks that the two optimizations stack).
+  TopKOptions ann_options = options;
+  ann_options.ann = true;
+  ann_options.ef_search = 256;   // serving-grade recall at this table size
+  ann_options.ann_build.M = 24;  // micro_ann's gate config
+  TopKRecommender rec_i8_ann(&*i8, nullptr, ann_options);
 
   const auto queries = MakeQueries(num_queries, rows);
   const double kMinSeconds = 0.4;
   ScanResult scan_f32 = MeasureScan(rec_f32, queries, kMinSeconds);
   ScanResult scan_f16 = MeasureScan(rec_f16, queries, kMinSeconds);
   ScanResult scan_i8 = MeasureScan(rec_i8, queries, kMinSeconds);
+  ScanResult scan_i8_ann = MeasureScan(rec_i8_ann, queries, kMinSeconds);
 
   const double recall_f16 = RecallAt10(scan_f32.topk, scan_f16.topk);
   const double recall_i8 = RecallAt10(scan_f32.topk, scan_i8.topk);
+  const double recall_i8_ann = RecallAt10(scan_f32.topk, scan_i8_ann.topk);
   const double speedup_f16 = scan_f16.qps / scan_f32.qps;
   const double speedup_i8 = scan_i8.qps / scan_f32.qps;
+  const double speedup_i8_ann = scan_i8_ann.qps / scan_f32.qps;
 
   std::printf("  fp32 exact scan : %9.0f qps (recall@10 1.0000 by "
               "definition)\n",
@@ -274,6 +287,12 @@ int Main(int argc, char** argv) {
   std::printf("  int8 scan       : %9.0f qps (%.2fx, recall@10 %.4f, "
               "gate >= 2x at >= 0.95)\n",
               scan_i8.qps, speedup_i8, recall_i8);
+  std::printf("  int8 + ann      : %9.0f qps (%.2fx, recall@10 %.4f, "
+              "%s)\n",
+              scan_i8_ann.qps, speedup_i8_ann, recall_i8_ann,
+              rec_i8_ann.ann_enabled() && rec_i8_ann.ann_indexes()[0]
+                  ? "hnsw candidate generation"
+                  : "exact fallback — table below ann_min_rows");
 
   OverloadResult overload = MeasureOverload(rec_i8);
   const double shed_frac = overload.submitted > 0
@@ -299,8 +318,10 @@ int Main(int argc, char** argv) {
   report.AddStage("fp32_qps", 1, 0.0, scan_f32.qps);
   report.AddStage("fp16_qps", 1, 0.0, scan_f16.qps);
   report.AddStage("int8_qps", 1, 0.0, scan_i8.qps);
+  report.AddStage("int8_ann_qps", 1, 0.0, scan_i8_ann.qps);
   report.AddStage("fp16_recall_at_10", 1, 0.0, recall_f16);
   report.AddStage("int8_recall_at_10", 1, 0.0, recall_i8);
+  report.AddStage("int8_ann_recall_at_10", 1, 0.0, recall_i8_ann);
   report.AddStage("int8_speedup", 1, 0.0, speedup_i8);
   report.AddStage("capacity_qps", 1, 0.0, overload.capacity_qps);
   report.AddStage("overload_shed_fraction", 1, 0.0, shed_frac);

@@ -5,6 +5,7 @@
 //   hybridgnn_serve --graph g.txt [--model HybridGNN] [--seed N]
 //                   [--load ckpt.hgc] [--save ckpt.hgc] [--copy 1]
 //                   [--quantize fp16|int8]
+//                   [--ann 1] [--ef-search 64] [--over-fetch 4]
 //                   [--k 10] [--cosine 1] [--threads N]
 //                   [--window-ms 1.0] [--max-batch 64]
 //                   [--deadline-ms 0] [--max-queue 0] [--cache 0]
@@ -18,6 +19,16 @@
 // recall cost (see DESIGN.md section 15). With --save the checkpoint is
 // written after conversion, so the file on disk is a v2 quantized `.hgc`.
 // Incompatible with --stream (the live refresher trains on fp32 rows).
+//
+// --ann builds an HNSW index per relation at startup (and rebuilds or
+// incrementally patches it on every streaming publish) so each query
+// searches a sublinear candidate pool instead of scanning the whole
+// table; the pool is re-ranked through the exact scoring kernels, so
+// result semantics are unchanged (see DESIGN.md section 17). --ef-search
+// is the search beam width / pool floor, --over-fetch multiplies k into
+// the pool so exclusion filters don't starve the top-k. HYBRIDGNN_ANN=
+// on|off overrides --ann at runtime; small tables always take the exact
+// scan.
 //
 // --deadline-ms / --max-queue / --cache are the admission controls:
 // default per-request deadline, load-shedding queue cap, and warm
@@ -102,6 +113,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: %s --graph <file> [--model NAME] [--load ckpt.hgc] "
                  "[--save ckpt.hgc] [--copy 1] [--quantize fp16|int8] "
+                 "[--ann 1] [--ef-search N] [--over-fetch N] "
                  "[--k N] [--cosine 1] "
                  "[--threads N] [--window-ms F] [--max-batch N] "
                  "[--deadline-ms F] [--max-queue N] [--cache N] [--seed N] "
@@ -170,11 +182,35 @@ int main(int argc, char** argv) {
   // --- retrieval engine + micro-batching service ---
   TopKOptions topk;
   topk.cosine = flags.count("cosine") && flags["cosine"] != "0";
+  topk.ann = flags.count("ann") && flags["ann"] != "0";
+  if (flags.count("ef-search")) {
+    topk.ef_search =
+        static_cast<size_t>(ParseInt64(flags["ef-search"]).value_or(64));
+  }
+  if (flags.count("over-fetch")) {
+    topk.over_fetch =
+        static_cast<size_t>(ParseInt64(flags["over-fetch"]).value_or(4));
+  }
   if (flags.count("threads")) {
     topk.num_threads =
         static_cast<size_t>(ParseInt64(flags["threads"]).value_or(0));
   }
   TopKRecommender recommender(store.get(), &*graph, topk);
+  if (recommender.ann_enabled()) {
+    size_t indexed = 0, index_bytes = 0;
+    for (const auto& index : recommender.ann_indexes()) {
+      if (index != nullptr) {
+        ++indexed;
+        index_bytes += index->MemoryBytes();
+      }
+    }
+    std::printf(
+        "ann: indexed %zu/%zu relations (%.1f MiB adjacency, ef_search=%zu, "
+        "over_fetch=%zu)\n",
+        indexed, store->num_relations(),
+        static_cast<double>(index_bytes) / (1024.0 * 1024.0), topk.ef_search,
+        topk.over_fetch);
+  }
   ServiceOptions service_options;
   service_options.num_threads = topk.num_threads;
   if (flags.count("window-ms")) {

@@ -49,4 +49,8 @@ echo "=== ci_check: quantized serving gate (int8 speedup + recall, overload p99)
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target micro_serve_qps
 "$BUILD_DIR/bench/micro_serve_qps" --gate
 
+echo "=== ci_check: ANN retrieval gate (single-query speedup + recall@10) ==="
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target micro_ann
+"$BUILD_DIR/bench/micro_ann" --gate
+
 echo "=== ci_check: all stages passed ==="

@@ -30,9 +30,11 @@ cmake -B "$BUILD_DIR" -S . \
 # the refresher's single-writer contract. plan_test records and replays
 # compiled steps from concurrent minibatch workers (per-worker PlanCache +
 # shared obs counters), so the trace/replay path gets TSan coverage too.
+# ann_test's ConcurrentSearchDuringPublish races reader threads traversing a
+# published HNSW index against the writer patching/rebuilding its successor.
 TESTS=(threadpool_test sampling_test determinism_test serve_test obs_test
        service_stress_test arena_test sparse_aggregate_test
-       stream_test live_store_test plan_test)
+       stream_test live_store_test ann_test plan_test)
 cmake --build "$BUILD_DIR" -j "$(nproc)" --target "${TESTS[@]}"
 
 status=0

@@ -4,7 +4,10 @@
 #include <cmath>
 
 #include "common/parallel.h"
+#include "common/timer.h"
 #include "kernels/kernels.h"
+#include "obs/metrics.h"
+#include "serve/block_scorer.h"
 
 namespace hybridgnn {
 
@@ -20,10 +23,8 @@ struct WorseOnTop {
   }
 };
 
-/// Rows scored per ScoreBlock call on the dense (unfiltered) scan. Large
-/// enough to amortize dispatch, small enough that the score buffer stays in
-/// L1 and the query row stays hot.
-constexpr size_t kScoreBlockRows = 256;
+/// Rows scored per block on both the dense scan and the gathered scans.
+constexpr size_t kScoreBlockRows = BlockScorer::kBlockRows;
 
 double DotDouble(const float* a, const float* b, size_t dim) {
   double s = 0.0;
@@ -68,52 +69,107 @@ TopKRecommender::TopKRecommender(const EmbeddingStore* store,
       graph_(graph),
       options_(options),
       extra_filter_(extra_filter) {
-  if (!options_.cosine) return;
-  const size_t dim = store_->dim();
-  row_norms_.resize(store_->num_relations());
-  std::vector<float> dequant(dim);
+  if (options_.cosine) {
+    const size_t dim = store_->dim();
+    row_norms_.resize(store_->num_relations());
+    std::vector<float> dequant(dim);
+    for (RelationId r = 0; r < store_->num_relations(); ++r) {
+      const size_t rows = store_->NumRows(r);
+      auto& norms = row_norms_[r];
+      norms.resize(rows);
+      // Carried-forward norms for this relation, when the caller vouches
+      // for them. A row is reused iff the previous norms cover it and it is
+      // not on the dirty list; everything else (new rows, changed rows,
+      // missing carryover) is recomputed.
+      const std::vector<float>* prev = nullptr;
+      const std::vector<uint32_t>* dirty = nullptr;
+      if (carryover != nullptr && carryover->prev_norms != nullptr &&
+          r < carryover->prev_norms->size()) {
+        prev = &(*carryover->prev_norms)[r];
+        if (carryover->dirty_rows != nullptr &&
+            r < carryover->dirty_rows->size()) {
+          dirty = &(*carryover->dirty_rows)[r];
+        }
+      }
+      const float* data = store_->dtype() == StoreDType::kF32
+                              ? store_->Table(r).data()
+                              : nullptr;
+      size_t dirty_pos = 0;  // cursor into the ascending dirty list
+      for (size_t i = 0; i < rows; ++i) {
+        bool is_dirty = false;
+        if (dirty != nullptr) {
+          while (dirty_pos < dirty->size() && (*dirty)[dirty_pos] < i) {
+            ++dirty_pos;
+          }
+          is_dirty = dirty_pos < dirty->size() && (*dirty)[dirty_pos] == i;
+        }
+        if (prev != nullptr && i < prev->size() && !is_dirty) {
+          norms[i] = (*prev)[i];
+          continue;
+        }
+        const float* row;
+        if (data != nullptr) {
+          row = data + i * dim;
+        } else {
+          store_->DequantizeRow(r, static_cast<uint32_t>(i), dequant.data());
+          row = dequant.data();
+        }
+        norms[i] = static_cast<float>(std::sqrt(DotDouble(row, row, dim)));
+      }
+    }
+  }
+  ann_enabled_ = ResolveAnnEnabled(options_.ann);
+  if (ann_enabled_) BuildAnnIndexes(carryover);
+}
+
+void TopKRecommender::BuildAnnIndexes(const NormCarryover* carryover) {
+  static auto& build_ms = obs::Stage("serve/ann_build_ms");
+  ann_.resize(store_->num_relations());
+  AnnBuildOptions build = options_.ann_build;
+  build.cosine = options_.cosine;
   for (RelationId r = 0; r < store_->num_relations(); ++r) {
     const size_t rows = store_->NumRows(r);
-    auto& norms = row_norms_[r];
-    norms.resize(rows);
-    // Carried-forward norms for this relation, when the caller vouches for
-    // them. A row is reused iff the previous norms cover it and it is not
-    // on the dirty list; everything else (new rows, changed rows, missing
-    // carryover) is recomputed.
-    const std::vector<float>* prev = nullptr;
-    const std::vector<uint32_t>* dirty = nullptr;
-    if (carryover != nullptr && carryover->prev_norms != nullptr &&
-        r < carryover->prev_norms->size()) {
-      prev = &(*carryover->prev_norms)[r];
-      if (carryover->dirty_rows != nullptr &&
-          r < carryover->dirty_rows->size()) {
-        dirty = &(*carryover->dirty_rows)[r];
-      }
-    }
-    const float* data =
-        store_->dtype() == StoreDType::kF32 ? store_->Table(r).data() : nullptr;
-    size_t dirty_pos = 0;  // cursor into the ascending dirty list
-    for (size_t i = 0; i < rows; ++i) {
-      bool is_dirty = false;
-      if (dirty != nullptr) {
-        while (dirty_pos < dirty->size() && (*dirty)[dirty_pos] < i) {
-          ++dirty_pos;
+    // Small tables route to the exact scan: index traversal only wins once
+    // the table dwarfs the candidate pool.
+    if (rows < std::max<size_t>(2, options_.ann_min_rows)) continue;
+    obs::ScopedTimer timer(build_ms);
+    // Publish-time carryover: reuse / patch the previous index when the
+    // relation's churn since the last publish is small.
+    if (carryover != nullptr && carryover->prev_ann != nullptr &&
+        r < carryover->prev_ann->size()) {
+      const std::shared_ptr<const AnnIndex>& prev = (*carryover->prev_ann)[r];
+      if (prev != nullptr && prev->options() == build &&
+          prev->dim() == store_->dim() && prev->num_rows() <= rows) {
+        std::span<const uint32_t> dirty;
+        if (carryover->dirty_rows != nullptr &&
+            r < carryover->dirty_rows->size()) {
+          dirty = (*carryover->dirty_rows)[r];
         }
-        is_dirty = dirty_pos < dirty->size() && (*dirty)[dirty_pos] == i;
+        if (dirty.empty() && prev->num_rows() == rows) {
+          ann_[r] = prev;  // untouched relation: share the index outright
+          continue;
+        }
+        // Appended rows in the dirty list are cheap inserts, not re-links;
+        // only churn inside the previous index's row space degrades it.
+        const auto relinked = static_cast<double>(
+            std::lower_bound(dirty.begin(), dirty.end(),
+                             static_cast<uint32_t>(prev->num_rows())) -
+            dirty.begin());
+        const double churn = relinked / static_cast<double>(prev->num_rows());
+        if (churn <= build.max_patch_fraction) {
+          auto patched = AnnIndex::Patched(*prev, *store_, r, dirty);
+          if (patched.ok()) {
+            ann_[r] = *std::move(patched);
+            continue;
+          }
+        }
       }
-      if (prev != nullptr && i < prev->size() && !is_dirty) {
-        norms[i] = (*prev)[i];
-        continue;
-      }
-      const float* row;
-      if (data != nullptr) {
-        row = data + i * dim;
-      } else {
-        store_->DequantizeRow(r, static_cast<uint32_t>(i), dequant.data());
-        row = dequant.data();
-      }
-      norms[i] = static_cast<float>(std::sqrt(DotDouble(row, row, dim)));
     }
+    auto built = AnnIndex::Build(*store_, r, build);
+    // Build only fails on malformed options / empty tables, both excluded
+    // above; a failure here still degrades to the exact scan rather than
+    // taking serving down.
+    if (built.ok()) ann_[r] = *std::move(built);
   }
 }
 
@@ -124,6 +180,17 @@ StatusOr<std::vector<Recommendation>> TopKRecommender::Recommend(
                                    std::to_string(q.rel));
   }
   if (q.k == 0) return Status::InvalidArgument("k must be > 0");
+  // A node beyond both the graph's and the store's id space is a malformed
+  // query, not a miss: NotFound is reserved for known ids without a table
+  // row. Streamed-in nodes live past the offline graph but inside the
+  // published store's id space, so they stay servable.
+  if (graph_ != nullptr && q.node >= graph_->num_nodes() &&
+      q.node >= store_->num_nodes()) {
+    return Status::InvalidArgument(
+        "node " + std::to_string(q.node) + " is out of range (graph has " +
+        std::to_string(graph_->num_nodes()) + " nodes, store covers " +
+        std::to_string(store_->num_nodes()) + ")");
+  }
   const size_t dim = store_->dim();
   const StoreDType dtype = store_->dtype();
   const uint32_t query_table_row = store_->RowOf(q.node, q.rel);
@@ -131,6 +198,16 @@ StatusOr<std::vector<Recommendation>> TopKRecommender::Recommend(
     return Status::NotFound("node " + std::to_string(q.node) +
                             " has no embedding under relation '" +
                             store_->relation_name(q.rel) + "'");
+  }
+  if (q.candidate_type != kInvalidNodeType) {
+    if (graph_ == nullptr) {
+      return Status::FailedPrecondition(
+          "candidate_type filtering needs a graph-aware recommender");
+    }
+    if (q.candidate_type >= graph_->num_node_types()) {
+      return Status::InvalidArgument("unknown node type id " +
+                                     std::to_string(q.candidate_type));
+    }
   }
   // The query side always scores as fp32: for quantized stores the row is
   // dequantized once up front (the kernels only quantize the candidate
@@ -144,12 +221,6 @@ StatusOr<std::vector<Recommendation>> TopKRecommender::Recommend(
     query_buf.resize(dim);
     store_->DequantizeRow(q.rel, query_table_row, query_buf.data());
     query_row = query_buf.data();
-  }
-  // ScoreBlockI8 folds the per-row affine into the dot with one
-  // query-element sum, computed once per query.
-  double query_sum = 0.0;
-  if (dtype == StoreDType::kI8) {
-    for (size_t j = 0; j < dim; ++j) query_sum += query_row[j];
   }
   double query_norm = 1.0;
   if (options_.cosine) {
@@ -167,28 +238,9 @@ StatusOr<std::vector<Recommendation>> TopKRecommender::Recommend(
       extra_excluded = extra_filter_->Excluded(q.node, q.rel);  // sorted
     }
   }
-  const float* table = store_->Table(q.rel).data();  // null when quantized
-  const uint8_t* qtable = store_->RawTable(q.rel).data();
-  const uint16_t* f16_table = reinterpret_cast<const uint16_t*>(qtable);
-  const float* scales = store_->RowScales(q.rel).data();
-  const float* zeros = store_->RowZeros(q.rel).data();
-  // Scores `count` consecutive table rows starting at `base` into `out`,
-  // through whichever kernel matches the store's dtype.
-  auto score_rows = [&](size_t base, size_t count, double* out) {
-    switch (dtype) {
-      case StoreDType::kF32:
-        kernels::ScoreBlock(query_row, table + base * dim, count, dim, out);
-        return;
-      case StoreDType::kF16:
-        kernels::ScoreBlockF16(query_row, f16_table + base * dim, count, dim,
-                               out);
-        return;
-      case StoreDType::kI8:
-        kernels::ScoreBlockI8(query_row, qtable + base * dim, scales + base,
-                              zeros + base, query_sum, count, dim, out);
-        return;
-    }
-  };
+  // One dtype-dispatched scorer serves the dense scan, the gathered typed
+  // scan, the ANN traversal, and the ANN re-rank.
+  BlockScorer scorer(store_, q.rel, query_row);
 
   // Bounded min-heap over the candidate scan. `heap` is kept as a vector
   // with std::push/pop_heap so the final extraction can sort in place.
@@ -196,8 +248,8 @@ StatusOr<std::vector<Recommendation>> TopKRecommender::Recommend(
   heap.reserve(q.k + 1);
   const WorseOnTop worse;
   // Filters + heap maintenance for one scored candidate (`raw` is the plain
-  // dot product; cosine normalization happens here so both scan paths share
-  // it).
+  // dot product; cosine normalization happens here so every scan path
+  // shares it).
   auto consider = [&](NodeId cand, uint32_t row, double raw) {
     if (cand == q.node) return;
     if (!train_nbrs.empty() &&
@@ -225,24 +277,92 @@ StatusOr<std::vector<Recommendation>> TopKRecommender::Recommend(
     }
   };
 
+  // --- ANN candidate generation (sublinear path) ---
+  if (ann_enabled_) {
+    static auto& searches = obs::GlobalRegistry().GetCounter(
+        "serve/ann_searches");
+    static auto& fallbacks = obs::GlobalRegistry().GetCounter(
+        "serve/ann_fallbacks");
+    static auto& hops = obs::GlobalRegistry().GetCounter("serve/ann_hops");
+    static auto& candidates = obs::GlobalRegistry().GetCounter(
+        "serve/ann_candidates");
+    static auto& rerank_rows = obs::GlobalRegistry().GetCounter(
+        "serve/ann_rerank_rows");
+    const AnnIndex* index =
+        q.rel < ann_.size() ? ann_[q.rel].get() : nullptr;
+    if (index == nullptr) {
+      fallbacks.Add(1);  // unindexed (small) relation: exact scan below
+    } else {
+      searches.Add(1);
+      // k-aware over-fetch: ask for enough pool that the exclusion / type
+      // filters can eat candidates without starving the heap.
+      const size_t pool_target = std::min(
+          index->num_rows(),
+          std::max(options_.ef_search, q.k * std::max<size_t>(
+                                                 1, options_.over_fetch)));
+      std::span<const float> norms;
+      if (options_.cosine) norms = row_norms_[q.rel];
+      std::vector<uint32_t> pool;
+      AnnIndex::SearchStats stats;
+      index->Search(scorer, pool_target, norms, &pool, &stats);
+      hops.Add(stats.hops);
+      candidates.Add(pool.size());
+      // Re-rank the pool through the exact kernels in gathered blocks, then
+      // run the same consider() filters the exact scan applies.
+      double scores[kScoreBlockRows];
+      for (size_t base = 0; base < pool.size(); base += kScoreBlockRows) {
+        const size_t count = std::min(kScoreBlockRows, pool.size() - base);
+        scorer.ScoreRows(pool.data() + base, count, scores);
+        for (size_t i = 0; i < count; ++i) {
+          const uint32_t row = pool[base + i];
+          const NodeId cand = store_->RowNode(q.rel, row);
+          if (q.candidate_type != kInvalidNodeType &&
+              (cand >= graph_->num_nodes() ||
+               graph_->node_type(cand) != q.candidate_type)) {
+            continue;
+          }
+          consider(cand, row, scores[i]);
+        }
+      }
+      rerank_rows.Add(pool.size());
+      const size_t reachable =
+          std::min(q.k, index->num_rows() > 0 ? index->num_rows() - 1 : 0);
+      if (heap.size() >= reachable) {
+        std::sort_heap(heap.begin(), heap.end(), worse);
+        return heap;
+      }
+      // Filtering starved the pool (or the graph was unlucky): fall back to
+      // the exact scan so ANN never changes what a query can return, only
+      // how fast.
+      fallbacks.Add(1);
+      heap.clear();
+    }
+  }
+
   if (q.candidate_type != kInvalidNodeType) {
-    if (graph_ == nullptr) {
-      return Status::FailedPrecondition(
-          "candidate_type filtering needs a graph-aware recommender");
-    }
-    if (q.candidate_type >= graph_->num_node_types()) {
-      return Status::InvalidArgument("unknown node type id " +
-                                     std::to_string(q.candidate_type));
-    }
-    // Type-filtered candidates hit scattered table rows; score one row at a
-    // time.
+    // Type-filtered candidates hit scattered table rows; gather them into
+    // block-sized buffers and score through the same kernels as the dense
+    // scan (bitwise identical to the old per-row scoring — see
+    // BlockScorer).
+    uint32_t rows_buf[kScoreBlockRows];
+    NodeId cand_buf[kScoreBlockRows];
+    double scores[kScoreBlockRows];
+    size_t filled = 0;
+    auto flush = [&] {
+      scorer.ScoreRows(rows_buf, filled, scores);
+      for (size_t i = 0; i < filled; ++i) {
+        consider(cand_buf[i], rows_buf[i], scores[i]);
+      }
+      filled = 0;
+    };
     for (NodeId cand : graph_->NodesOfType(q.candidate_type)) {
       const uint32_t row = store_->RowOf(cand, q.rel);
       if (row == EmbeddingStore::kNoRow) continue;
-      double s = 0.0;
-      score_rows(row, 1, &s);
-      consider(cand, row, s);
+      rows_buf[filled] = row;
+      cand_buf[filled] = cand;
+      if (++filled == kScoreBlockRows) flush();
     }
+    if (filled > 0) flush();
   } else {
     // Dense scan: score contiguous blocks straight off the (64B-aligned,
     // possibly mmapped) table, then filter and push. Excluded rows waste a
@@ -252,7 +372,7 @@ StatusOr<std::vector<Recommendation>> TopKRecommender::Recommend(
     double scores[kScoreBlockRows];
     for (size_t base = 0; base < rows; base += kScoreBlockRows) {
       const size_t count = std::min(kScoreBlockRows, rows - base);
-      score_rows(base, count, scores);
+      scorer.ScoreRange(base, count, scores);
       for (size_t i = 0; i < count; ++i) {
         const uint32_t row = static_cast<uint32_t>(base + i);
         consider(store_->RowNode(q.rel, row), row, scores[i]);

@@ -9,6 +9,7 @@
 #include "common/statusor.h"
 #include "common/threadpool.h"
 #include "graph/graph.h"
+#include "serve/ann/ann_index.h"
 #include "serve/embedding_store.h"
 
 namespace hybridgnn {
@@ -24,6 +25,26 @@ struct TopKOptions {
   /// construction, so the per-query cost is one extra multiply per
   /// candidate).
   bool cosine = false;
+  /// Sublinear candidate generation: build an HNSW index per relation at
+  /// construction and answer queries by searching it, then re-ranking the
+  /// candidate pool through the exact ScoreBlock kernels (DESIGN.md §17).
+  /// The env var HYBRIDGNN_ANN=on|off overrides this at runtime. Scores and
+  /// filters are always exact — ANN only shrinks the candidate set — and
+  /// any query the index cannot serve confidently (unindexed relation,
+  /// under-filled pool after filtering) falls back to the exact scan.
+  bool ann = false;
+  /// Beam width of the level-0 ANN search; also the floor of the candidate
+  /// pool size. Larger = higher recall, slower.
+  size_t ef_search = 64;
+  /// k-aware over-fetch: the ANN pool holds at least k * over_fetch
+  /// candidates, so train-neighbor / type / delta-edge filtering can drop
+  /// candidates without starving the top-k.
+  size_t over_fetch = 4;
+  /// Relations with fewer rows than this are never indexed — the exact
+  /// block scan beats index traversal on small tables.
+  size_t ann_min_rows = 4096;
+  /// HNSW construction parameters (cosine is filled from `cosine` above).
+  AnnBuildOptions ann_build;
 };
 
 /// One retrieval request: top-`k` nodes for `node` under relationship `rel`
@@ -97,6 +118,13 @@ struct NormCarryover {
   /// count are always recomputed (they are new), so append-only growth
   /// needs no dirty entries. A null pointer means "no rows changed".
   const std::vector<std::vector<uint32_t>>* dirty_rows = nullptr;
+  /// Per-relation ANN indexes of the previous recommender (its
+  /// ann_indexes()). With ANN enabled, the new recommender reuses an entry
+  /// outright when its relation has no dirty rows and no appended rows,
+  /// patches it copy-on-write when the dirty fraction is small (see
+  /// AnnBuildOptions::max_patch_fraction), and rebuilds otherwise — so a
+  /// streaming publish costs O(touched) index work, not O(rows).
+  const std::vector<std::shared_ptr<const AnnIndex>>* prev_ann = nullptr;
 };
 
 /// Brute-force dot-product top-K over a frozen EmbeddingStore: for each
@@ -109,6 +137,13 @@ struct NormCarryover {
 /// dequant-and-score kernels; queries, cosine norms, and the scattered
 /// type-filtered path all go through the same dequantization the kernels
 /// apply, so scores are consistent however a row is reached.
+///
+/// With TopKOptions::ann (or HYBRIDGNN_ANN=on) the scan is replaced by
+/// sublinear candidate generation: an HNSW search over-fetches a candidate
+/// pool which is re-ranked through the same exact kernels and the same
+/// filter/heap logic — ANN narrows the candidate set, it never changes
+/// scoring semantics. Queries the index cannot serve (unindexed relation,
+/// pool under-filled after filtering) route back to the exact scan.
 ///
 /// Ordering is deterministic: descending score, ties broken by ascending
 /// node id — the same rule the offline evaluator uses.
@@ -144,13 +179,31 @@ class TopKRecommender {
     return row_norms_;
   }
 
+  /// Per-relation ANN indexes (empty vector unless ANN resolved on at
+  /// construction; a null entry means that relation fell below ann_min_rows
+  /// and routes to the exact scan). Feed these back through
+  /// NormCarryover::prev_ann when rebuilding against a republished store.
+  const std::vector<std::shared_ptr<const AnnIndex>>& ann_indexes() const {
+    return ann_;
+  }
+
+  /// True when ANN candidate generation resolved on at construction
+  /// (TopKOptions::ann as overridden by HYBRIDGNN_ANN).
+  bool ann_enabled() const { return ann_enabled_; }
+
  private:
+  /// Builds / patches / reuses the per-relation ANN indexes (constructor
+  /// tail, only when ANN resolved on).
+  void BuildAnnIndexes(const NormCarryover* carryover);
+
   const EmbeddingStore* store_;
   const MultiplexHeteroGraph* graph_;
   TopKOptions options_;
   const DeltaEdgeFilter* extra_filter_;
   /// Per-relation, per-row L2 norms; only filled in cosine mode.
   std::vector<std::vector<float>> row_norms_;
+  bool ann_enabled_ = false;
+  std::vector<std::shared_ptr<const AnnIndex>> ann_;
 };
 
 /// Indirection for serving tiers whose recommender is swapped at runtime

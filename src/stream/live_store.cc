@@ -109,15 +109,17 @@ Status LiveEmbeddingStore::Publish(const DynamicGraphOverlay* overlay) {
           .Add(static_cast<double>(dropped));
     }
   }
-  // Carry the outgoing snapshot's cosine norms into the new recommender,
-  // recomputing only the rows the writer touched since the last publish.
-  // Holding `prev` (the shared_ptr) keeps the borrowed norms alive through
-  // construction; the first publish has nothing to carry.
+  // Carry the outgoing snapshot's cosine norms and ANN indexes into the new
+  // recommender, recomputing / re-linking only the rows the writer touched
+  // since the last publish. Holding `prev` (the shared_ptr) keeps the
+  // borrowed norms and indexes alive through construction; the first
+  // publish has nothing to carry.
   std::shared_ptr<const Version> prev = Acquire();
   std::vector<std::vector<uint32_t>> dirty;
   NormCarryover carryover;
   const NormCarryover* carry_arg = nullptr;
-  if (options_.cosine && prev != nullptr && prev->recommender != nullptr) {
+  const bool wants_carry = options_.cosine || ResolveAnnEnabled(options_.ann);
+  if (wants_carry && prev != nullptr && prev->recommender != nullptr) {
     dirty.reserve(staging_.size());
     for (StagingTable& t : staging_) {
       std::sort(t.touched_rows.begin(), t.touched_rows.end());
@@ -129,6 +131,7 @@ Status LiveEmbeddingStore::Publish(const DynamicGraphOverlay* overlay) {
     }
     carryover.prev_norms = &prev->recommender->row_norms();
     carryover.dirty_rows = &dirty;
+    carryover.prev_ann = &prev->recommender->ann_indexes();
     carry_arg = &carryover;
   } else {
     for (StagingTable& t : staging_) t.touched_rows.clear();
